@@ -1,0 +1,129 @@
+"""Experiment X2 — thermal management, profiled with Tempest (question 4).
+
+The paper disables DVFS and fan regulation "to circumvent all thermal
+feedback effects" and names management validation as a key use of the
+tool.  This ablation turns the feedback back on and uses Tempest's own
+before/after profiles to quantify each technique:
+
+* **auto fan** caps the burn's peak temperature relative to the fixed-speed
+  run, at zero performance cost;
+* **thermal-cap DVFS governor** also caps temperature but stretches
+  runtime (the performance effect question 4 asks about);
+* **targeted dvfs_region optimization** applied to the profile's hottest
+  function trades a bounded slowdown for a peak-temperature reduction,
+  validated with :func:`repro.analysis.optimize.compare_runs`.
+"""
+
+import pytest
+
+from repro.analysis.optimize import compare_runs, dvfs_region, recommend
+from repro.core import TempestSession, instrument
+from repro.simmachine.dvfs import DvfsGovernor, FanController
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.power import ACTIVITY_BURN, ACTIVITY_COMM
+from repro.simmachine.process import Compute
+from repro.workloads import microbench as mb
+
+from .conftest import once, write_artifact
+
+
+@instrument
+def hot_kernel(ctx, seconds=20.0):
+    for _ in range(int(seconds)):
+        yield Compute(1.0, ACTIVITY_BURN)
+
+
+@instrument
+def exchange_phase(ctx, seconds=6.0):
+    for _ in range(int(seconds)):
+        yield Compute(1.0, ACTIVITY_COMM)
+
+
+@instrument(name="main")
+def app(ctx):
+    yield from exchange_phase(ctx)
+    yield from hot_kernel(ctx)
+    yield from exchange_phase(ctx)
+
+
+@instrument(name="main")
+def app_optimized(ctx):
+    yield from exchange_phase(ctx)
+    yield from dvfs_region(ctx, hot_kernel(ctx), opp_index=1)
+    yield from exchange_phase(ctx)
+
+
+def burn_with(controller: str):
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=71))
+    if controller == "auto-fan":
+        FanController(m, "node1", mode="auto", target_c=30.0,
+                      gain_rpm_per_c=320.0).install()
+    elif controller == "governor":
+        DvfsGovernor(m, "node1", cap_c=36.0).install()
+    s = TempestSession(m)
+    s.run_serial(mb.micro_b, "node1", 0, 40.0)
+    prof = s.profile()
+    node = prof.node("node1")
+    return {
+        "runtime_s": s.last_workload_end,
+        "peak_c": node.max_temperature("CPU0 Temp"),
+    }
+
+
+def run_management():
+    out = {
+        "fixed": burn_with("fixed"),
+        "auto-fan": burn_with("auto-fan"),
+        "governor": burn_with("governor"),
+    }
+
+    # Targeted optimization of the hottest profiled function.
+    m1 = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=72))
+    s1 = TempestSession(m1)
+    s1.run_serial(app, "node1", 0)
+    before = s1.profile()
+    out["recommendations"] = recommend(before, top_n=2)
+    m2 = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=72))
+    s2 = TempestSession(m2)
+    s2.run_serial(app_optimized, "node1", 0)
+    after = s2.profile()
+    out["report"] = compare_runs(before, after)
+    return out
+
+
+def test_thermal_management_tradeoffs(benchmark, results_dir):
+    out = once(benchmark, run_management)
+    fixed, fan, gov = out["fixed"], out["auto-fan"], out["governor"]
+
+    # Auto fan: cooler peak, no slowdown.
+    assert fan["peak_c"] < fixed["peak_c"] - 1.0
+    assert fan["runtime_s"] == pytest.approx(fixed["runtime_s"], rel=1e-3)
+
+    # Governor: caps temperature but costs time.
+    assert gov["peak_c"] < fixed["peak_c"] - 1.0
+    assert gov["runtime_s"] > 1.05 * fixed["runtime_s"]
+
+    # Targeted optimization: the advisor names the hot kernel, and the
+    # validated trade-off is a real peak reduction at a bounded slowdown.
+    rec_functions = {r.function for r in out["recommendations"]}
+    assert rec_functions & {"hot_kernel", "main"}
+    report = out["report"]
+    d = report.deltas[0]
+    assert d.peak_reduction_c > 1.0
+    assert 1.05 < d.slowdown < 1.45  # 1.4 GHz point: ~1.29x on the region
+
+    lines = [
+        "Thermal management ablation (feedback ON vs the paper's OFF)",
+        f"{'config':<12}{'runtime (s)':>12}{'peak C':>9}",
+        f"{'fixed':<12}{fixed['runtime_s']:>12.2f}{fixed['peak_c']:>9.1f}",
+        f"{'auto-fan':<12}{fan['runtime_s']:>12.2f}{fan['peak_c']:>9.1f}",
+        f"{'governor':<12}{gov['runtime_s']:>12.2f}{gov['peak_c']:>9.1f}",
+        "",
+        "advisor recommendations:",
+    ]
+    for r in out["recommendations"]:
+        lines.append(f"  {r.function} on {r.node}: {r.reason}")
+    lines.append("")
+    lines.append("targeted dvfs_region validation:")
+    lines.append(report.describe())
+    write_artifact(results_dir, "ablation_management.txt", "\n".join(lines))

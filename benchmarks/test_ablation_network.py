@@ -1,0 +1,93 @@
+"""Experiment X4 — substrate ablation: interconnect bandwidth vs thermals.
+
+DESIGN.md commits the reproduction to getting *crossovers* right, and the
+clearest one in this system is FT's character as a function of interconnect
+speed: on a slow network the all-to-all dominates, ranks idle cool at the
+progress-engine activity, and FT is a cold code; on an infinitely fast
+network the transpose evaporates and FT turns into a hot FFT benchmark.
+
+Sweeping the bandwidth reproduces that crossover and, as a side effect,
+validates the network cost model end to end: communication fraction falls
+monotonically with bandwidth while mean CPU temperature rises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlate import comm_compute_split
+from repro.core import TempestSession
+from repro.mpisim.network import Network, NetworkParams
+from repro.simmachine.hwmon import system_x_profile
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.node import NodeConfig
+from repro.workloads.npb import ft
+
+from .conftest import once, write_artifact
+
+SENSOR = "CPU A Temp"
+
+#: bytes/second points of the sweep: 2001-era Ethernet to future fabric
+BANDWIDTHS = [50e6, 200e6, 700e6, 3e9, 20e9]
+
+
+def run_sweep():
+    rows = []
+    for bw in BANDWIDTHS:
+        base = NodeConfig(sensor_profile=system_x_profile)
+        machine = Machine(ClusterConfig(n_nodes=4, base_node=base,
+                                        vary_nodes=False, seed=91))
+        session = TempestSession(machine)
+        network = Network(NetworkParams(bandwidth_bps=bw))
+        config = ft.FTConfig(klass="C", iterations=6)
+        session.run_mpi(lambda ctx: ft.ft_benchmark(ctx, config), 4,
+                        network=network, name=f"ft-bw{bw:.0e}")
+        profile = session.profile()
+        node = profile.node("node1")
+        comm, comp = comm_compute_split(node)
+        _, vals = node.sensor_series[SENSOR]
+        rows.append(
+            {
+                "bw_mbps": bw / 1e6,
+                "duration_s": node.duration_s,
+                "comm_frac": comm / (comm + comp),
+                "late_mean_c": float(vals[len(vals) * 2 // 3:].mean()),
+            }
+        )
+    return rows
+
+
+def test_bandwidth_crossover(benchmark, results_dir):
+    rows = once(benchmark, run_sweep)
+
+    comm = [r["comm_frac"] for r in rows]
+    temps = [r["late_mean_c"] for r in rows]
+    durations = [r["duration_s"] for r in rows]
+
+    # Faster network -> less communication share, shorter runs.
+    assert all(b < a for a, b in zip(comm, comm[1:]))
+    assert all(b < a for a, b in zip(durations, durations[1:]))
+    # The crossover: FT flips from communication-dominated (>50%) on the
+    # slow fabric to compute-dominated (<15%) on the fast one, and its
+    # steady temperature rises accordingly.
+    assert comm[0] > 0.5
+    # The fast-fabric floor is the local pack/unpack cost inside the
+    # transpose (memory-bound, network-independent) — just under ~0.2.
+    assert comm[-1] < 0.2
+    assert temps[-1] > temps[0] + 1.0
+    # Temperature is monotone in the compute fraction across the sweep.
+    order = np.argsort(comm)
+    assert all(
+        temps[order[i]] >= temps[order[i + 1]] - 0.3
+        for i in range(len(order) - 1)
+    )
+
+    lines = [
+        "FT bandwidth sweep (class C, NP=4, homogeneous nodes)",
+        f"{'BW (MB/s)':>10}{'dur (s)':>9}{'comm %':>8}{'late C':>8}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['bw_mbps']:>10.0f}{r['duration_s']:>9.1f}"
+            f"{r['comm_frac']*100:>8.1f}{r['late_mean_c']:>8.2f}"
+        )
+    write_artifact(results_dir, "ablation_network.txt", "\n".join(lines))

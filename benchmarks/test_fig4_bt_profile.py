@@ -1,0 +1,97 @@
+"""Experiment F4 — Figure 4: BT class C, NP=4, synchronized thermal jump.
+
+Paper observations reproduced in shape:
+
+* "The BT benchmark performs several tasks followed by a synchronization
+  event that occurs at about 1.5 seconds into the run" — initialization +
+  exact_rhs warm-up, then a cluster-wide barrier;
+* "At the synchronization event, all nodes see a dramatic rise in
+  temperature indicative of increased computation";
+* "Surprisingly, some nodes run hotter than others.  Nodes 1 and 4 jump
+  above 105 degrees, node 2 stays below, and node 3 runs at over 110
+  degrees" — we assert the *ordering* (node 3 hottest, node 2 coolest,
+  nodes 1/4 between) and check the Fahrenheit bands loosely;
+* BT is synchronized where FT is not: its cross-node synchronization score
+  clearly exceeds FT's on the same cluster.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import detect_jump, synchronization_score
+from repro.core import TempestSession
+from repro.core.ascii_plot import render_cluster_profile
+from repro.util.units import c_to_f
+from repro.workloads.npb import bt, ft
+
+from .conftest import once, paper_cluster, write_artifact
+
+SENSOR = "CPU A Temp"
+
+
+def run_bt_and_ft():
+    machine = paper_cluster()
+    session = TempestSession(machine)
+    config = bt.BTConfig(klass="C", iterations=14)
+    session.run_mpi(lambda ctx: bt.bt_benchmark(ctx, config), 4,
+                    name="bt.C.4")
+    bt_profile = session.profile()
+    # A fresh FT run on an identical cluster for the sync comparison.
+    machine2 = paper_cluster()
+    session2 = TempestSession(machine2)
+    ft_config = ft.FTConfig(klass="C", iterations=12)
+    session2.run_mpi(lambda ctx: ft.ft_benchmark(ctx, ft_config), 4,
+                     name="ft.C.4")
+    ft_profile = session2.profile()
+    return bt_profile, ft_profile
+
+
+def test_fig4_bt_cluster_profile(benchmark, results_dir):
+    bt_profile, ft_profile = once(benchmark, run_bt_and_ft)
+
+    jumps = {}
+    for name in bt_profile.node_names():
+        times, vals = bt_profile.node(name).sensor_series[SENSOR]
+        jumps[name] = detect_jump(times, vals, window=8)
+
+    # Every node jumps, and the jumps cluster around the same instant (the
+    # barrier after initialization, a couple of seconds into the run).
+    jump_times = [t for t, _ in jumps.values()]
+    rises = [r for _, r in jumps.values()]
+    assert all(r > 1.5 for r in rises), jumps
+    assert max(jump_times) - min(jump_times) < 2.0
+    assert 0.5 < np.mean(jump_times) < 6.0
+
+    # Per-node spread under the same load — the paper's exact bands:
+    # "Nodes 1 and 4 jump above 105 degrees, node 2 stays below, and node 3
+    # runs at over 110 degrees."
+    max_f = {
+        name: c_to_f(bt_profile.node(name).max_temperature(SENSOR))
+        for name in bt_profile.node_names()
+    }
+    assert max_f["node1"] > 105.0
+    assert max_f["node4"] > 105.0
+    assert max_f["node2"] < 105.0
+    assert max_f["node3"] > 110.0
+    assert max_f["node3"] == max(max_f.values())
+    assert max_f["node2"] == min(max_f.values())
+
+    # BT is the synchronized code; FT is not (Figures 3 vs 4).
+    bt_sync = synchronization_score(bt_profile, SENSOR)
+    ft_sync = synchronization_score(ft_profile, SENSOR, skip_fraction=0.4)
+    assert bt_sync > ft_sync + 0.1
+    assert bt_sync > 0.75
+
+    lines = [
+        "Figure 4 reproduction: BT class C, NP=4 (one rank per node)",
+        "",
+        render_cluster_profile(bt_profile, SENSOR, width=76, height=7),
+        "",
+        "synchronization-event detection (time of largest sustained rise):",
+    ]
+    for name, (t, rise) in jumps.items():
+        lines.append(f"  {name}: jump at {t:.2f} s, +{rise:.1f} C "
+                     f"(peak {max_f[name]:.1f} F)")
+    lines.append(f"BT cross-node synchronization: {bt_sync:.3f}")
+    lines.append(f"FT cross-node synchronization: {ft_sync:.3f}")
+    write_artifact(results_dir, "fig4_bt_profile.txt", "\n".join(lines))

@@ -1,0 +1,148 @@
+"""Experiment OV — §3.4: profiling overhead and run-to-run variance.
+
+Paper claims reproduced in shape:
+
+* "Tempest introduced less than 7% overhead" — measured as the runtime
+  inflation of instrumented vs uninstrumented runs over a suite of
+  SPEC-like serial mixes and NPB codes;
+* "Gprof introduced less than 10% overhead to the original code for all
+  codes measured" and Tempest stays below gprof on the same codes (the
+  ordering is emergent: mcount's arc update costs more per call than
+  Tempest's rdtsc + buffer append);
+* "Repeated measurements were subject to variance of about 5%" — measured
+  with OS-noise daemons enabled across seeds.
+"""
+
+import statistics
+
+import pytest
+
+from repro.baselines.gprofsim import run_gprof_serial
+from repro.core import TempestSession
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.noise import NoiseProfile, install_noise
+from repro.workloads.npb import bt, ft
+from repro.workloads.specmix import SPEC_MIXES, perl_like
+
+from .conftest import once, write_artifact
+
+#: the fine-grained mix dominating the overhead suite: 120k calls of 5 us
+FINE_CALLS, FINE_CALL_S = 120_000, 5e-6
+
+
+def serial_runtime(program, *args, mode: str) -> float:
+    """Runtime of a serial workload under no/tempest/gprof profiling."""
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=42))
+    if mode == "gprof":
+        run_gprof_serial(m, program, "node1", 0, *args)
+        return m.sim.now
+    session = TempestSession(m, enabled=(mode == "tempest"))
+    session.run_serial(program, "node1", 0, *args)
+    return session.last_workload_end
+
+
+def mpi_runtime(program, config, mode: str) -> float:
+    m = Machine(ClusterConfig(n_nodes=4, vary_nodes=False, seed=42))
+    session = TempestSession(m, enabled=(mode == "tempest"))
+    session.run_mpi(lambda ctx: program(ctx, config), 4)
+    return session.last_workload_end
+
+
+def run_overhead_suite():
+    rows = []
+    serial_suite = {
+        "spec_perl_fine": (perl_like, (FINE_CALLS, FINE_CALL_S)),
+        "spec_gzip": (SPEC_MIXES["gzip"], ()),
+        "spec_art": (SPEC_MIXES["art"], ()),
+        "spec_mcf": (SPEC_MIXES["mcf"], ()),
+    }
+    for name, (prog, args) in serial_suite.items():
+        base = serial_runtime(prog, *args, mode="off")
+        tempest = serial_runtime(prog, *args, mode="tempest")
+        gprof = serial_runtime(prog, *args, mode="gprof")
+        rows.append(
+            {
+                "code": name,
+                "base_s": base,
+                "tempest_pct": 100.0 * (tempest - base) / base,
+                "gprof_pct": 100.0 * (gprof - base) / base,
+            }
+        )
+    npb_suite = {
+        "npb_ft.W": (ft.ft_benchmark, ft.FTConfig(klass="W", iterations=3)),
+        "npb_bt.W": (bt.bt_benchmark, bt.BTConfig(klass="W", iterations=3)),
+    }
+    for name, (prog, config) in npb_suite.items():
+        base = mpi_runtime(prog, config, mode="off")
+        tempest = mpi_runtime(prog, config, mode="tempest")
+        rows.append(
+            {
+                "code": name,
+                "base_s": base,
+                "tempest_pct": 100.0 * (tempest - base) / base,
+                "gprof_pct": None,
+            }
+        )
+    return rows
+
+
+def run_variance_study(n_runs: int = 5) -> list[float]:
+    """Instrumented runs with OS noise across seeds: runtime spread."""
+    runtimes = []
+    for seed in range(n_runs):
+        m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=seed))
+        flag = install_noise(
+            m, "node1", 0,
+            [NoiseProfile(mean_interval_s=0.03, burst_s=0.002, name="kswapd"),
+             NoiseProfile(mean_interval_s=0.05, burst_s=0.003, name="journald")],
+        )
+        session = TempestSession(m)
+        session.run_serial(SPEC_MIXES["gzip"], "node1", 0)
+        runtimes.append(session.last_workload_end)
+        flag["stop"] = True
+    return runtimes
+
+
+def test_overhead_tempest_under_7_gprof_under_10(benchmark, results_dir):
+    rows = once(benchmark, run_overhead_suite)
+
+    tempest_max = max(r["tempest_pct"] for r in rows)
+    gprof_vals = [r["gprof_pct"] for r in rows if r["gprof_pct"] is not None]
+    gprof_max = max(gprof_vals)
+
+    # Paper bounds (shape: same bounds, emergent values).
+    assert 0.0 < tempest_max < 7.0
+    assert gprof_max < 10.0
+    # Ordering: Tempest cheaper than gprof wherever overhead is measurable.
+    for r in rows:
+        if r["gprof_pct"] is not None and r["gprof_pct"] > 0.1:
+            assert r["tempest_pct"] < r["gprof_pct"]
+    # The call-heavy code carries the largest overhead (it is the driver).
+    fine = next(r for r in rows if r["code"] == "spec_perl_fine")
+    assert fine["tempest_pct"] == tempest_max
+    assert fine["tempest_pct"] > 1.0  # measurably nonzero, like the paper's
+
+    lines = [
+        f"{'code':<16}{'base (s)':>10}{'Tempest %':>11}{'gprof %':>10}"
+    ]
+    for r in rows:
+        g = f"{r['gprof_pct']:.2f}" if r["gprof_pct"] is not None else "-"
+        lines.append(
+            f"{r['code']:<16}{r['base_s']:>10.3f}"
+            f"{r['tempest_pct']:>11.2f}{g:>10}"
+        )
+    write_artifact(results_dir, "overhead.txt", "\n".join(lines))
+
+
+def test_run_to_run_variance_about_5_percent(benchmark, results_dir):
+    runtimes = once(benchmark, run_variance_study)
+    mean = statistics.mean(runtimes)
+    spread = (max(runtimes) - min(runtimes)) / mean
+    # Nonzero (OS noise is real) but bounded near the paper's ~5%.
+    assert 0.0 < spread < 0.05
+    write_artifact(
+        results_dir,
+        "overhead_variance.txt",
+        "runtimes (s): " + ", ".join(f"{r:.4f}" for r in runtimes)
+        + f"\nmax-min spread: {100*spread:.2f}% of mean",
+    )

@@ -1,0 +1,117 @@
+"""Experiment P1 — §1/§2 positioning: Tempest is middle-weight.
+
+* **Faster than heavyweight simulation**: producing a 60-second thermal
+  profile costs Tempest a handful of sensor reads; a HotSpot-class
+  transient solver needs tens of thousands of stability-limited integration
+  steps.  We measure wall-clock for both on the same power trace.
+* **More insightful than lightweight logging**: the raw sensor logger sees
+  the same samples but has no function records, so it can name a hot
+  *sensor* but never a hot *function* — Tempest answers questions 1-2.
+* **Agrees with the heavyweight tool where they overlap**: unit-average die
+  temperature rise from the FD solver matches the RC model's within a
+  couple of degrees on the same step-power stimulus.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.hotspots import identify_hot_spots
+from repro.baselines.hotspot import HotSpotModel
+from repro.baselines.lightweight import LightweightLogger
+from repro.core import TempestSession
+from repro.core.sensors import SimSensorReader
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.node import NodeConfig
+from repro.simmachine.power import ACTIVITY_BURN
+from repro.workloads import microbench as mb
+
+from .conftest import once, write_artifact
+
+BURN_WATTS = 30.0
+DURATION_S = 60.0
+
+
+def run_positioning():
+    out = {}
+
+    # --- Tempest profile of a 60 s burn: wall-clock + hot-spot answer ----
+    t0 = time.perf_counter()
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=51))
+    session = TempestSession(m)
+    session.run_serial(mb.micro_d, "node1", 0, DURATION_S, 0.05)
+    profile = session.profile()
+    out["tempest_wall_s"] = time.perf_counter() - t0
+    spots = identify_hot_spots(profile, top_n=3)
+    out["tempest_hot_function"] = spots[0].function if spots else None
+    die_start = profile.node("node1").sensor_series["CPU0 Temp"][1][0]
+    die_end = profile.node("node1").sensor_series["CPU0 Temp"][1][-5:].mean()
+    out["tempest_rise_c"] = float(die_end - die_start)
+
+    # --- HotSpot-class solver on the equivalent power step ---------------
+    t0 = time.perf_counter()
+    hs = HotSpotModel(grid=24, ambient_c=30.0)  # idle-steady ambient proxy
+    series = hs.simulate(lambda t: {"core0": BURN_WATTS}, DURATION_S)
+    out["hotspot_wall_s"] = time.perf_counter() - t0
+    out["hotspot_steps"] = hs.steps
+    out["hotspot_rise_c"] = float(series["core0"][-1] - series["core0"][0])
+    out["hotspot_peak_detail_c"] = hs.hottest_cell() - hs.unit_mean("core0")
+
+    # --- lightweight logger: same machine, no attribution ----------------
+    m2 = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=51))
+    logger = LightweightLogger(m2, SimSensorReader(m2.node("node2" if False
+                                                           else "node1")))
+    m2.spawn(logger.daemon, "node1", 3, name="logger")
+
+    def burner(proc):
+        gen = mb.micro_d(proc, DURATION_S, 0.05)
+        result = yield from gen
+        return result
+
+    w = m2.spawn(burner, "node1", 0)
+    m2.run_to_completion([w])
+    logger.stop()
+    m2.sim.run(until=m2.sim.now + 0.5)
+    _, sensor, temp = logger.hottest_observation()
+    out["logger_hot_sensor"] = sensor
+    return out
+
+
+def test_positioning_middleweight(benchmark, results_dir):
+    out = once(benchmark, run_positioning)
+
+    # Speed: the heavyweight solver costs far more wall-clock per simulated
+    # second than the whole Tempest pipeline (orders of magnitude on real
+    # floorplans; we require >= 5x even at this coarse 32x32 grid).
+    assert out["hotspot_steps"] > 20_000
+    assert out["hotspot_wall_s"] > 5.0 * out["tempest_wall_s"]
+
+    # Insight: Tempest names the hot function; the logger can only name a
+    # sensor.
+    assert out["tempest_hot_function"] in ("foo1", "main")
+    assert out["logger_hot_sensor"] == "CPU0 Temp"
+
+    # Detail: the FD solver resolves an intra-die gradient that sensors
+    # average away (heavyweight tools do offer more detail).
+    assert out["hotspot_peak_detail_c"] > 0.5
+
+    # Agreement: both models see a comparable die rise for ~30 W.
+    assert out["tempest_rise_c"] == pytest.approx(
+        out["hotspot_rise_c"], abs=4.0
+    )
+
+    lines = [
+        "Positioning: middle-weight (Tempest) vs heavy/light extremes",
+        f"Tempest wall-clock for a {DURATION_S:.0f}s profile: "
+        f"{out['tempest_wall_s']*1000:.1f} ms",
+        f"HotSpot-class solver wall-clock: {out['hotspot_wall_s']*1000:.1f} ms "
+        f"({out['hotspot_steps']} Euler steps)",
+        f"Tempest hot function: {out['tempest_hot_function']}",
+        f"Lightweight logger's best answer: sensor {out['logger_hot_sensor']!r}",
+        f"die rise: Tempest {out['tempest_rise_c']:.1f} C vs "
+        f"FD solver {out['hotspot_rise_c']:.1f} C",
+        f"intra-die gradient only the FD solver sees: "
+        f"{out['hotspot_peak_detail_c']:.2f} C",
+    ]
+    write_artifact(results_dir, "positioning.txt", "\n".join(lines))

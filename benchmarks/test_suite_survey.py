@@ -1,0 +1,97 @@
+"""Experiment S1 — contribution 2: "thermal profiles of several classes of
+parallel applications from common benchmarks including NAS PB".
+
+A cross-suite survey on the paper cluster: the seven NPB reproductions at
+reduced iteration counts, each profiled with Tempest, ranked by thermal
+signature.  The shape claims:
+
+* EP (pure compute, near-zero communication) is the hottest code;
+* FT (half all-to-all) runs cooler than BT (compute-dominated) on the same
+  cluster — the contrast the paper's §4.3 builds on;
+* communication fraction orders the codes' mean temperatures: more time at
+  comm activity, cooler CPUs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlate import comm_compute_split
+from repro.core import TempestSession
+from repro.workloads.npb import bt, cg, ep, ft, is_, lu, mg
+
+from .conftest import once, paper_cluster, write_artifact
+
+SENSOR = "CPU A Temp"
+
+#: iteration counts are duration-matched (~10-30 s each) so the late-window
+#: means compare codes, not run lengths
+SUITE = {
+    "EP": (ep.ep_benchmark, ep.EPConfig(klass="C")),
+    "FT": (ft.ft_benchmark, ft.FTConfig(klass="C", iterations=4)),
+    "BT": (bt.bt_benchmark, bt.BTConfig(klass="C", iterations=9)),
+    "CG": (cg.cg_benchmark, cg.CGConfig(klass="C", niter=30)),
+    "MG": (mg.mg_benchmark, mg.MGConfig(klass="C", iterations=4)),
+    "IS": (is_.is_benchmark, is_.ISConfig(klass="C", iterations=10)),
+    "LU": (lu.lu_benchmark, lu.LUConfig(klass="B", iterations=30)),
+}
+
+COMM_SYMBOLS = {
+    "transpose_x_yz", "transpose_xz_back", "comm3", "checksum",
+    "sparse_matvec", "rank", "blts", "buts",
+}
+
+
+def run_suite():
+    rows = {}
+    for name, (program, config) in SUITE.items():
+        machine = paper_cluster()
+        session = TempestSession(machine)
+        session.run_mpi(lambda ctx, p=program, c=config: p(ctx, c), 4,
+                        name=f"{name}.4")
+        profile = session.profile()
+        # Late-window means: skip the shared warm-up ramp so the metric
+        # compares workload character, not run length.
+        means = []
+        for node_name in profile.node_names():
+            _, vals = profile.node(node_name).sensor_series[SENSOR]
+            means.append(float(vals[len(vals) * 2 // 3:].mean()))
+        node1 = profile.node("node1")
+        comm, comp = comm_compute_split(node1, COMM_SYMBOLS)
+        rows[name] = {
+            "mean_c": float(np.mean(means)),
+            "duration_s": node1.duration_s,
+            "comm_frac": comm / (comm + comp) if comm + comp > 0 else 0.0,
+            "node_spread_c": float(max(means) - min(means)),
+        }
+    return rows
+
+
+def test_suite_thermal_survey(benchmark, results_dir):
+    rows = once(benchmark, run_suite)
+
+    # EP is the hottest code in the suite (sustained burn, no comm).
+    hottest = max(rows, key=lambda k: rows[k]["mean_c"])
+    assert hottest == "EP", rows
+    assert rows["EP"]["comm_frac"] < 0.05
+
+    # FT runs cooler than BT on the same cluster (the §4.3 contrast), and
+    # is the most communication-bound of the grid codes.
+    assert rows["FT"]["mean_c"] < rows["BT"]["mean_c"]
+    assert rows["FT"]["comm_frac"] > rows["BT"]["comm_frac"]
+
+    # Node-to-node spread exists for every code (heterogeneous cluster).
+    for name, row in rows.items():
+        assert row["node_spread_c"] > 1.0, (name, row)
+
+    order = sorted(rows, key=lambda k: -rows[k]["mean_c"])
+    lines = [
+        "NPB suite thermal survey (paper cluster, NP=4, mean of CPU A)",
+        f"{'code':<5}{'mean C':>8}{'comm %':>8}{'spread C':>10}{'dur (s)':>9}",
+    ]
+    for name in order:
+        r = rows[name]
+        lines.append(
+            f"{name:<5}{r['mean_c']:>8.2f}{r['comm_frac']*100:>8.1f}"
+            f"{r['node_spread_c']:>10.2f}{r['duration_s']:>9.1f}"
+        )
+    write_artifact(results_dir, "suite_survey.txt", "\n".join(lines))

@@ -1,0 +1,66 @@
+"""Experiment T1 — Table 1 / §4.2: micro-benchmarks A-E trace correctly.
+
+The paper's correctness suite: main alone (A), one function (B), multiple
+functions (C), interleaving (D), recursion + interleaving (E).  We assert
+the reconstructed call structure for each shape and render the combined
+report as the artifact.
+"""
+
+import pytest
+
+from repro.core import TempestSession, render_stdout_report
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.workloads import microbench as mb
+
+from .conftest import once, write_artifact
+
+
+def run_all_micros():
+    profiles = {}
+    for key, fn in mb.ALL_MICROS.items():
+        m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=10))
+        s = TempestSession(m)
+        s.run_serial(fn, "node1", 0)
+        profiles[key] = s.profile()
+    return profiles
+
+
+def test_table1_micro_suite(benchmark, results_dir):
+    profiles = once(benchmark, run_all_micros)
+
+    # A: main alone.
+    a = profiles["A"].node("node1")
+    assert set(a.functions) == {"main"}
+
+    # B: one function, fully nested in main.
+    b = profiles["B"].node("node1")
+    assert set(b.functions) == {"main", "foo1"}
+    assert b.function("foo1").total_time_s <= b.function("main").total_time_s
+
+    # C: multiple functions, times telescope.
+    c = profiles["C"].node("node1")
+    assert set(c.functions) == {"main", "foo1", "foo3", "foo2"}
+    child_sum = sum(
+        c.function(f).total_time_s for f in ("foo1", "foo3", "foo2")
+    )
+    assert c.function("main").total_time_s == pytest.approx(
+        child_sum, rel=0.02
+    )
+
+    # D: interleaving — foo2 called both from foo1 and from main.
+    d = profiles["D"].node("node1")
+    assert d.function("foo2").n_calls == 2
+    assert d.function("foo1").total_time_s > 0.9 * d.function(
+        "main").total_time_s
+
+    # E: recursion + interleaving — union time, not summed activations.
+    e = profiles["E"].node("node1")
+    rec = e.function("recurse")
+    assert rec.n_calls == 7  # default depth 6
+    assert rec.total_time_s < e.function("main").total_time_s
+
+    text = []
+    for key in "ABCDE":
+        text.append(f"===== micro {key} =====")
+        text.append(render_stdout_report(profiles[key]))
+    write_artifact(results_dir, "table1_microbench.txt", "\n".join(text))

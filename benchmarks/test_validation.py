@@ -1,0 +1,140 @@
+"""Experiment V1 — §3.2/§4.1 validation protocol.
+
+* Sensor accuracy: "We validated the hardware thermal sensors for accuracy
+  by running a set of CPU intensive micro-benchmarks and comparing sensor
+  measurements to those measured by an external sensor attached to the
+  CPU" — here the external sensor is the model's un-quantized ground truth.
+* tempd footprint: "We observed that tempd had no impact on the system
+  temperature, and in fact used less than 1% of CPU time."
+* Steady state: "We allowed the system to return to a steady state ...
+  after every test."
+* Sampling-rate ablation: the 4 Hz design point balances detail (short
+  functions resolved) against daemon cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TempestSession
+from repro.core.sensors import SimSensorReader
+from repro.core.tempd import TempdConfig
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.workloads import microbench as mb
+
+from .conftest import once, write_artifact
+
+
+def run_validation():
+    out = {}
+
+    # --- sensor-vs-reference accuracy under a CPU burn -------------------
+    # Sample quantized sensors and the un-quantized reference *during* the
+    # burn (stepping simulated time forward, as the external probe would).
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=31))
+    node = m.node("node1")
+    reader = SimSensorReader(node)
+    m.spawn(lambda p: mb.micro_b(p, 20.0), "node1", 0, name="burn")
+    errors = []
+    for t in np.arange(0.5, 20.0, 0.5):
+        m.sim.run(until=float(t))
+        quantized = dict(reader.read_all(float(t)))
+        reference = dict(reader.read_reference(float(t)))
+        for idx in quantized:
+            errors.append(abs(quantized[idx] - reference[idx]))
+    m.sim.run()  # drain the burner
+    out["sensor_max_err_c"] = float(max(errors))
+    out["sensor_mean_err_c"] = float(np.mean(errors))
+
+    # --- tempd CPU share and thermal impact ------------------------------
+    m_idle = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=32))
+    s_idle = TempestSession(m_idle)
+
+    def idle_wait(proc):
+        from repro.simmachine.process import Sleep
+        yield Sleep(60.0)
+
+    s_idle.run_serial(idle_wait, "node1", 0)
+    tracer = s_idle.tracers["node1"]
+    sweeps = tracer.n_samples / 3
+    busy = sweeps * tracer.sample_cost(3)
+    out["tempd_cpu_share"] = busy / s_idle.last_workload_end
+    # Thermal impact: die temperature with tempd running vs a machine with
+    # nothing at all.
+    with_tempd = m_idle.node("node1").die_temperature(1, 60.0)
+    m_bare = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=32))
+    bare = m_bare.node("node1").die_temperature(1, 60.0)
+    out["tempd_thermal_impact_c"] = abs(with_tempd - bare)
+
+    # --- steady-state return after a test --------------------------------
+    m2 = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=33))
+    s2 = TempestSession(m2)
+    start = m2.node("node1").die_temperature(0, 0.0)
+    s2.run_serial(mb.micro_b, "node1", 0, 30.0)
+    hot = m2.node("node1").die_temperature(0, m2.sim.now)
+    cooled = m2.node("node1").die_temperature(0, m2.sim.now + 600.0)
+    out["steady_start_c"] = start
+    out["steady_hot_c"] = hot
+    out["steady_cooled_c"] = cooled
+
+    # --- sampling-rate ablation ------------------------------------------
+    rates = {}
+    for hz in (1.0, 4.0, 16.0):
+        m3 = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=34))
+        s3 = TempestSession(m3, tempd_config=TempdConfig(sampling_hz=hz))
+        s3.run_serial(mb.micro_d, "node1", 0, 10.0, 0.4)
+        prof = s3.profile()
+        foo2 = prof.node("node1").function("foo2")
+        tr = s3.tracers["node1"]
+        share = (tr.n_samples / 3) * tr.sample_cost(3) / s3.last_workload_end
+        rates[hz] = {"foo2_significant": foo2.significant,
+                     "foo2_samples": foo2.n_samples,
+                     "tempd_share": share}
+    out["rates"] = rates
+    return out
+
+
+def test_validation_protocol(benchmark, results_dir):
+    out = once(benchmark, run_validation)
+
+    # Quantization (1 C) + jitter + lag bound the sensor error near a
+    # degree — the Mercury-class "within 1 degree Celsius" envelope.
+    assert out["sensor_max_err_c"] < 2.0
+    assert out["sensor_mean_err_c"] < 0.8
+
+    # tempd: under 1% CPU and no measurable thermal impact.
+    assert out["tempd_cpu_share"] < 0.01
+    assert out["tempd_thermal_impact_c"] < 0.3
+
+    # The burn heats the die; cooling returns it to the idle steady state.
+    assert out["steady_hot_c"] > out["steady_start_c"] + 5.0
+    assert out["steady_cooled_c"] == pytest.approx(
+        out["steady_start_c"], abs=0.5
+    )
+
+    # Sampling-rate trade-off: at 1 Hz the ~0.8 s of foo2 is unresolved;
+    # at 4 Hz (the paper's design point) it is; tempd stays cheap even at
+    # 16 Hz but its cost grows monotonically with the rate.
+    rates = out["rates"]
+    assert not rates[1.0]["foo2_significant"]
+    assert rates[4.0]["foo2_significant"]
+    assert rates[16.0]["foo2_samples"] > rates[4.0]["foo2_samples"]
+    assert (rates[1.0]["tempd_share"] < rates[4.0]["tempd_share"]
+            < rates[16.0]["tempd_share"] < 0.04)
+
+    lines = [
+        "Validation protocol (§3.2 / §4.1)",
+        f"sensor max error vs reference: {out['sensor_max_err_c']:.2f} C",
+        f"sensor mean error vs reference: {out['sensor_mean_err_c']:.2f} C",
+        f"tempd CPU share: {out['tempd_cpu_share']*100:.3f}%",
+        f"tempd thermal impact: {out['tempd_thermal_impact_c']:.3f} C",
+        f"steady state: start {out['steady_start_c']:.2f} C, "
+        f"hot {out['steady_hot_c']:.2f} C, "
+        f"cooled {out['steady_cooled_c']:.2f} C",
+        "sampling-rate ablation:",
+    ]
+    for hz, r in out["rates"].items():
+        lines.append(
+            f"  {hz:>4.0f} Hz: foo2 significant={r['foo2_significant']} "
+            f"samples={r['foo2_samples']} tempd={r['tempd_share']*100:.3f}%"
+        )
+    write_artifact(results_dir, "validation.txt", "\n".join(lines))

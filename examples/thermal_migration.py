@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""§5 future work: cluster-wide thermal-aware workload migration.
+
+Profiles a job with one disproportionately hot rank on a *homogeneous*
+cluster (isolating the workload's own heat), then uses the profile to plan
+placement on a *heterogeneous* target cluster: hottest rank onto the node
+with the most thermal headroom.  Compares against the anti-optimal
+placement to quantify what thermal matching buys.
+
+Also demonstrates the online half: a ThermalSteering policy that migrates
+a burning process off a socket when it trips a temperature limit.
+
+Run:  python examples/thermal_migration.py
+"""
+
+from repro.analysis.migration import ThermalSteering, plan_placement
+from repro.core import TempestSession, instrument
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.node import NodeConfig
+from repro.simmachine.power import ACTIVITY_BURN
+from repro.simmachine.process import Compute
+
+SENSOR = "CPU0 Temp"
+
+
+@instrument(name="main")
+def uneven_job(ctx):
+    """Rank 0 carries double the work — the hot rank."""
+    rounds = 20 if ctx.rank == 0 else 10
+    for _ in range(rounds):
+        yield Compute(1.0, ACTIVITY_BURN)
+    yield from ctx.comm.barrier()
+
+
+def heterogeneous_cluster() -> Machine:
+    return Machine(ClusterConfig(
+        n_nodes=4,
+        node_configs=[
+            NodeConfig(name="node1"),
+            NodeConfig(name="node2", paste_quality=1.2, airflow_quality=1.2),
+            NodeConfig(name="node3", paste_quality=0.7, inlet_offset_c=3.0),
+            NodeConfig(name="node4", inlet_offset_c=1.5),
+        ],
+        seed=11,
+    ))
+
+
+def run(machine: Machine, placement=None):
+    session = TempestSession(machine)
+    session.run_mpi(uneven_job, 4, placement=placement)
+    return session.profile()
+
+
+def main() -> None:
+    print("1) profile the workload's per-rank heat on a homogeneous cluster")
+    baseline = run(Machine(ClusterConfig(n_nodes=4, vary_nodes=False)))
+
+    print("2) plan placement onto the heterogeneous target")
+    target = heterogeneous_cluster()
+    plan = plan_placement(baseline, target, 4)
+    print(plan.describe())
+    print()
+
+    planned = run(target, placement=plan.placement)
+    anti = run(
+        heterogeneous_cluster(),
+        placement=[("node3", 0), ("node2", 0), ("node4", 0), ("node1", 0)],
+    )
+    hot_node = plan.placement[0][0]
+    print("3) validated outcome for the hot rank:")
+    print(f"   thermally matched ({hot_node}): "
+          f"peak {planned.node(hot_node).max_temperature(SENSOR):.1f} C")
+    print(f"   anti-optimal (node3):  "
+          f"peak {anti.node('node3').max_temperature(SENSOR):.1f} C")
+    print()
+
+    print("4) online steering: migrate off a tripping socket mid-run")
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+
+    def burner(proc):
+        for _ in range(60):
+            yield Compute(0.5, ACTIVITY_BURN)
+        return proc.core_id
+
+    proc = m.spawn(burner, "node1", 0)
+    steering = ThermalSteering(m, proc, trip_c=36.0, margin_c=1.0)
+    steering.install()
+    m.run_to_completion([proc])
+    for t, old, new in steering.migrations:
+        print(f"   t={t:5.1f}s  core{old} -> core{new}")
+    print(f"   process finished on core {proc.result}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Question 4 end to end: find a hot spot, optimize it, validate the trade.
+
+The workflow the paper motivates: profile an application, let the advisor
+rank the thermal targets, apply the paper-era management technique (drop to
+a lower DVFS operating point around the hot region), and quantify the
+performance/thermal trade-off with before/after Tempest profiles.
+
+Run:  python examples/thermal_optimization.py
+"""
+
+from repro.analysis.optimize import compare_runs, dvfs_region, recommend
+from repro.core import TempestSession, instrument
+from repro.core.perblk import block
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.power import ACTIVITY_BURN, ACTIVITY_COMM, ACTIVITY_MEMORY
+from repro.simmachine.process import Compute
+
+
+@instrument
+def assemble(ctx):
+    for _ in range(5):
+        yield Compute(1.0, ACTIVITY_MEMORY)
+
+
+@instrument
+def smooth(ctx):
+    """The hot spot: a long dense sweep, with per-block markers showing
+    the libtempestperblk-style finer granularity."""
+    for axis in ("x", "y", "z"):
+        with block(ctx, f"smooth_{axis}"):
+            for _ in range(6):
+                yield Compute(1.0, ACTIVITY_BURN)
+
+
+@instrument
+def halo_exchange(ctx):
+    for _ in range(4):
+        yield Compute(1.0, ACTIVITY_COMM)
+
+
+def app(optimize: bool):
+    @instrument(name="main")
+    def main_fn(ctx):
+        yield from assemble(ctx)
+        if optimize:
+            yield from dvfs_region(ctx, smooth(ctx), opp_index=1)
+        else:
+            yield from smooth(ctx)
+        yield from halo_exchange(ctx)
+
+    return main_fn
+
+
+def run(optimize: bool):
+    machine = Machine(ClusterConfig(n_nodes=1, seed=99, vary_nodes=False))
+    session = TempestSession(machine)
+    session.run_serial(app(optimize), "node1", 0)
+    return session.profile()
+
+
+def main() -> None:
+    before = run(optimize=False)
+
+    print("Advisor output on the unoptimized profile:")
+    for rec in recommend(before, top_n=3):
+        print(f"  -> {rec.function} on {rec.node}")
+        print(f"     why:   {rec.reason}")
+        print(f"     do:    {rec.action}")
+    print()
+
+    node = before.node("node1")
+    print("per-block detail inside the hot function:")
+    for name in sorted(node.functions):
+        if name.endswith("@blk"):
+            fp = node.function(name)
+            cpu = fp.sensor_stats.get("CPU0 Temp")
+            avg = f"{cpu.avg:.1f} C" if cpu else "-"
+            print(f"  {name:<16} {fp.total_time_s:6.2f} s  avg {avg}")
+    print()
+
+    after = run(optimize=True)
+    report = compare_runs(before, after)
+    print("Validated trade-off (before -> after, per node):")
+    print(report.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Tempest reproduction: middle-weight thermal profiling of parallel code.
+
+Reproduces Cameron, Pyla & Varadarajan, "Tempest: A portable tool to
+identify hot spots in parallel code" (ICPP 2007) — the profiler itself
+(:mod:`repro.core`), the simulated cluster substrate it runs on
+(:mod:`repro.simmachine`, :mod:`repro.mpisim`), the workloads the paper
+evaluates (:mod:`repro.workloads`), the comparator tools
+(:mod:`repro.baselines`), and the analysis layer answering the paper's
+four user questions (:mod:`repro.analysis`).
+
+Most users want::
+
+    from repro import TempestSession, instrument, Machine, ClusterConfig
+
+and the examples/ directory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    TempestParser,
+    TempestSession,
+    instrument,
+    render_stdout_report,
+)
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.process import Compute, Sleep
+
+__all__ = [
+    "__version__",
+    "TempestParser",
+    "TempestSession",
+    "instrument",
+    "render_stdout_report",
+    "ClusterConfig",
+    "Machine",
+    "Compute",
+    "Sleep",
+]

@@ -1,0 +1,67 @@
+"""Analysis on top of Tempest profiles: the paper's four user questions.
+
+1. *What parts of my application will benefit from thermal management?* —
+   :func:`~repro.analysis.hotspots.rank_hot_functions`
+2. *Where do I start optimizing to reduce thermals?* —
+   :func:`~repro.analysis.hotspots.identify_hot_spots`
+3. *Are the thermal properties similar across machines?* —
+   :func:`~repro.analysis.correlate.function_across_nodes` and
+   :func:`~repro.analysis.phases.characterize_series`
+4. *What and where are the performance effects of thermal optimizations?* —
+   :func:`~repro.analysis.optimize.compare_runs` with
+   :func:`~repro.analysis.optimize.dvfs_region`
+"""
+
+from repro.analysis.hotspots import HotSpot, identify_hot_spots, rank_hot_functions
+from repro.analysis.phases import (
+    PhaseCharacter,
+    characterize_series,
+    detect_jump,
+    synchronization_score,
+)
+from repro.analysis.correlate import (
+    function_across_nodes,
+    function_temperature_excess,
+    comm_compute_split,
+)
+from repro.analysis.optimize import (
+    OptimizationReport,
+    compare_runs,
+    dvfs_region,
+    recommend,
+)
+from repro.analysis.campaign import Aggregate, CampaignResult, run_campaign
+from repro.analysis.diffprof import FunctionDelta, diff_profiles, render_diff
+from repro.analysis.migration import (
+    PlacementPlan,
+    ThermalSteering,
+    plan_placement,
+    rank_heat_scores,
+)
+
+__all__ = [
+    "HotSpot",
+    "identify_hot_spots",
+    "rank_hot_functions",
+    "PhaseCharacter",
+    "characterize_series",
+    "detect_jump",
+    "synchronization_score",
+    "function_across_nodes",
+    "function_temperature_excess",
+    "comm_compute_split",
+    "OptimizationReport",
+    "compare_runs",
+    "dvfs_region",
+    "recommend",
+    "Aggregate",
+    "CampaignResult",
+    "run_campaign",
+    "FunctionDelta",
+    "diff_profiles",
+    "render_diff",
+    "PlacementPlan",
+    "ThermalSteering",
+    "plan_placement",
+    "rank_heat_scores",
+]

@@ -1,0 +1,116 @@
+"""Multi-run measurement campaigns (§3.4 methodology).
+
+"Repeated measurements were subject to variance of about 5%.  The results
+presented are an average sample from at least 5 runs."  This module makes
+that protocol a first-class object: run the same experiment across seeds,
+aggregate per-function times and temperatures with mean/spread, and render
+the averaged table the paper would print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.profilemodel import RunProfile
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean and spread of one quantity across runs."""
+
+    mean: float
+    sd: float
+    n: int
+
+    @property
+    def rel_spread(self) -> float:
+        """sd / mean — the paper's "variance of about 5%" figure."""
+        return self.sd / self.mean if self.mean else float("nan")
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.sd:.3f} (n={self.n})"
+
+
+class CampaignResult:
+    """Profiles from repeated runs of one experiment."""
+
+    def __init__(self, profiles: list[RunProfile]):
+        if not profiles:
+            raise ConfigError("a campaign needs at least one run")
+        self.profiles = profiles
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.profiles)
+
+    def _collect(self, fn: Callable[[RunProfile], Optional[float]]
+                 ) -> Aggregate:
+        values = [v for v in (fn(p) for p in self.profiles) if v is not None]
+        if not values:
+            raise ConfigError("quantity absent from every run")
+        arr = np.asarray(values, dtype=float)
+        return Aggregate(float(arr.mean()), float(arr.std()), len(arr))
+
+    def function_time(self, node: str, function: str) -> Aggregate:
+        """Inclusive time of one function across runs."""
+        def get(p: RunProfile):
+            fp = p.node(node).functions.get(function)
+            return fp.total_time_s if fp else None
+        return self._collect(get)
+
+    def function_avg_temp(self, node: str, function: str,
+                          sensor: str) -> Aggregate:
+        """One sensor's per-run average for one function."""
+        def get(p: RunProfile):
+            fp = p.node(node).functions.get(function)
+            if fp is None:
+                return None
+            st = fp.sensor_stats.get(sensor)
+            return st.avg if st else None
+        return self._collect(get)
+
+    def node_mean_temp(self, node: str, sensor: str) -> Aggregate:
+        """A node sensor's run-average across runs."""
+        return self._collect(lambda p: p.node(node).mean_temperature(sensor))
+
+    def duration(self, node: str) -> Aggregate:
+        """Profiled duration of one node across runs."""
+        return self._collect(lambda p: p.node(node).duration_s)
+
+    def averaged_table(self, node: str, sensor: str,
+                       top_n: Optional[int] = None) -> str:
+        """The paper-style table with run-averaged values."""
+        first = self.profiles[0].node(node)
+        fns = [f.name for f in first.functions_by_time()]
+        if top_n is not None:
+            fns = fns[:top_n]
+        lines = [
+            f"{'function':<22}{'time (s)':>20}{'avg ' + sensor + ' (C)':>28}"
+        ]
+        for fn in fns:
+            t = self.function_time(node, fn)
+            try:
+                temp = str(self.function_avg_temp(node, fn, sensor))
+            except ConfigError:
+                temp = "(not significant)"
+            lines.append(f"{fn:<22}{str(t):>20}{temp:>28}")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    experiment: Callable[[int], RunProfile],
+    *,
+    n_runs: int = 5,
+    base_seed: int = 1000,
+) -> CampaignResult:
+    """Run ``experiment(seed)`` *n_runs* times (the paper's ≥5) and
+    aggregate.  Each run gets a distinct seed, so sensor noise, OS noise,
+    and ambient wander differ while the workload stays fixed."""
+    if n_runs < 1:
+        raise ConfigError(f"n_runs must be >= 1, got {n_runs}")
+    profiles = [experiment(base_seed + i) for i in range(n_runs)]
+    return CampaignResult(profiles)

@@ -1,0 +1,95 @@
+"""Cross-node and function-level thermal correlation (question 3).
+
+§4: "Another interesting observation is that thermals vary between systems
+(under the same load) at times significantly."  These helpers quantify
+that: the same function's statistics side by side across nodes, each
+function's temperature excess over the run average, and the split between
+communication and computation symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.profilemodel import NodeProfile, RunProfile
+from repro.core.stats import SensorStats
+from repro.util.errors import ConfigError
+
+#: symbols that are communication by construction in our NPB reproductions
+DEFAULT_COMM_SYMBOLS = frozenset(
+    {"transpose_x_yz", "transpose_xz_back", "comm3", "checksum"}
+)
+
+
+def function_across_nodes(
+    profile: RunProfile, function: str, sensor_contains: str = "CPU"
+) -> dict[str, Optional[SensorStats]]:
+    """The same function's hottest-CPU-sensor stats on every node.
+
+    Missing/insignificant entries map to None, so callers can see both the
+    spread (question 3) and where the function never ran.
+    """
+    out: dict[str, Optional[SensorStats]] = {}
+    for name in profile.node_names():
+        node = profile.node(name)
+        fp = node.functions.get(function)
+        if fp is None or not fp.sensor_stats:
+            out[name] = None
+            continue
+        candidates = {
+            s: st for s, st in fp.sensor_stats.items() if sensor_contains in s
+        } or fp.sensor_stats
+        best = max(candidates.values(), key=lambda st: st.avg)
+        out[name] = best
+    return out
+
+
+def cross_node_spread(
+    profile: RunProfile, function: str
+) -> Optional[float]:
+    """Max minus min of the function's per-node average temperature."""
+    stats = [
+        st for st in function_across_nodes(profile, function).values()
+        if st is not None
+    ]
+    if len(stats) < 2:
+        return None
+    avgs = [st.avg for st in stats]
+    return float(max(avgs) - min(avgs))
+
+
+def function_temperature_excess(node: NodeProfile) -> dict[str, float]:
+    """Each significant function's CPU-average minus the node's run average.
+
+    Positive values are the functions that push the die up — the raw
+    material for hot-spot ranking."""
+    cpu = [s for s in node.sensor_names() if "CPU" in s] or node.sensor_names()
+    run_avgs = [node.mean_temperature(s) for s in cpu]
+    run_avg = float(np.mean(run_avgs))
+    out: dict[str, float] = {}
+    for fp in node.functions.values():
+        if not fp.significant:
+            continue
+        avgs = [fp.sensor_stats[s].avg for s in cpu if s in fp.sensor_stats]
+        if avgs:
+            out[fp.name] = float(max(avgs) - run_avg)
+    return out
+
+
+def comm_compute_split(
+    node: NodeProfile,
+    comm_symbols: Iterable[str] = DEFAULT_COMM_SYMBOLS,
+) -> tuple[float, float]:
+    """(communication seconds, computation seconds) by exclusive time."""
+    comm_set = set(comm_symbols)
+    comm = sum(
+        fp.exclusive_time_s for fp in node.functions.values()
+        if fp.name in comm_set
+    )
+    comp = sum(
+        fp.exclusive_time_s for fp in node.functions.values()
+        if fp.name not in comm_set
+    )
+    return comm, comp

@@ -1,0 +1,102 @@
+"""Profile diffing: function-level before/after comparison.
+
+:func:`repro.analysis.optimize.compare_runs` answers question 4 at node
+granularity; this module drills to functions — after an optimization (or a
+code change, or a different cluster), which functions got slower, which
+got cooler, and which appeared/disappeared.  The CLI's ``tempest compare``
+renders the result for two saved trace bundles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.profilemodel import NodeProfile, RunProfile
+
+
+@dataclass(frozen=True)
+class FunctionDelta:
+    """One function's change between two profiles on one node."""
+
+    node: str
+    function: str
+    time_before_s: Optional[float]   # None: function absent in that run
+    time_after_s: Optional[float]
+    avg_before_c: Optional[float]    # hottest-CPU-sensor average
+    avg_after_c: Optional[float]
+
+    @property
+    def status(self) -> str:
+        if self.time_before_s is None:
+            return "added"
+        if self.time_after_s is None:
+            return "removed"
+        return "common"
+
+    @property
+    def time_ratio(self) -> Optional[float]:
+        if self.time_before_s and self.time_after_s is not None:
+            return self.time_after_s / self.time_before_s
+        return None
+
+    @property
+    def avg_delta_c(self) -> Optional[float]:
+        if self.avg_before_c is not None and self.avg_after_c is not None:
+            return self.avg_after_c - self.avg_before_c
+        return None
+
+
+def _hot_avg(node: NodeProfile, fn: str) -> Optional[float]:
+    fp = node.functions.get(fn)
+    if fp is None or not fp.sensor_stats:
+        return None
+    cpu = {s: st for s, st in fp.sensor_stats.items() if "CPU" in s} \
+        or fp.sensor_stats
+    return max(st.avg for st in cpu.values())
+
+
+def diff_profiles(before: RunProfile, after: RunProfile) -> list[FunctionDelta]:
+    """Function-by-function deltas for every node present in both runs."""
+    out: list[FunctionDelta] = []
+    for node_name in before.node_names():
+        if node_name not in after.nodes:
+            continue
+        b, a = before.node(node_name), after.node(node_name)
+        for fn in sorted(set(b.functions) | set(a.functions)):
+            fb, fa = b.functions.get(fn), a.functions.get(fn)
+            out.append(
+                FunctionDelta(
+                    node=node_name,
+                    function=fn,
+                    time_before_s=fb.total_time_s if fb else None,
+                    time_after_s=fa.total_time_s if fa else None,
+                    avg_before_c=_hot_avg(b, fn),
+                    avg_after_c=_hot_avg(a, fn),
+                )
+            )
+    return out
+
+
+def render_diff(deltas: list[FunctionDelta], *, min_time_s: float = 0.01
+                ) -> str:
+    """Human-readable diff table, biggest slowdowns first."""
+    rows = [
+        d for d in deltas
+        if max(d.time_before_s or 0.0, d.time_after_s or 0.0) >= min_time_s
+    ]
+    rows.sort(key=lambda d: -(d.time_ratio or 0.0))
+    lines = [
+        f"{'node':<8}{'function':<22}{'before(s)':>10}{'after(s)':>10}"
+        f"{'ratio':>7}{'dT(C)':>7}"
+    ]
+    for d in rows:
+        tb = f"{d.time_before_s:.3f}" if d.time_before_s is not None else "-"
+        ta = f"{d.time_after_s:.3f}" if d.time_after_s is not None else "-"
+        ratio = f"{d.time_ratio:.2f}" if d.time_ratio is not None else d.status
+        dt = f"{d.avg_delta_c:+.1f}" if d.avg_delta_c is not None else "-"
+        lines.append(
+            f"{d.node:<8}{d.function[:21]:<22}{tb:>10}{ta:>10}"
+            f"{ratio:>7}{dt:>7}"
+        )
+    return "\n".join(lines)

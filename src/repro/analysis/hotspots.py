@@ -1,0 +1,125 @@
+"""Hot-spot identification: rank functions and nodes by thermal weight.
+
+A function is a worthwhile thermal-management target when it is both *hot*
+(its samples sit above the node's run baseline) and *long* (there is enough
+time in it for management to act on — §4.2 discards functions below the
+sampling interval outright).  The ranking therefore scores
+``temperature excess x inclusive time``, and hot-node identification
+aggregates the same excess per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.profilemodel import NodeProfile, RunProfile
+
+
+def _cpu_sensors(node: NodeProfile) -> list[str]:
+    cpu = [s for s in node.sensor_names() if "CPU" in s]
+    return cpu or node.sensor_names()
+
+
+def _node_baseline(node: NodeProfile, sensors: list[str]) -> float:
+    """The coolest observed CPU reading — the run's thermal floor."""
+    mins = []
+    for s in sensors:
+        _, vals = node.sensor_series[s]
+        if len(vals):
+            mins.append(float(vals.min()))
+    return min(mins) if mins else 0.0
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One ranked thermal hot spot."""
+
+    node: str
+    function: str
+    sensor: str
+    avg_c: float
+    max_c: float
+    excess_c: float          # avg above the node's run baseline
+    total_time_s: float
+    score: float             # excess x time — the ranking key
+
+    def describe(self) -> str:
+        return (
+            f"{self.function} on {self.node}: avg {self.avg_c:.1f} C "
+            f"(+{self.excess_c:.1f} C over baseline) for "
+            f"{self.total_time_s:.2f} s via {self.sensor}"
+        )
+
+
+def identify_hot_spots(
+    profile: RunProfile,
+    *,
+    top_n: Optional[int] = None,
+    include_blocks: bool = True,
+) -> list[HotSpot]:
+    """Rank (node, function) pairs by thermal weight, hottest first."""
+    spots: list[HotSpot] = []
+    for node_name in profile.node_names():
+        node = profile.node(node_name)
+        sensors = _cpu_sensors(node)
+        baseline = _node_baseline(node, sensors)
+        for fp in node.functions.values():
+            if not fp.significant:
+                continue
+            if not include_blocks and fp.name.endswith("@blk"):
+                continue
+            best = None
+            for s in sensors:
+                st = fp.sensor_stats.get(s)
+                if st is None:
+                    continue
+                if best is None or st.avg > best[1].avg:
+                    best = (s, st)
+            if best is None:
+                continue
+            sensor, st = best
+            excess = st.avg - baseline
+            spots.append(
+                HotSpot(
+                    node=node_name,
+                    function=fp.name,
+                    sensor=sensor,
+                    avg_c=st.avg,
+                    max_c=st.max,
+                    excess_c=excess,
+                    total_time_s=fp.total_time_s,
+                    score=max(0.0, excess) * fp.total_time_s,
+                )
+            )
+    spots.sort(key=lambda h: -h.score)
+    return spots[:top_n] if top_n is not None else spots
+
+
+def rank_hot_functions(
+    profile: RunProfile, *, top_n: Optional[int] = None
+) -> list[tuple[str, float]]:
+    """Aggregate hot-spot scores per function across the cluster.
+
+    Answers questions 1-2: the head of this list is where thermal
+    optimization effort pays off first.
+    """
+    scores: dict[str, float] = {}
+    for spot in identify_hot_spots(profile):
+        scores[spot.function] = scores.get(spot.function, 0.0) + spot.score
+    ranked = sorted(scores.items(), key=lambda kv: -kv[1])
+    return ranked[:top_n] if top_n is not None else ranked
+
+
+def hot_nodes(profile: RunProfile) -> list[tuple[str, float]]:
+    """Nodes ranked by mean CPU-sensor temperature (hottest first)."""
+    out = []
+    for name in profile.node_names():
+        node = profile.node(name)
+        sensors = _cpu_sensors(node)
+        means = [node.mean_temperature(s) for s in sensors]
+        out.append((name, float(np.mean(means))))
+    out.sort(key=lambda kv: -kv[1])
+    return out

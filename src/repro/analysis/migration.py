@@ -1,0 +1,174 @@
+"""Thermal-aware workload placement and migration (§5 future work).
+
+"We would also like to study the impact of other management techniques
+such as cluster-wide workload migration from hot servers to cooler
+servers.  Though this has been done for commercial workloads, the level of
+detail provided by Tempest could identify tradeoffs between various
+techniques that have not been identified."
+
+Two pieces implement that study:
+
+* :func:`plan_placement` — offline: given a Tempest profile of a previous
+  run, assign the hottest ranks to the nodes with the most thermal
+  headroom (greedy matching, the Moore/Chase-style policy at cluster
+  scale).
+* :class:`ThermalSteering` — online: a service polling node die
+  temperatures and migrating *processes between cores/sockets of a node*
+  when one socket crosses a trip point, the intra-node analogue the
+  simulator can express directly (rank-to-node rebinding mid-run is not
+  meaningful for an SPMD job, matching real MPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.profilemodel import RunProfile
+from repro.simmachine.machine import Machine
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Rank -> (node, core) assignment with the reasoning attached."""
+
+    placement: list[tuple[str, int]]
+    rank_heat: list[float]          # heat score per rank (hotter = larger)
+    node_headroom: dict[str, float]  # cooler node = larger headroom
+
+    def describe(self) -> str:
+        lines = []
+        for rank, (node, core) in enumerate(self.placement):
+            lines.append(
+                f"rank {rank} (heat {self.rank_heat[rank]:.2f}) -> "
+                f"{node}/core{core} (headroom "
+                f"{self.node_headroom[node]:.2f} C)"
+            )
+        return "\n".join(lines)
+
+
+def rank_heat_scores(profile: RunProfile, world_placements=None) -> list[float]:
+    """Heat contributed by each rank in a previous profiled run.
+
+    With one rank per node (the paper's NP=4 configuration) a rank's heat
+    is its node's mean CPU temperature excess over the cluster's coolest
+    node; callers with other placements can pass the placement list used.
+    """
+    names = profile.node_names()
+    means = {}
+    for name in names:
+        node = profile.node(name)
+        cpu = [s for s in node.sensor_names() if "CPU" in s] \
+            or node.sensor_names()
+        means[name] = float(np.mean([node.mean_temperature(s) for s in cpu]))
+    floor = min(means.values())
+    if world_placements is None:
+        world_placements = [(name, 0) for name in names]
+    return [means[node] - floor for node, _ in world_placements]
+
+
+def node_headroom(machine: Machine, reference_c: float = 70.0) -> dict[str, float]:
+    """Thermal headroom per node: degrees between a reference junction limit
+    and the node's *current* hottest die, adjusted for its cooling quality.
+
+    A cool-running, well-cooled node has headroom to absorb a hot rank.
+    """
+    out = {}
+    for name in machine.node_names():
+        node = machine.node(name)
+        t = machine.sim.now
+        hottest = max(
+            node.die_temperature(s, t) for s in range(node.config.n_sockets)
+        )
+        out[name] = reference_c - hottest
+    return out
+
+
+def plan_placement(
+    profile: RunProfile,
+    machine: Machine,
+    n_ranks: int,
+    *,
+    core: int = 0,
+) -> PlacementPlan:
+    """Greedy thermal matching: hottest rank onto the coolest node.
+
+    Uses the previous run's per-rank heat (from *profile*) and the target
+    machine's current headroom.  Returns a plan suitable for
+    ``session.run_mpi(..., placement=plan.placement)``.
+    """
+    heat = rank_heat_scores(profile)
+    if len(heat) < n_ranks:
+        raise ConfigError(
+            f"profile covers {len(heat)} ranks, need {n_ranks}"
+        )
+    headroom = node_headroom(machine)
+    if len(headroom) < n_ranks:
+        raise ConfigError(
+            f"machine has {len(headroom)} nodes, need {n_ranks}"
+        )
+    hot_order = sorted(range(n_ranks), key=lambda r: -heat[r])
+    cool_order = sorted(headroom, key=lambda n: -headroom[n])[:n_ranks]
+    placement: list[Optional[tuple[str, int]]] = [None] * n_ranks
+    for rank, node in zip(hot_order, cool_order):
+        placement[rank] = (node, core)
+    return PlacementPlan(
+        placement=[p for p in placement],  # type: ignore[list-item]
+        rank_heat=heat[:n_ranks],
+        node_headroom=headroom,
+    )
+
+
+@dataclass
+class ThermalSteering:
+    """Online steering: migrate a process off a socket that trips a limit.
+
+    Polls every ``period`` seconds; when the process's current socket die
+    exceeds ``trip_c`` and another socket on the node is at least
+    ``margin_c`` cooler, the process is rebound to the coolest core there
+    (taking effect at its next directive boundary, like an OS migration).
+    The §3.3 TSC caveat applies — steered runs should be parsed leniently —
+    which is exactly the trade-off the paper says Tempest can expose.
+    """
+
+    machine: Machine
+    proc: "SimProcess"
+    trip_c: float = 45.0
+    margin_c: float = 2.0
+    period: float = 0.5
+    migrations: list[tuple[float, int, int]] = field(default_factory=list)
+
+    def install(self) -> None:
+        self.machine.every(self.period, self._tick)
+
+    def _tick(self) -> None:
+        from repro.simmachine.process import ST_FINISHED
+
+        if self.proc.state == ST_FINISHED:
+            return
+        node = self.proc.node
+        t = self.machine.sim.now
+        here = self.proc.core.socket
+        t_here = node.die_temperature(here, t)
+        if t_here < self.trip_c:
+            return
+        best_socket, best_temp = here, t_here
+        for s in range(node.config.n_sockets):
+            temp = node.die_temperature(s, t)
+            if temp < best_temp - self.margin_c:
+                best_socket, best_temp = s, temp
+        if best_socket == here:
+            return
+        if self.proc.pending_rebind is not None:
+            return  # a migration is already queued
+        # Move to the first idle core of the cooler socket, deferred to the
+        # process's next directive boundary (as an OS scheduler would).
+        for core in node.cores:
+            if core.socket == best_socket and core.running is not self.proc:
+                old = self.proc.core_id
+                self.proc.request_rebind(core.core_id)
+                self.migrations.append((t, old, core.core_id))
+                return

@@ -1,0 +1,149 @@
+"""Thermal-optimization advisor and validator (question 4).
+
+§1's fourth question — "What and where are the performance effects of
+thermal optimizations on my application?" — needs three pieces, all here:
+
+* :func:`recommend` turns a profile into concrete advice (which functions
+  to down-clock or restructure);
+* :func:`dvfs_region` applies the paper-era management technique — drop to
+  a lower DVFS operating point around a hot region — to any workload
+  generator without touching its source;
+* :func:`compare_runs` quantifies the before/after trade-off per node:
+  temperature saved vs wall-clock paid, which is exactly the analysis the
+  paper demonstrates Tempest enabling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.hotspots import identify_hot_spots
+from repro.core.profilemodel import RunProfile
+from repro.simmachine.process import SetOpp
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One actionable piece of thermal advice."""
+
+    function: str
+    node: str
+    reason: str
+    action: str
+
+
+def recommend(profile: RunProfile, *, top_n: int = 3) -> list[Recommendation]:
+    """Turn the hot-spot ranking into explicit recommendations."""
+    recs = []
+    for spot in identify_hot_spots(profile, top_n=top_n):
+        recs.append(
+            Recommendation(
+                function=spot.function,
+                node=spot.node,
+                reason=(
+                    f"runs {spot.excess_c:.1f} C above baseline for "
+                    f"{spot.total_time_s:.1f} s (score {spot.score:.1f})"
+                ),
+                action=(
+                    "wrap with dvfs_region(...) or restructure to reduce "
+                    "sustained activity"
+                ),
+            )
+        )
+    return recs
+
+
+def dvfs_region(ctx, inner_gen, opp_index: int):
+    """Run ``inner_gen`` at a lower operating point, restoring afterwards.
+
+    Usage inside any workload generator::
+
+        yield from dvfs_region(ctx, hot_function(ctx), opp_index=2)
+
+    The region's compute stretches by f_nom/f_new (the performance cost)
+    while its power drops with f V^2 (the thermal win); both effects then
+    show up in the before/after profiles.
+    """
+    yield SetOpp(opp_index)
+    try:
+        result = yield from inner_gen
+    finally:
+        yield SetOpp(0)
+    return result
+
+
+@dataclass(frozen=True)
+class NodeDelta:
+    """Per-node before/after comparison."""
+
+    node: str
+    runtime_before_s: float
+    runtime_after_s: float
+    max_cpu_before_c: float
+    max_cpu_after_c: float
+
+    @property
+    def slowdown(self) -> float:
+        """after/before runtime ratio (>1 means the optimization costs time)."""
+        if self.runtime_before_s <= 0:
+            return float("nan")
+        return self.runtime_after_s / self.runtime_before_s
+
+    @property
+    def peak_reduction_c(self) -> float:
+        """Peak CPU temperature saved (positive = cooler after)."""
+        return self.max_cpu_before_c - self.max_cpu_after_c
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """Cluster-wide before/after validation of a thermal optimization."""
+
+    deltas: list[NodeDelta]
+
+    @property
+    def mean_slowdown(self) -> float:
+        vals = [d.slowdown for d in self.deltas]
+        return sum(vals) / len(vals) if vals else float("nan")
+
+    @property
+    def mean_peak_reduction_c(self) -> float:
+        vals = [d.peak_reduction_c for d in self.deltas]
+        return sum(vals) / len(vals) if vals else float("nan")
+
+    def describe(self) -> str:
+        lines = [
+            f"{d.node}: {d.peak_reduction_c:+.1f} C peak, "
+            f"{(d.slowdown - 1) * 100:+.1f}% runtime"
+            for d in self.deltas
+        ]
+        lines.append(
+            f"mean: {self.mean_peak_reduction_c:+.1f} C peak at "
+            f"{(self.mean_slowdown - 1) * 100:+.1f}% runtime"
+        )
+        return "\n".join(lines)
+
+
+def _max_cpu(node_profile) -> float:
+    sensors = [s for s in node_profile.sensor_names() if "CPU" in s] \
+        or node_profile.sensor_names()
+    return max(node_profile.max_temperature(s) for s in sensors)
+
+
+def compare_runs(before: RunProfile, after: RunProfile) -> OptimizationReport:
+    """Quantify an optimization: runtime and peak CPU temperature per node."""
+    deltas = []
+    for name in before.node_names():
+        if name not in after.nodes:
+            continue
+        b, a = before.node(name), after.node(name)
+        deltas.append(
+            NodeDelta(
+                node=name,
+                runtime_before_s=b.duration_s,
+                runtime_after_s=a.duration_s,
+                max_cpu_before_c=_max_cpu(b),
+                max_cpu_after_c=_max_cpu(a),
+            )
+        )
+    return OptimizationReport(deltas)

@@ -1,0 +1,29 @@
+"""Comparator tools from the paper's related-work landscape.
+
+* :mod:`~repro.baselines.gprofsim` — the gprof baseline of §3.4: mcount
+  hooks + 100 Hz PC sampling, used for the overhead and accuracy comparison.
+* :mod:`~repro.baselines.hotspot` — a heavyweight HotSpot-style transient
+  finite-difference die solver: detailed, accurate, and slow (§1's
+  "heavy-weight tools provide detail at the expense of speed").
+* :mod:`~repro.baselines.counters` — a Bellosa-style regression model that
+  predicts temperature from hardware-counter-like activity features: "very
+  fast but inflexible" (§2).
+* :mod:`~repro.baselines.lightweight` — a raw sensor logger: the
+  light-weight extreme with no source-code attribution at all.
+"""
+
+from repro.baselines.gprofsim import GprofTracer, GprofCosts, gprof_flat_profile
+from repro.baselines.hotspot import HotSpotModel, Floorplan, FunctionalUnit
+from repro.baselines.counters import CounterModel
+from repro.baselines.lightweight import LightweightLogger
+
+__all__ = [
+    "GprofTracer",
+    "GprofCosts",
+    "gprof_flat_profile",
+    "HotSpotModel",
+    "Floorplan",
+    "FunctionalUnit",
+    "CounterModel",
+    "LightweightLogger",
+]

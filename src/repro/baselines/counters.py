@@ -1,0 +1,120 @@
+"""Bellosa-style event-counter thermal model (§2).
+
+"The basic approach is to identify a correlation between event counts and
+power or thermal properties.  Then, an analytical model is created using
+statistical regression ... The result is a model that predicts thermal
+temperatures based on performance data.  Unlike simulation, such models are
+very fast but inflexible."
+
+We reproduce the approach and the inflexibility: the model regresses die
+temperature on counter-like features (activity x frequency, i.e. retired
+ops; an exponential-decay history term standing for thermal inertia) from
+a training run.  It predicts well in the training configuration and breaks
+when something outside the feature set — fan speed — changes, which the
+ablation bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class CounterSample:
+    """One observation: counter-derived features + measured temperature."""
+
+    t: float
+    activity: float       # ~ retired-ops counter per interval, normalized
+    freq_ghz: float
+    temp_c: float
+
+
+class CounterModel:
+    """Least-squares temperature predictor over counter features.
+
+    The physical plant has (at least) two thermal poles — the die responds
+    in seconds, the heat sink in tens of seconds — so the feature basis
+    includes two exponentially-decayed history terms of the ops-rate, the
+    same trick Bellosa's models use to capture thermal inertia.
+    """
+
+    def __init__(self, history_taus_s: tuple[float, ...] = (3.0, 40.0)):
+        if not history_taus_s or any(t <= 0 for t in history_taus_s):
+            raise ConfigError("history taus must be positive")
+        self.history_taus_s = tuple(history_taus_s)
+        self.coef: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _features(self, samples: list[CounterSample]) -> np.ndarray:
+        """[1, instantaneous ops-rate, low-passed histories...].
+
+        Histories start at the *idle* rate, since profiled machines start
+        from their idle steady state (§4.1's cool-down protocol).
+        """
+        if not samples:
+            raise ConfigError("no samples")
+        idle_rate = 0.04 * samples[0].freq_ghz
+        hists = [idle_rate] * len(self.history_taus_s)
+        rows = []
+        prev_t = samples[0].t
+        for s in samples:
+            dt = max(0.0, s.t - prev_t)
+            rate = s.activity * s.freq_ghz
+            for k, tau in enumerate(self.history_taus_s):
+                alpha = 1.0 - np.exp(-dt / tau) if dt > 0 else 0.0
+                hists[k] = hists[k] + alpha * (rate - hists[k])
+            rows.append([1.0, rate, *hists])
+            prev_t = s.t
+        return np.array(rows)
+
+    def fit(self, samples: list[CounterSample]) -> float:
+        """Fit by least squares; returns training RMSE (degC)."""
+        X = self._features(samples)
+        y = np.array([s.temp_c for s in samples])
+        self.coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+        pred = X @ self.coef
+        return float(np.sqrt(np.mean((pred - y) ** 2)))
+
+    def predict(self, samples: list[CounterSample]) -> np.ndarray:
+        """Predict temperatures for a sample sequence."""
+        if self.coef is None:
+            raise ConfigError("model not fitted")
+        return self._features(samples) @ self.coef
+
+    def rmse(self, samples: list[CounterSample]) -> float:
+        """Prediction RMSE (degC) against the measured temperatures."""
+        pred = self.predict(samples)
+        y = np.array([s.temp_c for s in samples])
+        return float(np.sqrt(np.mean((pred - y) ** 2)))
+
+
+def collect_counter_samples(node, schedule, period_s: float = 0.25,
+                            socket: int = 0) -> list[CounterSample]:
+    """Drive a node through an offline activity schedule, sampling counters.
+
+    ``schedule`` is a list of (duration_s, activity) legs applied to every
+    core of *socket*.  Returns one sample per period with ground-truth die
+    temperature — the data a counter-based tool trains on.
+    """
+    samples: list[CounterSample] = []
+    t = 0.0
+    for duration, activity in schedule:
+        for core in node.cores:
+            if core.socket == socket:
+                node.set_core_activity(core.core_id, activity, t)
+        end = t + duration
+        while t < end - 1e-12:
+            t = min(end, t + period_s)
+            samples.append(
+                CounterSample(
+                    t=t,
+                    activity=activity,
+                    freq_ghz=node.cores[0].freq_hz / 1e9,
+                    temp_c=node.die_temperature(socket, t),
+                )
+            )
+    return samples

@@ -1,0 +1,190 @@
+"""HotSpot-style heavyweight thermal simulator.
+
+A transient finite-difference solver over a 2-D die floorplan: the die is
+discretized into a grid of cells, each coupled laterally to its neighbours
+and vertically through the package to ambient; functional units inject
+power density over their rectangles.  This is the class of tool the paper
+positions against (§1-2): per-unit detail Tempest cannot see, at a compute
+cost per simulated second that is orders of magnitude above reading a
+sensor — which is exactly what ``benchmarks/test_positioning.py`` measures.
+
+Explicit forward-Euler integration is used deliberately: HotSpot's RK4 and
+our Euler share the stability-limited small step that makes heavyweight
+tools slow; a larger grid or thinner die only makes it slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """A rectangular unit on the floorplan (fractions of die edge)."""
+
+    name: str
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self):
+        if not (0 <= self.x0 < self.x1 <= 1 and 0 <= self.y0 < self.y1 <= 1):
+            raise ConfigError(f"bad unit rectangle {self}")
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A die floorplan: a set of non-validated unit rectangles."""
+
+    units: tuple[FunctionalUnit, ...]
+    die_edge_m: float = 0.014        # 14 mm die
+    die_thickness_m: float = 0.0005
+
+    def unit(self, name: str) -> FunctionalUnit:
+        for u in self.units:
+            if u.name == name:
+                return u
+        raise ConfigError(f"no unit {name!r}; have {[u.name for u in self.units]}")
+
+
+def opteron_like_floorplan() -> Floorplan:
+    """A coarse Opteron-era floorplan: two cores, shared L2, northbridge."""
+    return Floorplan(
+        units=(
+            FunctionalUnit("core0", 0.00, 0.40, 0.45, 1.00),
+            FunctionalUnit("core1", 0.55, 0.40, 1.00, 1.00),
+            FunctionalUnit("l2", 0.00, 0.00, 0.70, 0.40),
+            FunctionalUnit("nb", 0.70, 0.00, 1.00, 0.40),
+        )
+    )
+
+
+class HotSpotModel:
+    """Transient 2-D FD thermal model of one die."""
+
+    def __init__(
+        self,
+        floorplan: Floorplan = None,
+        grid: int = 32,
+        ambient_c: float = 22.0,
+        k_si: float = 100.0,          # W/mK silicon lateral conductivity
+        # Junction-to-ambient areal resistance, calibrated so a 30 W core
+        # rises ~9 C at steady state — the same heatsink stack the RC model
+        # (repro.simmachine.thermal) represents with its g_* conductances.
+        vertical_r_km2_w: float = 2e-5,
+        c_areal: float = 1.75e6 * 0.0005,  # J/(K m^2): cp*rho*thickness
+    ):
+        self.floorplan = floorplan or opteron_like_floorplan()
+        if grid < 4:
+            raise ConfigError(f"grid too coarse: {grid}")
+        self.grid = grid
+        self.ambient_c = ambient_c
+        edge = self.floorplan.die_edge_m
+        self.cell_edge = edge / grid
+        self.cell_area = self.cell_edge**2
+        # Lateral conductance between adjacent cells (through-thickness slab).
+        self.g_lat = k_si * self.floorplan.die_thickness_m
+        # Vertical conductance per cell to ambient.
+        self.g_vert = self.cell_area / vertical_r_km2_w
+        self.c_cell = c_areal * self.cell_area
+        # Stability limit for explicit Euler.
+        self.dt_max = self.c_cell / (4.0 * self.g_lat + self.g_vert) * 0.5
+        self.T = np.full((grid, grid), ambient_c, dtype=float)
+        self._masks = {
+            u.name: self._unit_mask(u) for u in self.floorplan.units
+        }
+        #: diagnostic: total Euler steps taken
+        self.steps = 0
+
+    def _unit_mask(self, unit: FunctionalUnit) -> np.ndarray:
+        g = self.grid
+        xs = np.arange(g) / g
+        ys = np.arange(g) / g
+        mx = (xs >= unit.x0) & (xs < unit.x1)
+        my = (ys >= unit.y0) & (ys < unit.y1)
+        return np.outer(my, mx)
+
+    def power_grid(self, unit_powers: dict[str, float]) -> np.ndarray:
+        """Distribute per-unit watts uniformly over their cells."""
+        P = np.zeros((self.grid, self.grid))
+        for name, watts in unit_powers.items():
+            mask = self._masks.get(name)
+            if mask is None:
+                raise ConfigError(f"unknown unit {name!r}")
+            n = mask.sum()
+            P[mask] += watts / n
+        return P
+
+    def step(self, P: np.ndarray, dt: float) -> None:
+        """One explicit Euler step with power grid *P*."""
+        T = self.T
+        lap = (
+            np.pad(T, ((1, 0), (0, 0)))[:-1, :]
+            + np.pad(T, ((0, 1), (0, 0)))[1:, :]
+            + np.pad(T, ((0, 0), (1, 0)))[:, :-1]
+            + np.pad(T, ((0, 0), (0, 1)))[:, 1:]
+            - 4.0 * T
+        )
+        # Edge cells: pad replicated zero -> adiabatic approximation by
+        # re-adding the missing neighbour as self.
+        edge_fix = np.zeros_like(T)
+        edge_fix[0, :] += T[0, :]
+        edge_fix[-1, :] += T[-1, :]
+        edge_fix[:, 0] += T[:, 0]
+        edge_fix[:, -1] += T[:, -1]
+        lap = lap + edge_fix
+        dT = (
+            self.g_lat * lap
+            - self.g_vert * (T - self.ambient_c)
+            + P
+        ) * (dt / self.c_cell)
+        self.T = T + dT
+        self.steps += 1
+
+    def simulate(
+        self,
+        unit_power_fn: Callable[[float], dict[str, float]],
+        duration_s: float,
+        dt: Optional[float] = None,
+    ) -> dict[str, np.ndarray]:
+        """Integrate for *duration_s*; returns per-unit mean-temp series.
+
+        ``unit_power_fn(t)`` supplies per-unit watts at time *t*.  The
+        series are sampled every 0.25 s to align with tempd's cadence.
+        """
+        dt = dt if dt is not None else self.dt_max
+        if dt > self.dt_max:
+            raise ConfigError(
+                f"dt={dt} exceeds the stability limit {self.dt_max:.3e}"
+            )
+        sample_period = 0.25
+        out: dict[str, list[float]] = {u.name: [] for u in self.floorplan.units}
+        times: list[float] = []
+        t = 0.0
+        next_sample = 0.0
+        while t < duration_s:
+            P = self.power_grid(unit_power_fn(t))
+            self.step(P, dt)
+            t += dt
+            if t >= next_sample:
+                times.append(t)
+                for name, mask in self._masks.items():
+                    out[name].append(float(self.T[mask].mean()))
+                next_sample += sample_period
+        result = {name: np.array(vals) for name, vals in out.items()}
+        result["time"] = np.array(times)
+        return result
+
+    def unit_mean(self, name: str) -> float:
+        """Current mean temperature of a unit."""
+        return float(self.T[self._masks[name]].mean())
+
+    def hottest_cell(self) -> float:
+        """Current peak cell temperature — detail Tempest's sensors average away."""
+        return float(self.T.max())

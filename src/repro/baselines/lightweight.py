@@ -1,0 +1,57 @@
+"""Light-weight baseline: a raw sensor logger.
+
+§1: "Light-weight tools use direct thermal sensor measurement, emphasizing
+speed and low overhead ... the profiling aspects of these direct
+measurement techniques are limited."  The logger produces exactly what such
+tools produce — per-node temperature series with no notion of functions —
+so the positioning bench can show what Tempest adds: the logger can say a
+node ran hot, but can never answer the paper's questions 1-2 (which *code*
+to optimize)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sensors import SensorReader
+from repro.simmachine.machine import Machine
+from repro.simmachine.process import Compute, Sleep, SimProcess
+
+
+class LightweightLogger:
+    """Periodic sensor logger with no instrumentation at all."""
+
+    def __init__(self, machine: Machine, reader: SensorReader,
+                 sampling_hz: float = 4.0):
+        self.machine = machine
+        self.reader = reader
+        self.period = 1.0 / sampling_hz
+        self.times: list[float] = []
+        self.samples: list[list[float]] = []
+        self.stopped = False
+
+    def daemon(self, proc: SimProcess):
+        """Generator body of the logging daemon (spawn on a spare core)."""
+        n = len(self.reader.sensor_names())
+        while not self.stopped:
+            yield Compute(0.5e-3, 0.3)
+            values = self.reader.read_all(proc.now)
+            self.times.append(proc.now)
+            self.samples.append([v for _, v in values])
+            yield Sleep(self.period)
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values[n_samples, n_sensors]) of everything logged."""
+        return np.array(self.times), np.array(self.samples)
+
+    def hottest_observation(self) -> tuple[float, str, float]:
+        """(time, sensor name, degC) of the hottest sample — the most a
+        sensor-only tool can localize a problem."""
+        times, vals = self.series()
+        if vals.size == 0:
+            return (0.0, "", float("nan"))
+        i, j = np.unravel_index(np.argmax(vals), vals.shape)
+        return (float(times[i]), self.reader.sensor_names()[j],
+                float(vals[i, j]))

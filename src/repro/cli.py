@@ -1,0 +1,284 @@
+"""Command-line interface: the ``tempest`` tool.
+
+Mirrors the paper's workflow from the terminal:
+
+* ``tempest micro --bench D`` — run a Table 1 micro-benchmark on the
+  simulated node and print the Figure 2(a) report (and 2(b) plot).
+* ``tempest npb --bench FT --klass W --ranks 4`` — run an NPB code on the
+  simulated cluster, print per-node reports and the stacked cluster plot.
+* ``tempest parse <bundle>`` — post-process a saved trace bundle.
+* ``tempest sensors [--root PATH]`` — list hwmon sensors (real Linux or a
+  materialized virtual tree).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import TempestParser, TempestSession, render_stdout_report
+from repro.core.ascii_plot import render_cluster_profile, render_function_profile
+from repro.core.report import dump_csv, dump_json
+from repro.core.trace import TraceBundle
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.util.errors import ReproError
+
+
+def _add_output_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--celsius", action="store_true",
+                   help="report degC instead of degF")
+    p.add_argument("--format", choices=["text", "csv", "json"],
+                   default="text")
+    p.add_argument("--save-trace", type=Path, default=None,
+                   help="directory to save the raw trace bundle")
+    p.add_argument("--html", type=Path, default=None,
+                   help="also write a self-contained HTML report here")
+
+
+def _emit(profile, args) -> None:
+    fahrenheit = not args.celsius
+    if args.format == "csv":
+        print(dump_csv(profile, fahrenheit=fahrenheit), end="")
+    elif args.format == "json":
+        print(dump_json(profile, fahrenheit=fahrenheit))
+    else:
+        print(render_stdout_report(profile, fahrenheit=fahrenheit))
+    if getattr(args, "html", None):
+        from repro.core.htmlreport import render_html_report
+
+        args.html.write_text(
+            render_html_report(profile, fahrenheit=fahrenheit)
+        )
+        print(f"HTML report written to {args.html}", file=sys.stderr)
+
+
+def cmd_micro(args) -> int:
+    from repro.workloads.microbench import ALL_MICROS
+
+    machine = Machine(ClusterConfig(n_nodes=1, seed=args.seed,
+                                    vary_nodes=False))
+    session = TempestSession(machine)
+    bench = ALL_MICROS[args.bench.upper()]
+    session.run_serial(bench, "node1", 0)
+    profile = session.profile()
+    _emit(profile, args)
+    if args.plot:
+        node = profile.node("node1")
+        sensor = node.sensor_names()[0]
+        print()
+        print(render_function_profile(node, sensor,
+                                      fahrenheit=not args.celsius))
+    if args.save_trace:
+        session.collect().save(args.save_trace)
+        print(f"\ntrace bundle written to {args.save_trace}", file=sys.stderr)
+    return 0
+
+
+def _npb_setup(args):
+    """Shared NPB command plumbing: resolve the benchmark and its config.
+
+    Returns (program, config, name) or None after printing an error.
+    """
+    from repro.workloads.npb import BENCHMARKS
+    from repro.workloads.npb import bt, cg, ep, ft, is_, lu, mg
+
+    configs = {
+        "FT": lambda: ft.FTConfig(klass=args.klass, iterations=args.iters),
+        "BT": lambda: bt.BTConfig(klass=args.klass, iterations=args.iters),
+        "CG": lambda: cg.CGConfig(klass=args.klass, niter=args.iters),
+        "EP": lambda: ep.EPConfig(klass=args.klass),
+        "MG": lambda: mg.MGConfig(klass=args.klass, iterations=args.iters),
+        "IS": lambda: is_.ISConfig(klass=args.klass, iterations=args.iters),
+        "LU": lambda: lu.LUConfig(klass=args.klass, iterations=args.iters),
+    }
+    bench_name = args.bench.upper()
+    if bench_name not in BENCHMARKS:
+        print(f"unknown benchmark {args.bench!r}; have {sorted(BENCHMARKS)}",
+              file=sys.stderr)
+        return None
+    return (BENCHMARKS[bench_name], configs[bench_name](),
+            f"{bench_name}.{args.klass}.{args.ranks}")
+
+
+def cmd_npb(args) -> int:
+    setup = _npb_setup(args)
+    if setup is None:
+        return 2
+    program, config, run_name = setup
+    machine = Machine(ClusterConfig(n_nodes=args.nodes, seed=args.seed))
+    session = TempestSession(machine)
+    session.run_mpi(lambda ctx: program(ctx, config), args.ranks,
+                    name=run_name)
+    profile = session.profile()
+    _emit(profile, args)
+    if args.plot:
+        sensor = profile.node(profile.node_names()[0]).sensor_names()[0]
+        print()
+        print(render_cluster_profile(profile, sensor,
+                                     fahrenheit=not args.celsius))
+    if args.save_trace:
+        session.collect().save(args.save_trace)
+        print(f"\ntrace bundle written to {args.save_trace}", file=sys.stderr)
+    return 0
+
+
+def cmd_hotspots(args) -> int:
+    """Run an NPB benchmark and print the hot-spot analysis (questions 1-3)."""
+    from repro.analysis.hotspots import hot_nodes, identify_hot_spots
+    from repro.analysis.optimize import recommend
+
+    setup = _npb_setup(args)
+    if setup is None:
+        return 2
+    program, config, run_name = setup
+    machine = Machine(ClusterConfig(n_nodes=args.nodes, seed=args.seed))
+    session = TempestSession(machine)
+    session.run_mpi(lambda ctx: program(ctx, config), args.ranks,
+                    name=run_name)
+    profile = session.profile()
+
+    print("Hot nodes (mean CPU temperature, hottest first):")
+    for name, mean_c in hot_nodes(profile):
+        print(f"  {name:<8} {mean_c:6.1f} C")
+    print()
+    print(f"Top {args.top} hot spots:")
+    for spot in identify_hot_spots(profile, top_n=args.top):
+        print(f"  {spot.describe()}")
+    print()
+    print("Recommendations:")
+    for rec in recommend(profile, top_n=args.top):
+        print(f"  {rec.function} on {rec.node}: {rec.reason}")
+    return 0
+
+
+def cmd_parse(args) -> int:
+    bundle = TraceBundle.load(args.bundle)
+    profile = TempestParser(bundle, strict=not args.lenient).parse()
+    _emit(profile, args)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Diff two saved trace bundles function by function."""
+    from repro.analysis.diffprof import diff_profiles, render_diff
+
+    before = TempestParser(TraceBundle.load(args.before),
+                           strict=not args.lenient).parse()
+    after = TempestParser(TraceBundle.load(args.after),
+                          strict=not args.lenient).parse()
+    deltas = diff_profiles(before, after)
+    if not deltas:
+        print("no common nodes between the two bundles", file=sys.stderr)
+        return 1
+    print(render_diff(deltas, min_time_s=args.min_time))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Run the NPB built-in verifications (real numerics vs oracles)."""
+    from repro.workloads.npb.verify import VERIFIERS, verify_all
+
+    names = [b.upper() for b in args.bench] if args.bench else None
+    unknown = [n for n in (names or []) if n not in VERIFIERS]
+    if unknown:
+        print(f"unknown benchmark(s) {unknown}; have {sorted(VERIFIERS)}",
+              file=sys.stderr)
+        return 2
+    results = verify_all(names)
+    for r in results:
+        print(r.describe())
+    return 0 if all(r.verified for r in results) else 1
+
+
+def cmd_sensors(args) -> int:
+    from repro.core.sensors import HwmonSensorReader, SensorError
+
+    try:
+        reader = (HwmonSensorReader(args.root) if args.root
+                  else HwmonSensorReader())
+    except SensorError as exc:
+        print(f"no sensors: {exc}", file=sys.stderr)
+        return 1
+    for idx, value in reader.read_all():
+        name = reader.sensor_names()[idx]
+        print(f"{name:<24} {value:6.1f} C")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tempest",
+        description="Tempest thermal profiler (ICPP 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("micro", help="run a Table 1 micro-benchmark")
+    p.add_argument("--bench", default="D", choices=list("ABCDEabcde"))
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--plot", action="store_true")
+    _add_output_args(p)
+    p.set_defaults(fn=cmd_micro)
+
+    p = sub.add_parser("npb", help="run an NPB benchmark on the simulated cluster")
+    p.add_argument("--bench", default="FT")
+    p.add_argument("--klass", default="W", help="problem class S/W/A/B/C")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--iters", type=int, default=None,
+                   help="override the class iteration count")
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--plot", action="store_true")
+    _add_output_args(p)
+    p.set_defaults(fn=cmd_npb)
+
+    p = sub.add_parser("hotspots",
+                       help="run an NPB code and rank its thermal hot spots")
+    p.add_argument("--bench", default="BT")
+    p.add_argument("--klass", default="W")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--iters", type=int, default=None)
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(fn=cmd_hotspots)
+
+    p = sub.add_parser("parse", help="parse a saved trace bundle")
+    p.add_argument("bundle", type=Path)
+    p.add_argument("--lenient", action="store_true")
+    _add_output_args(p)
+    p.set_defaults(fn=cmd_parse)
+
+    p = sub.add_parser("verify",
+                       help="run NPB numerical verifications against oracles")
+    p.add_argument("bench", nargs="*",
+                   help="benchmarks to verify (default: all)")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("compare",
+                       help="diff two trace bundles function by function")
+    p.add_argument("before", type=Path)
+    p.add_argument("after", type=Path)
+    p.add_argument("--lenient", action="store_true")
+    p.add_argument("--min-time", type=float, default=0.01,
+                   help="hide functions shorter than this in both runs")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("sensors", help="list hwmon thermal sensors")
+    p.add_argument("--root", type=Path, default=None)
+    p.set_defaults(fn=cmd_sensors)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

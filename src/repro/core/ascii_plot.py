@@ -1,0 +1,146 @@
+"""ASCII temperature-profile plots (Figures 2(b), 3 and 4).
+
+The paper's profile figures plot sensor temperature against time with the
+active function annotated along the top (Figure 2(b)), and stack one such
+axis per cluster node with shared time alignment (Figures 3-4).  This
+module renders the same structure as text so benches and examples can
+regenerate the figures in a terminal and in the EXPERIMENTS.md log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.profilemodel import NodeProfile, RunProfile
+from repro.util.units import c_to_f
+
+
+def render_series(
+    times: np.ndarray,
+    values: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 10,
+    title: str = "",
+    fahrenheit: bool = True,
+    y_range: Optional[tuple[float, float]] = None,
+) -> str:
+    """Render one time series as an ASCII line chart."""
+    if len(times) == 0:
+        return f"{title}\n  (no samples)"
+    vals = c_to_f(values) if fahrenheit else np.asarray(values, float)
+    t0, t1 = float(times[0]), float(times[-1])
+    if y_range is not None:
+        lo, hi = y_range
+    else:
+        lo, hi = float(vals.min()), float(vals.max())
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    span_t = max(t1 - t0, 1e-12)
+    for t, v in zip(times, vals):
+        x = min(width - 1, int((t - t0) / span_t * (width - 1)))
+        y = min(height - 1, int((hi - v) / (hi - lo) * (height - 1)))
+        grid[y][x] = "*"
+    unit = "F" if fahrenheit else "C"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:6.1f}{unit} |"
+        elif i == height - 1:
+            label = f"{lo:6.1f}{unit} |"
+        else:
+            label = " " * 7 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * (width - 1))
+    lines.append(" " * 8 + f"{t0:<10.1f}{'time (s)':^{max(0, width - 22)}}{t1:>10.1f}")
+    return "\n".join(lines)
+
+
+def _function_band(node: NodeProfile, width: int, t0: float, t1: float) -> str:
+    """One-line band naming the innermost function over time (Fig 2(b) top)."""
+    span = max(t1 - t0, 1e-12)
+    band = [" "] * width
+    segs = sorted(node.timeline.top_segments, key=lambda s: s.start_s)
+    for seg in segs:
+        x0 = int((seg.start_s - t0) / span * (width - 1))
+        x1 = int((seg.end_s - t0) / span * (width - 1))
+        x0 = max(0, min(width - 1, x0))
+        x1 = max(0, min(width - 1, x1))
+        label = seg.name[: max(1, x1 - x0 + 1)]
+        # Draw the segment extent, then overlay the label at its start.
+        for x in range(x0, x1 + 1):
+            band[x] = "-"
+        for k, ch in enumerate(label):
+            if x0 + k <= x1:
+                band[x0 + k] = ch
+    return " " * 8 + "|" + "".join(band)
+
+
+def render_function_profile(
+    node: NodeProfile,
+    sensor: str,
+    *,
+    width: int = 72,
+    height: int = 10,
+    fahrenheit: bool = True,
+) -> str:
+    """Figure 2(b): temperature trend with the active function annotated."""
+    times, values = node.sensor_series[sensor]
+    if len(times) == 0:
+        return f"{node.node_name}/{sensor}: no samples"
+    t0, t1 = float(times[0]), float(times[-1])
+    header = f"{node.node_name} — sensor {sensor!r} (function band above plot)"
+    band = _function_band(node, width, t0, t1)
+    chart = render_series(
+        times, values, width=width, height=height, fahrenheit=fahrenheit
+    )
+    return "\n".join([header, band, chart])
+
+
+def render_cluster_profile(
+    run: RunProfile,
+    sensor: str,
+    *,
+    width: int = 72,
+    height: int = 7,
+    fahrenheit: bool = True,
+    shared_y: bool = True,
+) -> str:
+    """Figures 3-4: vertically stacked, time-aligned per-node profiles.
+
+    ``shared_y`` puts every node on the same temperature scale so the
+    paper's "some nodes run hotter than others" comparison is visual.
+    """
+    y_range = None
+    if shared_y:
+        los, his = [], []
+        for name in run.node_names():
+            _, values = run.node(name).sensor_series[sensor]
+            if len(values):
+                vals = c_to_f(values) if fahrenheit else values
+                los.append(float(np.min(vals)))
+                his.append(float(np.max(vals)))
+        if los:
+            y_range = (min(los), max(his))
+    parts = []
+    for name in run.node_names():
+        node = run.node(name)
+        times, values = node.sensor_series[sensor]
+        parts.append(
+            render_series(
+                times,
+                values,
+                width=width,
+                height=height,
+                title=f"[{name}] {sensor}",
+                fahrenheit=fahrenheit,
+                y_range=y_range,
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,173 @@
+"""Self-contained HTML report export.
+
+Figure 1's caption: "By default, Tempest writes data to the standard
+output, but data can be dumped to a file in a variety of formats."  Along
+with CSV and JSON (:mod:`repro.core.report`), this module renders a single
+dependency-free HTML file: per-node SVG temperature plots (one polyline per
+sensor, time-aligned across nodes like Figures 3-4) above the per-function
+statistics tables of Figure 2(a).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional
+
+import numpy as np
+
+from repro.core.profilemodel import NodeProfile, RunProfile
+from repro.util.units import c_to_f
+
+_CSS = """
+body { font-family: ui-monospace, Consolas, monospace; margin: 2em;
+       color: #1a1a1a; background: #fcfcfa; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.8em 0; font-size: 0.85em; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.7em; text-align: right; }
+th { background: #eee; } td.name { text-align: left; }
+.insig { color: #999; font-style: italic; }
+svg { background: #fff; border: 1px solid #ddd; margin: 0.4em 0; }
+.legend span { margin-right: 1.2em; font-size: 0.8em; }
+"""
+
+#: distinct series colours (paper-era gnuplot vibes)
+_COLORS = ["#c0392b", "#2471a3", "#1e8449", "#b7950b", "#7d3c98", "#566573",
+           "#d35400"]
+
+
+def _svg_plot(
+    node: NodeProfile,
+    *,
+    width: int = 720,
+    height: int = 160,
+    fahrenheit: bool = True,
+    y_range: Optional[tuple[float, float]] = None,
+) -> str:
+    series = {
+        name: (t, (c_to_f(v) if fahrenheit else v))
+        for name, (t, v) in node.sensor_series.items()
+        if len(t) > 1
+    }
+    if not series:
+        return "<p class='insig'>(no samples)</p>"
+    t0 = min(float(t[0]) for t, _ in series.values())
+    t1 = max(float(t[-1]) for t, _ in series.values())
+    if y_range is None:
+        lo = min(float(v.min()) for _, v in series.values())
+        hi = max(float(v.max()) for _, v in series.values())
+    else:
+        lo, hi = y_range
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+    pad, axis = 8, 42
+
+    def sx(t):
+        return axis + (t - t0) / max(t1 - t0, 1e-12) * (width - axis - pad)
+
+    def sy(v):
+        return pad + (hi - v) / (hi - lo) * (height - 2 * pad)
+
+    unit = "F" if fahrenheit else "C"
+    parts = [
+        f"<svg width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>",
+        f"<text x='2' y='{pad + 10}' font-size='10'>{hi:.0f}{unit}</text>",
+        f"<text x='2' y='{height - pad}' font-size='10'>{lo:.0f}{unit}</text>",
+        f"<line x1='{axis}' y1='{pad}' x2='{axis}' y2='{height - pad}' "
+        "stroke='#bbb'/>",
+        f"<line x1='{axis}' y1='{height - pad}' x2='{width - pad}' "
+        f"y2='{height - pad}' stroke='#bbb'/>",
+    ]
+    legend = []
+    for i, (name, (t, v)) in enumerate(series.items()):
+        color = _COLORS[i % len(_COLORS)]
+        pts = " ".join(f"{sx(float(tt)):.1f},{sy(float(vv)):.1f}"
+                       for tt, vv in zip(t, v))
+        parts.append(
+            f"<polyline fill='none' stroke='{color}' stroke-width='1.2' "
+            f"points='{pts}'/>"
+        )
+        legend.append(
+            f"<span style='color:{color}'>&#9632; "
+            f"{html.escape(name)}</span>"
+        )
+    parts.append("</svg>")
+    parts.append(f"<div class='legend'>{''.join(legend)}</div>")
+    return "\n".join(parts)
+
+
+def _function_table(node: NodeProfile, *, fahrenheit: bool,
+                    top_n: Optional[int]) -> str:
+    fns = node.functions_by_time()
+    if top_n is not None:
+        fns = fns[:top_n]
+    if not fns:
+        return "<p class='insig'>(no functions profiled)</p>"
+    head = ("<tr><th>function</th><th>total (s)</th><th>self (s)</th>"
+            "<th>calls</th><th>sensor</th><th>min</th><th>avg</th>"
+            "<th>max</th><th>sdv</th><th>med</th><th>mod</th></tr>")
+    rows = [head]
+    for fp in fns:
+        base = (
+            f"<td class='name'>{html.escape(fp.name)}</td>"
+            f"<td>{fp.total_time_s:.4f}</td>"
+            f"<td>{fp.exclusive_time_s:.4f}</td><td>{fp.n_calls}</td>"
+        )
+        if not fp.significant:
+            rows.append(
+                f"<tr class='insig'>{base}<td colspan='7'>below the "
+                "sampling interval — no thermal statistics</td></tr>"
+            )
+            continue
+        first = True
+        for sensor, st in fp.sensor_stats.items():
+            if fahrenheit:
+                st = st.to_fahrenheit()
+            lead = base if first else "<td colspan='4'></td>"
+            first = False
+            rows.append(
+                f"<tr>{lead}<td class='name'>{html.escape(sensor)}</td>"
+                f"<td>{st.min:.2f}</td><td>{st.avg:.2f}</td>"
+                f"<td>{st.max:.2f}</td><td>{st.sdv:.2f}</td>"
+                f"<td>{st.med:.2f}</td><td>{st.mod:.2f}</td></tr>"
+            )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def render_html_report(
+    profile: RunProfile,
+    *,
+    title: str = "Tempest thermal profile",
+    fahrenheit: bool = True,
+    top_n: Optional[int] = None,
+    shared_y: bool = True,
+) -> str:
+    """Render the whole run as one self-contained HTML document."""
+    y_range = None
+    if shared_y:
+        los, his = [], []
+        for name in profile.node_names():
+            for t, v in profile.node(name).sensor_series.values():
+                if len(v):
+                    vals = c_to_f(v) if fahrenheit else v
+                    los.append(float(np.min(vals)))
+                    his.append(float(np.max(vals)))
+        if los:
+            y_range = (min(los), max(his))
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>sampling rate: {profile.sampling_hz:g} Hz &middot; "
+        f"nodes: {len(profile.node_names())}</p>",
+    ]
+    for name in profile.node_names():
+        node = profile.node(name)
+        parts.append(f"<h2>{html.escape(name)} "
+                     f"<small>({node.duration_s:.2f} s)</small></h2>")
+        parts.append(_svg_plot(node, fahrenheit=fahrenheit, y_range=y_range))
+        parts.append(_function_table(node, fahrenheit=fahrenheit,
+                                     top_n=top_n))
+    parts.append("</body></html>")
+    return "\n".join(parts)

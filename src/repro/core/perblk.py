@@ -1,0 +1,50 @@
+"""Basic-block granularity API (the ``libtempestperblk.so`` equivalent).
+
+§3.2: "Tempest also supports measurement at basic block granularity using
+libtempestperblk.so.  Basic block measurement is non-transparent and
+requires explicit API calls."  Here the explicit call is a context manager
+wrapped around any region of a workload generator::
+
+    @instrument
+    def solver(ctx):
+        with block(ctx, "x_sweep"):
+            yield Compute(0.4, ACTIVITY_COMPUTE)
+        with block(ctx, "y_sweep"):
+            yield Compute(0.4, ACTIVITY_COMPUTE)
+
+Blocks emit the same ENTER/EXIT records as functions (their symbols are
+namespaced ``<name>@blk``), so the parser, statistics, and reports treat
+them uniformly — a block is simply a finer-grained hot-spot candidate.
+"""
+
+from __future__ import annotations
+
+from repro.core.instrument import tracer_of, _proc_of
+
+#: suffix distinguishing block symbols from function symbols
+BLOCK_SUFFIX = "@blk"
+
+
+class block:
+    """Context manager marking a basic block inside a traced workload."""
+
+    def __init__(self, ctx, name: str):
+        self._ctx = ctx
+        self.symbol = name + BLOCK_SUFFIX
+
+    def __enter__(self) -> "block":
+        tracer = tracer_of(self._ctx)
+        if tracer is not None and not tracer.stopped:
+            tracer.on_enter(_proc_of(self._ctx), self.symbol)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = tracer_of(self._ctx)
+        if tracer is not None and not tracer.stopped:
+            tracer.on_exit(_proc_of(self._ctx), self.symbol)
+        return False
+
+
+def is_block_symbol(name: str) -> bool:
+    """True if a profiled symbol came from the per-block API."""
+    return name.endswith(BLOCK_SUFFIX)

@@ -1,0 +1,118 @@
+"""Profile data model: the parser's output, the reports' input.
+
+A :class:`RunProfile` holds one :class:`NodeProfile` per cluster node; each
+node profile holds per-function :class:`FunctionProfile` entries (inclusive
+time, call count, per-sensor statistics, thermal significance) plus the raw
+sensor time series and the reconstructed timeline — everything Figures 2-4
+and Tables 2-3 draw from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.stats import SensorStats
+from repro.core.timeline import Timeline
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class FunctionProfile:
+    """One function's profile on one node."""
+
+    name: str
+    total_time_s: float          # inclusive (union of activations)
+    exclusive_time_s: float      # self time (top of stack)
+    n_calls: int
+    significant: bool            # total time >= sensor sampling interval
+    sensor_stats: dict[str, SensorStats] = field(default_factory=dict)
+    n_samples: int = 0           # sample sweeps attributed to this function
+
+    def hottest_sensor(self) -> Optional[tuple[str, SensorStats]]:
+        """The sensor with the highest average, or None if insignificant."""
+        if not self.sensor_stats:
+            return None
+        name = max(self.sensor_stats, key=lambda s: self.sensor_stats[s].avg)
+        return name, self.sensor_stats[name]
+
+
+@dataclass
+class NodeProfile:
+    """All profile data for one node."""
+
+    node_name: str
+    duration_s: float
+    functions: dict[str, FunctionProfile]
+    sensor_series: dict[str, tuple[np.ndarray, np.ndarray]]  # name -> (t, degC)
+    timeline: Timeline
+
+    def functions_by_time(self) -> list[FunctionProfile]:
+        """Functions ordered by decreasing inclusive time (report order)."""
+        return sorted(
+            self.functions.values(), key=lambda f: f.total_time_s, reverse=True
+        )
+
+    def function(self, name: str) -> FunctionProfile:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise ConfigError(
+                f"no function {name!r} profiled on {self.node_name}; "
+                f"have {sorted(self.functions)}"
+            )
+
+    def sensor_names(self) -> list[str]:
+        return list(self.sensor_series)
+
+    def mean_temperature(self, sensor: str) -> float:
+        """Run-average temperature of one sensor (degC)."""
+        _, values = self.sensor_series[sensor]
+        return float(values.mean()) if len(values) else float("nan")
+
+    def max_temperature(self, sensor: str) -> float:
+        """Run-peak temperature of one sensor (degC)."""
+        _, values = self.sensor_series[sensor]
+        return float(values.max()) if len(values) else float("nan")
+
+
+@dataclass
+class RunProfile:
+    """A whole profiled run across the cluster."""
+
+    nodes: dict[str, NodeProfile]
+    sampling_hz: float
+    meta: dict = field(default_factory=dict)
+
+    def node(self, name: str) -> NodeProfile:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigError(f"no node {name!r}; have {list(self.nodes)}")
+
+    def node_names(self) -> list[str]:
+        return list(self.nodes)
+
+    def function_names(self) -> list[str]:
+        """Union of functions across nodes, by total time on any node."""
+        totals: dict[str, float] = {}
+        for np_ in self.nodes.values():
+            for f in np_.functions.values():
+                totals[f.name] = max(totals.get(f.name, 0.0), f.total_time_s)
+        return sorted(totals, key=totals.get, reverse=True)
+
+    def hottest_node(self, sensor_pred=None) -> str:
+        """Node with the highest mean CPU-sensor temperature.
+
+        ``sensor_pred(name) -> bool`` filters which sensors count; defaults
+        to CPU-ish sensors (name contains "CPU"), falling back to all.
+        """
+        pred = sensor_pred or (lambda s: "CPU" in s)
+
+        def score(node: NodeProfile) -> float:
+            names = [s for s in node.sensor_names() if pred(s)] or node.sensor_names()
+            return float(np.mean([node.mean_temperature(s) for s in names]))
+
+        return max(self.nodes, key=lambda n: score(self.nodes[n]))

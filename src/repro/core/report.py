@@ -1,0 +1,155 @@
+"""Report rendering: the Figure 2(a) standard-output format plus
+machine-readable exports.
+
+By default Tempest "prints a summary to standard output" with functions
+listed by total (inclusive) execution time, each followed by one row per
+thermal sensor with Min/Avg/Max/Sdv/Var/Med/Mod.  Temperatures are reported
+in Fahrenheit like the paper's figures; pass ``fahrenheit=False`` for
+Celsius.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Optional, Union
+
+from repro.core.profilemodel import FunctionProfile, NodeProfile, RunProfile
+
+_HEADER = f"{'':<10}{'Min':>8}{'Avg':>8}{'Max':>8}{'Sdv':>7}{'Var':>7}{'Med':>8}{'Mod':>8}"
+
+
+def _format_function(fp: FunctionProfile, fahrenheit: bool,
+                     show_calls: bool = False) -> str:
+    header = f"Function: {fp.name:<28} Total Time(sec): {fp.total_time_s:.6f}"
+    if show_calls:
+        header += (f"  Calls: {fp.n_calls}  "
+                   f"Self(sec): {fp.exclusive_time_s:.6f}")
+    lines = [header]
+    if not fp.significant:
+        lines.append(
+            "  (total time below the sensor sampling interval; thermal "
+            "statistics not significant)"
+        )
+        return "\n".join(lines)
+    lines.append(_HEADER)
+    for sensor in fp.sensor_stats:
+        st = fp.sensor_stats[sensor]
+        if fahrenheit:
+            st = st.to_fahrenheit()
+        lines.append(
+            f"{sensor[:10]:<10}"
+            f"{st.min:>8.2f}{st.avg:>8.2f}{st.max:>8.2f}"
+            f"{st.sdv:>7.2f}{st.var:>7.2f}{st.med:>8.2f}{st.mod:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_stdout_report(
+    profile: Union[RunProfile, NodeProfile],
+    *,
+    fahrenheit: bool = True,
+    top_n: Optional[int] = None,
+    include_insignificant: bool = True,
+    show_calls: bool = False,
+) -> str:
+    """Render the standard-output summary (Figure 2(a) layout).
+
+    For a :class:`RunProfile` the per-node reports are concatenated with
+    node banners; for a single :class:`NodeProfile` just that node renders.
+    ``show_calls`` appends call counts and exclusive (self) time to each
+    function header — detail beyond the paper's figure, off by default.
+    """
+    if isinstance(profile, RunProfile):
+        parts = []
+        for name in profile.node_names():
+            parts.append("=" * 64)
+            parts.append(f"Node: {name}")
+            parts.append("=" * 64)
+            parts.append(
+                render_stdout_report(
+                    profile.node(name),
+                    fahrenheit=fahrenheit,
+                    top_n=top_n,
+                    include_insignificant=include_insignificant,
+                    show_calls=show_calls,
+                )
+            )
+        return "\n".join(parts)
+
+    fns = profile.functions_by_time()
+    if not include_insignificant:
+        fns = [f for f in fns if f.significant]
+    if top_n is not None:
+        fns = fns[:top_n]
+    if not fns:
+        return "(no functions profiled)"
+    blocks = [_format_function(f, fahrenheit, show_calls) for f in fns]
+    return "\n\n".join(blocks)
+
+
+def profile_to_rows(
+    profile: RunProfile, *, fahrenheit: bool = True
+) -> list[dict]:
+    """Flatten a run profile into one dict per (node, function, sensor)."""
+    rows: list[dict] = []
+    for node_name in profile.node_names():
+        node = profile.node(node_name)
+        for fp in node.functions_by_time():
+            base = {
+                "node": node_name,
+                "function": fp.name,
+                "total_time_s": round(fp.total_time_s, 6),
+                "exclusive_time_s": round(fp.exclusive_time_s, 6),
+                "calls": fp.n_calls,
+                "significant": fp.significant,
+            }
+            if not fp.sensor_stats:
+                rows.append({**base, "sensor": None})
+                continue
+            for sensor, st in fp.sensor_stats.items():
+                if fahrenheit:
+                    st = st.to_fahrenheit()
+                rows.append(
+                    {
+                        **base,
+                        "sensor": sensor,
+                        "min": round(st.min, 2),
+                        "avg": round(st.avg, 2),
+                        "max": round(st.max, 2),
+                        "sdv": round(st.sdv, 2),
+                        "var": round(st.var, 2),
+                        "med": round(st.med, 2),
+                        "mod": round(st.mod, 2),
+                    }
+                )
+    return rows
+
+
+def dump_csv(profile: RunProfile, *, fahrenheit: bool = True) -> str:
+    """CSV export of :func:`profile_to_rows`."""
+    rows = profile_to_rows(profile, fahrenheit=fahrenheit)
+    if not rows:
+        return ""
+    fields = ["node", "function", "total_time_s", "exclusive_time_s",
+              "calls", "significant", "sensor", "min", "avg", "max",
+              "sdv", "var", "med", "mod"]
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def dump_json(profile: RunProfile, *, fahrenheit: bool = True) -> str:
+    """JSON export of :func:`profile_to_rows` plus run metadata."""
+    return json.dumps(
+        {
+            "sampling_hz": profile.sampling_hz,
+            "meta": profile.meta,
+            "rows": profile_to_rows(profile, fahrenheit=fahrenheit),
+        },
+        indent=2,
+    )

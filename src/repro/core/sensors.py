@@ -1,0 +1,124 @@
+"""Sensor reader backends.
+
+Tempest's portability story (§3.4: "Tempest will run on any Linux-based
+system that has support for the LM sensors package") rests on a narrow
+sensor interface.  Two backends implement it:
+
+* :class:`SimSensorReader` — reads a simulated node's virtual hwmon chip.
+* :class:`HwmonSensorReader` — reads a real Linux ``/sys/class/hwmon`` tree
+  (or any directory with the same layout, e.g. one materialized by
+  :class:`repro.simmachine.hwmon.VirtualHwmonTree`, which is how it is
+  tested offline).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Optional
+
+from repro.util.errors import SensorError
+
+
+class SensorReader(ABC):
+    """Uniform access to a node's thermal sensors."""
+
+    @abstractmethod
+    def sensor_names(self) -> list[str]:
+        """Stable, ordered list of sensor names."""
+
+    @abstractmethod
+    def read_all(self, t: float) -> list[tuple[int, float]]:
+        """Read every sensor; returns ``[(sensor_index, degC), ...]``.
+
+        *t* is the simulated time for simulator backends; real backends
+        ignore it.
+        """
+
+
+class SimSensorReader(SensorReader):
+    """Reads the virtual hwmon chip of a simulated node."""
+
+    def __init__(self, node):
+        self._node = node
+        self._names = node.chip.sensor_names()
+
+    def sensor_names(self) -> list[str]:
+        return list(self._names)
+
+    def read_all(self, t: float) -> list[tuple[int, float]]:
+        values = self._node.read_sensors(t)
+        return [(i, values[name]) for i, name in enumerate(self._names)]
+
+    def read_reference(self, t: float) -> list[tuple[int, float]]:
+        """Ground-truth (unquantized) values — the external validation sensor."""
+        return [
+            (i, self._node.chip.read_reference(name, t))
+            for i, name in enumerate(self._names)
+        ]
+
+
+class HwmonSensorReader(SensorReader):
+    """Reads a Linux-style hwmon sysfs tree.
+
+    Walks ``<root>/hwmon*/temp*_input`` at construction, keeping a stable
+    ordering (chip directory order, then channel number).  Labels come from
+    ``tempN_label`` files when present, else ``<chipname>/tempN``.
+    """
+
+    DEFAULT_ROOT = Path("/sys/class/hwmon")
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else self.DEFAULT_ROOT
+        if not self.root.is_dir():
+            raise SensorError(f"hwmon root {self.root} does not exist")
+        self._inputs: list[tuple[str, Path]] = []
+        for chip_dir in sorted(self.root.glob("hwmon*")):
+            if not chip_dir.is_dir():
+                continue
+            chip = _read_text(chip_dir / "name") or chip_dir.name
+            channels = sorted(
+                chip_dir.glob("temp*_input"),
+                key=lambda p: _channel_number(p.name),
+            )
+            for inp in channels:
+                n = _channel_number(inp.name)
+                label = _read_text(chip_dir / f"temp{n}_label") or f"{chip}/temp{n}"
+                self._inputs.append((label, inp))
+        if not self._inputs:
+            raise SensorError(f"no temp*_input sensors under {self.root}")
+
+    def sensor_names(self) -> list[str]:
+        return [label for label, _ in self._inputs]
+
+    def read_all(self, t: float = 0.0) -> list[tuple[int, float]]:
+        out = []
+        for i, (label, path) in enumerate(self._inputs):
+            try:
+                milli = int(path.read_text().strip())
+            except (OSError, ValueError) as exc:
+                raise SensorError(f"cannot read sensor {label!r} at {path}: {exc}")
+            out.append((i, milli / 1000.0))
+        return out
+
+
+def _read_text(path: Path) -> Optional[str]:
+    try:
+        return path.read_text().strip()
+    except OSError:
+        return None
+
+
+def _channel_number(filename: str) -> int:
+    # "temp12_input" -> 12
+    digits = "".join(ch for ch in filename if ch.isdigit())
+    return int(digits) if digits else 0
+
+
+def discover_hwmon() -> Optional[HwmonSensorReader]:
+    """Best-effort real-sensor discovery; None when unavailable (containers,
+    non-Linux hosts, or machines without hwmon support)."""
+    try:
+        return HwmonSensorReader()
+    except SensorError:
+        return None

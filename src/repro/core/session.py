@@ -1,0 +1,232 @@
+"""TempestSession: orchestrate a profiled run on the simulated cluster.
+
+Usage mirrors the paper's workflow (compile with instrumentation, link the
+library, run, invoke the parser)::
+
+    machine = Machine(ClusterConfig(n_nodes=4))
+    session = TempestSession(machine)
+    results = session.run_mpi(ft_benchmark, n_ranks=4, args=("C",))
+    profile = session.profile()
+    print(render_stdout_report(profile))
+
+The session attaches one :class:`~repro.core.instrument.NodeTracer` and one
+tempd daemon per node in use, injects the tracer into each workload process
+(the "link against libtempest" step), stops the daemons when the workload
+exits (the library destructor), and hands the aggregated trace to the
+parser.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.instrument import HookCosts, NodeTracer
+from repro.core.parser import TempestParser
+from repro.core.profilemodel import RunProfile
+from repro.core.sensors import SimSensorReader
+from repro.core.symtab import SymbolTable
+from repro.core.tempd import TempdConfig, tempd_process
+from repro.core.trace import TraceBundle
+from repro.mpisim.network import Network
+from repro.mpisim.runtime import mpi_spawn
+from repro.simmachine.machine import Machine
+from repro.simmachine.process import SimProcess, ST_FINISHED
+from repro.util.errors import ConfigError
+
+
+class TempestSession:
+    """One profiled run: tracers + tempd daemons + trace collection."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        costs: HookCosts = HookCosts(),
+        tempd_config: TempdConfig = TempdConfig(),
+        tempd_core: Optional[int] = None,
+        enabled: bool = True,
+        spool_dir=None,
+    ):
+        self.machine = machine
+        self.costs = costs
+        self.tempd_config = tempd_config
+        self.tempd_core = tempd_core
+        #: when set, every node's records stream to <spool_dir>/<node>.spool
+        #: as they are recorded (constant-write trace collection)
+        self.spool_dir = spool_dir
+        #: with ``enabled=False`` the session runs workloads untraced —
+        #: the baseline side of the §3.4 overhead comparison.
+        self.enabled = enabled
+        self.symtab = SymbolTable()
+        self.tracers: dict[str, NodeTracer] = {}
+        self.readers: dict[str, SimSensorReader] = {}
+        self._tempd_procs: dict[str, SimProcess] = {}
+        self._stopped = False
+        #: simulated time at which the last workload finished (before the
+        #: tempd drain window) — the number overhead comparisons should use
+        self.last_workload_end: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Attachment
+
+    def attach(self, node_name: str) -> NodeTracer:
+        """Attach tracing + tempd to a node (idempotent)."""
+        if node_name in self.tracers:
+            return self.tracers[node_name]
+        node = self.machine.node(node_name)
+        reader = SimSensorReader(node)
+        spool = None
+        if self.spool_dir is not None:
+            from pathlib import Path
+            from repro.core.spool import TraceSpool
+            spool = TraceSpool(Path(self.spool_dir) / f"{node_name}.spool")
+        tracer = NodeTracer(
+            node_name=node_name,
+            symtab=self.symtab,
+            tsc_hz=node.cores[0].nominal_freq_hz,
+            sensor_names=reader.sensor_names(),
+            costs=self.costs,
+            spool=spool,
+        )
+        self.tracers[node_name] = tracer
+        self.readers[node_name] = reader
+        if self.enabled:
+            core = (
+                self.tempd_core
+                if self.tempd_core is not None
+                else len(node.cores) - 1
+            )
+            proc = self.machine.spawn(
+                lambda p: tempd_process(p, tracer, reader, self.tempd_config),
+                node_name,
+                core,
+                name=f"tempd@{node_name}",
+            )
+            self._tempd_procs[node_name] = proc
+        return tracer
+
+    def wrap(self, ctx, gen):
+        """Process wrapper injected into workloads: attach the tracer before
+        the first instruction runs (tempd "is launched before the main
+        function of the profiled application is invoked")."""
+        proc = ctx if isinstance(ctx, SimProcess) else ctx.proc
+        tracer = self.attach(proc.node_name)
+        if self.enabled:
+            proc.trace_context = tracer
+        result = yield from gen
+        return result
+
+    # ------------------------------------------------------------------
+    # Running workloads
+
+    def run_mpi(
+        self,
+        program: Callable,
+        n_ranks: int,
+        *args: Any,
+        placement: Optional[list[tuple[str, int]]] = None,
+        network: Optional[Network] = None,
+        name: str = "mpi",
+    ) -> list[Any]:
+        """Run an SPMD program under profiling; returns per-rank results."""
+        world, procs = mpi_spawn(
+            self.machine,
+            program,
+            n_ranks,
+            *args,
+            placement=placement,
+            network=network,
+            name=name,
+            wrap=self.wrap,
+        )
+        self.machine.run_to_completion(procs)
+        self.last_workload_end = self.machine.sim.now
+        self.stop()
+        return [p.result for p in procs]
+
+    def run_serial(
+        self,
+        program: Callable,
+        node: str,
+        core: int = 0,
+        *args: Any,
+        name: Optional[str] = None,
+    ) -> Any:
+        """Run a single-process workload under profiling; returns its result."""
+
+        def body(proc: SimProcess):
+            gen = program(proc, *args)
+            result = yield from self.wrap(proc, gen)
+            return result
+
+        proc = self.machine.spawn(body, node, core, name=name or "serial")
+        self.machine.run_to_completion([proc])
+        self.last_workload_end = self.machine.sim.now
+        self.stop()
+        return proc.result
+
+    def stop(self) -> None:
+        """Stop every tempd (the library destructor's SIGTERM) and drain."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for tracer in self.tracers.values():
+            tracer.stop()
+        pending = [p for p in self._tempd_procs.values()
+                   if p.state != ST_FINISHED]
+        if pending:
+            # Let the daemons wake from their current sleep and exit.
+            horizon = self.machine.sim.now + 2.0 * self.tempd_config.period_s
+            self.machine.sim.run(until=horizon)
+            stuck = [p for p in pending if p.state != ST_FINISHED]
+            if stuck:
+                raise ConfigError(f"tempd daemons failed to stop: {stuck}")
+        if self.spool_dir is not None:
+            self.finalize_spools()
+
+    def finalize_spools(self) -> None:
+        """Close spools and write the header so the directory is loadable
+        with :func:`repro.core.spool.spool_to_bundle`."""
+        from repro.core.spool import SpoolingNodeTrace, write_spool_header
+
+        nodes = {}
+        for name, tracer in self.tracers.items():
+            trace = tracer.trace
+            if isinstance(trace, SpoolingNodeTrace):
+                trace.spool.close()
+            nodes[name] = {
+                "tsc_hz": trace.tsc_hz,
+                "sensor_names": trace.sensor_names,
+            }
+        write_spool_header(
+            self.spool_dir, self.symtab, nodes,
+            {"sampling_hz": self.tempd_config.sampling_hz},
+        )
+
+    # ------------------------------------------------------------------
+    # Collection
+
+    def collect(self) -> TraceBundle:
+        """Aggregate every node's trace into a bundle (the 'trace file')."""
+        bundle = TraceBundle(self.symtab)
+        for tracer in self.tracers.values():
+            bundle.add_node(tracer.trace)
+        bundle.meta = {
+            "sampling_hz": self.tempd_config.sampling_hz,
+            "seed": self.machine.config.seed,
+            "nodes": list(self.tracers),
+        }
+        return bundle
+
+    def profile(self, *, strict: bool = True) -> RunProfile:
+        """Collect and parse in one step."""
+        return TempestParser(self.collect(), strict=strict).parse()
+
+    # ------------------------------------------------------------------
+    # Overhead accounting helpers (§3.4)
+
+    def total_overhead_charged(self) -> float:
+        """Seconds of instrumentation overhead charged to all processes."""
+        return sum(
+            p.overhead_charged for p in self.machine.processes
+        )

@@ -1,0 +1,130 @@
+"""Incremental on-disk trace spooling.
+
+The real Tempest appends trace records to a file *during* execution — a
+long run must not hold its whole trace in memory.  A :class:`TraceSpool`
+attaches to a :class:`~repro.core.trace.NodeTrace` and writes each record's
+packed bytes through to disk as it is appended; :func:`read_spool` recovers
+the records later (tolerating a truncated tail, e.g. after a crash), and
+:func:`spool_to_bundle` reassembles a full
+:class:`~repro.core.trace.TraceBundle` from a directory of spools plus the
+saved header.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.core.symtab import SymbolTable
+from repro.core.trace import NodeTrace, TraceBundle, TraceRecord
+from repro.util.errors import TraceError
+
+
+class TraceSpool:
+    """File-backed write-through sink for one node's trace records."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("wb")
+        self.records_written = 0
+        self.closed = False
+
+    def write(self, record: TraceRecord) -> None:
+        if self.closed:
+            raise TraceError(f"spool {self.path} already closed")
+        self._fh.write(record.pack())
+        self.records_written += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self.closed:
+            self._fh.close()
+            self.closed = True
+
+    def __enter__(self) -> "TraceSpool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class SpoolingNodeTrace(NodeTrace):
+    """A NodeTrace that writes every record through to a spool.
+
+    ``keep_in_memory=False`` drops records after spooling — the
+    constant-memory mode for very long runs (the in-memory list stays
+    empty; parse from the spool afterwards).
+    """
+
+    def __init__(self, node_name: str, tsc_hz: float,
+                 sensor_names: list[str], spool: TraceSpool,
+                 keep_in_memory: bool = True):
+        super().__init__(node_name, tsc_hz, sensor_names)
+        self.spool = spool
+        self.keep_in_memory = keep_in_memory
+
+    def append(self, record: TraceRecord) -> None:
+        self.spool.write(record)
+        if self.keep_in_memory:
+            super().append(record)
+
+
+def read_spool(path: Path, *, tolerate_truncation: bool = True
+               ) -> list[TraceRecord]:
+    """Read all records from a spool file.
+
+    A partially written final record (machine crashed mid-append) is
+    dropped when ``tolerate_truncation`` is set; otherwise it raises.
+    """
+    blob = Path(path).read_bytes()
+    size = TraceRecord.packed_size()
+    remainder = len(blob) % size
+    if remainder:
+        if not tolerate_truncation:
+            raise TraceError(
+                f"{path}: {len(blob)} bytes is not a multiple of {size}"
+            )
+        blob = blob[: len(blob) - remainder]
+    return [TraceRecord.unpack(blob, i * size) for i in range(len(blob) // size)]
+
+
+def write_spool_header(directory: Path, symtab: SymbolTable,
+                       nodes: dict[str, dict], meta: dict) -> None:
+    """Persist the bundle header alongside per-node spools.
+
+    ``nodes`` maps node name -> {"tsc_hz": ..., "sensor_names": [...]}.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "header.json").write_text(json.dumps({
+        "format": "tempest-spool-v1",
+        "symtab": symtab.to_dict(),
+        "nodes": nodes,
+        "meta": meta,
+    }, indent=2))
+
+
+def spool_to_bundle(directory: Path) -> TraceBundle:
+    """Reassemble a TraceBundle from ``header.json`` + ``<node>.spool`` files."""
+    directory = Path(directory)
+    header_path = directory / "header.json"
+    if not header_path.exists():
+        raise TraceError(f"{directory} has no header.json")
+    header = json.loads(header_path.read_text())
+    if header.get("format") != "tempest-spool-v1":
+        raise TraceError(f"unknown spool format {header.get('format')!r}")
+    bundle = TraceBundle(SymbolTable.from_dict(header["symtab"]))
+    bundle.meta = header.get("meta", {})
+    for name, info in header["nodes"].items():
+        trace = NodeTrace(name, info["tsc_hz"], info["sensor_names"])
+        spool_file = directory / f"{name}.spool"
+        if spool_file.exists():
+            for rec in read_spool(spool_file):
+                trace.append(rec)
+        bundle.add_node(trace)
+    return bundle

@@ -1,0 +1,68 @@
+"""Symbol table: function names <-> synthetic addresses.
+
+The real Tempest records bare function *addresses* at runtime (that is all
+``-finstrument-functions`` hands the hooks) and the parser later "reads the
+symbol table of the executable to map addresses of functions to their
+names" (§3.2).  We reproduce that split: instrumentation emits addresses,
+and resolution to names is a separate post-processing step that can fail in
+the same way (an address missing from the table is a :class:`TraceError`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.util.errors import TraceError
+
+#: base of the synthetic text segment; spacing mimics small functions
+_TEXT_BASE = 0x400_000
+_FUNC_SPACING = 0x40
+
+
+class SymbolTable:
+    """Bidirectional map between function names and synthetic addresses."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, int] = {}
+        self._by_addr: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_name)
+
+    def address_of(self, name: str) -> int:
+        """Return (assigning on first use) the address for *name*."""
+        addr = self._by_name.get(name)
+        if addr is None:
+            addr = _TEXT_BASE + len(self._by_name) * _FUNC_SPACING
+            self._by_name[name] = addr
+            self._by_addr[addr] = name
+        return addr
+
+    def name_of(self, addr: int) -> str:
+        """Resolve an address back to a name (parser-side)."""
+        try:
+            return self._by_addr[addr]
+        except KeyError:
+            raise TraceError(
+                f"address {addr:#x} not present in the symbol table"
+            )
+
+    def to_dict(self) -> dict[str, int]:
+        """Serializable name -> address mapping."""
+        return dict(self._by_name)
+
+    @classmethod
+    def from_dict(cls, mapping: dict[str, int]) -> "SymbolTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        table = cls()
+        for name, addr in mapping.items():
+            addr = int(addr)
+            table._by_name[name] = addr
+            table._by_addr[addr] = name
+        return table

@@ -1,0 +1,255 @@
+"""Function-timeline reconstruction from ENTER/EXIT records.
+
+This is the capability that forced the paper away from gprof (§3.1): gprof
+buckets time per function, but Tempest needs to know *which function was
+executing at time X* so temperature samples can be attributed to source
+code.  The builder replays each process's ENTER/EXIT stream through a call
+stack, producing:
+
+* one :class:`FunctionInterval` per dynamic call (with depth and pid),
+* per-function *inclusive* time as the union of its intervals (so recursion
+  — micro-benchmark E — never double-counts),
+* per-function *exclusive* (self) time via a top-of-stack sweep,
+* top-of-stack segments, the series behind Figure 2(b).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.symtab import SymbolTable
+from repro.core.trace import REC_ENTER, REC_EXIT, TraceRecord
+from repro.util.errors import TraceError
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionInterval:
+    """One dynamic activation of a function."""
+
+    name: str
+    start_s: float
+    end_s: float
+    depth: int
+    pid: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True, slots=True)
+class TopSegment:
+    """A stretch of time during which *name* was the innermost active
+    function of process *pid* (what "was executing at time X")."""
+
+    name: str
+    start_s: float
+    end_s: float
+    pid: int
+
+
+class Timeline:
+    """Reconstructed call timeline for one node."""
+
+    def __init__(
+        self,
+        intervals: list[FunctionInterval],
+        top_segments: list[TopSegment],
+        exclusive_s: dict[str, float],
+        call_counts: dict[str, int],
+        arcs: Optional[dict[tuple[str, str], int]] = None,
+    ):
+        self.intervals = intervals
+        self.top_segments = top_segments
+        self._exclusive = exclusive_s
+        self._calls = call_counts
+        #: exact caller->callee dynamic-call counts ("<root>" for top-level)
+        self.arcs: dict[tuple[str, str], int] = arcs or {}
+        # Merged per-function interval unions, for time and sample queries.
+        self._unions: dict[str, list[tuple[float, float]]] = {}
+        by_name: dict[str, list[tuple[float, float]]] = {}
+        for iv in intervals:
+            by_name.setdefault(iv.name, []).append((iv.start_s, iv.end_s))
+        for name, spans in by_name.items():
+            self._unions[name] = _merge_spans(spans)
+
+    # ------------------------------------------------------------------
+    def function_names(self) -> list[str]:
+        """Functions observed, ordered by decreasing inclusive time."""
+        return sorted(self._unions, key=self.inclusive_time, reverse=True)
+
+    def inclusive_time(self, name: str) -> float:
+        """Union duration of all activations (recursion-safe)."""
+        return sum(e - s for s, e in self._unions.get(name, []))
+
+    def exclusive_time(self, name: str) -> float:
+        """Self time: duration this function was top of some stack."""
+        return self._exclusive.get(name, 0.0)
+
+    def call_count(self, name: str) -> int:
+        """Number of dynamic activations."""
+        return self._calls.get(name, 0)
+
+    def callers_of(self, name: str) -> dict[str, int]:
+        """Exact call-graph parents of *name* with arc counts (what gprof
+        estimates statistically, Tempest's timeline knows exactly)."""
+        return {c: n for (c, callee), n in self.arcs.items() if callee == name}
+
+    def callees_of(self, name: str) -> dict[str, int]:
+        """Exact call-graph children of *name* with arc counts."""
+        return {k: n for (caller, k), n in self.arcs.items() if caller == name}
+
+    def union_spans(self, name: str) -> list[tuple[float, float]]:
+        """Merged [start, end) spans during which *name* was on some stack."""
+        return list(self._unions.get(name, []))
+
+    def active_at(self, t: float) -> list[str]:
+        """Functions on any stack at time *t* (inclusive attribution)."""
+        out = []
+        for name, spans in self._unions.items():
+            if _spans_contain(spans, t):
+                out.append(name)
+        return out
+
+    def contains(self, name: str, t: float) -> bool:
+        """True if *name* was on some stack at time *t*."""
+        return _spans_contain(self._unions.get(name, []), t)
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """(first event, last event) across all processes."""
+        if not self.intervals:
+            return (0.0, 0.0)
+        return (
+            min(iv.start_s for iv in self.intervals),
+            max(iv.end_s for iv in self.intervals),
+        )
+
+
+def _merge_spans(spans: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge possibly-overlapping spans into a disjoint sorted list."""
+    spans = sorted(spans)
+    out: list[tuple[float, float]] = []
+    for s, e in spans:
+        if out and s <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], e))
+        else:
+            out.append((s, e))
+    return out
+
+
+def _spans_contain(spans: list[tuple[float, float]], t: float) -> bool:
+    """Membership test on a disjoint sorted span list (binary search)."""
+    if not spans:
+        return False
+    i = bisect.bisect_right(spans, (t, float("inf"))) - 1
+    if i < 0:
+        return False
+    s, e = spans[i]
+    return s <= t <= e
+
+
+def build_timeline(
+    records: list[TraceRecord],
+    symtab: SymbolTable,
+    seconds_fn,
+    *,
+    strict: bool = True,
+) -> Timeline:
+    """Reconstruct a :class:`Timeline` from raw ENTER/EXIT records.
+
+    ``seconds_fn(tsc) -> float`` applies the node's TSC calibration.  In
+    strict mode, unbalanced streams (an EXIT whose address does not match
+    the top of the stack, or ENTERs left open at end of trace) raise
+    :class:`TraceError`; in lenient mode the stream is repaired the way a
+    real post-processor must (mismatches unwind, open frames close at the
+    last event time).
+    """
+    # Per-pid event replays.
+    stacks: dict[int, list[tuple[str, float]]] = {}
+    last_time: dict[int, float] = {}
+    intervals: list[FunctionInterval] = []
+    top_segments: list[TopSegment] = []
+    exclusive: dict[str, float] = {}
+    calls: dict[str, int] = {}
+    arcs: dict[tuple[str, str], int] = {}
+    # Top-of-stack accounting: (name, since) per pid.
+    top_since: dict[int, tuple[str, float]] = {}
+
+    def credit_top(pid: int, until: float) -> None:
+        cur = top_since.get(pid)
+        if cur is not None:
+            name, since = cur
+            if until > since:
+                exclusive[name] = exclusive.get(name, 0.0) + (until - since)
+                top_segments.append(TopSegment(name, since, until, pid))
+
+    for rec in records:
+        if rec.kind not in (REC_ENTER, REC_EXIT):
+            continue
+        pid = rec.pid
+        t = seconds_fn(rec.tsc)
+        name = symtab.name_of(rec.addr)
+        stack = stacks.setdefault(pid, [])
+        prev = last_time.get(pid)
+        if prev is not None and t < prev - 1e-12:
+            if strict:
+                raise TraceError(
+                    f"pid {pid}: timestamps regressed ({t} after {prev}); was "
+                    "the process bound to one core?"
+                )
+            t = prev  # lenient: clamp to restore monotonicity
+        last_time[pid] = t
+        if rec.kind == REC_ENTER:
+            credit_top(pid, t)
+            caller = stack[-1][0] if stack else "<root>"
+            arcs[(caller, name)] = arcs.get((caller, name), 0) + 1
+            stack.append((name, t))
+            top_since[pid] = (name, t)
+            calls[name] = calls.get(name, 0) + 1
+        else:
+            if not stack:
+                if strict:
+                    raise TraceError(f"pid {pid}: EXIT {name!r} with empty stack")
+                continue
+            if stack[-1][0] != name:
+                if strict:
+                    raise TraceError(
+                        f"pid {pid}: EXIT {name!r} but top of stack is "
+                        f"{stack[-1][0]!r}"
+                    )
+                # Lenient: unwind to the matching frame, closing crossed
+                # frames at this timestamp.
+                while stack and stack[-1][0] != name:
+                    crossed, t0 = stack.pop()
+                    intervals.append(
+                        FunctionInterval(crossed, t0, t, len(stack), pid)
+                    )
+                if not stack:
+                    continue
+            credit_top(pid, t)
+            _, t0 = stack.pop()
+            intervals.append(FunctionInterval(name, t0, t, len(stack), pid))
+            top_since[pid] = (stack[-1][0], t) if stack else None
+            if top_since[pid] is None:
+                del top_since[pid]
+
+    # End-of-trace handling for frames still open.
+    for pid, stack in stacks.items():
+        if stack:
+            if strict:
+                open_names = [n for n, _ in stack]
+                raise TraceError(
+                    f"pid {pid}: trace ended with open frames {open_names}"
+                )
+            t_end = last_time.get(pid, stack[-1][1])
+            credit_top(pid, t_end)
+            while stack:
+                name, t0 = stack.pop()
+                intervals.append(
+                    FunctionInterval(name, t0, t_end, len(stack), pid)
+                )
+
+    return Timeline(intervals, top_segments, exclusive, calls, arcs)

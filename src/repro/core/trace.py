@@ -1,0 +1,210 @@
+"""Trace records, per-node traces, and the on-disk trace bundle.
+
+Three record kinds flow through a node's trace, matching the two data
+streams of §3.2 plus sensor identity:
+
+* ``REC_ENTER`` / ``REC_EXIT`` — a function hook fired: the function's
+  synthetic *address*, the raw TSC value, the core the hook executed on, and
+  the pid of the process.
+* ``REC_TEMP`` — tempd sampled one sensor: sensor index, raw TSC of the
+  tempd core, and the quantized temperature in degC.
+
+Timestamps are stored as raw TSC ticks (what rdtsc returns); converting to
+seconds is the *parser's* job, using the per-node calibration stored in the
+bundle — exactly the division of labour in the paper.
+
+A :class:`TraceBundle` can round-trip to disk as a directory containing a
+JSON header (symbol table, node metadata, calibration) plus one compact
+binary record file per node, or as human-readable JSONL for debugging.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.symtab import SymbolTable
+from repro.util.errors import TraceError
+
+REC_ENTER = 1
+REC_EXIT = 2
+REC_TEMP = 3
+
+_KIND_NAMES = {REC_ENTER: "ENTER", REC_EXIT: "EXIT", REC_TEMP: "TEMP"}
+
+#: binary layout: kind, addr-or-sensor, tsc, core, pid, value
+_REC_STRUCT = struct.Struct("<Bqqiid")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace event."""
+
+    kind: int
+    addr: int        # function address (ENTER/EXIT) or sensor index (TEMP)
+    tsc: int         # raw timestamp-counter value
+    core: int        # core the event was recorded on
+    pid: int         # recording process
+    value: float = 0.0  # temperature in degC for TEMP records
+
+    def kind_name(self) -> str:
+        """Human-readable record kind."""
+        return _KIND_NAMES.get(self.kind, f"?{self.kind}")
+
+    def pack(self) -> bytes:
+        """Serialize to the fixed-width binary layout."""
+        return _REC_STRUCT.pack(
+            self.kind, self.addr, self.tsc, self.core, self.pid, self.value
+        )
+
+    @classmethod
+    def unpack(cls, blob: bytes, offset: int = 0) -> "TraceRecord":
+        """Deserialize one record from *blob* at *offset*."""
+        kind, addr, tsc, core, pid, value = _REC_STRUCT.unpack_from(blob, offset)
+        return cls(kind, addr, tsc, core, pid, value)
+
+    @staticmethod
+    def packed_size() -> int:
+        """Bytes per packed record."""
+        return _REC_STRUCT.size
+
+
+class NodeTrace:
+    """Append-only record stream for one node, plus calibration metadata."""
+
+    def __init__(self, node_name: str, tsc_hz: float,
+                 sensor_names: list[str]):
+        if tsc_hz <= 0:
+            raise TraceError(f"tsc_hz must be positive, got {tsc_hz}")
+        self.node_name = node_name
+        self.tsc_hz = float(tsc_hz)       # calibrated nominal TSC frequency
+        self.sensor_names = list(sensor_names)
+        self.records: list[TraceRecord] = []
+
+    def append(self, record: TraceRecord) -> None:
+        """Append one record (records arrive in per-core time order)."""
+        self.records.append(record)
+
+    def seconds(self, tsc: int) -> float:
+        """Convert a raw TSC value to seconds using this node's calibration."""
+        return tsc / self.tsc_hz
+
+    def temp_records(self) -> list[TraceRecord]:
+        """Just the temperature samples, in arrival order."""
+        return [r for r in self.records if r.kind == REC_TEMP]
+
+    def func_records(self) -> list[TraceRecord]:
+        """Just the function ENTER/EXIT events, in arrival order."""
+        return [r for r in self.records if r.kind in (REC_ENTER, REC_EXIT)]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class TraceBundle:
+    """All nodes' traces for one profiled run, plus the symbol table."""
+
+    def __init__(self, symtab: SymbolTable):
+        self.symtab = symtab
+        self.nodes: dict[str, NodeTrace] = {}
+        self.meta: dict = {}
+
+    def add_node(self, trace: NodeTrace) -> None:
+        if trace.node_name in self.nodes:
+            raise TraceError(f"duplicate node trace {trace.node_name!r}")
+        self.nodes[trace.node_name] = trace
+
+    def node(self, name: str) -> NodeTrace:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TraceError(f"no trace for node {name!r}; have {list(self.nodes)}")
+
+    def total_records(self) -> int:
+        """Record count across all nodes."""
+        return sum(len(t) for t in self.nodes.values())
+
+    # ------------------------------------------------------------------
+    # Binary directory round-trip
+
+    def save(self, path: Path) -> None:
+        """Write the bundle to *path* (a directory, created if needed)."""
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        header = {
+            "format": "tempest-trace-v1",
+            "symtab": self.symtab.to_dict(),
+            "meta": self.meta,
+            "nodes": {
+                name: {
+                    "tsc_hz": t.tsc_hz,
+                    "sensor_names": t.sensor_names,
+                    "n_records": len(t.records),
+                }
+                for name, t in self.nodes.items()
+            },
+        }
+        (path / "meta.json").write_text(json.dumps(header, indent=2))
+        for name, t in self.nodes.items():
+            blob = b"".join(r.pack() for r in t.records)
+            (path / f"{name}.trace").write_bytes(blob)
+
+    @classmethod
+    def load(cls, path: Path) -> "TraceBundle":
+        """Read a bundle previously written by :meth:`save`."""
+        path = Path(path)
+        meta_path = path / "meta.json"
+        if not meta_path.exists():
+            raise TraceError(f"{path} is not a trace bundle (no meta.json)")
+        header = json.loads(meta_path.read_text())
+        if header.get("format") != "tempest-trace-v1":
+            raise TraceError(f"unknown trace format {header.get('format')!r}")
+        bundle = cls(SymbolTable.from_dict(header["symtab"]))
+        bundle.meta = header.get("meta", {})
+        rec_size = TraceRecord.packed_size()
+        for name, info in header["nodes"].items():
+            trace = NodeTrace(name, info["tsc_hz"], info["sensor_names"])
+            blob = (path / f"{name}.trace").read_bytes()
+            if len(blob) % rec_size:
+                raise TraceError(
+                    f"{name}.trace is corrupt: {len(blob)} bytes is not a "
+                    f"multiple of {rec_size}"
+                )
+            n = len(blob) // rec_size
+            if n != info["n_records"]:
+                raise TraceError(
+                    f"{name}.trace has {n} records, header says "
+                    f"{info['n_records']}"
+                )
+            for i in range(n):
+                trace.append(TraceRecord.unpack(blob, i * rec_size))
+            bundle.add_node(trace)
+        return bundle
+
+    # ------------------------------------------------------------------
+    # JSONL debugging format
+
+    def dump_jsonl(self, path: Path) -> None:
+        """Write a human-readable one-record-per-line dump."""
+        path = Path(path)
+        with path.open("w") as fh:
+            fh.write(json.dumps({"symtab": self.symtab.to_dict()}) + "\n")
+            for name, t in self.nodes.items():
+                for r in t.records:
+                    fh.write(
+                        json.dumps(
+                            {
+                                "node": name,
+                                "kind": r.kind_name(),
+                                "addr": r.addr,
+                                "tsc": r.tsc,
+                                "core": r.core,
+                                "pid": r.pid,
+                                "value": r.value,
+                            }
+                        )
+                        + "\n"
+                    )

@@ -1,0 +1,121 @@
+"""TSC calibration and timestamp diagnostics.
+
+The raw trace carries time-stamp-counter ticks; turning them into seconds
+needs the counter frequency.  The simulator knows it exactly (the nominal
+core clock); the real backend measures it the way profilers do — sample the
+counter against a reference clock over a short interval.  This module also
+houses the §3.3 diagnostics the parser's strict mode relies on: detecting
+per-process timestamp regressions (the signature of an unbound process
+migrating across skewed cores) before timeline reconstruction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.trace import REC_ENTER, REC_EXIT, TraceRecord
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TscCalibration:
+    """A counter-frequency calibration."""
+
+    hz: float
+
+    def __post_init__(self):
+        if self.hz <= 0:
+            raise ConfigError(f"calibrated frequency must be positive: {self}")
+
+    def to_seconds(self, ticks: int) -> float:
+        """Convert raw counter ticks to seconds."""
+        return ticks / self.hz
+
+    def to_ticks(self, seconds: float) -> int:
+        """Convert seconds to counter ticks."""
+        return int(seconds * self.hz)
+
+
+def calibrate_perf_counter(interval_s: float = 0.05) -> TscCalibration:
+    """Measure ``time.perf_counter_ns``'s tick rate against itself.
+
+    ``perf_counter_ns`` is defined in nanoseconds, so this measures ~1 GHz
+    by construction — the value of doing it anyway is exercising the same
+    code path a real rdtsc calibration uses (two reference readings
+    bracketing a busy interval), and confirming the clock actually
+    advances on this host.
+    """
+    if interval_s <= 0:
+        raise ConfigError(f"interval must be positive: {interval_s}")
+    t0_ref = time.monotonic()
+    c0 = time.perf_counter_ns()
+    deadline = t0_ref + interval_s
+    while time.monotonic() < deadline:
+        pass
+    c1 = time.perf_counter_ns()
+    t1_ref = time.monotonic()
+    elapsed_ref = t1_ref - t0_ref
+    if elapsed_ref <= 0 or c1 <= c0:
+        raise ConfigError("reference clock did not advance during calibration")
+    return TscCalibration(hz=(c1 - c0) / elapsed_ref)
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """A per-process timestamp-regression diagnosis."""
+
+    pid: int
+    index: int          # position of the offending record in the stream
+    back_step_ticks: int
+
+    def describe(self) -> str:
+        return (
+            f"pid {self.pid}: record #{self.index} steps back "
+            f"{self.back_step_ticks} ticks — was the process bound to one "
+            "core? (§3.3)"
+        )
+
+
+def detect_regressions(records: list[TraceRecord]) -> list[RegressionReport]:
+    """Scan function records for per-pid non-monotonic timestamps.
+
+    A clean (bound) trace returns an empty list; an unbound process that
+    migrated across skewed cores shows up here before the timeline builder
+    rejects it, so tools can report *which* process broke the binding rule.
+    """
+    last: dict[int, int] = {}
+    out: list[RegressionReport] = []
+    for i, rec in enumerate(records):
+        if rec.kind not in (REC_ENTER, REC_EXIT):
+            continue
+        prev = last.get(rec.pid)
+        if prev is not None and rec.tsc < prev:
+            out.append(
+                RegressionReport(pid=rec.pid, index=i,
+                                 back_step_ticks=prev - rec.tsc)
+            )
+        last[rec.pid] = max(prev or rec.tsc, rec.tsc)
+    return out
+
+
+def cross_core_skew(records: list[TraceRecord]) -> dict[tuple[int, int], int]:
+    """Rough per-core-pair skew estimate from adjacent cross-core records.
+
+    For each pid whose consecutive records moved between cores, the tick
+    difference bounds the skew between those two cores (plus the genuine
+    elapsed time, so this is an upper-bound diagnostic, not a measurement).
+    Returns ``{(core_a, core_b): max observed |delta|}``.
+    """
+    last: dict[int, TraceRecord] = {}
+    out: dict[tuple[int, int], int] = {}
+    for rec in records:
+        if rec.kind not in (REC_ENTER, REC_EXIT):
+            continue
+        prev = last.get(rec.pid)
+        if prev is not None and prev.core != rec.core:
+            key = (min(prev.core, rec.core), max(prev.core, rec.core))
+            delta = abs(rec.tsc - prev.tsc)
+            out[key] = max(out.get(key, 0), delta)
+        last[rec.pid] = rec
+    return out

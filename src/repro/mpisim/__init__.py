@@ -1,0 +1,34 @@
+"""Message-passing substrate for simulated clusters.
+
+An MPI-like layer on top of :mod:`repro.simmachine`: ranks are simulated
+processes, point-to-point messages rendezvous through a shared
+:class:`~repro.mpisim.comm.MPIWorld`, transfer times come from a
+latency/bandwidth/NIC-serialization model, and collectives are implemented
+with the textbook algorithms (binomial trees, recursive doubling, pairwise
+exchange) *on top of* point-to-point — so communication phases occupy real
+simulated time at the low activity factor that makes them run cool, which is
+the thermal signature the paper's FT analysis hinges on.
+"""
+
+from repro.mpisim.network import Network, NetworkParams
+from repro.mpisim.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MPIWorld,
+    RankComm,
+    Request,
+)
+from repro.mpisim.runtime import MpiContext, mpi_spawn, round_robin_placement
+
+__all__ = [
+    "Network",
+    "NetworkParams",
+    "MPIWorld",
+    "RankComm",
+    "Request",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiContext",
+    "mpi_spawn",
+    "round_robin_placement",
+]

@@ -1,0 +1,188 @@
+"""Collective algorithms built from point-to-point messages.
+
+Every collective is implemented with its textbook algorithm rather than a
+magic zero-cost rendezvous, because the *time structure* of collectives is
+what the thermal profiles see: an all-to-all is size-1 pairwise exchanges
+each paying latency + bandwidth, which is why FT's transpose phase parks
+every core at comm activity for a long, cool stretch.
+
+All functions are generators driven with ``yield from`` inside a rank's
+program.  Every rank of the communicator must call the same collectives in
+the same order (standard MPI requirement); tags are drawn from a reserved
+per-rank sequence so concurrent collectives never cross-match.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Optional
+
+from repro.util.errors import ConfigError
+
+
+def _default_op(op: Optional[Callable]) -> Callable:
+    return operator.add if op is None else op
+
+
+def barrier(comm):
+    """Dissemination barrier: ceil(log2(size)) rounds of isend/recv."""
+    base = comm.next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    k, round_ = 1, 0
+    while k < size:
+        dst = (rank + k) % size
+        src = (rank - k) % size
+        req = yield from comm.isend(None, dst, tag=base + round_)
+        yield from comm.recv(source=src, tag=base + round_)
+        yield from comm.wait(req)
+        k *= 2
+        round_ += 1
+
+
+def bcast(comm, value: Any, root: int = 0, nbytes: Optional[int] = None):
+    """Binomial-tree broadcast.  Returns the root's value on every rank.
+
+    ``nbytes`` overrides the estimated message size — used by workloads that
+    model full-scale transfers while carrying reduced-scale payloads.
+    """
+    base = comm.next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if not 0 <= root < size:
+        raise ConfigError(f"bad bcast root {root}")
+    if size == 1:
+        return value
+    vrank = (rank - root) % size
+    # Receive from parent (except the root); afterwards `mask` is the bit at
+    # which this rank joined the tree (or the top of the tree for the root).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = ((vrank - mask) + root) % size
+            value = yield from comm.recv(source=src, tag=base)
+            break
+        mask *= 2
+    # Forward to children at every bit below the joining bit.
+    mask //= 2
+    while mask >= 1:
+        if vrank + mask < size:
+            dst = ((vrank + mask) + root) % size
+            yield from comm.send(value, dst, tag=base, nbytes=nbytes)
+        mask //= 2
+    return value
+
+
+def reduce(comm, value: Any, op: Optional[Callable] = None, root: int = 0,
+           nbytes: Optional[int] = None):
+    """Binomial-tree reduction; returns the result on *root*, None elsewhere.
+
+    ``op`` must be commutative and associative (it is applied in tree order).
+    """
+    base = comm.next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if not 0 <= root < size:
+        raise ConfigError(f"bad reduce root {root}")
+    f = _default_op(op)
+    vrank = (rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = ((vrank - mask) + root) % size
+            yield from comm.send(acc, dst, tag=base, nbytes=nbytes)
+            return None
+        partner = vrank + mask
+        if partner < size:
+            src = (partner + root) % size
+            other = yield from comm.recv(source=src, tag=base)
+            acc = f(acc, other)
+        mask *= 2
+    return acc if rank == root else None
+
+
+def allreduce(comm, value: Any, op: Optional[Callable] = None,
+              nbytes: Optional[int] = None):
+    """Reduce to rank 0 then broadcast (correct for any communicator size)."""
+    result = yield from reduce(comm, value, op, root=0, nbytes=nbytes)
+    result = yield from bcast(comm, result, root=0, nbytes=nbytes)
+    return result
+
+
+def gather(comm, value: Any, root: int = 0, nbytes: Optional[int] = None):
+    """Gather to *root*: returns ``[v_0 .. v_{size-1}]`` on root, else None."""
+    base = comm.next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if not 0 <= root < size:
+        raise ConfigError(f"bad gather root {root}")
+    if rank == root:
+        out: list[Any] = [None] * size
+        out[rank] = value
+        for src in range(size):
+            if src != root:
+                out[src] = yield from comm.recv(source=src, tag=base)
+        return out
+    yield from comm.send(value, root, tag=base, nbytes=nbytes)
+    return None
+
+
+def allgather(comm, value: Any, nbytes: Optional[int] = None):
+    """Ring allgather: size-1 steps, each forwarding the newest block."""
+    base = comm.next_coll_tag()
+    size, rank = comm.size, comm.rank
+    out: list[Any] = [None] * size
+    out[rank] = value
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry_idx = rank
+    for step in range(size - 1):
+        req = yield from comm.isend(out[carry_idx], right, tag=base + step,
+                                    nbytes=nbytes)
+        recv_idx = (rank - 1 - step) % size
+        out[recv_idx] = yield from comm.recv(source=left, tag=base + step)
+        yield from comm.wait(req)
+        carry_idx = recv_idx
+    return out
+
+
+def scatter(comm, values: Optional[list], root: int = 0, nbytes: Optional[int] = None):
+    """Scatter from *root*: rank i receives ``values[i]``."""
+    base = comm.next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if not 0 <= root < size:
+        raise ConfigError(f"bad scatter root {root}")
+    if rank == root:
+        if values is None or len(values) != size:
+            raise ConfigError(
+                f"scatter root needs exactly {size} values, got "
+                f"{None if values is None else len(values)}"
+            )
+        reqs = []
+        for dst in range(size):
+            if dst != root:
+                r = yield from comm.isend(values[dst], dst, tag=base, nbytes=nbytes)
+                reqs.append(r)
+        yield from comm.waitall(reqs)
+        return values[rank]
+    value = yield from comm.recv(source=root, tag=base)
+    return value
+
+
+def alltoall(comm, values: list, nbytes: Optional[int] = None):
+    """Pairwise-exchange all-to-all: ``values[i]`` is delivered to rank i;
+    returns the list of blocks received from every rank (own block kept)."""
+    base = comm.next_coll_tag()
+    size, rank = comm.size, comm.rank
+    if len(values) != size:
+        raise ConfigError(f"alltoall needs {size} blocks, got {len(values)}")
+    out: list[Any] = [None] * size
+    out[rank] = values[rank]
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        req = yield from comm.isend(values[dst], dst, tag=base + step, nbytes=nbytes)
+        out[src] = yield from comm.recv(source=src, tag=base + step)
+        yield from comm.wait(req)
+    return out

@@ -1,0 +1,368 @@
+"""Point-to-point message passing between simulated ranks.
+
+Semantics follow MPI's two-protocol reality because it shapes timing:
+
+* **Eager** (small messages): the sender deposits the message and continues
+  immediately; the receiver completes once the message has had time to
+  arrive.  NPB codes rely on this to overlap.
+* **Rendezvous** (large messages): sender and receiver synchronize, the
+  transfer occupies the wire for ``latency + bytes/bandwidth`` with NIC
+  serialization, and both sides resume when it completes.
+
+While a rank is blocked in a send/recv/wait its core runs at
+``ACTIVITY_COMM`` — the MPI progress engine's busy-poll — which is precisely
+why communication-heavy phases "run fairly cool" in the paper's FT analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.mpisim.network import Network, payload_nbytes
+from repro.simmachine.power import ACTIVITY_COMM, ACTIVITY_IDLE
+from repro.simmachine.process import Directive, SimProcess, ST_BLOCKED, ST_READY
+from repro.util.errors import ConfigError, SimulationError
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: messages at or below this size use the eager protocol
+EAGER_THRESHOLD_BYTES = 8192
+
+#: base of the reserved tag space used by collective algorithms
+COLL_TAG_BASE = 1 << 20
+
+
+class Request:
+    """Handle for an in-flight send or receive."""
+
+    __slots__ = (
+        "kind", "owner", "peer", "tag", "payload", "nbytes",
+        "done", "value", "post_time", "_waiters", "source", "matched_tag",
+    )
+
+    def __init__(self, kind: str, owner: int, peer: int, tag: int,
+                 payload: Any = None, nbytes: Optional[int] = None):
+        if kind not in ("send", "recv"):
+            raise ConfigError(f"bad request kind {kind!r}")
+        self.kind = kind
+        self.owner = owner          # rank that posted this request
+        self.peer = peer            # destination (send) / source (recv)
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = payload_nbytes(payload, nbytes) if kind == "send" else 0
+        self.done = False
+        self.value: Any = None      # payload for completed recvs
+        self.post_time: float = -1.0
+        self.source: int = -1       # actual source for completed recvs
+        self.matched_tag: int = -1
+        self._waiters: list[SimProcess] = []
+
+    def add_waiter(self, proc: SimProcess) -> None:
+        self._waiters.append(proc)
+
+    def complete(self, value: Any, world: "MPIWorld") -> None:
+        """Mark done and resume every process blocked on this request."""
+        if self.done:
+            raise SimulationError(f"request completed twice: {self}")
+        self.done = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            world._unblock(proc, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"Request({self.kind} owner={self.owner} peer={self.peer} "
+            f"tag={self.tag} done={self.done})"
+        )
+
+
+class MPIWorld:
+    """Shared matching/transfer state for one group of ranks."""
+
+    def __init__(
+        self,
+        machine,
+        n_ranks: int,
+        placements: list[tuple[str, int]],
+        network: Optional[Network] = None,
+        eager_threshold: int = EAGER_THRESHOLD_BYTES,
+    ):
+        if len(placements) != n_ranks:
+            raise ConfigError(
+                f"{n_ranks} ranks need {n_ranks} placements, got {len(placements)}"
+            )
+        self.machine = machine
+        self.size = n_ranks
+        self.placements = list(placements)
+        self.network = network if network is not None else Network()
+        self.eager_threshold = eager_threshold
+        self.procs: list[Optional[SimProcess]] = [None] * n_ranks
+        self._unmatched_sends: list[Request] = []
+        self._unmatched_recvs: list[Request] = []
+
+    # ------------------------------------------------------------------
+    # Rank placement helpers
+
+    def node_of(self, rank: int) -> str:
+        """Node name a rank is placed on."""
+        return self.placements[rank][0]
+
+    def comm(self, rank: int) -> "RankComm":
+        """A rank-local communicator facade."""
+        return RankComm(self, rank)
+
+    # ------------------------------------------------------------------
+    # Matching
+
+    def post(self, req: Request) -> None:
+        """Post a request and try to match it."""
+        req.post_time = self.machine.sim.now
+        if req.kind == "send":
+            match = self._find_recv_for(req)
+            if match is not None:
+                self._unmatched_recvs.remove(match)
+                self._transfer(req, match)
+            else:
+                self._unmatched_sends.append(req)
+                if req.nbytes <= self.eager_threshold:
+                    # Eager: the sender is free as soon as the message is
+                    # handed to the NIC.
+                    req.complete(None, self)
+        else:
+            match = self._find_send_for(req)
+            if match is not None:
+                self._unmatched_sends.remove(match)
+                self._transfer(match, req)
+            else:
+                self._unmatched_recvs.append(req)
+
+    def _find_recv_for(self, send: Request) -> Optional[Request]:
+        for r in self._unmatched_recvs:
+            if r.owner == send.peer and r.peer in (ANY_SOURCE, send.owner) \
+                    and r.tag in (ANY_TAG, send.tag):
+                return r
+        return None
+
+    def _find_send_for(self, recv: Request) -> Optional[Request]:
+        for s in self._unmatched_sends:
+            if s.peer == recv.owner and recv.peer in (ANY_SOURCE, s.owner) \
+                    and recv.tag in (ANY_TAG, s.tag):
+                return s
+        return None
+
+    def _transfer(self, send: Request, recv: Request) -> None:
+        """Schedule the wire transfer for a matched send/recv pair."""
+        now = self.machine.sim.now
+        src_node = self.node_of(send.owner)
+        dst_node = self.node_of(recv.owner)
+        if send.done:
+            # Eager send already completed at post time: the message has been
+            # in flight since then; the recv finishes when it lands.
+            arrival = send.post_time + self.network.wire_time(
+                src_node, dst_node, send.nbytes
+            )
+            end = max(now, arrival)
+        else:
+            _, end = self.network.transfer(src_node, dst_node, send.nbytes, now)
+        recv.source = send.owner
+        recv.matched_tag = send.tag
+
+        def finish():
+            if not send.done:
+                send.complete(None, self)
+            recv.complete(send.payload, self)
+
+        self.machine.sim.schedule_at(end, finish)
+
+    # ------------------------------------------------------------------
+    # Blocking plumbing (core activity bookkeeping)
+
+    def _block(self, proc: SimProcess) -> None:
+        proc.state = ST_BLOCKED
+        proc.node.set_core_activity(
+            proc.core_id, ACTIVITY_COMM, self.machine.sim.now
+        )
+
+    def _unblock(self, proc: SimProcess, value: Any) -> None:
+        # Schedule rather than resume inline so a completion never reenters
+        # a generator that is still on the call stack.
+        proc.state = ST_READY
+        if proc.core.running is None:
+            proc.node.set_core_activity(
+                proc.core_id, ACTIVITY_IDLE, self.machine.sim.now
+            )
+        self.machine.sim.schedule(0.0, lambda: proc.resume(value))
+
+    def outstanding(self) -> tuple[int, int]:
+        """(unmatched sends, unmatched recvs) — for deadlock diagnostics."""
+        return len(self._unmatched_sends), len(self._unmatched_recvs)
+
+
+# ----------------------------------------------------------------------
+# Directives
+
+
+class PostAndWait(Directive):
+    """Post a request and block until it completes (blocking send/recv)."""
+
+    __slots__ = ("world", "req")
+
+    def __init__(self, world: MPIWorld, req: Request):
+        self.world = world
+        self.req = req
+
+    def start(self, machine, proc: SimProcess) -> None:
+        self.world._block(proc)
+        self.req.add_waiter(proc)
+        self.world.post(self.req)
+        # If the post completed synchronously (eager send), the waiter was
+        # already resumed by complete().
+
+
+class Post(Directive):
+    """Post a request and continue immediately (isend/irecv)."""
+
+    __slots__ = ("world", "req")
+
+    def __init__(self, world: MPIWorld, req: Request):
+        self.world = world
+        self.req = req
+
+    def start(self, machine, proc: SimProcess) -> None:
+        self.world.post(self.req)
+        proc.state = ST_READY
+        machine.sim.schedule(0.0, lambda: proc.resume(self.req))
+
+
+class WaitReq(Directive):
+    """Block until a previously posted request completes."""
+
+    __slots__ = ("world", "req")
+
+    def __init__(self, world: MPIWorld, req: Request):
+        self.world = world
+        self.req = req
+
+    def start(self, machine, proc: SimProcess) -> None:
+        if self.req.done:
+            proc.state = ST_READY
+            machine.sim.schedule(0.0, lambda: proc.resume(self.req.value))
+        else:
+            self.world._block(proc)
+            self.req.add_waiter(proc)
+
+
+class RankComm:
+    """Rank-local communicator; every operation is a generator to be driven
+    with ``yield from`` inside a simulated process.
+
+    Mirrors mpi4py's lowercase (object) API: ``send``, ``recv``, ``isend``,
+    ``irecv``, ``wait``, plus collectives delegated to
+    :mod:`repro.mpisim.collectives`.
+    """
+
+    def __init__(self, world: MPIWorld, rank: int):
+        if not 0 <= rank < world.size:
+            raise ConfigError(f"rank {rank} out of range for size {world.size}")
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self._coll_seq = 0
+
+    # -- point to point -------------------------------------------------
+    def send(self, payload, dest: int, tag: int = 0, nbytes: Optional[int] = None):
+        """Blocking send (eager for small messages, rendezvous for large)."""
+        self._check_peer(dest)
+        req = Request("send", self.rank, dest, tag, payload, nbytes)
+        yield PostAndWait(self.world, req)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns the payload."""
+        req = Request("recv", self.rank, source, tag)
+        value = yield PostAndWait(self.world, req)
+        return value
+
+    def isend(self, payload, dest: int, tag: int = 0,
+              nbytes: Optional[int] = None):
+        """Nonblocking send; returns a :class:`Request`."""
+        self._check_peer(dest)
+        req = Request("send", self.rank, dest, tag, payload, nbytes)
+        got = yield Post(self.world, req)
+        return got
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Nonblocking receive; returns a :class:`Request`."""
+        req = Request("recv", self.rank, source, tag)
+        got = yield Post(self.world, req)
+        return got
+
+    def wait(self, req: Request):
+        """Block until *req* completes; returns the recv payload (or None)."""
+        value = yield WaitReq(self.world, req)
+        return value
+
+    def waitall(self, reqs: list[Request]):
+        """Wait for every request; returns their values in order."""
+        out = []
+        for r in reqs:
+            v = yield WaitReq(self.world, r)
+            out.append(v)
+        return out
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ConfigError(f"peer {peer} out of range for size {self.size}")
+
+    def next_coll_tag(self) -> int:
+        """Reserve a tag block for one collective invocation (SPMD callers
+        invoke collectives in the same order, keeping counters in lockstep)."""
+        tag = COLL_TAG_BASE + self._coll_seq * 64
+        self._coll_seq += 1
+        return tag
+
+    # -- collectives (delegated) -----------------------------------------
+    def barrier(self):
+        """Dissemination barrier."""
+        from repro.mpisim import collectives
+        return collectives.barrier(self)
+
+    def bcast(self, value, root: int = 0, nbytes: Optional[int] = None):
+        """Binomial-tree broadcast; returns the root's value on every rank."""
+        from repro.mpisim import collectives
+        return collectives.bcast(self, value, root, nbytes=nbytes)
+
+    def reduce(self, value, op=None, root: int = 0,
+               nbytes: Optional[int] = None):
+        """Binomial-tree reduction to *root* (None elsewhere)."""
+        from repro.mpisim import collectives
+        return collectives.reduce(self, value, op, root, nbytes=nbytes)
+
+    def allreduce(self, value, op=None, nbytes: Optional[int] = None):
+        """Reduce-then-broadcast allreduce."""
+        from repro.mpisim import collectives
+        return collectives.allreduce(self, value, op, nbytes=nbytes)
+
+    def gather(self, value, root: int = 0, nbytes: Optional[int] = None):
+        """Gather to *root*; returns the list on root, None elsewhere."""
+        from repro.mpisim import collectives
+        return collectives.gather(self, value, root, nbytes=nbytes)
+
+    def allgather(self, value, nbytes: Optional[int] = None):
+        """Ring allgather; returns the full list on every rank."""
+        from repro.mpisim import collectives
+        return collectives.allgather(self, value, nbytes=nbytes)
+
+    def scatter(self, values, root: int = 0, nbytes: Optional[int] = None):
+        """Scatter from *root*; returns this rank's element."""
+        from repro.mpisim import collectives
+        return collectives.scatter(self, values, root, nbytes=nbytes)
+
+    def alltoall(self, values, nbytes: Optional[int] = None):
+        """Pairwise-exchange all-to-all; values[i] goes to rank i.
+
+        ``nbytes`` is the per-block wire size when payloads are stand-ins.
+        """
+        from repro.mpisim import collectives
+        return collectives.alltoall(self, values, nbytes=nbytes)

@@ -1,0 +1,101 @@
+"""Interconnect cost model.
+
+Transfer time follows the classic Hockney model ``T = alpha + n / beta``
+(latency + bytes over bandwidth) with one refinement that matters for
+all-to-all phases: each node's NIC serializes its transfers, so concurrent
+messages into or out of one node queue behind each other.  Intra-node
+messages short-circuit through shared memory at much higher bandwidth.
+
+Defaults approximate a 2007 Myrinet/early-InfiniBand cluster, the class of
+interconnect behind the paper's System X measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Interconnect parameters (SI units)."""
+
+    latency_s: float = 30e-6          # per-message network latency
+    bandwidth_bps: float = 700e6      # bytes/second on the wire
+    shm_latency_s: float = 1.5e-6     # intra-node (shared memory) latency
+    shm_bandwidth_bps: float = 9e9    # intra-node copy bandwidth
+    min_message_bytes: int = 64       # header/envelope floor
+
+    def __post_init__(self):
+        if self.latency_s < 0 or self.bandwidth_bps <= 0:
+            raise ConfigError(f"bad network params {self}")
+
+
+class Network:
+    """Stateful network: tracks per-node NIC availability for serialization."""
+
+    def __init__(self, params: NetworkParams = NetworkParams()):
+        self.params = params
+        self._nic_free: dict[str, float] = {}
+        #: lifetime accounting, handy for benches
+        self.bytes_moved = 0
+        self.messages = 0
+
+    def wire_time(self, src_node: str, dst_node: str, nbytes: int) -> float:
+        """Pure transfer duration (no queueing) for *nbytes* between nodes."""
+        p = self.params
+        n = max(int(nbytes), p.min_message_bytes)
+        if src_node == dst_node:
+            return p.shm_latency_s + n / p.shm_bandwidth_bps
+        return p.latency_s + n / p.bandwidth_bps
+
+    def transfer(
+        self, src_node: str, dst_node: str, nbytes: int, now: float
+    ) -> tuple[float, float]:
+        """Reserve a transfer; returns ``(start, end)`` simulated times.
+
+        Inter-node transfers serialize on both endpoints' NICs; intra-node
+        transfers bypass the NIC entirely.
+        """
+        duration = self.wire_time(src_node, dst_node, nbytes)
+        self.bytes_moved += int(nbytes)
+        self.messages += 1
+        if src_node == dst_node:
+            return now, now + duration
+        start = max(
+            now,
+            self._nic_free.get(src_node, 0.0),
+            self._nic_free.get(dst_node, 0.0),
+        )
+        end = start + duration
+        self._nic_free[src_node] = end
+        self._nic_free[dst_node] = end
+        return start, end
+
+
+def payload_nbytes(payload, explicit: int | None = None) -> int:
+    """Best-effort message size: explicit > .nbytes (numpy) > rough pickle-ish
+    estimate for plain Python objects."""
+    if explicit is not None:
+        if explicit < 0:
+            raise ConfigError(f"nbytes must be >= 0, got {explicit}")
+        return int(explicit)
+    nb = getattr(payload, "nbytes", None)
+    if nb is not None:
+        return int(nb)
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (int, float, complex, bool)):
+        return 32
+    if isinstance(payload, str):
+        return 49 + len(payload)
+    if isinstance(payload, (list, tuple, set)):
+        return 56 + sum(payload_nbytes(v) for v in payload)
+    if isinstance(payload, dict):
+        return 64 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()
+        )
+    return 256  # opaque object envelope

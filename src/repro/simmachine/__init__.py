@@ -1,0 +1,56 @@
+"""Simulated cluster substrate.
+
+This package stands in for the physical machines the paper measured: a
+discrete-event simulator (:mod:`~repro.simmachine.events`) drives simulated
+processes (:mod:`~repro.simmachine.process`) on nodes
+(:mod:`~repro.simmachine.node`) whose dies heat and cool according to a
+lumped RC thermal network (:mod:`~repro.simmachine.thermal`) fed by an
+activity-based power model (:mod:`~repro.simmachine.power`).  Quantized
+thermal sensors are exposed through a virtual hwmon tree
+(:mod:`~repro.simmachine.hwmon`), which is what Tempest's ``tempd`` samples.
+"""
+
+from repro.simmachine.events import Simulator, Event
+from repro.simmachine.lti import LTISystem
+from repro.simmachine.thermal import ThermalNetwork, ThermalParams
+from repro.simmachine.power import PowerModel, PowerParams, OperatingPoint
+from repro.simmachine.core_ import SimCore, TscSpec
+from repro.simmachine.node import SimNode, NodeConfig
+from repro.simmachine.hwmon import HwmonChip, VirtualHwmonTree
+from repro.simmachine.process import (
+    Compute,
+    Sleep,
+    Yield,
+    Fork,
+    SimProcess,
+    Directive,
+)
+from repro.simmachine.machine import Machine, ClusterConfig
+from repro.simmachine.dvfs import FanController, DvfsGovernor
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "LTISystem",
+    "ThermalNetwork",
+    "ThermalParams",
+    "PowerModel",
+    "PowerParams",
+    "OperatingPoint",
+    "SimCore",
+    "TscSpec",
+    "SimNode",
+    "NodeConfig",
+    "HwmonChip",
+    "VirtualHwmonTree",
+    "Compute",
+    "Sleep",
+    "Yield",
+    "Fork",
+    "SimProcess",
+    "Directive",
+    "Machine",
+    "ClusterConfig",
+    "FanController",
+    "DvfsGovernor",
+]

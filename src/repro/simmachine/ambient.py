@@ -1,0 +1,60 @@
+"""Machine-room inlet-air fluctuation.
+
+Real data-center inlets are not constant: HVAC compressors cycle and aisle
+airflow shifts, wandering each rack position's inlet temperature by a
+fraction of a degree over tens of seconds, *independently per node*.  This
+is what decorrelates per-node thermal series on a real cluster even under
+lockstep workloads — the effect behind the paper's "no clear system wide
+trends" observation for FT — so the substrate models it as a per-node
+Ornstein-Uhlenbeck process around the node's nominal inlet temperature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simmachine.machine import Machine
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AmbientWander:
+    """OU-process parameters for inlet fluctuation."""
+
+    sd_c: float = 0.45         # stationary standard deviation
+    tau_s: float = 25.0        # mean-reversion time constant
+    period_s: float = 2.0      # update cadence
+
+    def __post_init__(self):
+        if self.sd_c < 0 or self.tau_s <= 0 or self.period_s <= 0:
+            raise ConfigError(f"bad ambient wander params {self}")
+
+
+def install_ambient_wander(
+    machine: Machine,
+    wander: AmbientWander = AmbientWander(),
+    nodes: list[str] | None = None,
+) -> None:
+    """Start per-node inlet OU fluctuation services on *machine*.
+
+    Each node gets an independent seeded stream; the process reverts toward
+    the node's nominal inlet (its construction-time ambient, including rack
+    offset) with stationary deviation ``sd_c``.
+    """
+    names = nodes if nodes is not None else machine.node_names()
+    # Exact OU discretization: x' = x*a + N(0, sd*sqrt(1-a^2)), a=e^(-dt/tau)
+    alpha = math.exp(-wander.period_s / wander.tau_s)
+    noise_sd = wander.sd_c * math.sqrt(1.0 - alpha * alpha)
+
+    for name in names:
+        node = machine.node(name)
+        nominal = node.thermal.ambient_c
+        rng = machine.rngs.get(f"ambient-wander/{name}")
+        state = {"x": 0.0}
+
+        def tick(node=node, rng=rng, state=state, nominal=nominal):
+            state["x"] = state["x"] * alpha + float(rng.normal(0.0, noise_sd))
+            node.thermal.set_ambient_c(nominal + state["x"], machine.sim.now)
+
+        machine.every(wander.period_s, tick)

@@ -1,0 +1,95 @@
+"""Thermal-feedback controllers: fan speed and DVFS governors.
+
+The paper *disables* DVFS and automatic fan regulation for its main
+experiments ("to circumvent all thermal feedback effects") and discusses
+thermal management as the downstream use of the profiles.  This module
+provides both controllers so the management ablation (experiment X2 in
+DESIGN.md) can compare feedback-on vs feedback-off runs and so the
+thermal-optimization advisor can validate its recommendations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simmachine.machine import Machine
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class FanController:
+    """Proportional fan-speed controller for one node.
+
+    In ``fixed`` mode the fan stays at ``fixed_rpm`` (the paper's main
+    configuration: "sets the fan speed to a constant high speed, e.g. 3000
+    RPMs").  In ``auto`` mode the controller polls the hottest die every
+    ``period`` seconds and steers rpm proportionally toward a die-temperature
+    target, clamped to [min_rpm, max_rpm].
+    """
+
+    machine: Machine
+    node_name: str
+    mode: str = "fixed"
+    fixed_rpm: float = 3000.0
+    target_c: float = 52.0
+    min_rpm: float = 1200.0
+    max_rpm: float = 6000.0
+    gain_rpm_per_c: float = 220.0
+    period: float = 1.0
+
+    def __post_init__(self):
+        if self.mode not in ("fixed", "auto"):
+            raise ConfigError(f"unknown fan mode {self.mode!r}")
+
+    def install(self) -> None:
+        """Apply the fixed speed, or start the periodic auto-control loop."""
+        node = self.machine.node(self.node_name)
+        if self.mode == "fixed":
+            node.set_fan_rpm(self.fixed_rpm, self.machine.sim.now)
+            return
+        self.machine.every(self.period, self._tick)
+
+    def _tick(self) -> None:
+        node = self.machine.node(self.node_name)
+        t = self.machine.sim.now
+        hottest = max(
+            node.die_temperature(s, t) for s in range(node.config.n_sockets)
+        )
+        rpm = self.fixed_rpm + self.gain_rpm_per_c * (hottest - self.target_c)
+        rpm = min(self.max_rpm, max(self.min_rpm, rpm))
+        node.set_fan_rpm(rpm, t)
+
+
+@dataclass
+class DvfsGovernor:
+    """Thermal-cap DVFS governor for one node.
+
+    Polls die temperatures every ``period`` seconds; when a socket's die
+    exceeds ``cap_c`` its cores are stepped one operating point down, and
+    when it falls ``hysteresis_c`` below the cap they step back up.  This is
+    the simplest of the paper-cited management techniques and is enough to
+    demonstrate (and let Tempest measure) the performance/thermal trade-off.
+    """
+
+    machine: Machine
+    node_name: str
+    cap_c: float = 55.0
+    hysteresis_c: float = 4.0
+    period: float = 0.5
+
+    def install(self) -> None:
+        """Start the periodic governor loop."""
+        self.machine.every(self.period, self._tick)
+
+    def _tick(self) -> None:
+        node = self.machine.node(self.node_name)
+        t = self.machine.sim.now
+        for s in range(node.config.n_sockets):
+            die = node.die_temperature(s, t)
+            for core in node.cores:
+                if core.socket != s:
+                    continue
+                if die > self.cap_c and core.opp_index < len(core.opps) - 1:
+                    node.set_core_opp(core.core_id, core.opp_index + 1, t)
+                elif die < self.cap_c - self.hysteresis_c and core.opp_index > 0:
+                    node.set_core_opp(core.core_id, core.opp_index - 1, t)

@@ -1,0 +1,196 @@
+"""Virtual LM-sensors / hwmon sensor chips.
+
+The paper reads temperatures through the Linux LM-sensors package, which
+exposes motherboard sensor chips under ``/sys/class/hwmon``.  Real sensors do
+not report the model-truth die temperature: they quantize to coarse steps
+(often 1 degC), lag the die by a first-order response, carry a calibration
+offset, and jitter by a fraction of a step.  This module models all four
+effects, and can also *materialize* the chips as an on-disk sysfs-style tree
+so the real-Linux sensor reader (:class:`repro.core.sensors.HwmonSensorReader`)
+can be tested against it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+#: Signature of the function a chip uses to obtain ground-truth temperature:
+#: ``provider(thermal_label, t) -> degrees C`` (must advance the network).
+TemperatureProvider = Callable[[str, float], float]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """One sensor input on a chip.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label, e.g. ``"CPU0 Temp"`` (becomes ``tempN_label``).
+    source:
+        Thermal-network node this sensor physically touches (``die0`` ...).
+    quantum_c:
+        Quantization step in degC.  LM-sensors chips commonly report whole
+        degrees; some report halves.
+    offset_c / gain:
+        Calibration error: reported = gain * true + offset before quantizing.
+    noise_sd_c:
+        Gaussian jitter (degC) added before quantization.
+    lag_tau_s:
+        First-order sensor lag time constant; 0 disables the filter.
+    """
+
+    name: str
+    source: str
+    quantum_c: float = 1.0
+    offset_c: float = 0.0
+    gain: float = 1.0
+    noise_sd_c: float = 0.15
+    lag_tau_s: float = 0.6
+
+    def __post_init__(self):
+        if self.quantum_c <= 0:
+            raise ConfigError(f"quantum must be positive: {self}")
+
+
+class HwmonChip:
+    """A virtual sensor chip bound to one node's thermal network."""
+
+    def __init__(
+        self,
+        chip_name: str,
+        sensors: list[SensorSpec],
+        provider: TemperatureProvider,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not sensors:
+            raise ConfigError("a chip needs at least one sensor")
+        names = [s.name for s in sensors]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate sensor names: {names}")
+        self.chip_name = chip_name
+        self.sensors = list(sensors)
+        self._provider = provider
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Lag filter state per sensor: (last_time, last_filtered_value)
+        self._lag_state: dict[str, tuple[float, float]] = {}
+
+    def sensor_names(self) -> list[str]:
+        """Names of all sensors on this chip, in declaration order."""
+        return [s.name for s in self.sensors]
+
+    def read(self, spec: SensorSpec, t: float) -> float:
+        """Read one sensor at simulated time *t* (degC, quantized)."""
+        true = self._provider(spec.source, t)
+        filtered = self._apply_lag(spec, true, t)
+        raw = spec.gain * filtered + spec.offset_c
+        if spec.noise_sd_c > 0:
+            raw += self._rng.normal(0.0, spec.noise_sd_c)
+        q = spec.quantum_c
+        return math.floor(raw / q + 0.5) * q
+
+    def read_all(self, t: float) -> dict[str, float]:
+        """Read every sensor at time *t*; returns ``{name: degC}``."""
+        return {s.name: self.read(s, t) for s in self.sensors}
+
+    def read_reference(self, spec_name: str, t: float) -> float:
+        """Un-quantized, lag-free ground truth for one sensor.
+
+        This plays the role of the paper's external validation sensor
+        attached directly to the CPU (§3.2).
+        """
+        spec = self._spec(spec_name)
+        return self._provider(spec.source, t)
+
+    def _spec(self, name: str) -> SensorSpec:
+        for s in self.sensors:
+            if s.name == name:
+                return s
+        raise ConfigError(f"no sensor named {name!r} on chip {self.chip_name}")
+
+    def _apply_lag(self, spec: SensorSpec, true: float, t: float) -> float:
+        if spec.lag_tau_s <= 0:
+            return true
+        prev = self._lag_state.get(spec.name)
+        if prev is None:
+            self._lag_state[spec.name] = (t, true)
+            return true
+        t0, y0 = prev
+        dt = max(0.0, t - t0)
+        alpha = 1.0 - math.exp(-dt / spec.lag_tau_s)
+        y = y0 + alpha * (true - y0)
+        self._lag_state[spec.name] = (t, y)
+        return y
+
+
+class VirtualHwmonTree:
+    """Materializes virtual chips as a sysfs-style directory tree.
+
+    Layout matches Linux: ``<root>/hwmon0/name``, ``tempN_input`` holding
+    millidegrees C as an ASCII integer, and ``tempN_label``.  Re-running
+    :meth:`refresh` updates the input files in place, so a polling reader
+    observes a live system.
+    """
+
+    def __init__(self, root: Path, chips: list[HwmonChip]):
+        self.root = Path(root)
+        self.chips = list(chips)
+
+    def materialize(self, t: float) -> None:
+        """Create the tree and write current sensor values at time *t*."""
+        for ci, chip in enumerate(self.chips):
+            d = self.root / f"hwmon{ci}"
+            d.mkdir(parents=True, exist_ok=True)
+            (d / "name").write_text(chip.chip_name + "\n")
+            for si, spec in enumerate(chip.sensors, start=1):
+                (d / f"temp{si}_label").write_text(spec.name + "\n")
+        self.refresh(t)
+
+    def refresh(self, t: float) -> None:
+        """Rewrite every ``tempN_input`` with the value at time *t*."""
+        for ci, chip in enumerate(self.chips):
+            d = self.root / f"hwmon{ci}"
+            for si, spec in enumerate(chip.sensors, start=1):
+                milli = int(round(chip.read(spec, t) * 1000.0))
+                (d / f"temp{si}_input").write_text(f"{milli}\n")
+
+
+# ----------------------------------------------------------------------
+# Stock sensor profiles (paper: "as few as 3 sensors on x86 ... up to 7 on
+# PowerPC G5").  Sources reference a dual-socket node's thermal labels.
+
+def amd_x86_profile() -> list[SensorSpec]:
+    """3-sensor profile typical of Opteron-era x86 boards."""
+    return [
+        SensorSpec("CPU0 Temp", "die0", quantum_c=1.0),
+        SensorSpec("CPU1 Temp", "die1", quantum_c=1.0),
+        SensorSpec("M/B Temp", "case", quantum_c=1.0, lag_tau_s=4.0, noise_sd_c=0.1),
+    ]
+
+
+def system_x_profile() -> list[SensorSpec]:
+    """6-sensor profile matching the NPB tables (Tables 2-3 report six)."""
+    return [
+        SensorSpec("CPU A Temp", "die0", quantum_c=1.0),
+        SensorSpec("CPU B Temp", "die1", quantum_c=1.0, offset_c=1.2),
+        SensorSpec("CPU A Sink", "sink0", quantum_c=0.5, lag_tau_s=2.0),
+        SensorSpec("CPU B Sink", "sink1", quantum_c=0.5, lag_tau_s=2.0),
+        SensorSpec("Backside", "case", quantum_c=0.5, lag_tau_s=5.0, noise_sd_c=0.1),
+        SensorSpec("Drive Bay", "case", quantum_c=1.0, offset_c=-2.0,
+                   lag_tau_s=8.0, noise_sd_c=0.1),
+    ]
+
+
+def g5_profile() -> list[SensorSpec]:
+    """7-sensor PowerPC G5 profile (adds an inlet ambient sensor)."""
+    return system_x_profile() + [
+        SensorSpec("Inlet Ambient", "case", quantum_c=0.5, gain=0.6,
+                   offset_c=9.0, lag_tau_s=15.0, noise_sd_c=0.25),
+    ]

@@ -1,0 +1,86 @@
+"""Platform presets: the machines the paper ran on (§3.4, §4.1).
+
+"Systems include a four node dual-processor, dual-core AMD 1.8GHz Opteron
+system ... the System X supercomputer (PowerPC G5), and several x86 32- and
+64-bit machines."  These presets capture the per-platform differences that
+matter to Tempest: core topology, operating points, TSC-equivalent
+frequency (the paper ported rdtsc to the PowerPC timebase), thermal stack,
+and — most visibly — the sensor complement ("as few as 3 sensors on x86
+... up to 7 sensors on PowerPC G5 systems").
+
+The profiler code is identical across platforms; only these configurations
+change — that is the portability claim, and ``tests/test_portability.py``
+exercises it, including a heterogeneous cluster mixing both.
+"""
+
+from __future__ import annotations
+
+from repro.simmachine.hwmon import amd_x86_profile, g5_profile, system_x_profile
+from repro.simmachine.node import NodeConfig
+from repro.simmachine.power import OperatingPoint, PowerParams
+from repro.simmachine.thermal import ThermalParams
+
+
+def opteron_node(name: str = "node0", **overrides) -> NodeConfig:
+    """Dual-socket dual-core 1.8 GHz Opteron, 3-sensor x86 board."""
+    defaults = dict(
+        name=name,
+        n_sockets=2,
+        cores_per_socket=2,
+        opps=(
+            OperatingPoint(1.8e9, 1.35),
+            OperatingPoint(1.4e9, 1.20),
+            OperatingPoint(1.0e9, 1.10),
+        ),
+        sensor_profile=amd_x86_profile,
+    )
+    defaults.update(overrides)
+    return NodeConfig(**defaults)
+
+
+def system_x_node(name: str = "node0", **overrides) -> NodeConfig:
+    """System-X-class node: the 6-sensor board of Tables 2-3."""
+    defaults = dict(
+        name=name,
+        n_sockets=2,
+        cores_per_socket=2,
+        sensor_profile=system_x_profile,
+    )
+    defaults.update(overrides)
+    return NodeConfig(**defaults)
+
+
+def g5_node(name: str = "node0", **overrides) -> NodeConfig:
+    """Dual-socket single-core 2.3 GHz PowerPC 970FX (G5), 7 sensors.
+
+    The G5's timebase register plays rdtsc's role (the paper "identified
+    the equivalent instruction set on the PowerPC architecture"); its
+    90 nm parts run hotter per clock with a beefier sink stack.
+    """
+    defaults = dict(
+        name=name,
+        n_sockets=2,
+        cores_per_socket=1,
+        opps=(
+            OperatingPoint(2.3e9, 1.30),
+            OperatingPoint(1.15e9, 1.10),
+        ),
+        power=PowerParams(c_dyn=1.25e-8, p_uncore=9.0, leak0=12.0),
+        thermal=ThermalParams(
+            c_die=18.0,
+            c_sink=260.0,
+            g_die_sink=9.5,
+            g_sink_case_ref=7.5,
+            g_case_amb_ref=30.0,
+        ),
+        sensor_profile=g5_profile,
+    )
+    defaults.update(overrides)
+    return NodeConfig(**defaults)
+
+
+PLATFORMS = {
+    "opteron": opteron_node,
+    "system-x": system_x_node,
+    "g5": g5_node,
+}

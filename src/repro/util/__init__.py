@@ -1,0 +1,29 @@
+"""Shared utilities: units, seeded RNG streams, errors, validation."""
+
+from repro.util.errors import (
+    ReproError,
+    SimulationError,
+    TraceError,
+    ConfigError,
+)
+from repro.util.units import (
+    c_to_f,
+    f_to_c,
+    KELVIN_OFFSET,
+    c_to_k,
+    k_to_c,
+)
+from repro.util.rng import RngStreams
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "ConfigError",
+    "c_to_f",
+    "f_to_c",
+    "c_to_k",
+    "k_to_c",
+    "KELVIN_OFFSET",
+    "RngStreams",
+]

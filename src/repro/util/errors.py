@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value (bad parameter, inconsistent setup)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state.
+
+    Examples: deadlock (all processes blocked with an empty event queue),
+    a process yielding an unknown directive, double-binding a core.
+    """
+
+
+class DeadlockError(SimulationError):
+    """All live processes are blocked and no events remain."""
+
+
+class TraceError(ReproError):
+    """A trace stream is malformed (unbalanced ENTER/EXIT, unknown record,
+    missing symbol table entry, non-monotonic timestamps on one core)."""
+
+
+class SensorError(ReproError):
+    """A sensor backend failed (missing hwmon tree, unreadable sensor)."""

@@ -1,0 +1,40 @@
+"""Unit conversion helpers.
+
+The library computes in SI internally: seconds, watts, degrees Celsius.
+The paper reports temperatures in Fahrenheit; report layers convert at the
+edge with these helpers.  All functions accept scalars or numpy arrays.
+"""
+
+from __future__ import annotations
+
+KELVIN_OFFSET = 273.15
+
+
+def c_to_f(celsius):
+    """Convert Celsius to Fahrenheit."""
+    return celsius * 9.0 / 5.0 + 32.0
+
+
+def f_to_c(fahrenheit):
+    """Convert Fahrenheit to Celsius."""
+    return (fahrenheit - 32.0) * 5.0 / 9.0
+
+
+def c_to_k(celsius):
+    """Convert Celsius to Kelvin."""
+    return celsius + KELVIN_OFFSET
+
+
+def k_to_c(kelvin):
+    """Convert Kelvin to Celsius."""
+    return kelvin - KELVIN_OFFSET
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """Convert megahertz to hertz."""
+    return mhz * 1.0e6
+
+
+def ghz_to_hz(ghz: float) -> float:
+    """Convert gigahertz to hertz."""
+    return ghz * 1.0e9

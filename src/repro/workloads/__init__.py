@@ -1,0 +1,20 @@
+"""Workloads: the codes the paper profiles.
+
+* :mod:`~repro.workloads.microbench` — the five Table 1 micro-benchmarks
+  (A: main alone, B: one function, C: multiple functions, D: interleaving,
+  E: recursion + interleaving) plus the CPU-burn loop behind Figure 2.
+* :mod:`~repro.workloads.npb` — NAS Parallel Benchmark reproductions (FT,
+  BT, CG, EP, MG, IS, LU) with the original call structure, class S/W/A/B/C
+  operation counts, MPI communication patterns, and — for FT/CG/EP and BT's
+  block kernels — real verified numerics at reduced scale.
+* :mod:`~repro.workloads.specmix` — serial SPEC-CPU-like mixes used for the
+  §3.4 overhead measurements.
+
+Workload functions are instrumented generators: the same source runs traced
+(under a :class:`~repro.core.session.TempestSession`) or untraced (the
+overhead baseline).
+"""
+
+from repro.workloads.kernels import MachineRate, compute_phase
+
+__all__ = ["MachineRate", "compute_phase"]

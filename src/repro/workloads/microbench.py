@@ -1,0 +1,163 @@
+"""The Table 1 micro-benchmark family.
+
+§4.2: "All benchmarks include: A (main alone), B (one function), C
+(multiple functions), D (multiple functions with interleaving), and E
+(multiple functions with recursion and interleaving)."  Micro D is the one
+Figure 2 profiles: ``foo1`` runs a CPU-burn loop dominating execution while
+``foo2`` "simply exits after a short timer expires".
+
+These also include the §3.3 stress cases: a short-lived-call storm (many
+function calls far below the sampling interval, inflating hook overhead)
+and a migrating variant that breaks the one-core TSC assumption.
+"""
+
+from __future__ import annotations
+
+from repro.core.instrument import instrument
+from repro.simmachine.power import ACTIVITY_BURN, ACTIVITY_COMPUTE
+from repro.simmachine.process import Compute, Migrate, Sleep
+from repro.workloads.kernels import burn_phase
+
+#: duration of the Figure 2 burn loop (the paper's foo1 runs ~60 s)
+BURN_SECONDS = 60.0
+#: the short timer foo2 waits on; well below the 0.25 s sampling interval
+TIMER_SECONDS = 0.05
+
+
+# ----------------------------------------------------------------------
+# Micro A: main alone
+
+@instrument(name="main")
+def micro_a(ctx, burn_s: float = 5.0):
+    """A: everything happens inside main."""
+    yield burn_phase(burn_s)
+
+
+# ----------------------------------------------------------------------
+# Micro B: one function
+
+@instrument
+def foo1(ctx, burn_s: float = BURN_SECONDS):
+    """The Figure 2 CPU-burn function: heats the CPU rapidly."""
+    # Burn in one-second slices so activity persists across sensor sweeps.
+    whole, frac = divmod(float(burn_s), 1.0)
+    for _ in range(int(whole)):
+        yield burn_phase(1.0)
+    if frac > 0:
+        yield burn_phase(frac)
+
+
+@instrument(name="main")
+def micro_b(ctx, burn_s: float = 5.0):
+    """B: main calls one function."""
+    yield from foo1(ctx, burn_s)
+
+
+# ----------------------------------------------------------------------
+# Micro C: multiple functions
+
+@instrument
+def foo2(ctx, timer_s: float = TIMER_SECONDS):
+    """The Figure 2 short-timer function: exits after a timer expires."""
+    yield Sleep(timer_s)
+
+
+@instrument
+def foo3(ctx, seconds: float = 1.0):
+    """A mid-activity compute function for the multi-function benchmarks."""
+    yield Compute(seconds, ACTIVITY_COMPUTE)
+
+
+@instrument(name="main")
+def micro_c(ctx, burn_s: float = 4.0):
+    """C: main calls several distinct functions in sequence."""
+    yield from foo1(ctx, burn_s)
+    yield from foo3(ctx, 1.0)
+    yield from foo2(ctx)
+
+
+# ----------------------------------------------------------------------
+# Micro D: interleaving (the Figure 2 benchmark)
+
+@instrument(name="main")
+def micro_d(ctx, burn_s: float = BURN_SECONDS, timer_s: float = TIMER_SECONDS):
+    """D: foo1 (calling foo2 inside) dominates; foo2 also called from main.
+
+    Matches the Table 1 sketch::
+
+        main() { foo1() { foo2(); } foo2(); }
+    """
+    yield from _foo1_calling_foo2(ctx, burn_s, timer_s)
+    yield from foo2(ctx, timer_s)
+
+
+@instrument(name="foo1")
+def _foo1_calling_foo2(ctx, burn_s: float, timer_s: float):
+    whole, frac = divmod(float(burn_s), 1.0)
+    for _ in range(int(whole)):
+        yield burn_phase(1.0)
+    if frac > 0:
+        yield burn_phase(frac)
+    yield from foo2(ctx, timer_s)
+
+
+# ----------------------------------------------------------------------
+# Micro E: recursion + interleaving
+
+@instrument
+def recurse(ctx, depth: int, burn_each_s: float = 0.3):
+    """Self-recursive burner; interleaves foo2 calls on the way down."""
+    yield burn_phase(burn_each_s)
+    if depth > 0:
+        yield from foo2(ctx, 0.01)
+        yield from recurse(ctx, depth - 1, burn_each_s)
+
+
+@instrument(name="main")
+def micro_e(ctx, depth: int = 6):
+    """E: multiple functions with recursion and interleaving."""
+    yield from recurse(ctx, depth)
+    yield from foo3(ctx, 0.5)
+
+
+ALL_MICROS = {
+    "A": micro_a,
+    "B": micro_b,
+    "C": micro_c,
+    "D": micro_d,
+    "E": micro_e,
+}
+
+
+# ----------------------------------------------------------------------
+# §3.3 stress cases
+
+@instrument
+def tiny_fn(ctx, seconds: float):
+    """A function whose life span is far below the sampling interval."""
+    yield Compute(seconds, ACTIVITY_COMPUTE)
+
+
+@instrument(name="main")
+def short_call_storm(ctx, n_calls: int = 2000, each_s: float = 0.5e-3):
+    """Repeatedly invokes a very short-lived function (§3.3: 'Tempest also
+    will incur additional overhead when profiling applications which invoke
+    functions with very short life spans repeatedly')."""
+    for _ in range(n_calls):
+        yield from tiny_fn(ctx, each_s)
+
+
+@instrument
+def burn_hop(ctx, seconds: float):
+    """One burn leg between migrations; its ENTER/EXIT records are stamped
+    by whichever core the process currently occupies."""
+    yield burn_phase(seconds)
+
+
+@instrument(name="main")
+def migrating_burner(ctx, hops: list[int], burn_each_s: float = 1.0):
+    """Burns on a sequence of cores, migrating between them — the unbound
+    process whose rdtsc readings mix per-core skew (§3.3)."""
+    for core in hops:
+        yield Migrate(core)
+        yield from burn_hop(ctx, burn_each_s)

@@ -1,0 +1,52 @@
+"""NAS Parallel Benchmark reproductions.
+
+Each module reproduces one NPB code's *structure*: the function call tree
+(with the Fortran symbol names a profiler would see), the per-class
+operation counts that set phase durations, and the MPI communication
+pattern that sets where time is spent waiting.  FT, CG and EP additionally
+carry real (reduced-scale) numerics with verification against numpy
+references; BT implements the genuine 5x5 block kernels
+(``matmul_sub``/``matvec_sub``/``binvcrhs``) the paper's Table 3 profiles.
+
+The paper's headline experiments use FT and BT at class C on NP=4.
+"""
+
+from repro.workloads.npb.classes import (
+    FT_CLASSES,
+    BT_CLASSES,
+    CG_CLASSES,
+    EP_CLASSES,
+    MG_CLASSES,
+    IS_CLASSES,
+    LU_CLASSES,
+)
+from repro.workloads.npb import ft, bt, cg, ep, mg, is_, lu, verify
+
+BENCHMARKS = {
+    "FT": ft.ft_benchmark,
+    "BT": bt.bt_benchmark,
+    "CG": cg.cg_benchmark,
+    "EP": ep.ep_benchmark,
+    "MG": mg.mg_benchmark,
+    "IS": is_.is_benchmark,
+    "LU": lu.lu_benchmark,
+}
+
+__all__ = [
+    "FT_CLASSES",
+    "BT_CLASSES",
+    "CG_CLASSES",
+    "EP_CLASSES",
+    "MG_CLASSES",
+    "IS_CLASSES",
+    "LU_CLASSES",
+    "BENCHMARKS",
+    "ft",
+    "bt",
+    "cg",
+    "ep",
+    "mg",
+    "is_",
+    "lu",
+    "verify",
+]

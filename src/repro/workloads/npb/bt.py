@@ -1,0 +1,310 @@
+"""NPB BT: block-tridiagonal ADI solver (Figure 4 / Table 3 workload).
+
+BT initializes its grid (exact solutions everywhere — a noticeable warm-up
+phase), synchronizes, then runs time steps of the ADI scheme: assemble the
+right-hand side, sweep block-tridiagonal solves along x, y and z (each with
+face exchanges across the process grid), and add the update.  The paper's
+Figure 4 shows exactly this shape: "a synchronization event that occurs at
+about 1.5 seconds into the run ... at the synchronization event, all nodes
+see a dramatic rise in temperature indicative of increased computation."
+
+The solves call the genuine 5x5 block kernels
+(:mod:`~repro.workloads.npb.btblocks`); in real-data mode each sweep also
+solves an actual reduced block-tridiagonal system whose residual the tests
+check, so ``matvec_sub``/``matmul_sub``/``binvcrhs`` run real numerics
+inside the profiled call tree (the rows of Table 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.instrument import instrument
+from repro.simmachine.process import Compute
+from repro.util.errors import ConfigError
+from repro.workloads.kernels import (
+    DEFAULT_RATE,
+    MachineRate,
+    compute_phase,
+    flop_phase,
+    memory_phase,
+)
+from repro.workloads.npb import btblocks
+from repro.workloads.npb.classes import BT_CLASSES, GridClass, lookup
+
+#: flop budget per grid cell per phase (calibrated to BT's ~3000 flops
+#: per cell per iteration, split across its routines)
+RHS_FLOPS_PER_CELL = 300.0
+SOLVE_FLOPS_PER_CELL = 900.0         # per direction
+ADD_FLOPS_PER_CELL = 15.0
+INIT_FLOPS_PER_CELL = 600.0
+EXACT_RHS_FLOPS_PER_CELL = 1000.0
+
+#: architectural activity of the block-solve inner loops: dense 5x5
+#: arithmetic keeps the pipelines fuller than generic compute
+SOLVE_ACTIVITY = 0.93
+
+#: share of each solve spent in the block kernels
+MATVEC_SHARE = 0.12
+MATMUL_SHARE = 0.33
+BINVCRHS_SHARE = 0.47
+LHSINIT_SHARE = 0.08
+
+#: batches per solve: each batch emits one call to each block kernel, so the
+#: kernels appear as repeatedly-called functions without exploding the trace
+BATCHES_PER_SOLVE = 6
+
+
+@dataclass(frozen=True)
+class BTConfig:
+    """BT run configuration."""
+
+    klass: str = "C"
+    iterations: Optional[int] = None
+    real_data: bool = False
+    data_lines: int = 12      # block-tridiag length in real mode
+    rate: MachineRate = DEFAULT_RATE
+    seed: int = 271828
+
+    def resolve(self) -> GridClass:
+        entry = lookup(BT_CLASSES, self.klass)
+        if self.iterations is not None:
+            from repro.workloads.npb.classes import scaled
+            entry = scaled(entry, self.iterations)
+        return entry
+
+
+class _BTState:
+    def __init__(self, ctx, config: BTConfig):
+        self.ctx = ctx
+        self.config = config
+        self.klass = config.resolve()
+        self.P = ctx.size
+        q = int(round(math.sqrt(self.P)))
+        if q * q != self.P:
+            raise ConfigError(
+                f"BT requires a square number of ranks, got {self.P}"
+            )
+        self.q = q
+        self.cells_local = self.klass.ncells / self.P
+        # 2-D process grid coordinates.
+        self.row, self.col = divmod(ctx.rank, q) if q > 1 else (0, 0)
+        # Face exchange size: one cell-face of 5 variables.
+        face_cells = (self.klass.problem_size**2) / max(1, q)
+        self.face_bytes = int(face_cells * 5 * 8)
+        self.residuals: list[float] = []
+
+    def neighbors(self, direction: str) -> list[int]:
+        """Ranks exchanged with during a solve along *direction*."""
+        if self.q == 1:
+            return []
+        q = self.q
+        if direction in ("x", "z"):
+            # neighbours along the process-grid row
+            left = self.row * q + (self.col - 1) % q
+            right = self.row * q + (self.col + 1) % q
+        else:
+            left = ((self.row - 1) % q) * q + self.col
+            right = ((self.row + 1) % q) * q + self.col
+        out = []
+        for n in (left, right):
+            if n != self.ctx.rank:
+                out.append(n)
+        return sorted(set(out))
+
+
+# ----------------------------------------------------------------------
+# Block-kernel phases (Table 3 rows)
+
+
+@instrument(name="matvec_sub")
+def _matvec_phase(ctx, st: _BTState, flops: float, work=None):
+    yield compute_phase(flops=flops, activity=SOLVE_ACTIVITY,
+                        rate=st.config.rate)
+    if work is not None:
+        A, rhs_prev, rhs = work
+        btblocks.matvec_sub(A, rhs_prev, rhs)
+
+
+@instrument(name="matmul_sub")
+def _matmul_phase(ctx, st: _BTState, flops: float, work=None):
+    yield compute_phase(flops=flops, activity=SOLVE_ACTIVITY,
+                        rate=st.config.rate)
+    if work is not None:
+        A, C_prev, B = work
+        btblocks.matmul_sub(A, C_prev, B)
+
+
+@instrument(name="binvcrhs")
+def _binvcrhs_phase(ctx, st: _BTState, flops: float, work=None):
+    yield compute_phase(flops=flops, activity=SOLVE_ACTIVITY,
+                        rate=st.config.rate)
+    if work is not None:
+        lhs, c, r = work
+        btblocks.binvcrhs(lhs, c, r)
+
+
+@instrument(name="lhsinit")
+def _lhsinit_phase(ctx, st: _BTState, flops: float):
+    yield compute_phase(flops=flops, activity=SOLVE_ACTIVITY,
+                        rate=st.config.rate)
+
+
+# ----------------------------------------------------------------------
+# Solver phases
+
+
+def _solve_direction(ctx, st: _BTState, direction: str):
+    """Shared body of x/y/z_solve: batched kernel calls + face exchange."""
+    solve_flops = SOLVE_FLOPS_PER_CELL * st.cells_local
+    per_batch = solve_flops / BATCHES_PER_SOLVE
+
+    # Real-data mode: run an actual block-tridiagonal solve through the
+    # batched kernel calls (forward elimination split across batches).
+    system = None
+    if st.config.real_data:
+        n = st.config.data_lines
+        A, B, C, rhs, dense, dense_rhs = btblocks.random_spd_block_tridiag(
+            n, seed=st.config.seed + ord(direction)
+        )
+        system = {"A": A, "B": B, "C": C, "rhs": rhs,
+                  "dense": dense, "dense_rhs": dense_rhs, "i": 1, "n": n}
+        btblocks.binvcrhs(B[0], C[0], rhs[0])
+
+    yield from _lhsinit_phase(ctx, st, per_batch * LHSINIT_SHARE * BATCHES_PER_SOLVE)
+    for batch in range(BATCHES_PER_SOLVE):
+        mv_work = mm_work = bc_work = None
+        if system is not None and system["i"] < system["n"]:
+            i = system["i"]
+            A, B, C, rhs, n = (system["A"], system["B"], system["C"],
+                               system["rhs"], system["n"])
+            mv_work = (A[i], rhs[i - 1], rhs[i])
+            mm_work = (A[i], C[i - 1], B[i])
+            yield from _matvec_phase(ctx, st, per_batch * MATVEC_SHARE, mv_work)
+            yield from _matmul_phase(ctx, st, per_batch * MATMUL_SHARE, mm_work)
+            if i < n - 1:
+                bc_work = (B[i], C[i], rhs[i])
+                yield from _binvcrhs_phase(
+                    ctx, st, per_batch * BINVCRHS_SHARE, bc_work
+                )
+            else:
+                btblocks.binvrhs(B[i], rhs[i])
+                yield from _binvcrhs_phase(ctx, st, per_batch * BINVCRHS_SHARE)
+            system["i"] += 1
+        else:
+            yield from _matvec_phase(ctx, st, per_batch * MATVEC_SHARE)
+            yield from _matmul_phase(ctx, st, per_batch * MATMUL_SHARE)
+            yield from _binvcrhs_phase(ctx, st, per_batch * BINVCRHS_SHARE)
+        # Pipeline the partially eliminated faces to the downstream rank.
+        # Post every isend before any recv: each peer's matching send is in
+        # *its* loop too, so blocking per-peer would deadlock the ring.
+        if batch in (1, BATCHES_PER_SOLVE - 2):
+            peers = st.neighbors(direction)
+            reqs = []
+            for peer in peers:
+                req = yield from ctx.comm.isend(
+                    None, peer, tag=200 + batch, nbytes=st.face_bytes
+                )
+                reqs.append(req)
+            for peer in peers:
+                yield from ctx.comm.recv(source=peer, tag=200 + batch)
+            yield from ctx.comm.waitall(reqs)
+
+    if system is not None:
+        # Finish the real solve (remaining elimination + back substitution)
+        # and record the residual for verification.
+        A, B, C, rhs, n = (system["A"], system["B"], system["C"],
+                           system["rhs"], system["n"])
+        while system["i"] < n:
+            i = system["i"]
+            btblocks.matvec_sub(A[i], rhs[i - 1], rhs[i])
+            btblocks.matmul_sub(A[i], C[i - 1], B[i])
+            if i < n - 1:
+                btblocks.binvcrhs(B[i], C[i], rhs[i])
+            else:
+                btblocks.binvrhs(B[i], rhs[i])
+            system["i"] += 1
+        for i in range(n - 2, -1, -1):
+            btblocks.matvec_sub(C[i], rhs[i + 1], rhs[i])
+        x = rhs.reshape(-1)
+        residual = float(
+            np.linalg.norm(system["dense"] @ x - system["dense_rhs"])
+            / np.linalg.norm(system["dense_rhs"])
+        )
+        st.residuals.append(residual)
+
+
+@instrument(name="x_solve")
+def _x_solve(ctx, st: _BTState):
+    yield from _solve_direction(ctx, st, "x")
+
+
+@instrument(name="y_solve")
+def _y_solve(ctx, st: _BTState):
+    yield from _solve_direction(ctx, st, "y")
+
+
+@instrument(name="z_solve")
+def _z_solve(ctx, st: _BTState):
+    yield from _solve_direction(ctx, st, "z")
+
+
+@instrument(name="compute_rhs")
+def _compute_rhs(ctx, st: _BTState):
+    # Mixed flop/stream phase: stencil evaluation over the local cells.
+    yield flop_phase(RHS_FLOPS_PER_CELL * st.cells_local, st.config.rate)
+    yield memory_phase(40.0 * st.cells_local, st.config.rate)
+
+
+@instrument(name="add")
+def _add(ctx, st: _BTState):
+    yield flop_phase(ADD_FLOPS_PER_CELL * st.cells_local, st.config.rate)
+
+
+@instrument(name="adi_")  # Fortran trailing-underscore symbol, as in Table 3
+def _adi(ctx, st: _BTState):
+    yield from _compute_rhs(ctx, st)
+    yield from _x_solve(ctx, st)
+    yield from _y_solve(ctx, st)
+    yield from _z_solve(ctx, st)
+    yield from _add(ctx, st)
+
+
+@instrument(name="initialize")
+def _initialize(ctx, st: _BTState):
+    # Grid/solution initialization streams through memory; the arithmetic
+    # hides behind the stores, so the phase runs warm, not hot.
+    yield compute_phase(
+        flops=INIT_FLOPS_PER_CELL * st.cells_local,
+        mem_bytes=5 * 8.0 * st.cells_local,
+        activity=0.45,
+        rate=st.config.rate,
+    )
+
+
+@instrument(name="exact_rhs")
+def _exact_rhs(ctx, st: _BTState):
+    yield compute_phase(
+        flops=EXACT_RHS_FLOPS_PER_CELL * st.cells_local,
+        activity=0.55,
+        rate=st.config.rate,
+    )
+
+
+@instrument(name="main")
+def bt_benchmark(ctx, config: BTConfig = BTConfig()):
+    """One rank of BT; returns the list of real-mode solve residuals."""
+    st = _BTState(ctx, config)
+    yield from _initialize(ctx, st)
+    yield from _exact_rhs(ctx, st)
+    # The synchronization event of Figure 4: every node arrives, then the
+    # hot ADI stepping begins simultaneously cluster-wide.
+    yield from ctx.comm.barrier()
+    for _ in range(st.klass.iterations):
+        yield from _adi(ctx, st)
+    yield from ctx.comm.barrier()
+    return st.residuals

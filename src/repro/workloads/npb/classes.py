@@ -1,0 +1,159 @@
+"""NPB problem-class tables (NPB 2.x/3.x standard sizes).
+
+Every benchmark defines classes S (sample), W (workstation), and A/B/C
+(increasing production sizes); the paper's headline runs are class C.  The
+``scaled`` helper derives a time-scaled variant of a class — same grid (so
+message sizes and per-iteration costs are authentic) with fewer iterations,
+which is how the benches keep full-fidelity per-iteration behaviour while
+bounding simulated duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FTClass:
+    """FT: 3-D FFT PDE solver."""
+
+    nx: int
+    ny: int
+    nz: int
+    iterations: int
+
+    @property
+    def ntotal(self) -> int:
+        return self.nx * self.ny * self.nz
+
+
+@dataclass(frozen=True)
+class GridClass:
+    """Cubic-grid benchmark (BT, LU, MG)."""
+
+    problem_size: int
+    iterations: int
+
+    @property
+    def ncells(self) -> int:
+        return self.problem_size**3
+
+
+@dataclass(frozen=True)
+class CGClass:
+    """CG: conjugate gradient with a random sparse matrix."""
+
+    na: int           # matrix order
+    nonzer: int       # nonzeros-per-row parameter
+    niter: int        # outer iterations
+    shift: float      # eigenvalue shift
+
+    @property
+    def nnz_estimate(self) -> int:
+        # NPB's generator yields roughly na * (nonzer+1) * (nonzer+1) nonzeros.
+        return self.na * (self.nonzer + 1) ** 2
+
+
+@dataclass(frozen=True)
+class EPClass:
+    """EP: embarrassingly parallel Gaussian-pair generation."""
+
+    m: int            # 2^m pairs
+
+    @property
+    def n_pairs(self) -> int:
+        return 2**self.m
+
+
+@dataclass(frozen=True)
+class ISClass:
+    """IS: integer bucket sort."""
+
+    total_keys_log2: int
+    max_key_log2: int
+    iterations: int = 10
+
+    @property
+    def n_keys(self) -> int:
+        return 2**self.total_keys_log2
+
+
+FT_CLASSES: dict[str, FTClass] = {
+    "S": FTClass(64, 64, 64, 6),
+    "W": FTClass(128, 128, 32, 6),
+    "A": FTClass(256, 256, 128, 6),
+    "B": FTClass(512, 256, 256, 20),
+    "C": FTClass(512, 512, 512, 20),
+}
+
+BT_CLASSES: dict[str, GridClass] = {
+    "S": GridClass(12, 60),
+    "W": GridClass(24, 200),
+    "A": GridClass(64, 200),
+    "B": GridClass(102, 200),
+    "C": GridClass(162, 200),
+}
+
+LU_CLASSES: dict[str, GridClass] = {
+    "S": GridClass(12, 50),
+    "W": GridClass(33, 300),
+    "A": GridClass(64, 250),
+    "B": GridClass(102, 250),
+    "C": GridClass(162, 250),
+}
+
+MG_CLASSES: dict[str, GridClass] = {
+    "S": GridClass(32, 4),
+    "W": GridClass(128, 4),
+    "A": GridClass(256, 4),
+    "B": GridClass(256, 20),
+    "C": GridClass(512, 20),
+}
+
+CG_CLASSES: dict[str, CGClass] = {
+    "S": CGClass(1400, 7, 15, 10.0),
+    "W": CGClass(7000, 8, 15, 12.0),
+    "A": CGClass(14000, 11, 15, 20.0),
+    "B": CGClass(75000, 13, 75, 60.0),
+    "C": CGClass(150000, 15, 75, 110.0),
+}
+
+EP_CLASSES: dict[str, EPClass] = {
+    "S": EPClass(24),
+    "W": EPClass(25),
+    "A": EPClass(28),
+    "B": EPClass(30),
+    "C": EPClass(32),
+}
+
+IS_CLASSES: dict[str, ISClass] = {
+    "S": ISClass(16, 11),
+    "W": ISClass(20, 16),
+    "A": ISClass(23, 19),
+    "B": ISClass(25, 21),
+    "C": ISClass(27, 23),
+}
+
+
+def lookup(table: dict, klass: str):
+    """Fetch a class entry with a helpful error."""
+    try:
+        return table[klass.upper()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown problem class {klass!r}; have {sorted(table)}"
+        )
+
+
+def scaled(entry, iterations: int):
+    """Same per-iteration shape, different iteration count (benches use this
+    to bound simulated duration while keeping class-C message/compute sizes)."""
+    if iterations < 1:
+        raise ConfigError(f"iterations must be >= 1, got {iterations}")
+    if hasattr(entry, "iterations"):
+        return replace(entry, iterations=iterations)
+    if hasattr(entry, "niter"):
+        return replace(entry, niter=iterations)
+    raise ConfigError(f"{type(entry).__name__} has no iteration count to scale")

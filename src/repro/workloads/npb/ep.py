@@ -1,0 +1,105 @@
+"""NPB EP: embarrassingly parallel Gaussian-deviate generation.
+
+Each rank independently generates its share of 2^m uniform pairs,
+transforms the accepted ones to Gaussian deviates (Marsaglia polar method,
+as NPB does), tallies them into ten concentric annuli, and a single
+end-of-run reduction combines the counts — EP is the "pure hot loop" end of
+the NPB spectrum: near-zero communication, sustained high activity.
+
+Real-data mode actually generates (reduced-count) deviates with numpy and
+the tests verify the acceptance rate (pi/4) and the annulus histogram
+against the statistical expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.instrument import instrument
+from repro.simmachine.power import ACTIVITY_BURN
+from repro.simmachine.process import Compute
+from repro.workloads.kernels import DEFAULT_RATE, MachineRate, compute_phase
+from repro.workloads.npb.classes import EP_CLASSES, EPClass, lookup
+
+#: flops per generated pair (two uniforms, radius test, log/sqrt transform)
+FLOPS_PER_PAIR = 22.0
+#: chunks per rank: EP reports progress in batches (and gives the profiler
+#: repeated calls into the hot kernel)
+CHUNKS = 16
+
+
+@dataclass(frozen=True)
+class EPConfig:
+    """EP run configuration."""
+
+    klass: str = "C"
+    real_data: bool = False
+    data_pairs: int = 200_000   # pairs actually generated in real mode
+    rate: MachineRate = DEFAULT_RATE
+    seed: int = 141421
+
+    def resolve(self) -> EPClass:
+        return lookup(EP_CLASSES, self.klass)
+
+
+class _EPState:
+    def __init__(self, ctx, config: EPConfig):
+        self.ctx = ctx
+        self.config = config
+        self.klass = config.resolve()
+        self.pairs_local = self.klass.n_pairs / ctx.size
+        self.counts = np.zeros(10, dtype=np.int64)
+        self.accepted = 0
+        self.generated = 0
+        self.sx = 0.0
+        self.sy = 0.0
+
+
+@instrument(name="vranlc")
+def _vranlc(ctx, st: _EPState, pairs: float):
+    """The NPB linear-congruential RNG pass for one chunk of pairs."""
+    yield compute_phase(flops=4.0 * pairs, activity=ACTIVITY_BURN,
+                        rate=st.config.rate)
+
+
+@instrument(name="gaussian_deviates")
+def _gaussian_deviates(ctx, st: _EPState, pairs: float, rng=None):
+    """Polar-method transform + annulus tally for one chunk."""
+    yield compute_phase(flops=(FLOPS_PER_PAIR - 4.0) * pairs,
+                        activity=ACTIVITY_BURN, rate=st.config.rate)
+    if rng is not None:
+        n = int(st.config.data_pairs / CHUNKS)
+        x = rng.uniform(-1.0, 1.0, n)
+        y = rng.uniform(-1.0, 1.0, n)
+        t = x * x + y * y
+        ok = (t <= 1.0) & (t > 0.0)
+        st.generated += n
+        st.accepted += int(ok.sum())
+        f = np.sqrt(-2.0 * np.log(t[ok]) / t[ok])
+        gx, gy = x[ok] * f, y[ok] * f
+        st.sx += float(gx.sum())
+        st.sy += float(gy.sum())
+        annulus = np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64)
+        annulus = np.clip(annulus, 0, 9)
+        st.counts += np.bincount(annulus, minlength=10)[:10]
+
+
+@instrument(name="main")
+def ep_benchmark(ctx, config: EPConfig = EPConfig()):
+    """One rank of EP; returns (global counts, accepted, generated, sx, sy)."""
+    st = _EPState(ctx, config)
+    rng = (np.random.default_rng(config.seed + ctx.rank)
+           if config.real_data else None)
+    chunk_pairs = st.pairs_local / CHUNKS
+    for _ in range(CHUNKS):
+        yield from _vranlc(ctx, st, chunk_pairs)
+        yield from _gaussian_deviates(ctx, st, chunk_pairs, rng)
+    counts = yield from ctx.comm.allreduce(st.counts, op=np.add, nbytes=80)
+    accepted = yield from ctx.comm.allreduce(st.accepted, nbytes=8)
+    generated = yield from ctx.comm.allreduce(st.generated, nbytes=8)
+    sx = yield from ctx.comm.allreduce(st.sx, nbytes=8)
+    sy = yield from ctx.comm.allreduce(st.sy, nbytes=8)
+    return counts, accepted, generated, sx, sy

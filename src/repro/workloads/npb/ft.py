@@ -1,0 +1,267 @@
+"""NPB FT: 3-D FFT PDE solver (the paper's Figure 3 / Table 2 workload).
+
+Structure matches NPB's MPI FT with slab decomposition: each rank owns a
+slab of z-planes; a 3-D FFT is two local 1-D passes plus a global
+*transpose* (all-to-all) and a final pass along the redistributed axis.
+Each time step evolves the spectrum pointwise and inverse-transforms for a
+checksum, so FT alternates hot local FFT phases with long, cool all-to-all
+phases — the paper expected it "to run fairly cool" because about half its
+time is all-to-all communication.
+
+Two modes:
+
+* **timing mode** (default): phase durations come from the class's
+  operation counts and the all-to-all carries class-sized ``nbytes`` with
+  placeholder payloads — full-fidelity time structure at any class.
+* **real-data mode** (``FTConfig(real_data=True)``): a reduced grid is
+  actually transformed through the same distributed pipeline with numpy
+  payloads; :func:`reference_spectrum_pipeline` provides the serial numpy
+  oracle the tests verify against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.instrument import instrument
+from repro.simmachine.power import ACTIVITY_COMM
+from repro.simmachine.process import Compute
+from repro.util.errors import ConfigError
+from repro.workloads.kernels import (
+    DEFAULT_RATE,
+    MachineRate,
+    flop_phase,
+    memory_phase,
+)
+from repro.workloads.npb.classes import FT_CLASSES, FTClass, lookup
+
+#: bytes per complex double
+_C16 = 16
+
+
+@dataclass(frozen=True)
+class FTConfig:
+    """FT run configuration."""
+
+    klass: str = "C"
+    iterations: Optional[int] = None     # override the class default
+    real_data: bool = False
+    data_grid: int = 16                  # reduced grid edge for real mode
+    alpha: float = 1e-6                  # diffusion constant (real mode)
+    rate: MachineRate = DEFAULT_RATE
+    seed: int = 314159
+
+    def resolve(self) -> FTClass:
+        entry = lookup(FT_CLASSES, self.klass)
+        if self.iterations is not None:
+            from repro.workloads.npb.classes import scaled
+            entry = scaled(entry, self.iterations)
+        return entry
+
+
+class _FTState:
+    """Per-rank mutable state threaded through the instrumented phases."""
+
+    def __init__(self, ctx, config: FTConfig):
+        self.ctx = ctx
+        self.config = config
+        self.klass = config.resolve()
+        self.P = ctx.size
+        if self.klass.nz % self.P or (config.real_data and config.data_grid % self.P):
+            raise ConfigError(
+                f"FT slab decomposition needs nz divisible by ranks "
+                f"({self.klass.nz} vs {self.P})"
+            )
+        #: per-rank point count at class scale (drives timing)
+        self.n_local = self.klass.ntotal // self.P
+        #: all-to-all block size at class scale
+        self.block_bytes = _C16 * self.n_local // self.P
+        # Real-data fields.
+        self.u: Optional[np.ndarray] = None        # local slab / pencil
+        self.factors: Optional[np.ndarray] = None  # evolve multipliers
+        self.checksums: list[complex] = []
+
+    def fft_pass_flops(self, axis_len: int) -> float:
+        """5 N log2 N per 1-D FFT pass over the local points."""
+        return 5.0 * self.n_local * math.log2(axis_len)
+
+
+# ----------------------------------------------------------------------
+# Instrumented phases (NPB Fortran symbol names)
+
+
+@instrument(name="setup")
+def _setup(ctx, st: _FTState):
+    yield Compute(2e-3, 0.4)
+    if st.config.real_data:
+        g = st.config.data_grid
+        rng = np.random.default_rng(st.config.seed)
+        full = rng.standard_normal((g, g, g)) + 1j * rng.standard_normal((g, g, g))
+        zchunk = g // st.P
+        st.u = full[ctx.rank * zchunk:(ctx.rank + 1) * zchunk].copy()
+
+
+@instrument(name="compute_indexmap")
+def _compute_indexmap(ctx, st: _FTState):
+    yield memory_phase(8 * st.n_local, st.config.rate)
+    if st.config.real_data:
+        g = st.config.data_grid
+        k = np.fft.fftfreq(g) * g
+        kx = k[None, None, ctx.rank * (g // st.P):(ctx.rank + 1) * (g // st.P)]
+        ky = k[None, :, None]
+        kz = k[:, None, None]
+        ksq = kx**2 + ky**2 + kz**2
+        st.factors = np.exp(-4.0 * np.pi**2 * st.config.alpha * ksq)
+
+
+@instrument(name="compute_initial_conditions")
+def _compute_initial_conditions(ctx, st: _FTState):
+    yield memory_phase(_C16 * st.n_local, st.config.rate)
+
+
+@instrument(name="cffts1")
+def _cffts1(ctx, st: _FTState, inverse: bool = False):
+    yield flop_phase(st.fft_pass_flops(st.klass.nx), st.config.rate)
+    if st.config.real_data and st.u is not None:
+        st.u = (np.fft.ifft if inverse else np.fft.fft)(st.u, axis=2)
+
+
+@instrument(name="cffts2")
+def _cffts2(ctx, st: _FTState, inverse: bool = False):
+    yield flop_phase(st.fft_pass_flops(st.klass.ny), st.config.rate)
+    if st.config.real_data and st.u is not None:
+        st.u = (np.fft.ifft if inverse else np.fft.fft)(st.u, axis=1)
+
+
+@instrument(name="cffts3")
+def _cffts3(ctx, st: _FTState, inverse: bool = False):
+    yield flop_phase(st.fft_pass_flops(st.klass.nz), st.config.rate)
+    if st.config.real_data and st.u is not None:
+        st.u = (np.fft.ifft if inverse else np.fft.fft)(st.u, axis=0)
+
+
+@instrument(name="transpose_x_yz")
+def _transpose_forward(ctx, st: _FTState):
+    """z-slabs -> x-pencils: split along x, all-to-all, stack along z."""
+    yield memory_phase(2 * _C16 * st.n_local, st.config.rate)  # pack+unpack
+    if st.config.real_data and st.u is not None:
+        g = st.config.data_grid
+        xc = g // st.P
+        blocks = [st.u[:, :, i * xc:(i + 1) * xc].copy() for i in range(st.P)]
+        recv = yield from ctx.comm.alltoall(blocks, nbytes=st.block_bytes)
+        st.u = np.concatenate(recv, axis=0)
+    else:
+        placeholders = [None] * st.P
+        yield from ctx.comm.alltoall(placeholders, nbytes=st.block_bytes)
+
+
+@instrument(name="transpose_xz_back")
+def _transpose_backward(ctx, st: _FTState):
+    """x-pencils -> z-slabs: split along z, all-to-all, stack along x."""
+    yield memory_phase(2 * _C16 * st.n_local, st.config.rate)
+    if st.config.real_data and st.u is not None:
+        g = st.config.data_grid
+        zc = g // st.P
+        blocks = [st.u[i * zc:(i + 1) * zc].copy() for i in range(st.P)]
+        recv = yield from ctx.comm.alltoall(blocks, nbytes=st.block_bytes)
+        st.u = np.concatenate(recv, axis=2)
+    else:
+        placeholders = [None] * st.P
+        yield from ctx.comm.alltoall(placeholders, nbytes=st.block_bytes)
+
+
+@instrument(name="fft")
+def _fft3d_forward(ctx, st: _FTState):
+    yield from _cffts1(ctx, st)
+    yield from _cffts2(ctx, st)
+    yield from _transpose_forward(ctx, st)
+    yield from _cffts3(ctx, st)
+
+
+@instrument(name="fft_inv")
+def _fft3d_inverse(ctx, st: _FTState):
+    yield from _cffts3(ctx, st, inverse=True)
+    yield from _transpose_backward(ctx, st)
+    yield from _cffts2(ctx, st, inverse=True)
+    yield from _cffts1(ctx, st, inverse=True)
+
+
+@instrument(name="evolve")
+def _evolve(ctx, st: _FTState):
+    yield flop_phase(6.0 * st.n_local, st.config.rate)
+    if st.config.real_data and st.u is not None:
+        st.u = st.u * st.factors
+
+
+@instrument(name="checksum")
+def _checksum(ctx, st: _FTState, scratch: Optional[np.ndarray] = None):
+    yield flop_phase(4.0 * 1024, st.config.rate)
+    local = complex(scratch.sum()) if scratch is not None else complex(ctx.rank)
+    total = yield from ctx.comm.allreduce(local, nbytes=_C16)
+    if st.config.real_data:
+        st.checksums.append(total)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Driver
+
+
+@instrument(name="main")
+def ft_benchmark(ctx, config: FTConfig = FTConfig()):
+    """One rank of the FT benchmark; returns (checksums, final local field)."""
+    st = _FTState(ctx, config)
+    yield from _setup(ctx, st)
+    yield from _compute_indexmap(ctx, st)
+    yield from _compute_initial_conditions(ctx, st)
+    yield from ctx.comm.barrier()
+    # Forward transform once; iterations evolve in spectral space and
+    # inverse-transform a scratch copy for the checksum (as NPB FT does).
+    yield from _fft3d_forward(ctx, st)
+    spectrum = st.u.copy() if st.config.real_data else None
+    for _ in range(st.klass.iterations):
+        if st.config.real_data:
+            st.u = spectrum
+            yield from _evolve(ctx, st)
+            spectrum = st.u
+            # Inverse-transform a scratch copy for this step's checksum.
+            st.u = spectrum.copy()
+            yield from _fft3d_inverse(ctx, st)
+            yield from _checksum(ctx, st, scratch=st.u)
+        else:
+            yield from _evolve(ctx, st)
+            yield from _fft3d_inverse(ctx, st)
+            yield from _checksum(ctx, st)
+    return st.checksums, (st.u if st.config.real_data else None)
+
+
+# ----------------------------------------------------------------------
+# Serial oracle for real-data verification
+
+
+def reference_spectrum_pipeline(config: FTConfig) -> tuple[list[complex], np.ndarray]:
+    """Run the same evolve/inverse pipeline serially with plain numpy.
+
+    Returns (per-iteration global checksums, final full field) for
+    comparison with the gathered distributed result.
+    """
+    g = config.data_grid
+    rng = np.random.default_rng(config.seed)
+    full = rng.standard_normal((g, g, g)) + 1j * rng.standard_normal((g, g, g))
+    k = np.fft.fftfreq(g) * g
+    ksq = (k[:, None, None] ** 2 + k[None, :, None] ** 2
+           + k[None, None, :] ** 2)
+    factors = np.exp(-4.0 * np.pi**2 * config.alpha * ksq)
+    spectrum = np.fft.fftn(full)
+    klass = config.resolve()
+    checksums: list[complex] = []
+    field = None
+    for _ in range(klass.iterations):
+        spectrum = spectrum * factors
+        field = np.fft.ifftn(spectrum)
+        checksums.append(complex(field.sum()))
+    return checksums, field

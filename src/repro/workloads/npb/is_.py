@@ -1,0 +1,133 @@
+"""NPB IS: parallel integer bucket sort.
+
+Each iteration generates keys, counts them into buckets, exchanges bucket
+counts (small all-to-all), redistributes the keys themselves (large
+all-to-all-v), and ranks them locally.  IS is integer- and
+bandwidth-dominated with bursty large exchanges.
+
+Real-data mode sorts actual (reduced-count) keys through the same
+distributed pipeline; the tests verify the global result is a permutation
+and sorted across rank boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.instrument import instrument
+from repro.workloads.kernels import DEFAULT_RATE, MachineRate, int_phase, memory_phase
+from repro.workloads.npb.classes import IS_CLASSES, ISClass, lookup
+
+
+@dataclass(frozen=True)
+class ISConfig:
+    """IS run configuration."""
+
+    klass: str = "C"
+    iterations: Optional[int] = None
+    real_data: bool = False
+    data_keys: int = 4096       # keys per rank in real mode
+    rate: MachineRate = DEFAULT_RATE
+    seed: int = 173205
+
+    def resolve(self) -> ISClass:
+        entry = lookup(IS_CLASSES, self.klass)
+        if self.iterations is not None:
+            from repro.workloads.npb.classes import scaled
+            entry = scaled(entry, self.iterations)
+        return entry
+
+
+class _ISState:
+    def __init__(self, ctx, config: ISConfig):
+        self.ctx = ctx
+        self.config = config
+        self.klass = config.resolve()
+        self.P = ctx.size
+        self.keys_local = self.klass.n_keys / self.P
+        self.max_key = 2**self.klass.max_key_log2
+        self.key_block_bytes = int(4 * self.keys_local / self.P)
+        self.sorted_chunks: list[np.ndarray] = []
+        self.keys = None
+
+    def gen_real_keys(self, iteration: int) -> np.ndarray:
+        rng = np.random.default_rng(
+            self.config.seed + 1000 * iteration + self.ctx.rank
+        )
+        return rng.integers(0, self.max_key, self.config.data_keys,
+                            dtype=np.int64)
+
+
+@instrument(name="create_seq")
+def _create_seq(ctx, st: _ISState, iteration: int):
+    yield int_phase(6.0 * st.keys_local, st.config.rate)
+    if st.config.real_data:
+        st.keys = st.gen_real_keys(iteration)
+
+
+@instrument(name="rank")
+def _rank_keys(ctx, st: _ISState):
+    """Bucket count, count exchange, key exchange, local ranking."""
+    # Local bucket counting.
+    yield int_phase(4.0 * st.keys_local, st.config.rate)
+    # Small all-to-all of bucket counts.
+    counts = None
+    if st.config.real_data:
+        edges = np.linspace(0, st.max_key, st.P + 1).astype(np.int64)
+        which = np.searchsorted(edges, st.keys, side="right") - 1
+        which = np.clip(which, 0, st.P - 1)
+        counts = [int((which == b).sum()) for b in range(st.P)]
+        blocks = [st.keys[which == b] for b in range(st.P)]
+    else:
+        blocks = [None] * st.P
+    yield from ctx.comm.alltoall(
+        counts if counts is not None else [None] * st.P, nbytes=4 * st.P
+    )
+    # Large all-to-all-v of the keys themselves.
+    received = yield from ctx.comm.alltoall(blocks, nbytes=st.key_block_bytes)
+    # Local ranking (counting sort).
+    yield int_phase(6.0 * st.keys_local, st.config.rate)
+    yield memory_phase(8.0 * st.keys_local, st.config.rate)
+    if st.config.real_data:
+        mine = np.concatenate([b for b in received if b is not None])
+        return np.sort(mine)
+    return None
+
+
+@instrument(name="full_verify")
+def _full_verify(ctx, st: _ISState, final: np.ndarray):
+    yield int_phase(2.0 * st.keys_local, st.config.rate)
+    if st.config.real_data and final is not None:
+        # Cross-rank boundary check: my max <= right neighbour's min.
+        boundary_ok = True
+        if st.P > 1:
+            my_max = int(final.max()) if len(final) else -1
+            my_min = int(final.min()) if len(final) else 2**62
+            right = (ctx.rank + 1) % st.P
+            left = (ctx.rank - 1) % st.P
+            req = yield from ctx.comm.isend(my_max, right, tag=400)
+            left_max = yield from ctx.comm.recv(source=left, tag=400)
+            yield from ctx.comm.wait(req)
+            if ctx.rank > 0 and len(final):
+                boundary_ok = left_max <= my_min
+        ok = yield from ctx.comm.allreduce(
+            1 if boundary_ok else 0, op=lambda a, b: a & b
+        )
+        return bool(ok)
+    yield from ctx.comm.allreduce(1, op=lambda a, b: a & b)
+    return True
+
+
+@instrument(name="main")
+def is_benchmark(ctx, config: ISConfig = ISConfig()):
+    """One rank of IS; returns (sorted local keys, verify flag)."""
+    st = _ISState(ctx, config)
+    final = None
+    for it in range(st.klass.iterations):
+        yield from _create_seq(ctx, st, it)
+        final = yield from _rank_keys(ctx, st)
+    ok = yield from _full_verify(ctx, st, final)
+    return final, ok

@@ -1,0 +1,225 @@
+"""NPB LU: SSOR solver with wavefront pipelining (structural model).
+
+Each SSOR iteration assembles the right-hand side, then sweeps the lower
+triangle (``jacld``/``blts``) and the upper triangle (``jacu``/``buts``)
+across the 2-D process grid as a *wavefront*: a rank must receive its
+upstream neighbours' boundary planes before sweeping and forwards its own
+downstream afterwards.  The pipeline fill/drain makes LU's communication
+fine-grained and directional — a different thermal texture from BT's
+bulk-synchronous steps on the same grid sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.instrument import instrument
+from repro.util.errors import ConfigError
+from repro.workloads.kernels import DEFAULT_RATE, MachineRate, flop_phase
+from repro.workloads.npb import lureal
+from repro.workloads.npb.classes import LU_CLASSES, GridClass, lookup
+
+RHS_FLOPS = 300.0
+LOWER_FLOPS = 600.0   # jacld + blts per cell
+UPPER_FLOPS = 600.0   # jacu + buts per cell
+
+
+@dataclass(frozen=True)
+class LUConfig:
+    """LU run configuration.
+
+    Real-data mode solves a reduced Poisson problem with the plane-SSOR
+    wavefront of :mod:`repro.workloads.npb.lureal`: the forward sweep
+    ripples up the rank chain, the backward sweep ripples back, and the
+    tests verify the iterate elementwise against the serial oracle.
+    """
+
+    klass: str = "C"
+    iterations: Optional[int] = None
+    real_data: bool = False
+    data_grid: int = 24
+    rate: MachineRate = DEFAULT_RATE
+    seed: int = 662607
+
+    def resolve(self) -> GridClass:
+        entry = lookup(LU_CLASSES, self.klass)
+        if self.iterations is not None:
+            from repro.workloads.npb.classes import scaled
+            entry = scaled(entry, self.iterations)
+        return entry
+
+
+class _LUState:
+    def __init__(self, ctx, config: LUConfig):
+        self.ctx = ctx
+        self.config = config
+        self.klass = config.resolve()
+        self.P = ctx.size
+        q = int(round(math.sqrt(self.P)))
+        if q * q != self.P:
+            raise ConfigError(f"LU needs a square rank count, got {self.P}")
+        self.q = q
+        self.row, self.col = divmod(ctx.rank, q)
+        self.cells_local = self.klass.ncells / self.P
+        plane = (self.klass.problem_size**2) / max(1, q)
+        self.plane_bytes = int(plane * 5 * 8)
+        # Real-data fields (z-slab chain over ranks in rank order).
+        self.u = None
+        self.v = None
+        self.h = 0.0
+        self.residual_norms: list[float] = []
+        if config.real_data:
+            g = config.data_grid
+            lo, hi = lureal.chunk_bounds(g, self.P, ctx.rank)
+            rng = np.random.default_rng(config.seed)
+            full = rng.standard_normal((g, g, g))
+            self.v = full[lo:hi].copy()
+            self.u = np.zeros_like(self.v)
+            self.h = 1.0 / g
+            self._zero = np.zeros((g, g))
+
+    def upstream(self) -> list[int]:
+        """North and west neighbours (lower sweep sources)."""
+        out = []
+        if self.row > 0:
+            out.append((self.row - 1) * self.q + self.col)
+        if self.col > 0:
+            out.append(self.row * self.q + self.col - 1)
+        return out
+
+    def downstream(self) -> list[int]:
+        """South and east neighbours (lower sweep sinks)."""
+        out = []
+        if self.row < self.q - 1:
+            out.append((self.row + 1) * self.q + self.col)
+        if self.col < self.q - 1:
+            out.append(self.row * self.q + self.col + 1)
+        return out
+
+
+@instrument(name="rhs")
+def _rhs(ctx, st: _LUState):
+    yield flop_phase(RHS_FLOPS * st.cells_local, st.config.rate)
+
+
+def _sweep(ctx, st: _LUState, sources: list[int], sinks: list[int],
+           flops: float, tag: int):
+    """Wavefront: wait for upstream planes, compute, forward downstream."""
+    for src in sources:
+        yield from ctx.comm.recv(source=src, tag=tag)
+    yield flop_phase(flops, st.config.rate)
+    for dst in sinks:
+        yield from ctx.comm.send(None, dst, tag=tag, nbytes=st.plane_bytes)
+
+
+@instrument(name="blts")
+def _blts(ctx, st: _LUState, ghost_above_old=None):
+    if st.config.real_data:
+        # Forward wavefront along the rank chain with real planes.
+        rank, P = ctx.rank, st.P
+        if rank > 0:
+            ghost_below_new = yield from ctx.comm.recv(source=rank - 1,
+                                                       tag=510)
+        else:
+            ghost_below_new = st._zero
+        yield flop_phase(LOWER_FLOPS * st.cells_local, st.config.rate)
+        st.u = lureal.forward_sweep_chunk(
+            st.u, st.v, st.h, ghost_below_new, ghost_above_old
+        )
+        if rank < P - 1:
+            yield from ctx.comm.send(st.u[-1].copy(), rank + 1, tag=510)
+        return
+    yield from _sweep(ctx, st, st.upstream(), st.downstream(),
+                      LOWER_FLOPS * st.cells_local, tag=500)
+
+
+@instrument(name="buts")
+def _buts(ctx, st: _LUState, ghost_below_old=None):
+    if st.config.real_data:
+        # Backward wavefront: ripples from the last rank down.
+        rank, P = ctx.rank, st.P
+        if rank < P - 1:
+            ghost_above_new = yield from ctx.comm.recv(source=rank + 1,
+                                                       tag=511)
+        else:
+            ghost_above_new = st._zero
+        yield flop_phase(UPPER_FLOPS * st.cells_local, st.config.rate)
+        st.u = lureal.backward_sweep_chunk(
+            st.u, st.v, st.h, ghost_above_new, ghost_below_old
+        )
+        if rank > 0:
+            yield from ctx.comm.send(st.u[0].copy(), rank - 1, tag=511)
+        return
+    # Upper sweep runs the opposite diagonal direction.
+    yield from _sweep(ctx, st, st.downstream(), st.upstream(),
+                      UPPER_FLOPS * st.cells_local, tag=501)
+
+
+def _exchange_old_plane(ctx, st: _LUState, plane, source_side: str, tag: int):
+    """Pre-sweep exchange of an *old* boundary plane along the chain.
+
+    ``source_side='above'``: each rank sends its bottom plane down-chain
+    (rank r -> r-1) so rank r-1 learns its old-above ghost.  ``'below'``:
+    top planes travel up-chain.  Returns the received ghost (or zeros at
+    the chain boundary)."""
+    rank, P = ctx.rank, st.P
+    reqs = []
+    if source_side == "above":
+        if rank > 0:
+            r = yield from ctx.comm.isend(plane[0].copy(), rank - 1, tag=tag)
+            reqs.append(r)
+        ghost = st._zero
+        if rank < P - 1:
+            ghost = yield from ctx.comm.recv(source=rank + 1, tag=tag)
+    else:
+        if rank < P - 1:
+            r = yield from ctx.comm.isend(plane[-1].copy(), rank + 1, tag=tag)
+            reqs.append(r)
+        ghost = st._zero
+        if rank > 0:
+            ghost = yield from ctx.comm.recv(source=rank - 1, tag=tag)
+    yield from ctx.comm.waitall(reqs)
+    return ghost
+
+
+@instrument(name="ssor")
+def _ssor(ctx, st: _LUState):
+    yield from _rhs(ctx, st)
+    if st.config.real_data:
+        ghost_above_old = yield from _exchange_old_plane(
+            ctx, st, st.u, "above", tag=512
+        )
+        yield from _blts(ctx, st, ghost_above_old)
+        ghost_below_old = yield from _exchange_old_plane(
+            ctx, st, st.u, "below", tag=513
+        )
+        yield from _buts(ctx, st, ghost_below_old)
+        # Residual norm for convergence tracking.
+        g_below = yield from _exchange_old_plane(ctx, st, st.u, "below",
+                                                 tag=514)
+        g_above = yield from _exchange_old_plane(ctx, st, st.u, "above",
+                                                 tag=515)
+        r = lureal.residual_chunk(st.u, st.v, st.h, g_below, g_above)
+        local = float((r * r).sum())
+        total = yield from ctx.comm.allreduce(local, nbytes=8)
+        st.residual_norms.append(float(np.sqrt(total)))
+        return
+    yield from _blts(ctx, st)
+    yield from _buts(ctx, st)
+
+
+@instrument(name="main")
+def lu_benchmark(ctx, config: LUConfig = LUConfig()):
+    """One rank of LU."""
+    st = _LUState(ctx, config)
+    yield from ctx.comm.barrier()
+    for _ in range(st.klass.iterations):
+        yield from _ssor(ctx, st)
+    yield from ctx.comm.barrier()
+    if config.real_data:
+        return st.residual_norms, st.u
+    return st.klass.iterations

@@ -1,0 +1,227 @@
+"""NPB MG: multigrid V-cycles on a 3-D Poisson problem.
+
+Each iteration runs one V-cycle of the standard recursion — pre-smooth,
+residual, restrict, recurse, interpolate-and-correct, post-smooth — with a
+``comm3`` halo exchange around every stencil pass.  MG alternates short
+memory-bound stencil sweeps with frequent small exchanges, so it sits
+thermally between EP (hot) and FT (cool).
+
+In real-data mode (``MGConfig(real_data=True)``) the ranks actually solve
+a reduced periodic Poisson problem: z-slab partitioned arrays flow through
+the same instrumented phases, ``comm3`` exchanges genuine ghost planes, and
+the result is verified elementwise against the serial oracle in
+:mod:`repro.workloads.npb.mgreal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.instrument import instrument
+from repro.util.errors import ConfigError
+from repro.workloads.kernels import DEFAULT_RATE, MachineRate, flop_phase
+from repro.workloads.npb import mgreal
+from repro.workloads.npb.classes import MG_CLASSES, GridClass, lookup
+
+#: stencil flops per cell per pass
+RESID_FLOPS = 21.0
+PSINV_FLOPS = 21.0
+RPRJ3_FLOPS = 12.0
+INTERP_FLOPS = 12.0
+
+#: V-cycle smoothing schedule
+PRE_SMOOTH = 3
+POST_SMOOTH = 3
+COARSE_ITERS = 40
+
+
+@dataclass(frozen=True)
+class MGConfig:
+    """MG run configuration."""
+
+    klass: str = "C"
+    iterations: Optional[int] = None
+    min_level_size: int = 4
+    real_data: bool = False
+    data_grid: int = 32          # reduced grid edge for real mode
+    rate: MachineRate = DEFAULT_RATE
+    seed: int = 577215
+
+    def resolve(self) -> GridClass:
+        entry = lookup(MG_CLASSES, self.klass)
+        if self.iterations is not None:
+            from repro.workloads.npb.classes import scaled
+            entry = scaled(entry, self.iterations)
+        return entry
+
+
+class _MGState:
+    def __init__(self, ctx, config: MGConfig):
+        self.ctx = ctx
+        self.config = config
+        self.klass = config.resolve()
+        self.P = ctx.size
+        n = self.klass.problem_size
+        self.levels = []
+        while n >= config.min_level_size:
+            self.levels.append(n)
+            n //= 2
+        if not self.levels:
+            raise ConfigError(f"grid too small: {self.klass.problem_size}")
+        # Real-data fields: per-level owned chunks for u and v.
+        self.real_levels: list[int] = []
+        self.u: dict[int, np.ndarray] = {}
+        self.v: dict[int, np.ndarray] = {}
+        self.residual_norms: list[float] = []
+        if config.real_data:
+            g = config.data_grid
+            n_levels = mgreal.max_levels(g, self.P, config.min_level_size)
+            self.real_levels = [g // (2**i) for i in range(n_levels)]
+            if (g % self.P) or any(
+                (lv // self.P) % 2 and lv != self.real_levels[-1]
+                for lv in self.real_levels
+            ):
+                raise ConfigError(
+                    f"grid {g} does not slab-decompose over {self.P} ranks"
+                )
+            rng = np.random.default_rng(config.seed)
+            full = rng.standard_normal((g, g, g))
+            full -= full.mean()  # solvable periodic problem
+            nzl = g // self.P
+            lo = ctx.rank * nzl
+            self.v[g] = full[lo:lo + nzl].copy()
+            self.u[g] = np.zeros_like(self.v[g])
+        self._full_rhs = None
+
+    def cells_local(self, n: int) -> float:
+        return n**3 / self.P
+
+    def face_bytes(self, n: int) -> int:
+        return int(8 * n * n)
+
+    def up_down(self) -> tuple[int, int]:
+        """Ring neighbours in the z direction (periodic)."""
+        return ((self.ctx.rank + 1) % self.P, (self.ctx.rank - 1) % self.P)
+
+
+# ----------------------------------------------------------------------
+# Instrumented phases
+
+
+@instrument(name="comm3")
+def _comm3(ctx, st: _MGState, n: int, chunk: Optional[np.ndarray] = None):
+    """Halo exchange at level size *n*; returns the ghosted slab in real
+    mode (owned planes wrapped with the neighbours' boundary planes)."""
+    if st.P == 1:
+        if chunk is not None:
+            g = mgreal.ghosted(chunk)
+            g[0] = chunk[-1]
+            g[-1] = chunk[0]
+            return g
+        return None
+    up, down = st.up_down()
+    top = chunk[-1].copy() if chunk is not None else None
+    bottom = chunk[0].copy() if chunk is not None else None
+    r1 = yield from ctx.comm.isend(top, up, tag=300,
+                                   nbytes=st.face_bytes(n))
+    r2 = yield from ctx.comm.isend(bottom, down, tag=301,
+                                   nbytes=st.face_bytes(n))
+    ghost_below = yield from ctx.comm.recv(source=down, tag=300)
+    ghost_above = yield from ctx.comm.recv(source=up, tag=301)
+    yield from ctx.comm.waitall([r1, r2])
+    if chunk is not None:
+        g = mgreal.ghosted(chunk)
+        g[0] = ghost_below
+        g[-1] = ghost_above
+        return g
+    return None
+
+
+@instrument(name="psinv")
+def _psinv(ctx, st: _MGState, n: int, iters: int, level_n: Optional[int] = None):
+    """Smoothing sweep: *iters* damped-Jacobi steps with halo exchanges."""
+    yield flop_phase(PSINV_FLOPS * st.cells_local(n) * iters, st.config.rate)
+    if st.config.real_data and level_n is not None:
+        h = 1.0 / level_n
+        for _ in range(iters):
+            g = yield from _comm3(ctx, st, level_n, st.u[level_n])
+            st.u[level_n] = mgreal.smooth_slab_step(g, st.v[level_n], h)
+
+
+@instrument(name="resid")
+def _resid(ctx, st: _MGState, n: int, level_n: Optional[int] = None):
+    """Residual evaluation; returns the owned-plane residual in real mode."""
+    yield flop_phase(RESID_FLOPS * st.cells_local(n), st.config.rate)
+    if st.config.real_data and level_n is not None:
+        h = 1.0 / level_n
+        g = yield from _comm3(ctx, st, level_n, st.u[level_n])
+        return mgreal.residual_slab(g, st.v[level_n], h)
+    yield from _comm3(ctx, st, n)
+    return None
+
+
+@instrument(name="rprj3")
+def _rprj3(ctx, st: _MGState, n: int, r_chunk: Optional[np.ndarray] = None):
+    yield flop_phase(RPRJ3_FLOPS * st.cells_local(n), st.config.rate)
+    if r_chunk is not None:
+        return mgreal.restrict_chunk(r_chunk)
+    return None
+
+
+@instrument(name="interp")
+def _interp(ctx, st: _MGState, n: int, e_chunk: Optional[np.ndarray] = None):
+    yield flop_phase(INTERP_FLOPS * st.cells_local(n), st.config.rate)
+    if e_chunk is not None:
+        return mgreal.interpolate_chunk(e_chunk)
+    return None
+
+
+@instrument(name="mg3P")
+def _vcycle(ctx, st: _MGState, level: int = 0):
+    """Standard V-cycle recursion over the level hierarchy."""
+    n = st.levels[min(level, len(st.levels) - 1)]
+    real_n = (st.real_levels[level]
+              if st.config.real_data and level < len(st.real_levels)
+              else None)
+    structural_coarsest = level >= len(st.levels) - 1
+    real_coarsest = st.config.real_data and level >= len(st.real_levels) - 1
+    if structural_coarsest or real_coarsest:
+        yield from _psinv(ctx, st, n, COARSE_ITERS, real_n)
+        return
+    yield from _psinv(ctx, st, n, PRE_SMOOTH, real_n)
+    r = yield from _resid(ctx, st, n, real_n)
+    r_c = yield from _rprj3(ctx, st, n, r)
+    if st.config.real_data:
+        coarse_n = st.real_levels[level + 1]
+        st.v[coarse_n] = r_c
+        st.u[coarse_n] = np.zeros_like(r_c)
+    yield from _vcycle(ctx, st, level + 1)
+    e = None
+    if st.config.real_data:
+        e = yield from _interp(ctx, st, n, st.u[st.real_levels[level + 1]])
+        st.u[real_n] = st.u[real_n] + e
+    else:
+        yield from _interp(ctx, st, n)
+    yield from _psinv(ctx, st, n, POST_SMOOTH, real_n)
+
+
+@instrument(name="main")
+def mg_benchmark(ctx, config: MGConfig = MGConfig()):
+    """One rank of MG; returns (residual norms, final owned planes)."""
+    st = _MGState(ctx, config)
+    yield from ctx.comm.barrier()
+    fine = st.real_levels[0] if st.config.real_data else None
+    for _ in range(st.klass.iterations):
+        yield from _vcycle(ctx, st, 0)
+        if st.config.real_data:
+            r = yield from _resid(ctx, st, st.levels[0], fine)
+            local = float((r * r).sum())
+            total = yield from ctx.comm.allreduce(local, nbytes=8)
+            st.residual_norms.append(float(np.sqrt(total)))
+        else:
+            yield from _resid(ctx, st, st.levels[0])
+            yield from ctx.comm.allreduce(0.0, nbytes=8)
+    return st.residual_norms, (st.u.get(fine) if fine else None)

@@ -1,0 +1,164 @@
+"""Real multigrid numerics for the MG reproduction (reduced scale).
+
+A geometric multigrid V-cycle for the periodic Poisson problem
+``A u = v`` with the standard 7-point Laplacian ``(A u) = (6u - sum of
+neighbours) / h^2``, damped-Jacobi smoothing, full-weighting-style block
+restriction and nearest-neighbour interpolation.
+
+The *distributed* form (used inside :mod:`repro.workloads.npb.mg` when
+``real_data=True``) partitions the grid into z-slabs with one ghost plane
+on each side; ``comm3``-style halo exchanges keep the ghosts current.  The
+coarsening stops while every rank still owns at least two planes, so
+restriction and interpolation never cross rank boundaries — each rank's
+chunk stays self-contained at every level.
+
+The serial functions here double as the oracle: the distributed result is
+verified elementwise against :func:`serial_v_cycles` in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+#: damped-Jacobi weight
+OMEGA = 2.0 / 3.0
+
+
+# ----------------------------------------------------------------------
+# Serial reference (periodic full arrays)
+
+
+def apply_a(u: np.ndarray, h: float) -> np.ndarray:
+    """7-point periodic Laplacian operator A = -laplacian."""
+    total = (
+        np.roll(u, 1, 0) + np.roll(u, -1, 0)
+        + np.roll(u, 1, 1) + np.roll(u, -1, 1)
+        + np.roll(u, 1, 2) + np.roll(u, -1, 2)
+    )
+    return (6.0 * u - total) / (h * h)
+
+
+def residual(u: np.ndarray, v: np.ndarray, h: float) -> np.ndarray:
+    """r = v - A u."""
+    return v - apply_a(u, h)
+
+
+def smooth(u: np.ndarray, v: np.ndarray, h: float, iters: int) -> np.ndarray:
+    """Damped Jacobi: u <- u + omega * (h^2/6) * r."""
+    scale = OMEGA * h * h / 6.0
+    for _ in range(iters):
+        u = u + scale * residual(u, v, h)
+    return u
+
+
+def restrict(r: np.ndarray) -> np.ndarray:
+    """Block-average 2x2x2 restriction (grid size halves)."""
+    n0, n1, n2 = r.shape
+    if n0 % 2 or n1 % 2 or n2 % 2:
+        raise ConfigError(f"cannot restrict odd grid {r.shape}")
+    return (
+        r.reshape(n0 // 2, 2, n1 // 2, 2, n2 // 2, 2).mean(axis=(1, 3, 5))
+    )
+
+
+def interpolate(e: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour prolongation (grid size doubles)."""
+    return e.repeat(2, 0).repeat(2, 1).repeat(2, 2)
+
+
+def v_cycle(u: np.ndarray, v: np.ndarray, h: float, *, min_n: int = 4,
+            pre: int = 3, post: int = 3, coarse_iters: int = 40) -> np.ndarray:
+    """One recursive V-cycle on full (serial) arrays."""
+    n = u.shape[0]
+    if n <= min_n:
+        return smooth(u, v, h, coarse_iters)
+    u = smooth(u, v, h, pre)
+    r = residual(u, v, h)
+    r_c = restrict(r)
+    e_c = v_cycle(np.zeros_like(r_c), r_c, 2.0 * h, min_n=min_n,
+                  pre=pre, post=post, coarse_iters=coarse_iters)
+    u = u + interpolate(e_c)
+    return smooth(u, v, h, post)
+
+
+def serial_v_cycles(v: np.ndarray, cycles: int, *, min_n: int = 4
+                    ) -> tuple[np.ndarray, list[float]]:
+    """Run V-cycles from a zero initial guess; returns (u, residual norms).
+
+    The RHS is projected to zero mean first (the periodic Poisson problem
+    is only solvable for mean-free right-hand sides).
+    """
+    v = v - v.mean()
+    n = v.shape[0]
+    h = 1.0 / n
+    u = np.zeros_like(v)
+    norms = [float(np.linalg.norm(residual(u, v, h)))]
+    for _ in range(cycles):
+        u = v_cycle(u, v, h, min_n=min_n)
+        norms.append(float(np.linalg.norm(residual(u, v, h))))
+    return u, norms
+
+
+# ----------------------------------------------------------------------
+# Distributed pieces (z-slab with ghost planes)
+#
+# Local arrays have shape (nzl + 2, n, n): plane 0 and plane -1 are ghosts
+# holding the neighbours' boundary planes (periodic ring).
+
+
+def interior(a: np.ndarray) -> np.ndarray:
+    """The owned planes of a ghosted slab."""
+    return a[1:-1]
+
+
+def ghosted(chunk: np.ndarray) -> np.ndarray:
+    """Wrap owned planes with (stale) ghost planes."""
+    nzl, n, _ = chunk.shape
+    out = np.empty((nzl + 2, n, n), dtype=chunk.dtype)
+    out[1:-1] = chunk
+    out[0] = 0.0
+    out[-1] = 0.0
+    return out
+
+
+def apply_a_slab(u: np.ndarray, h: float) -> np.ndarray:
+    """A on the owned planes of a ghosted slab (ghosts must be current)."""
+    center = u[1:-1]
+    z_sum = u[:-2] + u[2:]
+    y_sum = np.roll(center, 1, 1) + np.roll(center, -1, 1)
+    x_sum = np.roll(center, 1, 2) + np.roll(center, -1, 2)
+    return (6.0 * center - z_sum - y_sum - x_sum) / (h * h)
+
+
+def residual_slab(u: np.ndarray, v_chunk: np.ndarray, h: float) -> np.ndarray:
+    """r = v - A u on the owned planes."""
+    return v_chunk - apply_a_slab(u, h)
+
+
+def smooth_slab_step(u: np.ndarray, v_chunk: np.ndarray, h: float
+                     ) -> np.ndarray:
+    """One damped-Jacobi step; returns new *owned* planes (ghosts must be
+    exchanged by the caller before the next step)."""
+    scale = OMEGA * h * h / 6.0
+    return interior(u) + scale * residual_slab(u, v_chunk, h)
+
+
+def restrict_chunk(r_chunk: np.ndarray) -> np.ndarray:
+    """Restriction of the owned planes (rank-local: nzl must be even)."""
+    return restrict(r_chunk)
+
+
+def interpolate_chunk(e_chunk: np.ndarray) -> np.ndarray:
+    """Prolongation of the owned planes (rank-local)."""
+    return interpolate(e_chunk)
+
+
+def max_levels(n: int, n_ranks: int, min_n: int = 4) -> int:
+    """Number of grid levels usable before a rank would own < 2 planes."""
+    levels = 1
+    while n // 2 >= min_n and (n // 2) // n_ranks >= 2 and n % 2 == 0:
+        n //= 2
+        levels += 1
+    return levels

@@ -1,0 +1,177 @@
+"""NPB-style built-in verification.
+
+Every genuine NPB benchmark ends by checking its numerical result against a
+reference and printing ``VERIFICATION SUCCESSFUL``.  This module provides
+the same facility for the reproduction's real-data modes: each verifier
+runs the distributed benchmark on a fresh simulated cluster, computes the
+serial oracle, and compares within a class-appropriate epsilon.
+
+These are *library* features (usable from examples and the CLI), distinct
+from the test suite that exercises them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.mpisim.runtime import mpi_spawn
+from repro.simmachine.machine import ClusterConfig, Machine
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of one benchmark's verification run."""
+
+    benchmark: str
+    verified: bool
+    error: float          # scale-appropriate error measure
+    epsilon: float
+    detail: str = ""
+
+    def describe(self) -> str:
+        status = "VERIFICATION SUCCESSFUL" if self.verified \
+            else "VERIFICATION FAILED"
+        return (f"{self.benchmark}: {status} "
+                f"(error {self.error:.3e} vs epsilon {self.epsilon:.1e}"
+                + (f"; {self.detail}" if self.detail else "") + ")")
+
+
+def _run(program, n_ranks: int = 4, seed: int = 12345):
+    machine = Machine(ClusterConfig(n_nodes=4, vary_nodes=False, seed=seed))
+    _, procs = mpi_spawn(machine, program, n_ranks)
+    machine.run_to_completion(procs)
+    return [p.result for p in procs]
+
+
+def verify_ft() -> VerificationResult:
+    """Distributed FFT pipeline vs the serial numpy oracle."""
+    from repro.workloads.npb import ft
+
+    config = ft.FTConfig(klass="S", iterations=3, real_data=True,
+                         data_grid=16)
+    results = _run(lambda ctx: ft.ft_benchmark(ctx, config))
+    ref_checksums, ref_field = ft.reference_spectrum_pipeline(config)
+    assembled = np.concatenate([r[1] for r in results], axis=0)
+    err = float(np.max(np.abs(assembled - ref_field)))
+    cks_err = max(
+        abs(g - w) for g, w in zip(results[0][0], ref_checksums)
+    )
+    eps = 1e-8
+    return VerificationResult("FT", err < eps and cks_err < eps,
+                              max(err, float(abs(cks_err))), eps)
+
+
+def verify_bt() -> VerificationResult:
+    """Block-tridiagonal solves: residuals of the real 5x5-block systems."""
+    from repro.workloads.npb import bt
+
+    config = bt.BTConfig(klass="S", iterations=2, real_data=True,
+                         data_lines=10)
+    results = _run(lambda ctx: bt.bt_benchmark(ctx, config))
+    worst = max(max(res) for res in results)
+    eps = 1e-9
+    return VerificationResult("BT", worst < eps, worst, eps,
+                              detail="max solve residual")
+
+
+def verify_cg() -> VerificationResult:
+    """zeta converges to the dense-eigensolver oracle."""
+    from repro.workloads.npb import cg
+
+    config = cg.CGConfig(klass="S", niter=8, real_data=True, data_n=128)
+    results = _run(lambda ctx: cg.cg_benchmark(ctx, config))
+    oracle = cg.reference_smallest_shifted_eigenvalue(config)
+    zetas, residuals = results[0]
+    err = abs(zetas[-1] - oracle)
+    eps = 1e-3
+    return VerificationResult("CG", err < eps and residuals[-1] < 1e-6,
+                              err, eps, detail=f"zeta={zetas[-1]:.6f}")
+
+
+def verify_ep() -> VerificationResult:
+    """Polar-method acceptance rate equals pi/4."""
+    from repro.workloads.npb import ep
+
+    config = ep.EPConfig(klass="S", real_data=True, data_pairs=160_000)
+    results = _run(lambda ctx: ep.ep_benchmark(ctx, config))
+    counts, accepted, generated, sx, sy = results[0]
+    err = abs(accepted / generated - np.pi / 4)
+    eps = 0.01
+    ok = err < eps and counts.sum() == accepted
+    return VerificationResult("EP", bool(ok), float(err), eps,
+                              detail=f"{accepted}/{generated} accepted")
+
+
+def verify_mg() -> VerificationResult:
+    """Distributed V-cycles equal the serial multigrid oracle elementwise."""
+    from repro.workloads.npb import mg, mgreal
+
+    config = mg.MGConfig(klass="S", iterations=3, real_data=True,
+                         data_grid=32)
+    results = _run(lambda ctx: mg.mg_benchmark(ctx, config))
+    rng = np.random.default_rng(config.seed)
+    full = rng.standard_normal((32, 32, 32))
+    full -= full.mean()
+    n_levels = mgreal.max_levels(32, 4, config.min_level_size)
+    u_ref, _ = mgreal.serial_v_cycles(full, 3,
+                                      min_n=32 // (2 ** (n_levels - 1)))
+    assembled = np.concatenate([r[1] for r in results], axis=0)
+    err = float(np.max(np.abs(assembled - u_ref)))
+    eps = 1e-9
+    return VerificationResult("MG", err < eps, err, eps)
+
+
+def verify_lu() -> VerificationResult:
+    """Distributed plane-SSOR wavefront equals the serial oracle."""
+    from repro.workloads.npb import lu, lureal
+
+    config = lu.LUConfig(klass="S", iterations=4, real_data=True,
+                         data_grid=24)
+    results = _run(lambda ctx: lu.lu_benchmark(ctx, config))
+    rng = np.random.default_rng(config.seed)
+    full = rng.standard_normal((24, 24, 24))
+    u_ref, _ = lureal.serial_ssor(full, 4)
+    assembled = np.concatenate([r[1] for r in results], axis=0)
+    err = float(np.max(np.abs(assembled - u_ref)))
+    eps = 1e-9
+    return VerificationResult("LU", err < eps, err, eps)
+
+
+def verify_is() -> VerificationResult:
+    """Global sort is a sorted permutation across rank boundaries."""
+    from repro.workloads.npb import is_
+
+    config = is_.ISConfig(klass="S", iterations=2, real_data=True,
+                          data_keys=2048)
+    results = _run(lambda ctx: is_.is_benchmark(ctx, config))
+    ok = all(flag for _, flag in results)
+    chunks = [r[0] for r in results]
+    locally_sorted = all(np.all(np.diff(c) >= 0) for c in chunks)
+    boundaries = all(
+        a.max() <= b.min() for a, b in zip(chunks, chunks[1:])
+        if len(a) and len(b)
+    )
+    total = sum(len(c) for c in chunks)
+    ok = bool(ok and locally_sorted and boundaries and total == 4 * 2048)
+    return VerificationResult("IS", ok, 0.0 if ok else 1.0, 0.5,
+                              detail=f"{total} keys")
+
+
+VERIFIERS: dict[str, Callable[[], VerificationResult]] = {
+    "FT": verify_ft,
+    "BT": verify_bt,
+    "CG": verify_cg,
+    "EP": verify_ep,
+    "MG": verify_mg,
+    "LU": verify_lu,
+    "IS": verify_is,
+}
+
+
+def verify_all(only: Optional[list[str]] = None) -> list[VerificationResult]:
+    """Run every (or the selected) benchmark verification."""
+    names = only if only is not None else list(VERIFIERS)
+    return [VERIFIERS[name.upper()]() for name in names]

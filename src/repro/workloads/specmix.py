@@ -1,0 +1,76 @@
+"""Serial SPEC-CPU-2000-like workload mixes.
+
+§3.4 measures profiling overhead on "the SPEC CPU 2000 benchmarks and the
+NAS Parallel Benchmark suite".  These serial mixes stand in for the SPEC
+side: each mimics one benchmark archetype's function-call granularity and
+compute character, because hook overhead is a function of *call rate* and
+the thermal profile is a function of *activity mix*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instrument import instrument
+from repro.simmachine.power import ACTIVITY_BURN, ACTIVITY_COMPUTE, ACTIVITY_MEMORY
+from repro.simmachine.process import Compute
+
+
+@instrument
+def compress_block(ctx, seconds: float):
+    """gzip-like: integer work on a buffer."""
+    yield Compute(seconds, 0.7)
+
+
+@instrument(name="spec_gzip")
+def gzip_like(ctx, blocks: int = 400, block_s: float = 0.01):
+    """Many medium-length calls (moderate call rate)."""
+    for _ in range(blocks):
+        yield from compress_block(ctx, block_s)
+
+
+@instrument
+def pointer_chase(ctx, seconds: float):
+    """mcf-like: cache-hostile pointer chasing."""
+    yield Compute(seconds, ACTIVITY_MEMORY)
+
+
+@instrument(name="spec_mcf")
+def mcf_like(ctx, phases: int = 40, phase_s: float = 0.1):
+    """Few long memory-bound calls (low call rate, warm not hot)."""
+    for _ in range(phases):
+        yield from pointer_chase(ctx, phase_s)
+
+
+@instrument
+def fp_kernel(ctx, seconds: float):
+    """art/swim-like: dense floating-point loop."""
+    yield Compute(seconds, ACTIVITY_BURN)
+
+
+@instrument(name="spec_art")
+def art_like(ctx, phases: int = 8, phase_s: float = 0.5):
+    """Few long hot calls (lowest call rate, hottest profile)."""
+    for _ in range(phases):
+        yield from fp_kernel(ctx, phase_s)
+
+
+@instrument
+def leaf_call(ctx, seconds: float):
+    """perlbmk-like: very short leaf calls."""
+    yield Compute(seconds, ACTIVITY_COMPUTE)
+
+
+@instrument(name="spec_perl")
+def perl_like(ctx, calls: int = 4000, call_s: float = 0.001):
+    """Very high call rate — the §3.3 overhead-inflating archetype."""
+    for _ in range(calls):
+        yield from leaf_call(ctx, call_s)
+
+
+SPEC_MIXES = {
+    "gzip": gzip_like,
+    "mcf": mcf_like,
+    "art": art_like,
+    "perl": perl_like,
+}

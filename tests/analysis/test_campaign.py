@@ -1,0 +1,87 @@
+"""Tests for multi-run measurement campaigns."""
+
+import pytest
+
+from repro.analysis.campaign import Aggregate, CampaignResult, run_campaign
+from repro.core import TempestSession, instrument
+from repro.simmachine.ambient import AmbientWander, install_ambient_wander
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.power import ACTIVITY_BURN
+from repro.simmachine.process import Compute
+from repro.util.errors import ConfigError
+
+
+@instrument
+def kernel(ctx):
+    for _ in range(6):
+        yield Compute(1.0, ACTIVITY_BURN)
+
+
+@instrument(name="main")
+def app(ctx):
+    yield from kernel(ctx)
+
+
+def experiment(seed: int):
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=seed))
+    install_ambient_wander(m, AmbientWander(sd_c=0.6, tau_s=10.0))
+    s = TempestSession(m)
+    s.run_serial(app, "node1", 0)
+    return s.profile()
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(experiment, n_runs=5)
+
+
+def test_campaign_runs_the_requested_count(campaign):
+    assert campaign.n_runs == 5
+
+
+def test_function_time_repeats_to_clock_precision(campaign):
+    """Without core-sharing noise, run-to-run time spread is only the
+    per-seed TSC drift (ppm scale) — microseconds on a six-second run."""
+    agg = campaign.function_time("node1", "kernel")
+    assert agg.n == 5
+    assert agg.mean == pytest.approx(6.0, rel=1e-4)
+    assert agg.sd < 1e-4
+
+
+def test_temperatures_vary_across_seeds(campaign):
+    """Sensor noise + ambient wander differ per seed: nonzero spread,
+    bounded well under the paper's ~5%."""
+    agg = campaign.function_avg_temp("node1", "kernel", "CPU0 Temp")
+    assert agg.sd > 0.0
+    assert agg.rel_spread < 0.05
+
+
+def test_node_mean_and_duration(campaign):
+    mean = campaign.node_mean_temp("node1", "CPU0 Temp")
+    assert 25.0 < mean.mean < 45.0
+    dur = campaign.duration("node1")
+    assert dur.mean == pytest.approx(6.0, rel=1e-3)
+
+
+def test_averaged_table_renders(campaign):
+    table = campaign.averaged_table("node1", "CPU0 Temp")
+    assert "kernel" in table and "main" in table
+    assert "±" in table
+
+
+def test_missing_function_raises(campaign):
+    with pytest.raises(ConfigError):
+        campaign.function_time("node1", "nonexistent")
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        run_campaign(experiment, n_runs=0)
+    with pytest.raises(ConfigError):
+        CampaignResult([])
+
+
+def test_aggregate_str_and_rel_spread():
+    a = Aggregate(mean=10.0, sd=0.5, n=5)
+    assert a.rel_spread == pytest.approx(0.05)
+    assert "±" in str(a)

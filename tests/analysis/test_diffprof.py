@@ -1,0 +1,99 @@
+"""Tests for profile diffing and the tempest compare command."""
+
+import pytest
+
+from repro.analysis.diffprof import diff_profiles, render_diff
+from repro.analysis.optimize import dvfs_region
+from repro.cli import main
+from repro.core import TempestSession, instrument
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.power import ACTIVITY_BURN
+from repro.simmachine.process import Compute
+
+
+@instrument
+def kernel_a(ctx):
+    for _ in range(4):
+        yield Compute(1.0, ACTIVITY_BURN)
+
+
+@instrument
+def kernel_b(ctx):
+    yield Compute(2.0, ACTIVITY_BURN)
+
+
+@instrument(name="main")
+def before_app(ctx):
+    yield from kernel_a(ctx)
+    yield from kernel_b(ctx)
+
+
+@instrument(name="main")
+def after_app(ctx):
+    yield from dvfs_region(ctx, kernel_a(ctx), opp_index=2)
+    # kernel_b removed in the "after" version.
+
+
+def run(program, seed=21):
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=seed))
+    s = TempestSession(m)
+    s.run_serial(program, "node1", 0)
+    return s
+
+
+def test_diff_detects_slowdown_and_removal():
+    before = run(before_app).profile()
+    after = run(after_app).profile()
+    deltas = {d.function: d for d in diff_profiles(before, after)}
+
+    a = deltas["kernel_a"]
+    assert a.status == "common"
+    assert a.time_ratio == pytest.approx(1.8, rel=0.02)  # 1.0 GHz region
+
+    b = deltas["kernel_b"]
+    assert b.status == "removed"
+    assert b.time_after_s is None
+    assert b.time_ratio is None
+
+    text = render_diff(list(deltas.values()))
+    assert "kernel_a" in text and "kernel_b" in text
+    assert "removed" in text
+
+
+def test_diff_detects_additions():
+    before = run(after_app).profile()
+    after = run(before_app).profile()
+    deltas = {d.function: d for d in diff_profiles(before, after)}
+    assert deltas["kernel_b"].status == "added"
+
+
+def test_diff_skips_disjoint_nodes():
+    a = run(before_app).profile()
+    b = run(before_app).profile()
+    b.nodes["other"] = b.nodes.pop("node1")
+    b.nodes["other"].node_name = "other"
+    assert diff_profiles(a, b) == []
+
+
+def test_cli_compare(tmp_path, capsys):
+    s1 = run(before_app)
+    s1.collect().save(tmp_path / "before")
+    s2 = run(after_app)
+    s2.collect().save(tmp_path / "after")
+    assert main(["compare", str(tmp_path / "before"),
+                 str(tmp_path / "after")]) == 0
+    out = capsys.readouterr().out
+    assert "kernel_a" in out
+    assert "ratio" in out
+
+
+def test_cli_compare_disjoint(tmp_path, capsys):
+    s1 = run(before_app)
+    s1.collect().save(tmp_path / "b")
+    # An empty bundle with no overlapping nodes.
+    from repro.core.symtab import SymbolTable
+    from repro.core.trace import TraceBundle
+
+    empty = TraceBundle(SymbolTable())
+    empty.save(tmp_path / "a")
+    assert main(["compare", str(tmp_path / "b"), str(tmp_path / "a")]) == 1

@@ -1,0 +1,136 @@
+"""Tests for thermal-aware placement planning and online steering."""
+
+import pytest
+
+from repro.analysis.migration import (
+    ThermalSteering,
+    node_headroom,
+    plan_placement,
+    rank_heat_scores,
+)
+from repro.core import TempestSession, instrument
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.node import NodeConfig
+from repro.simmachine.power import ACTIVITY_BURN
+from repro.simmachine.process import Compute, Sleep
+from repro.util.errors import ConfigError
+
+
+def hetero_cluster(seed=5):
+    return Machine(ClusterConfig(
+        n_nodes=4,
+        node_configs=[
+            NodeConfig(name="node1"),
+            NodeConfig(name="node2", paste_quality=1.2, airflow_quality=1.2),
+            NodeConfig(name="node3", paste_quality=0.7, inlet_offset_c=3.0),
+            NodeConfig(name="node4", inlet_offset_c=1.5),
+        ],
+        seed=seed,
+    ))
+
+
+@instrument(name="main")
+def uneven_work(ctx):
+    # Rank 0 works twice as hard as the others — a hot rank by construction.
+    rounds = 16 if ctx.rank == 0 else 8
+    for _ in range(rounds):
+        yield Compute(1.0, ACTIVITY_BURN)
+    yield from ctx.comm.barrier()
+
+
+def profile_run(machine, placement=None):
+    session = TempestSession(machine)
+    session.run_mpi(uneven_work, 4, placement=placement)
+    return session.profile()
+
+
+def test_rank_heat_scores_identify_hot_rank():
+    m = Machine(ClusterConfig(n_nodes=4, vary_nodes=False))
+    prof = profile_run(m)
+    heat = rank_heat_scores(prof)
+    # Rank 0 (double work) is the hottest; scores are relative to coolest.
+    assert heat[0] == max(heat)
+    assert min(heat) == 0.0
+
+
+def test_node_headroom_ranks_cool_nodes_higher():
+    m = hetero_cluster()
+    headroom = node_headroom(m)
+    assert headroom["node2"] == max(headroom.values())  # best cooling
+    assert headroom["node3"] == min(headroom.values())  # hot aisle, bad paste
+
+
+def test_plan_placement_puts_hot_rank_on_cool_node():
+    m_profile = Machine(ClusterConfig(n_nodes=4, vary_nodes=False))
+    prof = profile_run(m_profile)
+    target = hetero_cluster()
+    plan = plan_placement(prof, target, 4)
+    # The hottest rank (0) lands on the node with the most headroom.
+    assert plan.placement[0][0] == "node2"
+    assert "rank 0" in plan.describe()
+    # Every rank got a distinct node.
+    nodes = [n for n, _ in plan.placement]
+    assert len(set(nodes)) == 4
+
+
+def test_plan_placement_cools_the_hot_rank():
+    """End-to-end §5 study: profile the workload's per-rank heat on a
+    homogeneous cluster (isolating *workload* heat from *node* heat), plan
+    onto a heterogeneous target, and compare against the anti-optimal
+    placement (hot rank forced onto the hot-aisle node)."""
+    homogeneous = Machine(ClusterConfig(n_nodes=4, vary_nodes=False))
+    baseline = profile_run(homogeneous)
+
+    target = hetero_cluster(seed=6)
+    plan = plan_placement(baseline, target, 4)
+    assert plan.placement[0][0] == "node2"  # hot rank -> coolest node
+    planned = profile_run(target, placement=plan.placement)
+
+    anti_target = hetero_cluster(seed=6)
+    anti = [("node3", 0), ("node2", 0), ("node4", 0), ("node1", 0)]
+    anti_planned = profile_run(anti_target, placement=anti)
+
+    sensor = "CPU0 Temp"
+    good = planned.node(plan.placement[0][0]).max_temperature(sensor)
+    bad = anti_planned.node("node3").max_temperature(sensor)
+    assert good < bad - 2.0  # matched placement keeps the hot rank cooler
+
+
+def test_plan_placement_validation():
+    m = Machine(ClusterConfig(n_nodes=2, vary_nodes=False))
+    prof = profile_run(Machine(ClusterConfig(n_nodes=4, vary_nodes=False)))
+    with pytest.raises(ConfigError):
+        plan_placement(prof, m, 4)  # only 2 nodes available
+
+
+def test_thermal_steering_migrates_off_hot_socket():
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+
+    def burner(proc):
+        for _ in range(40):
+            yield Compute(0.5, ACTIVITY_BURN)
+        return proc.core_id
+
+    proc = m.spawn(burner, "node1", 0)
+    steering = ThermalSteering(m, proc, trip_c=36.0, margin_c=1.0)
+    steering.install()
+    m.run_to_completion([proc])
+    # The burn heats socket 0 past the trip point; steering moved the
+    # process to socket 1 (cores 2-3).
+    assert steering.migrations, "no migration happened"
+    t, old, new = steering.migrations[0]
+    assert old in (0, 1) and new in (2, 3)
+    assert proc.result in (2, 3)
+
+
+def test_thermal_steering_idle_never_migrates():
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+
+    def idler(proc):
+        yield Sleep(20.0)
+
+    proc = m.spawn(idler, "node1", 0)
+    steering = ThermalSteering(m, proc, trip_c=36.0)
+    steering.install()
+    m.run_to_completion([proc])
+    assert steering.migrations == []

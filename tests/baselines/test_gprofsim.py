@@ -1,0 +1,89 @@
+"""Tests for the gprof baseline."""
+
+import pytest
+
+from repro.baselines.gprofsim import (
+    GprofCosts,
+    GprofTracer,
+    gprof_flat_profile,
+    run_gprof_serial,
+)
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.workloads import microbench as mb
+from repro.workloads.specmix import SPEC_MIXES
+from repro.util.errors import ConfigError
+
+
+def make_machine():
+    return Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+
+
+def test_call_counts_match_dynamic_calls():
+    m = make_machine()
+    tracer, proc = run_gprof_serial(m, mb.micro_d, "node1", 0, 3.0, 0.05)
+    assert tracer.call_counts["main"] == 1
+    assert tracer.call_counts["foo1"] == 1
+    assert tracer.call_counts["foo2"] == 2
+
+
+def test_flat_profile_self_time_statistical():
+    m = make_machine()
+    tracer, _ = run_gprof_serial(m, mb.micro_d, "node1", 0, 5.0, 0.05)
+    rows = gprof_flat_profile(tracer)
+    by_name = {r["name"]: r for r in rows}
+    # foo1 burned ~5 s: ~500 bucket hits -> ~5 s self time.
+    assert by_name["foo1"]["self_s"] == pytest.approx(5.0, rel=0.15)
+    # main's own self time is negligible: buckets go to the leaf.
+    assert by_name.get("main", {"self_s": 0.0})["self_s"] < 0.5
+    # Percentages sum to ~100.
+    assert sum(r["percent"] for r in rows) == pytest.approx(100.0, abs=0.1)
+
+
+def test_overhead_charged_mcount_plus_sampler():
+    m = make_machine()
+    costs = GprofCosts(mcount_s=1e-4, sample_handler_s=1e-5)
+    tracer, proc = run_gprof_serial(
+        m, mb.micro_b, "node1", 0, 2.0, costs=costs
+    )
+    calls = sum(tracer.call_counts.values())
+    expected_min = calls * 1e-4
+    assert proc.overhead_charged >= expected_min
+    assert tracer.n_samples > 0
+
+
+def test_gprof_rows_sorted_by_self_time():
+    m = make_machine()
+    tracer, _ = run_gprof_serial(m, SPEC_MIXES["gzip"], "node1", 0, 100, 0.01)
+    rows = gprof_flat_profile(tracer)
+    selfs = [r["self_s"] for r in rows]
+    assert selfs == sorted(selfs, reverse=True)
+
+
+def test_gprof_has_no_timeline():
+    """The §3.1 limitation: buckets only — no time-indexed records exist."""
+    m = make_machine()
+    tracer, _ = run_gprof_serial(m, mb.micro_b, "node1", 0, 1.0)
+    assert not hasattr(tracer, "trace")
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ConfigError):
+        GprofCosts(mcount_s=-1.0)
+
+
+def test_call_graph_arcs():
+    """mcount records caller->callee arcs: micro D's interleaving shows
+    foo2 reached from both foo1 and main."""
+    m = make_machine()
+    tracer, _ = run_gprof_serial(m, mb.micro_d, "node1", 0, 3.0, 0.05)
+    assert tracer.arcs[("<spontaneous>", "main")] == 1
+    assert tracer.arcs[("main", "foo1")] == 1
+    assert tracer.arcs[("foo1", "foo2")] == 1
+    assert tracer.arcs[("main", "foo2")] == 1
+
+
+def test_call_graph_recursion_arc():
+    m = make_machine()
+    tracer, _ = run_gprof_serial(m, mb.micro_e, "node1", 0, 4)
+    assert tracer.arcs[("recurse", "recurse")] == 4  # self-arc
+    assert tracer.arcs[("main", "recurse")] == 1

@@ -1,0 +1,150 @@
+"""Tests for the HotSpot-style solver, counter model, and lightweight logger."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.counters import CounterModel, CounterSample, collect_counter_samples
+from repro.baselines.hotspot import (
+    Floorplan,
+    FunctionalUnit,
+    HotSpotModel,
+    opteron_like_floorplan,
+)
+from repro.baselines.lightweight import LightweightLogger
+from repro.core.sensors import SimSensorReader
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.node import NodeConfig, SimNode
+from repro.simmachine.power import ACTIVITY_BURN
+from repro.simmachine.process import Compute
+from repro.util.errors import ConfigError
+
+
+# ----------------------------------------------------------------------
+# HotSpot
+
+
+def test_floorplan_validation():
+    with pytest.raises(ConfigError):
+        FunctionalUnit("bad", 0.5, 0.0, 0.2, 1.0)
+    fp = opteron_like_floorplan()
+    assert {u.name for u in fp.units} == {"core0", "core1", "l2", "nb"}
+    with pytest.raises(ConfigError):
+        fp.unit("gpu")
+
+
+def test_hotspot_idle_stays_ambient():
+    hs = HotSpotModel(grid=16)
+    out = hs.simulate(lambda t: {}, duration_s=2.0)
+    assert out["core0"][-1] == pytest.approx(22.0, abs=0.1)
+
+
+def test_hotspot_powered_core_heats_locally():
+    hs = HotSpotModel(grid=24)
+    out = hs.simulate(lambda t: {"core0": 30.0}, duration_s=5.0)
+    assert out["core0"][-1] > out["core1"][-1] + 1.0
+    assert out["core0"][-1] > 30.0  # well above ambient
+    # Peak cell exceeds the unit mean — the detail sensors average away.
+    assert hs.hottest_cell() > hs.unit_mean("core0")
+
+
+def test_hotspot_heat_spreads_laterally():
+    hs = HotSpotModel(grid=24)
+    hs.simulate(lambda t: {"core0": 40.0}, duration_s=10.0)
+    assert hs.unit_mean("l2") > 22.5  # neighbour warmed through silicon
+
+
+def test_hotspot_stability_guard():
+    hs = HotSpotModel(grid=16)
+    with pytest.raises(ConfigError):
+        hs.simulate(lambda t: {}, duration_s=0.1, dt=hs.dt_max * 10)
+
+
+def test_hotspot_steady_state_scales_with_power():
+    hs1 = HotSpotModel(grid=16)
+    hs2 = HotSpotModel(grid=16)
+    hs1.simulate(lambda t: {"core0": 15.0}, duration_s=30.0)
+    hs2.simulate(lambda t: {"core0": 30.0}, duration_s=30.0)
+    rise1 = hs1.unit_mean("core0") - 22.0
+    rise2 = hs2.unit_mean("core0") - 22.0
+    assert rise2 == pytest.approx(2.0 * rise1, rel=0.05)
+
+
+def test_hotspot_is_expensive_per_simulated_second():
+    """The heavyweight premise: thousands of steps per simulated second."""
+    hs = HotSpotModel(grid=24)
+    hs.simulate(lambda t: {"core0": 20.0}, duration_s=1.0)
+    assert hs.steps > 1000
+
+
+# ----------------------------------------------------------------------
+# Counter regression
+
+
+def test_counter_model_fits_and_predicts_same_config():
+    node = SimNode(NodeConfig(name="n"))
+    schedule = [(5.0, 0.1), (10.0, 1.0), (5.0, 0.4), (10.0, 0.9), (5.0, 0.2)]
+    samples = collect_counter_samples(node, schedule)
+    model = CounterModel()
+    rmse_train = model.fit(samples)
+    assert rmse_train < 1.5  # fits the training trajectory well
+    # Fresh node, different schedule, same fan/freq: still predicts well.
+    node2 = SimNode(NodeConfig(name="n2"))
+    test = collect_counter_samples(node2, [(8.0, 0.8), (8.0, 0.3), (8.0, 1.0)])
+    assert model.rmse(test) < 2.5
+
+
+def test_counter_model_breaks_when_fan_changes():
+    """§2: 'very fast but inflexible' — fan speed is outside the features."""
+    node = SimNode(NodeConfig(name="n"))
+    model = CounterModel()
+    model.fit(collect_counter_samples(
+        node, [(5.0, 0.1), (10.0, 1.0), (5.0, 0.4), (10.0, 0.9)]
+    ))
+    slow_fan = SimNode(NodeConfig(name="slow", fan_rpm=1400.0))
+    test = collect_counter_samples(
+        slow_fan, [(8.0, 0.8), (8.0, 0.3), (8.0, 1.0)]
+    )
+    in_config = SimNode(NodeConfig(name="ok"))
+    ref = collect_counter_samples(
+        in_config, [(8.0, 0.8), (8.0, 0.3), (8.0, 1.0)]
+    )
+    assert model.rmse(test) > 2.0 * model.rmse(ref)
+
+
+def test_counter_model_validation():
+    model = CounterModel()
+    with pytest.raises(ConfigError):
+        model.predict([CounterSample(0.0, 1.0, 1.8, 40.0)])
+    with pytest.raises(ConfigError):
+        model.fit([])
+    with pytest.raises(ConfigError):
+        CounterModel(history_taus_s=(0.0,))
+    with pytest.raises(ConfigError):
+        CounterModel(history_taus_s=())
+
+
+# ----------------------------------------------------------------------
+# Lightweight logger
+
+
+def test_lightweight_logger_records_but_cannot_attribute():
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+    node = m.node("node1")
+    logger = LightweightLogger(m, SimSensorReader(node))
+    m.spawn(logger.daemon, "node1", 3, name="logger")
+
+    def burner(proc):
+        for _ in range(10):
+            yield Compute(1.0, ACTIVITY_BURN)
+
+    w = m.spawn(burner, "node1", 0)
+    m.run_to_completion([w])
+    logger.stop()
+    m.sim.run(until=m.sim.now + 0.5)
+    times, vals = logger.series()
+    assert len(times) >= 35  # ~4 Hz over ~10 s
+    assert vals.shape[1] == 3
+    t, sensor, temp = logger.hottest_observation()
+    assert sensor == "CPU0 Temp"  # it can find the hot *sensor*...
+    # ...but it has no function records at all (nothing to attribute).
+    assert not hasattr(logger, "trace")

@@ -1,0 +1,65 @@
+"""Tests for the HTML report export."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import TempestSession
+from repro.core.htmlreport import render_html_report
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.workloads.microbench import micro_d
+from repro.workloads.npb import cg
+
+
+def micro_profile():
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=61))
+    s = TempestSession(m)
+    s.run_serial(micro_d, "node1", 0, 5.0, 0.05)
+    return s.profile()
+
+
+def test_html_report_structure():
+    html_text = render_html_report(micro_profile(), title="micro D")
+    assert html_text.startswith("<!DOCTYPE html>")
+    assert "<title>micro D</title>" in html_text
+    assert "<h2>node1" in html_text
+    assert "<polyline" in html_text            # SVG series
+    assert "CPU0 Temp" in html_text
+    assert "foo1" in html_text
+    # The insignificant function gets the explanatory row.
+    assert "below the sampling interval" in html_text
+
+
+def test_html_report_escapes_names():
+    prof = micro_profile()
+    # Inject a hostile sensor name to verify escaping.
+    node = prof.node("node1")
+    t, v = node.sensor_series.pop("M/B Temp")
+    node.sensor_series["<script>alert(1)</script>"] = (t, v)
+    html_text = render_html_report(prof)
+    assert "<script>alert(1)</script>" not in html_text
+    assert "&lt;script&gt;" in html_text
+
+
+def test_html_report_celsius_and_topn():
+    html_text = render_html_report(micro_profile(), fahrenheit=False,
+                                   top_n=1)
+    assert "foo2" not in html_text  # trimmed by top_n (main is first)
+    assert "C</text>" in html_text
+
+
+def test_html_multi_node():
+    m = Machine(ClusterConfig(n_nodes=4, seed=62))
+    s = TempestSession(m)
+    config = cg.CGConfig(klass="S", niter=2)
+    s.run_mpi(lambda ctx: cg.cg_benchmark(ctx, config), 4)
+    html_text = render_html_report(s.profile())
+    for n in ("node1", "node2", "node3", "node4"):
+        assert f"<h2>{n}" in html_text
+
+
+def test_cli_html_flag(tmp_path, capsys):
+    out = tmp_path / "report.html"
+    assert main(["micro", "--bench", "B", "--html", str(out)]) == 0
+    text = out.read_text()
+    assert text.startswith("<!DOCTYPE html>")
+    assert "foo1" in text

@@ -1,0 +1,97 @@
+"""Tests for incremental trace spooling."""
+
+import pytest
+
+from repro.core import TempestSession, TempestParser
+from repro.core.spool import (
+    SpoolingNodeTrace,
+    TraceSpool,
+    read_spool,
+    spool_to_bundle,
+    write_spool_header,
+)
+from repro.core.symtab import SymbolTable
+from repro.core.trace import REC_ENTER, REC_TEMP, TraceRecord
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.util.errors import TraceError
+from repro.workloads.microbench import micro_d
+
+
+def test_spool_write_read_roundtrip(tmp_path):
+    spool = TraceSpool(tmp_path / "n1.spool")
+    records = [
+        TraceRecord(REC_ENTER, 0x400000, 1000 + i, 0, 1) for i in range(50)
+    ]
+    with spool:
+        for r in records:
+            spool.write(r)
+    assert spool.records_written == 50
+    assert read_spool(tmp_path / "n1.spool") == records
+
+
+def test_spool_rejects_writes_after_close(tmp_path):
+    spool = TraceSpool(tmp_path / "x.spool")
+    spool.close()
+    with pytest.raises(TraceError):
+        spool.write(TraceRecord(REC_ENTER, 1, 1, 0, 1))
+
+
+def test_truncated_tail_tolerated(tmp_path):
+    spool = TraceSpool(tmp_path / "t.spool")
+    with spool:
+        for i in range(10):
+            spool.write(TraceRecord(REC_TEMP, 0, i, 0, 2, 40.0))
+    f = tmp_path / "t.spool"
+    f.write_bytes(f.read_bytes()[:-7])  # crash mid-record
+    recs = read_spool(f)
+    assert len(recs) == 9
+    with pytest.raises(TraceError):
+        read_spool(f, tolerate_truncation=False)
+
+
+def test_spooling_node_trace_writes_through(tmp_path):
+    spool = TraceSpool(tmp_path / "n.spool")
+    trace = SpoolingNodeTrace("n1", 1.8e9, ["s0"], spool)
+    rec = TraceRecord(REC_ENTER, 0x400000, 42, 0, 1)
+    trace.append(rec)
+    spool.close()
+    assert trace.records == [rec]          # in memory
+    assert read_spool(tmp_path / "n.spool") == [rec]  # and on disk
+
+
+def test_constant_memory_mode(tmp_path):
+    spool = TraceSpool(tmp_path / "n.spool")
+    trace = SpoolingNodeTrace("n1", 1.8e9, ["s0"], spool,
+                              keep_in_memory=False)
+    for i in range(100):
+        trace.append(TraceRecord(REC_ENTER, 0x400000, i, 0, 1))
+    spool.close()
+    assert trace.records == []
+    assert len(read_spool(tmp_path / "n.spool")) == 100
+
+
+def test_session_spooling_end_to_end(tmp_path):
+    """A spooled session's on-disk trace parses identically to in-memory."""
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=13))
+    session = TempestSession(m, spool_dir=tmp_path / "spools")
+    session.run_serial(micro_d, "node1", 0, 5.0, 0.05)
+    in_memory = session.profile()
+
+    bundle = spool_to_bundle(tmp_path / "spools")
+    from_disk = TempestParser(bundle).parse()
+
+    a = in_memory.node("node1").function("foo1")
+    b = from_disk.node("node1").function("foo1")
+    assert a.total_time_s == pytest.approx(b.total_time_s)
+    assert a.sensor_stats == b.sensor_stats
+
+
+def test_spool_to_bundle_validation(tmp_path):
+    with pytest.raises(TraceError):
+        spool_to_bundle(tmp_path)  # no header
+    write_spool_header(tmp_path, SymbolTable(), {}, {})
+    bundle = spool_to_bundle(tmp_path)
+    assert bundle.nodes == {}
+    (tmp_path / "header.json").write_text('{"format": "v999"}')
+    with pytest.raises(TraceError):
+        spool_to_bundle(tmp_path)

@@ -1,0 +1,52 @@
+"""Tests for the symbol table."""
+
+import pytest
+
+from repro.core.symtab import SymbolTable
+from repro.util.errors import TraceError
+
+
+def test_address_assignment_is_stable():
+    t = SymbolTable()
+    a1 = t.address_of("foo")
+    a2 = t.address_of("foo")
+    assert a1 == a2
+
+
+def test_addresses_are_distinct_and_text_like():
+    t = SymbolTable()
+    addrs = [t.address_of(f"fn{i}") for i in range(100)]
+    assert len(set(addrs)) == 100
+    assert all(a >= 0x400_000 for a in addrs)
+
+
+def test_name_resolution_roundtrip():
+    t = SymbolTable()
+    addr = t.address_of("matvec_sub")
+    assert t.name_of(addr) == "matvec_sub"
+
+
+def test_unknown_address_raises_trace_error():
+    t = SymbolTable()
+    with pytest.raises(TraceError):
+        t.name_of(0xDEAD)
+
+
+def test_serialization_roundtrip():
+    t = SymbolTable()
+    for name in ["main", "foo1", "foo2", "adi_"]:
+        t.address_of(name)
+    t2 = SymbolTable.from_dict(t.to_dict())
+    assert len(t2) == 4
+    for name in t:
+        assert t2.name_of(t2.address_of(name)) == name
+    # New assignments in the restored table do not collide.
+    fresh = t2.address_of("new_fn")
+    assert t2.name_of(fresh) == "new_fn"
+
+
+def test_len_and_contains():
+    t = SymbolTable()
+    assert "x" not in t and len(t) == 0
+    t.address_of("x")
+    assert "x" in t and len(t) == 1

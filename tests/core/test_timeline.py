@@ -1,0 +1,256 @@
+"""Tests for call-timeline reconstruction, including the Table 1 micro
+shapes: interleaving (D) and recursion + interleaving (E)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.symtab import SymbolTable
+from repro.core.timeline import build_timeline
+from repro.core.trace import REC_ENTER, REC_EXIT, TraceRecord
+from repro.util.errors import TraceError
+
+
+def make_records(events, sym, pid=1, hz=1e9):
+    """events: list of (kind, name, seconds)."""
+    out = []
+    for kind, name, t in events:
+        out.append(
+            TraceRecord(kind, sym.address_of(name), int(t * hz), 0, pid)
+        )
+    return out
+
+
+def build(events, strict=True, pid=1):
+    sym = SymbolTable()
+    recs = make_records(events, sym, pid=pid)
+    return build_timeline(recs, sym, lambda tsc: tsc / 1e9, strict=strict)
+
+
+def test_single_function():
+    tl = build([
+        (REC_ENTER, "main", 0.0),
+        (REC_EXIT, "main", 10.0),
+    ])
+    assert tl.inclusive_time("main") == pytest.approx(10.0)
+    assert tl.exclusive_time("main") == pytest.approx(10.0)
+    assert tl.call_count("main") == 1
+    assert tl.span == (0.0, 10.0)
+
+
+def test_nested_calls_inclusive_vs_exclusive():
+    tl = build([
+        (REC_ENTER, "main", 0.0),
+        (REC_ENTER, "foo1", 1.0),
+        (REC_EXIT, "foo1", 8.0),
+        (REC_EXIT, "main", 10.0),
+    ])
+    assert tl.inclusive_time("main") == pytest.approx(10.0)
+    assert tl.exclusive_time("main") == pytest.approx(3.0)
+    assert tl.inclusive_time("foo1") == pytest.approx(7.0)
+    assert tl.exclusive_time("foo1") == pytest.approx(7.0)
+
+
+def test_interleaving_micro_d_shape():
+    """main -> foo1 -> foo2, then main -> foo2 (Table 1, benchmark D)."""
+    tl = build([
+        (REC_ENTER, "main", 0.0),
+        (REC_ENTER, "foo1", 1.0),
+        (REC_ENTER, "foo2", 2.0),
+        (REC_EXIT, "foo2", 3.0),
+        (REC_EXIT, "foo1", 5.0),
+        (REC_ENTER, "foo2", 6.0),
+        (REC_EXIT, "foo2", 7.5),
+        (REC_EXIT, "main", 10.0),
+    ])
+    assert tl.inclusive_time("foo2") == pytest.approx(2.5)
+    assert tl.call_count("foo2") == 2
+    assert tl.inclusive_time("foo1") == pytest.approx(4.0)
+    assert tl.exclusive_time("foo1") == pytest.approx(3.0)
+    assert tl.exclusive_time("main") == pytest.approx(4.5)
+    # Depths recorded correctly.
+    depths = {(iv.name, iv.depth) for iv in tl.intervals}
+    assert ("main", 0) in depths
+    assert ("foo1", 1) in depths
+    assert ("foo2", 2) in depths and ("foo2", 1) in depths
+
+
+def test_recursion_micro_e_no_double_count():
+    """Recursive activations overlap; inclusive time is the union."""
+    tl = build([
+        (REC_ENTER, "main", 0.0),
+        (REC_ENTER, "fib", 1.0),
+        (REC_ENTER, "fib", 2.0),
+        (REC_ENTER, "fib", 3.0),
+        (REC_EXIT, "fib", 4.0),
+        (REC_EXIT, "fib", 5.0),
+        (REC_EXIT, "fib", 6.0),
+        (REC_EXIT, "main", 7.0),
+    ])
+    assert tl.inclusive_time("fib") == pytest.approx(5.0)  # union, not 3+2+1... = 9
+    assert tl.call_count("fib") == 3
+    # All fib self time: 1..6 minus nothing (fib is its own child).
+    assert tl.exclusive_time("fib") == pytest.approx(5.0)
+
+
+def test_active_at_and_contains():
+    tl = build([
+        (REC_ENTER, "main", 0.0),
+        (REC_ENTER, "foo", 2.0),
+        (REC_EXIT, "foo", 4.0),
+        (REC_EXIT, "main", 6.0),
+    ])
+    assert set(tl.active_at(3.0)) == {"main", "foo"}
+    assert set(tl.active_at(5.0)) == {"main"}
+    assert tl.contains("foo", 2.0) and tl.contains("foo", 4.0)
+    assert not tl.contains("foo", 4.5)
+    assert not tl.contains("nope", 1.0)
+
+
+def test_top_segments_sequence():
+    tl = build([
+        (REC_ENTER, "main", 0.0),
+        (REC_ENTER, "foo", 2.0),
+        (REC_EXIT, "foo", 4.0),
+        (REC_EXIT, "main", 6.0),
+    ])
+    segs = [(s.name, s.start_s, s.end_s) for s in tl.top_segments]
+    assert segs == [("main", 0.0, 2.0), ("foo", 2.0, 4.0), ("main", 4.0, 6.0)]
+
+
+def test_multiple_pids_are_independent():
+    sym = SymbolTable()
+    recs = make_records(
+        [(REC_ENTER, "main", 0.0), (REC_EXIT, "main", 5.0)], sym, pid=1
+    ) + make_records(
+        [(REC_ENTER, "worker", 1.0), (REC_EXIT, "worker", 9.0)], sym, pid=2
+    )
+    tl = build_timeline(recs, sym, lambda t: t / 1e9)
+    assert tl.inclusive_time("main") == pytest.approx(5.0)
+    assert tl.inclusive_time("worker") == pytest.approx(8.0)
+    assert tl.span == (0.0, 9.0)
+
+
+def test_function_names_ordered_by_inclusive_time():
+    tl = build([
+        (REC_ENTER, "main", 0.0),
+        (REC_ENTER, "big", 1.0),
+        (REC_EXIT, "big", 9.0),
+        (REC_ENTER, "small", 9.0),
+        (REC_EXIT, "small", 9.5),
+        (REC_EXIT, "main", 10.0),
+    ])
+    assert tl.function_names() == ["main", "big", "small"]
+
+
+def test_strict_mode_rejects_mismatched_exit():
+    with pytest.raises(TraceError):
+        build([
+            (REC_ENTER, "a", 0.0),
+            (REC_ENTER, "b", 1.0),
+            (REC_EXIT, "a", 2.0),
+        ])
+
+
+def test_strict_mode_rejects_open_frames():
+    with pytest.raises(TraceError):
+        build([(REC_ENTER, "a", 0.0)])
+
+
+def test_strict_mode_rejects_exit_on_empty_stack():
+    with pytest.raises(TraceError):
+        build([(REC_EXIT, "a", 0.0)])
+
+
+def test_strict_mode_rejects_time_regression():
+    with pytest.raises(TraceError):
+        build([
+            (REC_ENTER, "a", 5.0),
+            (REC_EXIT, "a", 1.0),
+        ])
+
+
+def test_lenient_mode_repairs_crossed_frames():
+    tl = build(
+        [
+            (REC_ENTER, "a", 0.0),
+            (REC_ENTER, "b", 1.0),
+            (REC_EXIT, "a", 3.0),   # b never exited
+        ],
+        strict=False,
+    )
+    assert tl.inclusive_time("b") == pytest.approx(2.0)
+    assert tl.inclusive_time("a") == pytest.approx(3.0)
+
+
+def test_lenient_mode_closes_open_frames_at_last_event():
+    tl = build(
+        [
+            (REC_ENTER, "a", 0.0),
+            (REC_ENTER, "b", 1.0),
+            (REC_EXIT, "b", 4.0),
+        ],
+        strict=False,
+    )
+    assert tl.inclusive_time("a") == pytest.approx(4.0)
+
+
+def test_empty_timeline():
+    tl = build([])
+    assert tl.function_names() == []
+    assert tl.span == (0.0, 0.0)
+    assert tl.active_at(1.0) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from(["f", "g", "h"]), min_size=1, max_size=8))
+def test_property_balanced_nesting_times_consistent(names):
+    """Build a strictly nested call chain; inclusive times must telescope
+    and exclusive times must sum to the outermost inclusive time."""
+    events = []
+    t = 0.0
+    for i, n in enumerate(names):
+        events.append((REC_ENTER, f"{n}{i}", t))
+        t += 1.0
+    for i in reversed(range(len(names))):
+        events.append((REC_EXIT, f"{names[i]}{i}", t))
+        t += 1.0
+    tl = build(events)
+    total = tl.inclusive_time(f"{names[0]}0")
+    excl_sum = sum(tl.exclusive_time(f"{n}{i}") for i, n in enumerate(names))
+    assert excl_sum == pytest.approx(total)
+    # Inclusive times strictly decrease inward.
+    incl = [tl.inclusive_time(f"{n}{i}") for i, n in enumerate(names)]
+    assert all(a > b for a, b in zip(incl, incl[1:]))
+
+
+def test_call_arcs_exact():
+    """The timeline records the exact call graph (micro D shape)."""
+    tl = build([
+        (REC_ENTER, "main", 0.0),
+        (REC_ENTER, "foo1", 1.0),
+        (REC_ENTER, "foo2", 2.0),
+        (REC_EXIT, "foo2", 3.0),
+        (REC_EXIT, "foo1", 5.0),
+        (REC_ENTER, "foo2", 6.0),
+        (REC_EXIT, "foo2", 7.5),
+        (REC_EXIT, "main", 10.0),
+    ])
+    assert tl.arcs[("<root>", "main")] == 1
+    assert tl.arcs[("main", "foo1")] == 1
+    assert tl.arcs[("foo1", "foo2")] == 1
+    assert tl.arcs[("main", "foo2")] == 1
+    assert tl.callers_of("foo2") == {"foo1": 1, "main": 1}
+    assert tl.callees_of("main") == {"foo1": 1, "foo2": 1}
+
+
+def test_call_arcs_recursion_self_arc():
+    tl = build([
+        (REC_ENTER, "fib", 0.0),
+        (REC_ENTER, "fib", 1.0),
+        (REC_ENTER, "fib", 2.0),
+        (REC_EXIT, "fib", 3.0),
+        (REC_EXIT, "fib", 4.0),
+        (REC_EXIT, "fib", 5.0),
+    ])
+    assert tl.arcs[("fib", "fib")] == 2
+    assert tl.arcs[("<root>", "fib")] == 1

@@ -1,0 +1,127 @@
+"""Tests for trace records, node traces, and bundle round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.symtab import SymbolTable
+from repro.core.trace import (
+    NodeTrace,
+    REC_ENTER,
+    REC_EXIT,
+    REC_TEMP,
+    TraceBundle,
+    TraceRecord,
+)
+from repro.util.errors import TraceError
+
+
+def test_record_pack_unpack_roundtrip():
+    r = TraceRecord(REC_TEMP, 3, 123456789012, 2, 41, 47.5)
+    r2 = TraceRecord.unpack(r.pack())
+    assert r2 == r
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    kind=st.sampled_from([REC_ENTER, REC_EXIT, REC_TEMP]),
+    addr=st.integers(min_value=0, max_value=2**60),
+    tsc=st.integers(min_value=-(2**62), max_value=2**62),
+    core=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    pid=st.integers(min_value=0, max_value=2**31 - 1),
+    value=st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+def test_property_record_roundtrip(kind, addr, tsc, core, pid, value):
+    r = TraceRecord(kind, addr, tsc, core, pid, float(value))
+    assert TraceRecord.unpack(r.pack()) == r
+
+
+def test_node_trace_filters_and_seconds():
+    t = NodeTrace("n1", tsc_hz=2e9, sensor_names=["s0"])
+    t.append(TraceRecord(REC_ENTER, 1, 2_000_000_000, 0, 1))
+    t.append(TraceRecord(REC_TEMP, 0, 3_000_000_000, 0, 2, 40.0))
+    t.append(TraceRecord(REC_EXIT, 1, 4_000_000_000, 0, 1))
+    assert len(t.func_records()) == 2
+    assert len(t.temp_records()) == 1
+    assert t.seconds(2_000_000_000) == pytest.approx(1.0)
+
+
+def test_invalid_tsc_hz_rejected():
+    with pytest.raises(TraceError):
+        NodeTrace("n1", tsc_hz=0.0, sensor_names=[])
+
+
+def make_bundle():
+    sym = SymbolTable()
+    a_main = sym.address_of("main")
+    bundle = TraceBundle(sym)
+    bundle.meta = {"sampling_hz": 4.0}
+    t = NodeTrace("node1", tsc_hz=1.8e9, sensor_names=["CPU0", "MB"])
+    t.append(TraceRecord(REC_ENTER, a_main, 0, 0, 1))
+    t.append(TraceRecord(REC_TEMP, 0, 450_000_000, 3, 2, 45.0))
+    t.append(TraceRecord(REC_TEMP, 1, 450_000_000, 3, 2, 31.0))
+    t.append(TraceRecord(REC_EXIT, a_main, 1_800_000_000, 0, 1))
+    bundle.add_node(t)
+    return bundle
+
+
+def test_bundle_save_load_roundtrip(tmp_path):
+    bundle = make_bundle()
+    bundle.save(tmp_path / "trace")
+    loaded = TraceBundle.load(tmp_path / "trace")
+    assert loaded.meta == {"sampling_hz": 4.0}
+    assert list(loaded.nodes) == ["node1"]
+    t = loaded.node("node1")
+    assert t.tsc_hz == 1.8e9
+    assert t.sensor_names == ["CPU0", "MB"]
+    assert t.records == bundle.node("node1").records
+    assert loaded.symtab.name_of(loaded.symtab.address_of("main")) == "main"
+
+
+def test_bundle_duplicate_node_rejected():
+    bundle = make_bundle()
+    with pytest.raises(TraceError):
+        bundle.add_node(NodeTrace("node1", 1e9, []))
+
+
+def test_bundle_missing_node_lookup():
+    bundle = make_bundle()
+    with pytest.raises(TraceError):
+        bundle.node("node9")
+
+
+def test_load_rejects_corrupt_blob(tmp_path):
+    bundle = make_bundle()
+    bundle.save(tmp_path / "trace")
+    # Truncate the record file mid-record.
+    f = tmp_path / "trace" / "node1.trace"
+    f.write_bytes(f.read_bytes()[:-5])
+    with pytest.raises(TraceError):
+        TraceBundle.load(tmp_path / "trace")
+
+
+def test_load_rejects_missing_meta(tmp_path):
+    with pytest.raises(TraceError):
+        TraceBundle.load(tmp_path)
+
+
+def test_load_rejects_unknown_format(tmp_path):
+    (tmp_path / "meta.json").write_text(json.dumps({"format": "v999"}))
+    with pytest.raises(TraceError):
+        TraceBundle.load(tmp_path)
+
+
+def test_jsonl_dump_readable(tmp_path):
+    bundle = make_bundle()
+    out = tmp_path / "dump.jsonl"
+    bundle.dump_jsonl(out)
+    lines = out.read_text().strip().splitlines()
+    assert len(lines) == 1 + 4  # header + records
+    first = json.loads(lines[1])
+    assert first["kind"] == "ENTER"
+    assert first["node"] == "node1"
+
+
+def test_total_records():
+    assert make_bundle().total_records() == 4

@@ -1,0 +1,87 @@
+"""Tests for TSC calibration and timestamp diagnostics."""
+
+import pytest
+
+from repro.core.symtab import SymbolTable
+from repro.core.trace import REC_ENTER, REC_EXIT, REC_TEMP, TraceRecord
+from repro.core.tsc import (
+    RegressionReport,
+    TscCalibration,
+    calibrate_perf_counter,
+    cross_core_skew,
+    detect_regressions,
+)
+from repro.util.errors import ConfigError
+
+
+def test_calibration_roundtrip():
+    cal = TscCalibration(hz=1.8e9)
+    assert cal.to_seconds(1_800_000_000) == pytest.approx(1.0)
+    assert cal.to_ticks(2.0) == 3_600_000_000
+
+
+def test_calibration_validation():
+    with pytest.raises(ConfigError):
+        TscCalibration(hz=0.0)
+    with pytest.raises(ConfigError):
+        calibrate_perf_counter(interval_s=0.0)
+
+
+def test_calibrate_perf_counter_near_1ghz():
+    cal = calibrate_perf_counter(interval_s=0.02)
+    # perf_counter_ns is nanoseconds by definition; allow scheduler slop.
+    assert cal.hz == pytest.approx(1e9, rel=0.05)
+
+
+def rec(kind, tsc, core=0, pid=1):
+    return TraceRecord(kind, 0x400000, tsc, core, pid)
+
+
+def test_detect_regressions_clean_trace():
+    records = [rec(REC_ENTER, 100), rec(REC_EXIT, 200),
+               rec(REC_ENTER, 300), rec(REC_EXIT, 400)]
+    assert detect_regressions(records) == []
+
+
+def test_detect_regressions_flags_backstep():
+    records = [rec(REC_ENTER, 1000), rec(REC_EXIT, 400)]
+    reports = detect_regressions(records)
+    assert len(reports) == 1
+    assert reports[0].pid == 1
+    assert reports[0].back_step_ticks == 600
+    assert "§3.3" in reports[0].describe()
+
+
+def test_detect_regressions_is_per_pid():
+    records = [
+        rec(REC_ENTER, 1000, pid=1),
+        rec(REC_ENTER, 50, pid=2),     # other pid: not a regression
+        rec(REC_EXIT, 60, pid=2),
+        rec(REC_EXIT, 1100, pid=1),
+    ]
+    assert detect_regressions(records) == []
+
+
+def test_detect_regressions_ignores_temp_records():
+    records = [
+        rec(REC_ENTER, 1000),
+        TraceRecord(REC_TEMP, 0, 10, 3, 2, 40.0),  # tempd core, earlier tsc
+        rec(REC_EXIT, 1100),
+    ]
+    assert detect_regressions(records) == []
+
+
+def test_cross_core_skew_bounds():
+    records = [
+        rec(REC_ENTER, 1000, core=0),
+        rec(REC_EXIT, 5000, core=1),      # migrated between records
+        rec(REC_ENTER, 5100, core=1),
+        rec(REC_EXIT, 5200, core=1),
+    ]
+    skew = cross_core_skew(records)
+    assert skew == {(0, 1): 4000}
+
+
+def test_cross_core_skew_empty_for_bound_process():
+    records = [rec(REC_ENTER, 1), rec(REC_EXIT, 2)]
+    assert cross_core_skew(records) == {}

@@ -1,0 +1,178 @@
+"""Tests for the collective algorithms at several communicator sizes."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.mpisim.runtime import mpi_spawn
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.node import NodeConfig
+
+
+def run_collective(program, n_ranks, args=()):
+    n_nodes = min(n_ranks, 4)
+    m = Machine(ClusterConfig(n_nodes=n_nodes, vary_nodes=False))
+    world, procs = mpi_spawn(m, program, n_ranks, *args)
+    m.run_to_completion(procs)
+    return [p.result for p in procs]
+
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_barrier_completes(size):
+    def prog(ctx):
+        yield from ctx.comm.barrier()
+        return "ok"
+
+    assert run_collective(prog, size) == ["ok"] * size
+
+
+def test_barrier_actually_synchronizes():
+    from repro.simmachine.process import Compute
+
+    def prog(ctx):
+        yield Compute(float(ctx.rank), 1.0)  # rank r computes r seconds
+        yield from ctx.comm.barrier()
+        return ctx.now
+
+    times = run_collective(prog, 4)
+    # Nobody leaves the barrier before the slowest rank arrived (3 s).
+    assert min(times) >= 3.0
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_from_any_root(size, root):
+    r = size - 1 if root == "last" else 0
+
+    def prog(ctx):
+        value = {"data": 42} if ctx.rank == r else None
+        out = yield from ctx.comm.bcast(value, root=r)
+        return out
+
+    results = run_collective(prog, size)
+    assert results == [{"data": 42}] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_reduce_sum(size):
+    def prog(ctx):
+        out = yield from ctx.comm.reduce(ctx.rank + 1, root=0)
+        return out
+
+    results = run_collective(prog, size)
+    assert results[0] == size * (size + 1) // 2
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_sum_and_max(size):
+    def prog(ctx):
+        total = yield from ctx.comm.allreduce(ctx.rank + 1)
+        biggest = yield from ctx.comm.allreduce(ctx.rank, op=max)
+        return (total, biggest)
+
+    results = run_collective(prog, size)
+    expected = (size * (size + 1) // 2, size - 1)
+    assert results == [expected] * size
+
+
+def test_allreduce_numpy_arrays():
+    def prog(ctx):
+        vec = np.full(8, float(ctx.rank))
+        out = yield from ctx.comm.allreduce(vec, op=np.add)
+        return out.tolist()
+
+    results = run_collective(prog, 4)
+    assert results[0] == [6.0] * 8
+    assert results == [results[0]] * 4
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gather(size):
+    def prog(ctx):
+        out = yield from ctx.comm.gather(ctx.rank * 10, root=0)
+        return out
+
+    results = run_collective(prog, size)
+    assert results[0] == [i * 10 for i in range(size)]
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allgather(size):
+    def prog(ctx):
+        out = yield from ctx.comm.allgather(f"r{ctx.rank}")
+        return out
+
+    results = run_collective(prog, size)
+    expected = [f"r{i}" for i in range(size)]
+    assert results == [expected] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scatter(size):
+    def prog(ctx):
+        values = [i * i for i in range(ctx.size)] if ctx.rank == 0 else None
+        out = yield from ctx.comm.scatter(values, root=0)
+        return out
+
+    results = run_collective(prog, size)
+    assert results == [i * i for i in range(size)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_alltoall(size):
+    def prog(ctx):
+        blocks = [(ctx.rank, dst) for dst in range(ctx.size)]
+        out = yield from ctx.comm.alltoall(blocks)
+        return out
+
+    results = run_collective(prog, size)
+    for rank, got in enumerate(results):
+        assert got == [(src, rank) for src in range(size)]
+
+
+def test_alltoall_numpy_slabs():
+    """The FT transpose pattern: each rank exchanges array slabs."""
+
+    def prog(ctx):
+        slabs = [np.full((4, 4), ctx.rank * 10 + dst, dtype=float)
+                 for dst in range(ctx.size)]
+        out = yield from ctx.comm.alltoall(slabs)
+        return [int(s[0, 0]) for s in out]
+
+    results = run_collective(prog, 4)
+    for rank, got in enumerate(results):
+        assert got == [src * 10 + rank for src in range(4)]
+
+
+def test_collective_sequences_do_not_cross_match():
+    """Back-to-back collectives with different shapes must stay separate."""
+
+    def prog(ctx):
+        a = yield from ctx.comm.allreduce(1)
+        b = yield from ctx.comm.bcast("x" if ctx.rank == 0 else None, root=0)
+        c = yield from ctx.comm.allgather(ctx.rank)
+        yield from ctx.comm.barrier()
+        d = yield from ctx.comm.allreduce(2, op=operator.mul)
+        return (a, b, c, d)
+
+    results = run_collective(prog, 4)
+    assert results == [(4, "x", [0, 1, 2, 3], 16)] * 4
+
+
+def test_alltoall_wrong_block_count_rejected():
+    from repro.util.errors import ConfigError
+
+    def prog(ctx):
+        try:
+            yield from ctx.comm.alltoall([1])
+        except ConfigError:
+            return "rejected"
+        return "accepted"
+
+    assert run_collective(prog, 2) == ["rejected"] * 2

@@ -1,0 +1,86 @@
+"""Tests for the interconnect cost model."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim.network import Network, NetworkParams, payload_nbytes
+from repro.util.errors import ConfigError
+
+
+def test_wire_time_hockney_model():
+    net = Network(NetworkParams(latency_s=1e-5, bandwidth_bps=1e8))
+    t = net.wire_time("a", "b", 1_000_000)
+    assert t == pytest.approx(1e-5 + 1_000_000 / 1e8)
+
+
+def test_intra_node_is_much_faster():
+    net = Network()
+    inter = net.wire_time("a", "b", 100_000)
+    intra = net.wire_time("a", "a", 100_000)
+    assert intra < inter / 10
+
+
+def test_small_messages_pay_latency_floor():
+    net = Network(NetworkParams(latency_s=1e-5, bandwidth_bps=1e9,
+                                min_message_bytes=64))
+    assert net.wire_time("a", "b", 1) == net.wire_time("a", "b", 64)
+
+
+def test_nic_serialization_queues_transfers():
+    net = Network(NetworkParams(latency_s=0.0, bandwidth_bps=1e6))
+    s1, e1 = net.transfer("a", "b", 1_000_000, now=0.0)  # 1 second
+    s2, e2 = net.transfer("a", "c", 1_000_000, now=0.0)  # queued behind NIC a
+    assert (s1, e1) == (0.0, 1.0)
+    assert s2 == pytest.approx(1.0)
+    assert e2 == pytest.approx(2.0)
+
+
+def test_disjoint_node_pairs_do_not_queue():
+    net = Network(NetworkParams(latency_s=0.0, bandwidth_bps=1e6))
+    _, e1 = net.transfer("a", "b", 1_000_000, now=0.0)
+    s2, _ = net.transfer("c", "d", 1_000_000, now=0.0)
+    assert s2 == 0.0
+    assert e1 == 1.0
+
+
+def test_intra_node_bypasses_nic():
+    net = Network(NetworkParams(latency_s=0.0, bandwidth_bps=1e6))
+    net.transfer("a", "b", 1_000_000, now=0.0)
+    s, _ = net.transfer("a", "a", 1_000_000, now=0.0)
+    assert s == 0.0
+
+
+def test_accounting():
+    net = Network()
+    net.transfer("a", "b", 100, now=0.0)
+    net.transfer("a", "a", 200, now=0.0)
+    assert net.bytes_moved == 300
+    assert net.messages == 2
+
+
+def test_bad_params_rejected():
+    with pytest.raises(ConfigError):
+        NetworkParams(latency_s=-1.0)
+    with pytest.raises(ConfigError):
+        NetworkParams(bandwidth_bps=0.0)
+
+
+def test_payload_nbytes_numpy():
+    a = np.zeros(1000, dtype=np.float64)
+    assert payload_nbytes(a) == 8000
+
+
+def test_payload_nbytes_explicit_overrides():
+    assert payload_nbytes(np.zeros(10), explicit=12345) == 12345
+    with pytest.raises(ConfigError):
+        payload_nbytes(None, explicit=-1)
+
+
+def test_payload_nbytes_python_objects():
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(b"abc") == 3
+    assert payload_nbytes(3.14) == 32
+    assert payload_nbytes("hello") == 54
+    assert payload_nbytes([1, 2]) > 64
+    assert payload_nbytes({"k": 1}) > 64
+    assert payload_nbytes(object()) == 256

@@ -1,0 +1,128 @@
+"""Tests for the thermal-feedback controllers, ambient wander, and OS noise."""
+
+import numpy as np
+import pytest
+
+from repro.simmachine.ambient import AmbientWander, install_ambient_wander
+from repro.simmachine.dvfs import DvfsGovernor, FanController
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.noise import NoiseProfile, install_noise
+from repro.simmachine.power import ACTIVITY_BURN
+from repro.simmachine.process import Compute, Sleep
+from repro.util.errors import ConfigError
+
+
+def burner_machine(controller=None, seconds=30.0, **kw):
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=44))
+    if controller == "fan":
+        FanController(m, "node1", mode="auto", target_c=30.0,
+                      gain_rpm_per_c=320.0).install()
+    elif controller == "governor":
+        DvfsGovernor(m, "node1", cap_c=kw.get("cap_c", 36.0)).install()
+
+    def burner(proc):
+        for _ in range(int(seconds)):
+            yield Compute(1.0, ACTIVITY_BURN)
+        return proc.now
+
+    p = m.spawn(burner, "node1", 0)
+    m.run_to_completion([p])
+    return m, p
+
+
+def test_fixed_fan_mode_sets_rpm_immediately():
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+    FanController(m, "node1", mode="fixed", fixed_rpm=4500.0).install()
+    assert m.node("node1").thermal.fan_rpm == 4500.0
+
+
+def test_auto_fan_cools_burn():
+    m_fixed, _ = burner_machine(None)
+    m_fan, _ = burner_machine("fan")
+    t_fixed = m_fixed.node("node1").die_temperature(0, m_fixed.sim.now)
+    t_fan = m_fan.node("node1").die_temperature(0, m_fan.sim.now)
+    assert t_fan < t_fixed - 1.0
+    assert m_fan.node("node1").thermal.fan_rpm > 3000.0
+
+
+def test_fan_mode_validation():
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+    with pytest.raises(ConfigError):
+        FanController(m, "node1", mode="turbo")
+
+
+def test_governor_downclocks_then_recovers():
+    m, p = burner_machine("governor", cap_c=36.0)
+    node = m.node("node1")
+    # During the burn the governor stepped the core down.
+    assert p.result > 30.0  # slowdown: more wall time than nominal seconds
+    # After the workload ends and the die cools below cap - hysteresis
+    # (32 C; the idle steady state is ~30.3 C), the governor steps back up.
+    gov = DvfsGovernor(m, "node1", cap_c=36.0)
+    node.thermal.advance_to(m.sim.now + 120.0)
+    m.sim._now = m.sim.now + 120.0  # park the clock past the cooldown
+    gov._tick()  # one step up per tick (hysteresis-controlled)
+    gov._tick()
+    assert all(c.opp_index == 0 for c in node.cores)
+
+
+def test_ambient_wander_moves_inlet_but_preserves_mean():
+    m = Machine(ClusterConfig(n_nodes=2, vary_nodes=False, seed=9))
+    install_ambient_wander(m, AmbientWander(sd_c=0.8, tau_s=10.0,
+                                            period_s=1.0))
+    nominal = m.node("node1").thermal.ambient_c
+
+    def idler(proc):
+        yield Sleep(120.0)
+
+    p = m.spawn(idler, "node1", 0)
+    readings1, readings2 = [], []
+    for t in range(1, 120, 2):
+        m.sim.run(until=float(t))
+        readings1.append(m.node("node1").thermal.ambient_c)
+        readings2.append(m.node("node2").thermal.ambient_c)
+    m.run_to_completion([p])
+    r1, r2 = np.array(readings1), np.array(readings2)
+    assert r1.std() > 0.2                       # it actually wanders
+    assert abs(r1.mean() - nominal) < 0.6       # around the nominal inlet
+    # Streams are independent per node.
+    assert not np.allclose(r1, r2)
+    assert abs(np.corrcoef(r1, r2)[0, 1]) < 0.5
+
+
+def test_ambient_wander_validation():
+    with pytest.raises(ConfigError):
+        AmbientWander(sd_c=-1.0)
+    with pytest.raises(ConfigError):
+        AmbientWander(tau_s=0.0)
+
+
+def test_noise_daemons_perturb_runtime_and_stop():
+    def run(with_noise, seed=3):
+        m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=seed))
+        flag = {}
+        if with_noise:
+            flag = install_noise(
+                m, "node1", 0,
+                [NoiseProfile(mean_interval_s=0.02, burst_s=0.004)],
+            )
+
+        def work(proc):
+            for _ in range(20):
+                yield Compute(0.1, 1.0)
+            return proc.now
+
+        p = m.spawn(work, "node1", 0)
+        m.run_to_completion([p])
+        flag["stop"] = True
+        m.sim.run(until=m.sim.now + 1.0)
+        return p.result
+
+    quiet = run(False)
+    noisy = run(True)
+    assert noisy > quiet * 1.01  # bursts steal the shared core
+
+
+def test_noise_profile_validation():
+    with pytest.raises(ConfigError):
+        NoiseProfile(mean_interval_s=0.0)

@@ -1,0 +1,166 @@
+"""Tests for the virtual hwmon sensor chips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simmachine.hwmon import (
+    HwmonChip,
+    SensorSpec,
+    VirtualHwmonTree,
+    amd_x86_profile,
+    g5_profile,
+    system_x_profile,
+)
+from repro.util.errors import ConfigError
+
+
+def constant_provider(value):
+    return lambda label, t: value
+
+
+class RampProvider:
+    """Ground truth that ramps linearly in time, for lag tests."""
+
+    def __init__(self, start=30.0, rate=2.0):
+        self.start, self.rate = start, rate
+
+    def __call__(self, label, t):
+        return self.start + self.rate * t
+
+
+def make_chip(spec, provider, seed=0):
+    return HwmonChip("test-smc", [spec], provider,
+                     rng=np.random.default_rng(seed))
+
+
+def test_quantization_steps():
+    spec = SensorSpec("s", "die0", quantum_c=1.0, noise_sd_c=0.0, lag_tau_s=0.0)
+    chip = make_chip(spec, constant_provider(47.3))
+    assert chip.read(spec, 0.0) == pytest.approx(47.0)
+    chip2 = make_chip(
+        SensorSpec("s", "die0", quantum_c=0.5, noise_sd_c=0.0, lag_tau_s=0.0),
+        constant_provider(47.3),
+    )
+    assert chip2.read(chip2.sensors[0], 0.0) == pytest.approx(47.5)
+
+
+def test_offset_and_gain_applied_before_quantization():
+    spec = SensorSpec("s", "die0", quantum_c=0.001, noise_sd_c=0.0,
+                      lag_tau_s=0.0, offset_c=2.0, gain=0.5)
+    chip = make_chip(spec, constant_provider(40.0))
+    assert chip.read(spec, 0.0) == pytest.approx(22.0, abs=0.01)
+
+
+def test_lag_filter_trails_a_ramp():
+    spec = SensorSpec("s", "die0", quantum_c=0.001, noise_sd_c=0.0, lag_tau_s=2.0)
+    chip = make_chip(spec, RampProvider(30.0, 2.0))
+    # Sample at tempd's 4 Hz cadence; the filter then approximates the
+    # continuous first-order response, which trails a ramp by rate*tau.
+    for i in range(21):
+        lagged = chip.read(spec, i * 0.25)
+    true = 30.0 + 2.0 * 5.0
+    assert lagged < true - 1.5  # clearly behind (continuous lag = 4 degC)
+    assert lagged > 30.0        # but moving
+
+
+def test_lag_converges_on_constant_input():
+    spec = SensorSpec("s", "die0", quantum_c=0.001, noise_sd_c=0.0, lag_tau_s=1.0)
+    values = {"v": 20.0}
+    chip = make_chip(spec, lambda label, t: values["v"])
+    chip.read(spec, 0.0)
+    values["v"] = 60.0
+    out = chip.read(spec, 50.0)  # 50 time constants later
+    assert out == pytest.approx(60.0, abs=0.01)
+
+
+def test_noise_is_seeded_and_reproducible():
+    spec = SensorSpec("s", "die0", quantum_c=0.5, noise_sd_c=0.3, lag_tau_s=0.0)
+    a = make_chip(spec, constant_provider(45.0), seed=7)
+    b = make_chip(spec, constant_provider(45.0), seed=7)
+    ra = [a.read(spec, t) for t in range(20)]
+    rb = [b.read(spec, t) for t in range(20)]
+    assert ra == rb
+
+
+def test_read_reference_bypasses_everything():
+    spec = SensorSpec("s", "die0", quantum_c=1.0, noise_sd_c=0.5,
+                      lag_tau_s=3.0, offset_c=5.0)
+    chip = make_chip(spec, constant_provider(43.21))
+    assert chip.read_reference("s", 0.0) == pytest.approx(43.21)
+
+
+def test_read_all_returns_every_sensor():
+    chip = HwmonChip("c", amd_x86_profile(),
+                     lambda l, t: {"die0": 40, "die1": 42, "case": 28}[l],
+                     rng=np.random.default_rng(1))
+    out = chip.read_all(0.0)
+    assert set(out) == {"CPU0 Temp", "CPU1 Temp", "M/B Temp"}
+
+
+def test_duplicate_sensor_names_rejected():
+    with pytest.raises(ConfigError):
+        HwmonChip("c", [SensorSpec("x", "die0"), SensorSpec("x", "die1")],
+                  constant_provider(0.0))
+
+
+def test_empty_chip_rejected():
+    with pytest.raises(ConfigError):
+        HwmonChip("c", [], constant_provider(0.0))
+
+
+def test_unknown_reference_sensor_rejected():
+    chip = make_chip(SensorSpec("s", "die0"), constant_provider(0.0))
+    with pytest.raises(ConfigError):
+        chip.read_reference("nope", 0.0)
+
+
+def test_profiles_match_paper_sensor_counts():
+    assert len(amd_x86_profile()) == 3   # "as few as 3 sensors on x86"
+    assert len(g5_profile()) == 7        # "up to 7 sensors on PowerPC G5"
+    assert len(system_x_profile()) == 6  # Tables 2-3 report six sensors
+
+
+def test_virtual_tree_materializes_sysfs_layout(tmp_path):
+    chip = HwmonChip("k8temp", amd_x86_profile(),
+                     lambda l, t: 41.2 if l.startswith("die") else 27.9,
+                     rng=np.random.default_rng(3))
+    tree = VirtualHwmonTree(tmp_path, [chip])
+    tree.materialize(0.0)
+    d = tmp_path / "hwmon0"
+    assert (d / "name").read_text().strip() == "k8temp"
+    assert (d / "temp1_label").read_text().strip() == "CPU0 Temp"
+    milli = int((d / "temp1_input").read_text())
+    assert 35_000 <= milli <= 47_000  # millidegrees, near 41 C
+
+
+def test_virtual_tree_refresh_updates_in_place(tmp_path):
+    values = {"v": 30.0}
+    chip = HwmonChip(
+        "k8temp",
+        [SensorSpec("CPU", "die0", noise_sd_c=0.0, lag_tau_s=0.0)],
+        lambda l, t: values["v"],
+        rng=np.random.default_rng(3),
+    )
+    tree = VirtualHwmonTree(tmp_path, [chip])
+    tree.materialize(0.0)
+    first = int((tmp_path / "hwmon0" / "temp1_input").read_text())
+    values["v"] = 55.0
+    tree.refresh(1.0)
+    second = int((tmp_path / "hwmon0" / "temp1_input").read_text())
+    assert first == 30_000 and second == 55_000
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    true=st.floats(min_value=-10.0, max_value=120.0),
+    quantum=st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+)
+def test_property_quantization_error_bounded_by_half_step(true, quantum):
+    spec = SensorSpec("s", "die0", quantum_c=quantum, noise_sd_c=0.0,
+                      lag_tau_s=0.0)
+    chip = make_chip(spec, constant_provider(true))
+    out = chip.read(spec, 0.0)
+    assert abs(out - true) <= quantum / 2 + 1e-9
+    # Reading is an exact multiple of the quantum.
+    assert abs(out / quantum - round(out / quantum)) < 1e-9

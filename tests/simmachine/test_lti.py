@@ -1,0 +1,162 @@
+"""Tests for the exact LTI advance, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simmachine.lti import LTISystem
+from repro.util.errors import ConfigError
+
+
+def simple_rc(g=2.0, c=5.0):
+    """One thermal node cooling to an ambient input: C T' = -g T + g T_amb."""
+    A = np.array([[-g / c]])
+    B = np.array([[g / c]])
+    return LTISystem(A, B)
+
+
+def test_steady_state_single_node_is_ambient():
+    sys_ = simple_rc()
+    ss = sys_.steady_state(np.array([25.0]))
+    assert ss == pytest.approx([25.0])
+
+
+def test_advance_matches_analytic_exponential():
+    g, c = 2.0, 5.0
+    sys_ = simple_rc(g, c)
+    T0, Tamb, dt = 80.0, 20.0, 3.0
+    out = sys_.advance(np.array([T0]), np.array([Tamb]), dt)
+    expected = Tamb + (T0 - Tamb) * np.exp(-g / c * dt)
+    assert out[0] == pytest.approx(expected, rel=1e-12)
+
+
+def test_zero_dt_returns_copy():
+    sys_ = simple_rc()
+    x0 = np.array([50.0])
+    out = sys_.advance(x0, np.array([20.0]), 0.0)
+    assert out[0] == 50.0
+    out[0] = 1.0
+    assert x0[0] == 50.0  # no aliasing
+
+
+def test_negative_dt_rejected():
+    sys_ = simple_rc()
+    with pytest.raises(ConfigError):
+        sys_.advance(np.array([50.0]), np.array([20.0]), -1.0)
+
+
+def test_unstable_system_rejected():
+    with pytest.raises(ConfigError):
+        LTISystem(np.array([[0.1]]), np.array([[1.0]]))
+
+
+def test_shape_validation():
+    with pytest.raises(ConfigError):
+        LTISystem(np.zeros((2, 3)), np.zeros((2, 1)))
+    with pytest.raises(ConfigError):
+        LTISystem(-np.eye(2), np.zeros((3, 1)))
+
+
+def two_node_system():
+    """die -> sink -> ambient, a 2x2 coupled RC network."""
+    c1, c2 = 8.0, 160.0
+    g12, g2a = 2.2, 3.5
+    A = np.array(
+        [
+            [-g12 / c1, g12 / c1],
+            [g12 / c2, -(g12 + g2a) / c2],
+        ]
+    )
+    B = np.array([[1.0 / c1, 0.0], [0.0, g2a / c2]])
+    return LTISystem(A, B)
+
+
+def test_two_node_steady_state_physical():
+    sys_ = two_node_system()
+    # 30 W into the die, 22 C ambient: die = amb + P*(1/g12 + 1/g2a)
+    ss = sys_.steady_state(np.array([30.0, 22.0]))
+    expected_die = 22.0 + 30.0 * (1 / 2.2 + 1 / 3.5)
+    expected_sink = 22.0 + 30.0 / 3.5
+    assert ss[0] == pytest.approx(expected_die, rel=1e-9)
+    assert ss[1] == pytest.approx(expected_sink, rel=1e-9)
+
+
+def test_advance_composition_property():
+    """advance(dt1+dt2) == advance(dt2) after advance(dt1) — exactness."""
+    sys_ = two_node_system()
+    x0 = np.array([70.0, 40.0])
+    u = np.array([25.0, 22.0])
+    one = sys_.advance(x0, u, 7.3)
+    two = sys_.advance(sys_.advance(x0, u, 3.1), u, 4.2)
+    np.testing.assert_allclose(one, two, rtol=1e-10)
+
+
+def test_convergence_to_steady_state():
+    sys_ = two_node_system()
+    u = np.array([40.0, 22.0])
+    far = sys_.advance(np.array([22.0, 22.0]), u, 1e5)
+    np.testing.assert_allclose(far, sys_.steady_state(u), rtol=1e-6)
+
+
+def test_response_curve_matches_pointwise_advance():
+    sys_ = two_node_system()
+    x0 = np.array([60.0, 30.0])
+    u = np.array([15.0, 22.0])
+    ts = np.array([0.0, 0.5, 1.0, 5.0, 50.0])
+    curve = sys_.response_curve(x0, u, ts)
+    for i, t in enumerate(ts):
+        np.testing.assert_allclose(curve[i], sys_.advance(x0, u, t), rtol=1e-9)
+
+
+def test_time_constants_sorted_positive():
+    sys_ = two_node_system()
+    taus = sys_.time_constants()
+    assert np.all(taus > 0)
+    assert np.all(np.diff(taus) >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    t0=st.floats(min_value=-20.0, max_value=120.0),
+    p1=st.floats(min_value=0.0, max_value=150.0),
+    extra=st.floats(min_value=0.0, max_value=60.0),
+    amb=st.floats(min_value=5.0, max_value=45.0),
+    dt=st.floats(min_value=0.0, max_value=1e4),
+)
+def test_property_more_power_is_hotter_everywhere(t0, p1, extra, amb, dt):
+    """RC networks are Metzler systems: raising the power input can never
+    lower any node temperature at any time (order preservation)."""
+    sys_ = two_node_system()
+    x0 = np.array([t0, t0])
+    lo = sys_.advance(x0, np.array([p1, amb]), dt)
+    hi = sys_.advance(x0, np.array([p1 + extra, amb]), dt)
+    assert np.all(hi >= lo - 1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    t0=st.floats(min_value=0.0, max_value=100.0),
+    bump=st.floats(min_value=0.0, max_value=50.0),
+    dt=st.floats(min_value=0.0, max_value=1e4),
+)
+def test_property_hotter_start_stays_hotter(t0, bump, dt):
+    """Order preservation in the initial condition."""
+    sys_ = two_node_system()
+    u = np.array([30.0, 22.0])
+    cold = sys_.advance(np.array([t0, t0]), u, dt)
+    warm = sys_.advance(np.array([t0 + bump, t0 + bump]), u, dt)
+    assert np.all(warm >= cold - 1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dt1=st.floats(min_value=0.0, max_value=100.0),
+    dt2=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_property_semigroup(dt1, dt2):
+    sys_ = two_node_system()
+    x0 = np.array([55.0, 35.0])
+    u = np.array([20.0, 22.0])
+    a = sys_.advance(x0, u, dt1 + dt2)
+    b = sys_.advance(sys_.advance(x0, u, dt1), u, dt2)
+    np.testing.assert_allclose(a, b, rtol=1e-8, atol=1e-8)

@@ -1,0 +1,89 @@
+"""Tests for SimNode assembly."""
+
+import pytest
+
+from repro.simmachine.node import NodeConfig, SimNode
+from repro.simmachine.power import ACTIVITY_BURN, ACTIVITY_IDLE
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def node():
+    return SimNode(NodeConfig(name="n1"))
+
+
+def test_core_layout(node):
+    assert len(node.cores) == 4
+    assert [c.socket for c in node.cores] == [0, 0, 1, 1]
+    assert [c.core_id for c in node.cores] == [0, 1, 2, 3]
+
+
+def test_activity_drives_die_temperature(node):
+    node.set_core_activity(0, ACTIVITY_BURN, 0.0)
+    node.set_core_activity(1, ACTIVITY_BURN, 0.0)
+    t0 = node.die_temperature(0, 0.0)
+    t30 = node.die_temperature(0, 30.0)
+    assert t30 > t0 + 8.0
+
+
+def test_socket_isolation_short_term(node):
+    node.set_core_activity(0, ACTIVITY_BURN, 0.0)
+    assert node.die_temperature(0, 20.0) > node.die_temperature(1, 20.0) + 4.0
+
+
+def test_sensors_track_die(node):
+    node.set_core_activity(0, ACTIVITY_BURN, 0.0)
+    node.set_core_activity(1, ACTIVITY_BURN, 0.0)
+    warm = node.read_sensors(40.0)["CPU0 Temp"]
+    truth = node.die_temperature(0, 40.0)
+    assert warm == pytest.approx(truth, abs=2.0)
+
+
+def test_set_core_opp_lowers_power(node):
+    node.set_core_activity(0, ACTIVITY_BURN, 0.0)
+    p_hi = node.thermal.socket_powers[0]
+    node.set_core_opp(0, 2, 0.0)  # slowest point
+    p_lo = node.thermal.socket_powers[0]
+    assert p_lo < p_hi - 5.0
+
+
+def test_fan_speed_change(node):
+    node.set_core_activity(0, ACTIVITY_BURN, 0.0)
+    node.set_core_activity(1, ACTIVITY_BURN, 0.0)
+    node.die_temperature(0, 60.0)
+    node.set_fan_rpm(6000.0, 60.0)
+    cooled = node.die_temperature(0, 300.0)
+    ref = SimNode(NodeConfig(name="ref"))
+    ref.set_core_activity(0, ACTIVITY_BURN, 0.0)
+    ref.set_core_activity(1, ACTIVITY_BURN, 0.0)
+    assert cooled < ref.die_temperature(0, 300.0)
+
+
+def test_variation_fields_produce_hotter_node():
+    cool = SimNode(NodeConfig(name="a"))
+    hot = SimNode(
+        NodeConfig(name="b", speed_grade=1.1, paste_quality=0.7,
+                   inlet_offset_c=2.0)
+    )
+    for n in (cool, hot):
+        for c in range(4):
+            n.set_core_activity(c, ACTIVITY_BURN, 0.0)
+    assert hot.die_temperature(0, 120.0) > cool.die_temperature(0, 120.0) + 2.0
+
+
+def test_invalid_core_lookup(node):
+    with pytest.raises(ConfigError):
+        node.core(99)
+
+
+def test_invalid_shape_rejected():
+    with pytest.raises(ConfigError):
+        SimNode(NodeConfig(n_sockets=0))
+
+
+def test_idle_node_starts_and_stays_at_idle_steady_state(node):
+    a = node.die_temperature(0, 5.0)
+    b = node.die_temperature(0, 500.0)
+    assert abs(a - b) < 0.5
+    # Idle die sits a sane distance above ambient for an 18 W socket.
+    assert 25.0 <= a <= 40.0

@@ -1,0 +1,87 @@
+"""Tests for the activity-driven power model."""
+
+import pytest
+
+from repro.simmachine.power import (
+    ACTIVITY_BURN,
+    ACTIVITY_COMM,
+    ACTIVITY_IDLE,
+    DEFAULT_OPPS,
+    OperatingPoint,
+    PowerModel,
+    PowerParams,
+)
+from repro.util.errors import ConfigError
+
+
+def test_dynamic_power_scales_linearly_with_activity():
+    pm = PowerModel()
+    opp = DEFAULT_OPPS[0]
+    half = pm.core_dynamic_power(0.5, opp)
+    full = pm.core_dynamic_power(1.0, opp)
+    assert full == pytest.approx(2 * half)
+
+
+def test_dynamic_power_scales_with_f_v_squared():
+    pm = PowerModel()
+    hi, lo = DEFAULT_OPPS[0], DEFAULT_OPPS[-1]
+    ratio = pm.core_dynamic_power(1.0, hi) / pm.core_dynamic_power(1.0, lo)
+    expected = (hi.freq_hz * hi.voltage**2) / (lo.freq_hz * lo.voltage**2)
+    assert ratio == pytest.approx(expected)
+
+
+def test_socket_power_realistic_magnitude():
+    """A dual-core Opteron-class socket should land in the 60-120 W band at
+    full tilt and under 25 W near idle — needed for sane die temperatures."""
+    pm = PowerModel()
+    opp = DEFAULT_OPPS[0]
+    peak = pm.socket_power([ACTIVITY_BURN] * 2, [opp] * 2)
+    idle = pm.socket_power([ACTIVITY_IDLE] * 2, [opp] * 2)
+    assert 60.0 <= peak <= 120.0
+    assert idle <= 25.0
+    assert peak > 2.5 * idle
+
+
+def test_comm_phase_cooler_than_burn():
+    pm = PowerModel()
+    opp = DEFAULT_OPPS[0]
+    burn = pm.socket_power([ACTIVITY_BURN] * 2, [opp] * 2)
+    comm = pm.socket_power([ACTIVITY_COMM] * 2, [opp] * 2)
+    assert comm < 0.55 * burn
+
+
+def test_speed_grade_variation():
+    base = PowerModel(PowerParams())
+    fast = PowerModel(PowerParams().with_variation(speed_grade=1.1))
+    opp = DEFAULT_OPPS[0]
+    assert fast.core_dynamic_power(1.0, opp) == pytest.approx(
+        1.1 * base.core_dynamic_power(1.0, opp)
+    )
+
+
+def test_activity_out_of_range_rejected():
+    pm = PowerModel()
+    with pytest.raises(ConfigError):
+        pm.core_dynamic_power(1.5, DEFAULT_OPPS[0])
+    with pytest.raises(ConfigError):
+        pm.core_dynamic_power(-0.1, DEFAULT_OPPS[0])
+
+
+def test_mismatched_lists_rejected():
+    pm = PowerModel()
+    with pytest.raises(ConfigError):
+        pm.socket_power([1.0], [DEFAULT_OPPS[0]] * 2)
+
+
+def test_invalid_operating_point_rejected():
+    with pytest.raises(ConfigError):
+        OperatingPoint(0.0, 1.0)
+    with pytest.raises(ConfigError):
+        OperatingPoint(1e9, -1.0)
+
+
+def test_peak_socket_power_helper():
+    pm = PowerModel()
+    assert pm.peak_socket_power(2, DEFAULT_OPPS[0]) == pytest.approx(
+        pm.socket_power([1.0, 1.0], [DEFAULT_OPPS[0]] * 2)
+    )

@@ -1,0 +1,271 @@
+"""Tests for simulated processes, directives, and core scheduling."""
+
+import pytest
+
+from repro.simmachine.core_ import TscSpec
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.node import NodeConfig
+from repro.simmachine.power import ACTIVITY_BURN, ACTIVITY_IDLE
+from repro.simmachine.process import (
+    Compute,
+    Fork,
+    Join,
+    Migrate,
+    SetOpp,
+    Sleep,
+    Yield,
+)
+from repro.util.errors import ConfigError, DeadlockError, SimulationError
+
+
+def one_node_machine(**kw):
+    cfg = ClusterConfig(n_nodes=1, vary_nodes=False, **kw)
+    return Machine(cfg)
+
+
+def test_compute_advances_time():
+    m = one_node_machine()
+
+    def body(proc):
+        yield Compute(2.5, 1.0)
+        return m.sim.now
+
+    p = m.spawn(body, "node1", 0)
+    m.run()
+    assert p.result == pytest.approx(2.5)
+
+
+def test_sleep_does_not_hold_core():
+    m = one_node_machine()
+    log = []
+
+    def sleeper(proc):
+        yield Sleep(5.0)
+        log.append(("sleeper", m.sim.now))
+
+    def computer(proc):
+        yield Compute(1.0, 1.0)
+        log.append(("computer", m.sim.now))
+
+    m.spawn(sleeper, "node1", 0)
+    m.spawn(computer, "node1", 0)
+    m.run()
+    assert ("computer", 1.0) in log  # not delayed by the sleeper
+    assert ("sleeper", 5.0) in log
+
+
+def test_core_fifo_timesharing():
+    m = one_node_machine()
+    done = []
+
+    def job(proc, tag, dur):
+        yield Compute(dur, 1.0)
+        done.append((tag, m.sim.now))
+
+    m.spawn(lambda p: job(p, "a", 2.0), "node1", 0, name="a")
+    m.spawn(lambda p: job(p, "b", 1.0), "node1", 0, name="b")
+    m.run()
+    assert done == [("a", 2.0), ("b", 3.0)]  # b waited for the core
+
+
+def test_parallel_cores_overlap():
+    m = one_node_machine()
+    done = []
+
+    def job(proc, tag):
+        yield Compute(2.0, 1.0)
+        done.append((tag, m.sim.now))
+
+    m.spawn(lambda p: job(p, "a"), "node1", 0)
+    m.spawn(lambda p: job(p, "b"), "node1", 1)
+    m.run()
+    assert done == [("a", 2.0), ("b", 2.0)]
+
+
+def test_compute_sets_then_clears_activity():
+    m = one_node_machine()
+    seen = {}
+
+    def body(proc):
+        yield Compute(1.0, ACTIVITY_BURN)
+
+    p = m.spawn(body, "node1", 0)
+    m.sim.step()  # initial resume: compute begins
+    core = m.node("node1").core(0)
+    assert core.activity == ACTIVITY_BURN
+    m.run()
+    assert core.activity == ACTIVITY_IDLE
+
+
+def test_fork_and_join():
+    m = one_node_machine()
+
+    def child(proc):
+        yield Compute(3.0, 1.0)
+        return "child-result"
+
+    def parent(proc):
+        kid = yield Fork(child, "node1", 1, name="kid")
+        result = yield Join(kid)
+        return (result, m.sim.now)
+
+    p = m.spawn(parent, "node1", 0)
+    m.run()
+    assert p.result == ("child-result", 3.0)
+
+
+def test_join_already_finished_process():
+    m = one_node_machine()
+
+    def quick(proc):
+        yield Compute(0.5, 1.0)
+        return 42
+
+    def waiter(proc, target):
+        yield Compute(2.0, 1.0)  # finish after the child
+        got = yield Join(target)
+        return got
+
+    q = m.spawn(quick, "node1", 0)
+    w = m.spawn(lambda p: waiter(p, q), "node1", 1)
+    m.run()
+    assert w.result == 42
+
+
+def test_yield_is_same_time_cooperation():
+    m = one_node_machine()
+    times = []
+
+    def body(proc):
+        yield Compute(1.0, 1.0)
+        yield Yield()
+        times.append(m.sim.now)
+
+    m.spawn(body, "node1", 0)
+    m.run()
+    assert times == [1.0]
+
+
+def test_migrate_changes_tsc_reading():
+    specs = tuple(TscSpec(skew_cycles=i * 10_000_000) for i in range(4))
+    node = NodeConfig(name="node1", tsc_specs=specs)
+    m = Machine(ClusterConfig(n_nodes=1, node_configs=[node]))
+    readings = []
+
+    def body(proc):
+        yield Compute(1.0, 1.0)
+        readings.append(proc.read_tsc())
+        yield Migrate(3)
+        readings.append(proc.read_tsc())
+
+    m.spawn(body, "node1", 0)
+    m.run()
+    assert readings[1] - readings[0] == pytest.approx(30_000_000, abs=10)
+
+
+def test_setopp_stretches_subsequent_compute():
+    m = one_node_machine()
+
+    def body(proc):
+        yield Compute(1.0, 1.0)
+        yield SetOpp(2)  # 1.0 GHz vs 1.8 GHz nominal
+        yield Compute(1.0, 1.0)
+        return m.sim.now
+
+    p = m.spawn(body, "node1", 0)
+    m.run()
+    assert p.result == pytest.approx(1.0 + 1.8, rel=1e-6)
+
+
+def test_overhead_charge_inflates_next_compute():
+    m = one_node_machine()
+
+    def body(proc):
+        proc.charge_overhead(0.25)
+        yield Compute(1.0, 1.0)
+        return m.sim.now
+
+    p = m.spawn(body, "node1", 0)
+    m.run()
+    assert p.result == pytest.approx(1.25)
+    assert p.overhead_charged == pytest.approx(0.25)
+
+
+def test_deadlock_detection():
+    m = one_node_machine()
+
+    def never(proc):
+        other = yield Fork(hang_forever, "node1", 1)
+        yield Join(other)
+
+    def hang_forever(proc):
+        # Joins a process that never exists -> blocks forever via Join on self
+        yield Join(proc)
+
+    m.spawn(never, "node1", 0)
+    with pytest.raises(DeadlockError):
+        m.run()
+
+
+def test_bad_directive_rejected():
+    m = one_node_machine()
+
+    def body(proc):
+        yield "not a directive"
+
+    m.spawn(body, "node1", 0)
+    with pytest.raises(SimulationError):
+        m.run()
+
+
+def test_spawn_validation():
+    m = one_node_machine()
+    with pytest.raises(ConfigError):
+        m.spawn(lambda p: (yield Compute(1)), "nope", 0)
+    with pytest.raises(ConfigError):
+        m.spawn(lambda p: (yield Compute(1)), "node1", 99)
+    with pytest.raises(ConfigError):
+        m.spawn(lambda p: 42, "node1", 0)  # not a generator function
+
+
+def test_compute_validation():
+    with pytest.raises(ConfigError):
+        Compute(-1.0)
+    with pytest.raises(ConfigError):
+        Compute(1.0, activity=2.0)
+    with pytest.raises(ConfigError):
+        Sleep(-1.0)
+
+
+def test_run_to_completion_with_background_daemon():
+    m = one_node_machine()
+    flag = {}
+
+    def daemon(proc):
+        while not flag.get("stop"):
+            yield Sleep(0.25)
+
+    def work(proc):
+        yield Compute(2.0, 1.0)
+        return "done"
+
+    m.spawn(daemon, "node1", 3, name="tempd")
+    w = m.spawn(work, "node1", 0)
+    m.run_to_completion([w])
+    assert w.result == "done"
+    flag["stop"] = True
+    m.run(until=m.sim.now + 1.0)  # daemon drains
+
+
+def test_cluster_variation_is_deterministic():
+    a = Machine(ClusterConfig(n_nodes=4, seed=99))
+    b = Machine(ClusterConfig(n_nodes=4, seed=99))
+    for name in a.node_names():
+        assert a.node(name).config.speed_grade == b.node(name).config.speed_grade
+        assert a.node(name).config.inlet_offset_c == b.node(name).config.inlet_offset_c
+
+
+def test_cluster_nodes_actually_differ():
+    m = Machine(ClusterConfig(n_nodes=4, seed=7))
+    grades = [m.node(n).config.speed_grade for n in m.node_names()]
+    assert len(set(grades)) == 4

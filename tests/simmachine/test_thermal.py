@@ -1,0 +1,139 @@
+"""Tests for the per-node RC thermal network."""
+
+import numpy as np
+import pytest
+
+from repro.simmachine.thermal import ThermalNetwork, ThermalParams
+from repro.util.errors import ConfigError, SimulationError
+
+
+@pytest.fixture
+def net():
+    return ThermalNetwork(ThermalParams(), n_sockets=2, ambient_c=22.0)
+
+
+def test_initial_state_near_ambient(net):
+    # Zero socket power + linear leakage fold -> slightly above ambient.
+    for label in net.labels:
+        assert 21.0 <= net.temperature(label) <= 32.0
+
+
+def test_labels_and_indexing(net):
+    assert net.labels == ["die0", "die1", "sink0", "sink1", "case"]
+    assert net.index_of("case") == 4
+    with pytest.raises(ConfigError):
+        net.index_of("die7")
+
+
+def test_heating_monotone_under_constant_power(net):
+    net.set_socket_power(0, 60.0, 0.0)
+    temps = []
+    for t in [1.0, 3.0, 8.0, 20.0, 60.0]:
+        net.advance_to(t)
+        temps.append(net.die_temperature(0))
+    assert all(b > a for a, b in zip(temps, temps[1:]))
+
+
+def test_powered_socket_hotter_than_idle_socket(net):
+    net.set_socket_power(0, 60.0, 0.0)
+    net.advance_to(30.0)
+    assert net.die_temperature(0) > net.die_temperature(1) + 5.0
+
+
+def test_idle_socket_warms_through_shared_case(net):
+    before = net.die_temperature(1)
+    net.set_socket_power(0, 80.0, 0.0)
+    net.advance_to(600.0)
+    assert net.die_temperature(1) > before + 0.5
+
+
+def test_cooling_after_power_removed(net):
+    net.set_socket_power(0, 80.0, 0.0)
+    net.advance_to(30.0)
+    hot = net.die_temperature(0)
+    net.set_socket_power(0, 0.0, 30.0)
+    net.advance_to(45.0)
+    assert net.die_temperature(0) < hot - 3.0
+
+
+def test_time_cannot_go_backwards(net):
+    net.advance_to(10.0)
+    with pytest.raises(SimulationError):
+        net.advance_to(5.0)
+
+
+def test_power_validation(net):
+    with pytest.raises(ConfigError):
+        net.set_socket_power(0, -5.0, 0.0)
+    with pytest.raises(ConfigError):
+        net.set_socket_power(9, 5.0, 0.0)
+
+
+def test_faster_fan_cools_die():
+    slow = ThermalNetwork(ThermalParams(), 1, fan_rpm=1500.0)
+    fast = ThermalNetwork(ThermalParams(), 1, fan_rpm=6000.0)
+    for net in (slow, fast):
+        net.set_socket_power(0, 70.0, 0.0)
+        net.advance_to(300.0)
+    assert fast.die_temperature(0) < slow.die_temperature(0) - 2.0
+
+
+def test_fan_change_midrun_changes_trajectory(net):
+    net.set_socket_power(0, 70.0, 0.0)
+    net.advance_to(60.0)
+    t_hot = net.die_temperature(0)
+    net.set_fan_rpm(6000.0, 60.0)
+    net.advance_to(200.0)
+    cooled = net.die_temperature(0)
+    # More airflow must pull the die down relative to continuing at 3000 rpm.
+    ref = ThermalNetwork(ThermalParams(), 2, ambient_c=22.0)
+    ref.set_socket_power(0, 70.0, 0.0)
+    ref.advance_to(200.0)
+    assert cooled < ref.die_temperature(0)
+
+
+def test_inlet_offset_raises_everything():
+    hot_rack = ThermalParams().with_variation(inlet_offset_c=3.0)
+    a = ThermalNetwork(ThermalParams(), 1)
+    b = ThermalNetwork(hot_rack, 1)
+    for net in (a, b):
+        net.set_socket_power(0, 50.0, 0.0)
+        net.advance_to(500.0)
+    assert b.die_temperature(0) > a.die_temperature(0) + 2.0
+
+
+def test_bad_paste_runs_hotter():
+    bad = ThermalParams().with_variation(paste_quality=0.7)
+    a = ThermalNetwork(ThermalParams(), 1)
+    b = ThermalNetwork(bad, 1)
+    for net in (a, b):
+        net.set_socket_power(0, 60.0, 0.0)
+        net.advance_to(400.0)
+    assert b.die_temperature(0) > a.die_temperature(0) + 1.0
+
+
+def test_steady_state_for_matches_long_advance(net):
+    powers = np.array([55.0, 25.0])
+    ss = net.steady_state_for(powers)
+    net.set_socket_power(0, 55.0, 0.0)
+    net.set_socket_power(1, 25.0, 0.0)
+    net.advance_to(50_000.0)
+    np.testing.assert_allclose(net.state, ss, rtol=1e-5)
+
+
+def test_die_response_is_seconds_scale_sink_is_slower():
+    net = ThermalNetwork(ThermalParams(), 1)
+    net.set_socket_power(0, 70.0, 0.0)
+    ss = net.steady_state_for(np.array([70.0]))
+    start_die = net.die_temperature(0)
+    net.advance_to(10.0)
+    die_frac = (net.die_temperature(0) - start_die) / (ss[0] - start_die)
+    sink_frac = (net.temperature("sink0") - start_die) / (ss[1] - start_die)
+    # After 10 s the die has covered much more of its rise than the sink.
+    assert die_frac > 0.35
+    assert sink_frac < die_frac
+
+
+def test_fan_rpm_must_be_positive():
+    with pytest.raises(ConfigError):
+        ThermalParams().fan_factor(0.0)

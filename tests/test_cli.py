@@ -1,0 +1,101 @@
+"""Tests for the tempest CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_micro_text_report(capsys):
+    assert main(["micro", "--bench", "B", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "Function: main" in out
+    assert "foo1" in out
+    assert "time (s)" in out  # the plot
+
+
+def test_micro_csv_and_celsius(capsys):
+    assert main(["micro", "--bench", "A", "--format", "csv", "--celsius"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("node,function,")
+    assert "main" in out
+
+
+def test_micro_json(capsys):
+    assert main(["micro", "--bench", "A", "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["sampling_hz"] == 4.0
+    assert any(r["function"] == "main" for r in data["rows"])
+
+
+def test_npb_runs_and_plots(capsys):
+    assert main([
+        "npb", "--bench", "CG", "--klass", "S", "--ranks", "4",
+        "--iters", "1", "--plot",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "conj_grad" in out
+    assert "[node1]" in out
+
+
+def test_npb_unknown_bench(capsys):
+    assert main(["npb", "--bench", "ZZ"]) == 2
+
+
+def test_npb_bad_class_is_clean_error(capsys):
+    assert main(["npb", "--bench", "FT", "--klass", "Q"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_save_and_parse_roundtrip(tmp_path, capsys):
+    bundle_dir = tmp_path / "bundle"
+    assert main([
+        "micro", "--bench", "D", "--save-trace", str(bundle_dir),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["parse", str(bundle_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "Function: main" in out
+    assert "foo1" in out
+
+
+def test_sensors_against_virtual_tree(tmp_path, capsys):
+    from repro.simmachine.hwmon import VirtualHwmonTree
+    from repro.simmachine.machine import ClusterConfig, Machine
+
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+    VirtualHwmonTree(tmp_path, [m.node("node1").chip]).materialize(0.0)
+    assert main(["sensors", "--root", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "CPU0 Temp" in out
+
+
+def test_sensors_missing_root(capsys):
+    assert main(["sensors", "--root", "/nonexistent/x"]) == 1
+
+
+def test_hotspots_command(capsys):
+    assert main([
+        "hotspots", "--bench", "BT", "--klass", "S", "--iters", "2",
+        "--top", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Hot nodes" in out
+    assert "hot spots" in out
+    assert "Recommendations:" in out
+    assert "node" in out
+
+
+def test_hotspots_unknown_bench(capsys):
+    assert main(["hotspots", "--bench", "QQ"]) == 2
+
+
+def test_verify_command_subset(capsys):
+    assert main(["verify", "BT", "EP"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("VERIFICATION SUCCESSFUL") == 2
+
+
+def test_verify_unknown_bench(capsys):
+    assert main(["verify", "ZZ"]) == 2

@@ -1,0 +1,96 @@
+"""Portability: the identical profiler runs on every platform preset
+(§3.4's claim), including a heterogeneous cluster mixing x86 and G5."""
+
+import pytest
+
+from repro.core import TempestSession
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.platforms import PLATFORMS, g5_node, opteron_node, system_x_node
+from repro.workloads.microbench import micro_d
+from repro.workloads.npb import cg
+
+
+def machine_of(node_config):
+    return Machine(ClusterConfig(n_nodes=1, node_configs=[node_config]))
+
+
+@pytest.mark.parametrize("platform", sorted(PLATFORMS))
+def test_micro_d_profiles_on_every_platform(platform):
+    m = machine_of(PLATFORMS[platform](name="node1"))
+    s = TempestSession(m)
+    s.run_serial(micro_d, "node1", 0, 6.0, 0.05)
+    prof = s.profile()
+    node = prof.node("node1")
+    assert {"main", "foo1", "foo2"} <= set(node.functions)
+    assert node.function("foo1").significant
+    # Every declared sensor produced statistics for the dominant function.
+    assert len(node.function("foo1").sensor_stats) == len(node.sensor_names())
+
+
+def test_sensor_counts_match_paper():
+    """'as few as 3 sensors on x86 ... up to 7 sensors on PowerPC G5'."""
+    counts = {}
+    for platform, factory in PLATFORMS.items():
+        m = machine_of(factory(name="node1"))
+        counts[platform] = len(m.node("node1").chip.sensor_names())
+    assert counts["opteron"] == 3
+    assert counts["system-x"] == 6
+    assert counts["g5"] == 7
+
+
+def test_g5_timebase_differs_but_parses_identically():
+    """The G5's 2.3 GHz timebase changes raw TSC values, not results."""
+    m_x86 = machine_of(opteron_node(name="node1"))
+    m_g5 = machine_of(g5_node(name="node1"))
+    results = {}
+    for label, m in (("x86", m_x86), ("g5", m_g5)):
+        s = TempestSession(m)
+        s.run_serial(micro_d, "node1", 0, 4.0, 0.05)
+        bundle = s.collect()
+        results[label] = {
+            "tsc_hz": bundle.node("node1").tsc_hz,
+            "foo1_s": s.profile().node("node1").function("foo1").total_time_s,
+        }
+    assert results["x86"]["tsc_hz"] == pytest.approx(1.8e9)
+    assert results["g5"]["tsc_hz"] == pytest.approx(2.3e9)
+    # Same workload, same parsed duration, different raw clocks.
+    assert results["x86"]["foo1_s"] == pytest.approx(
+        results["g5"]["foo1_s"], rel=0.02
+    )
+
+
+def test_heterogeneous_cluster_runs_npb():
+    """A mixed x86 + G5 cluster profiles one MPI job end to end."""
+    m = Machine(ClusterConfig(
+        n_nodes=4,
+        node_configs=[
+            opteron_node(name="node1"),
+            g5_node(name="node2"),
+            system_x_node(name="node3"),
+            opteron_node(name="node4"),
+        ],
+    ))
+    s = TempestSession(m)
+    config = cg.CGConfig(klass="S", niter=2)
+    s.run_mpi(lambda ctx: cg.cg_benchmark(ctx, config), 4)
+    prof = s.profile()
+    assert set(prof.node_names()) == {"node1", "node2", "node3", "node4"}
+    # Per-node sensor complements differ; the report handles each.
+    assert len(prof.node("node1").sensor_names()) == 3
+    assert len(prof.node("node2").sensor_names()) == 7
+    assert len(prof.node("node3").sensor_names()) == 6
+    for name in prof.node_names():
+        assert "conj_grad" in prof.node(name).functions
+
+
+def test_g5_runs_hotter_per_same_workload():
+    """90 nm G5 parts draw more power per clock: same burn, hotter die."""
+    temps = {}
+    for label, factory in (("x86", opteron_node), ("g5", g5_node)):
+        m = machine_of(factory(name="node1"))
+        s = TempestSession(m)
+        s.run_serial(micro_d, "node1", 0, 30.0, 0.05)
+        temps[label] = s.profile().node("node1").function(
+            "foo1").sensor_stats[
+                "CPU0 Temp" if label == "x86" else "CPU A Temp"].max
+    assert temps["g5"] > temps["x86"]

@@ -1,0 +1,89 @@
+"""Tests for BT's 5x5 block kernels against dense numpy oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.errors import ConfigError
+from repro.workloads.npb.btblocks import (
+    binvcrhs,
+    binvrhs,
+    matmul_sub,
+    matvec_sub,
+    random_spd_block_tridiag,
+    solve_block_tridiag,
+)
+
+
+def test_matmul_sub():
+    rng = np.random.default_rng(0)
+    a, b = rng.standard_normal((2, 5, 5))
+    c = rng.standard_normal((5, 5))
+    expected = c - a @ b
+    matmul_sub(a, b, c)
+    np.testing.assert_allclose(c, expected)
+
+
+def test_matvec_sub():
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((5, 5))
+    v = rng.standard_normal(5)
+    b = rng.standard_normal(5)
+    expected = b - a @ v
+    matvec_sub(a, v, b)
+    np.testing.assert_allclose(b, expected)
+
+
+def test_binvcrhs_matches_linear_solve():
+    rng = np.random.default_rng(2)
+    lhs = rng.standard_normal((5, 5)) + np.eye(5) * 4.0
+    c = rng.standard_normal((5, 5))
+    r = rng.standard_normal(5)
+    lhs0, c0, r0 = lhs.copy(), c.copy(), r.copy()
+    binvcrhs(lhs, c, r)
+    np.testing.assert_allclose(c, np.linalg.solve(lhs0, c0), atol=1e-10)
+    np.testing.assert_allclose(r, np.linalg.solve(lhs0, r0), atol=1e-10)
+    np.testing.assert_allclose(lhs, np.eye(5), atol=1e-10)
+
+
+def test_binvrhs_matches_linear_solve():
+    rng = np.random.default_rng(3)
+    lhs = rng.standard_normal((5, 5)) + np.eye(5) * 4.0
+    r = rng.standard_normal(5)
+    lhs0, r0 = lhs.copy(), r.copy()
+    binvrhs(lhs, r)
+    np.testing.assert_allclose(r, np.linalg.solve(lhs0, r0), atol=1e-10)
+
+
+def test_binvcrhs_rejects_wrong_shape():
+    with pytest.raises(ConfigError):
+        binvrhs(np.eye(3), np.zeros(3))
+
+
+def test_binvcrhs_rejects_zero_pivot():
+    lhs = np.zeros((5, 5))
+    with pytest.raises(ConfigError):
+        binvrhs(lhs, np.zeros(5))
+
+
+@pytest.mark.parametrize("n", [2, 3, 8, 20])
+def test_solve_block_tridiag_matches_dense(n):
+    A, B, C, rhs, dense, dense_rhs = random_spd_block_tridiag(n, seed=n)
+    x = solve_block_tridiag(A, B, C, rhs)
+    oracle = np.linalg.solve(dense, dense_rhs)
+    np.testing.assert_allclose(x.reshape(-1), oracle, rtol=1e-8, atol=1e-8)
+
+
+def test_solve_block_tridiag_shape_validation():
+    A, B, C, rhs, _, _ = random_spd_block_tridiag(4)
+    with pytest.raises(ConfigError):
+        solve_block_tridiag(A, B, C, rhs[:2])
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_block_solver_residual_small(seed):
+    A, B, C, rhs, dense, dense_rhs = random_spd_block_tridiag(6, seed=seed)
+    x = solve_block_tridiag(A, B, C, rhs).reshape(-1)
+    residual = np.linalg.norm(dense @ x - dense_rhs) / np.linalg.norm(dense_rhs)
+    assert residual < 1e-9

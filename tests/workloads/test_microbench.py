@@ -1,0 +1,109 @@
+"""Tests for the Table 1 micro-benchmarks through the full pipeline."""
+
+import pytest
+
+from repro.core import TempestSession
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.workloads import microbench as mb
+
+
+def run_micro(fn, *args, seed=5):
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=seed))
+    s = TempestSession(m)
+    s.run_serial(fn, "node1", 0, *args)
+    return s.profile()
+
+
+def test_micro_a_only_main():
+    prof = run_micro(mb.micro_a, 3.0)
+    node = prof.node("node1")
+    assert set(node.functions) == {"main"}
+    assert node.function("main").total_time_s == pytest.approx(3.0, rel=0.01)
+
+
+def test_micro_b_one_function():
+    prof = run_micro(mb.micro_b, 3.0)
+    node = prof.node("node1")
+    assert set(node.functions) == {"main", "foo1"}
+    assert node.function("foo1").total_time_s == pytest.approx(3.0, rel=0.01)
+
+
+def test_micro_c_multiple_functions():
+    prof = run_micro(mb.micro_c, 2.0)
+    node = prof.node("node1")
+    assert set(node.functions) == {"main", "foo1", "foo3", "foo2"}
+    assert node.function("main").total_time_s == pytest.approx(
+        node.function("foo1").total_time_s
+        + node.function("foo3").total_time_s
+        + node.function("foo2").total_time_s,
+        rel=0.02,
+    )
+
+
+def test_micro_d_interleaving():
+    prof = run_micro(mb.micro_d, 6.0, 0.05)
+    node = prof.node("node1")
+    assert set(node.functions) == {"main", "foo1", "foo2"}
+    foo2 = node.function("foo2")
+    assert foo2.n_calls == 2  # called from foo1 AND from main
+    assert foo2.total_time_s == pytest.approx(0.1, rel=0.05)
+    assert not foo2.significant  # 0.1 s < 0.25 s sampling interval
+    foo1 = node.function("foo1")
+    assert foo1.total_time_s > 6.0  # burn + nested foo2
+
+
+def test_micro_d_foo1_dominates_main_like_fig2a():
+    prof = run_micro(mb.micro_d, 10.0, 0.05)
+    node = prof.node("node1")
+    main, foo1 = node.function("main"), node.function("foo1")
+    assert foo1.total_time_s / main.total_time_s > 0.97
+    s_main = main.sensor_stats["CPU0 Temp"]
+    s_foo1 = foo1.sensor_stats["CPU0 Temp"]
+    assert s_main.avg == pytest.approx(s_foo1.avg, abs=0.5)
+
+
+def test_micro_e_recursion():
+    prof = run_micro(mb.micro_e, 5)
+    node = prof.node("node1")
+    rec = node.function("recurse")
+    assert rec.n_calls == 6  # depth 5 -> 6 activations
+    # Union semantics: inclusive time ~ (depth+1) * burn + small foo2 waits,
+    # NOT the sum over nested activations.
+    assert rec.total_time_s < 2.5
+    assert node.function("main").total_time_s > rec.total_time_s
+
+
+def test_short_call_storm_counts_calls():
+    prof = run_micro(mb.short_call_storm, 500, 0.5e-3)
+    node = prof.node("node1")
+    tiny = node.function("tiny_fn")
+    assert tiny.n_calls == 500
+    assert not tiny.significant or tiny.total_time_s >= 0.25
+
+
+def test_migrating_burner_breaks_strict_parse():
+    """§3.3: unbound migration mixes per-core TSC skew; with large skews the
+    parser sees non-monotonic timestamps and rejects the trace."""
+    from repro.simmachine.core_ import TscSpec
+    from repro.simmachine.node import NodeConfig
+    from repro.util.errors import TraceError
+
+    specs = (
+        TscSpec(skew_cycles=0),
+        TscSpec(skew_cycles=-5_000_000_000),  # ~2.8 s behind
+        TscSpec(skew_cycles=0),
+        TscSpec(skew_cycles=0),
+    )
+    node = NodeConfig(name="node1", tsc_specs=specs)
+    m = Machine(ClusterConfig(n_nodes=1, node_configs=[node]))
+    s = TempestSession(m)
+    s.run_serial(mb.migrating_burner, "node1", 0, [0, 1, 0])
+    with pytest.raises(TraceError):
+        s.profile(strict=True)
+    # Lenient parsing degrades instead of failing.
+    prof = s.profile(strict=False)
+    assert "main" in prof.node("node1").functions
+
+
+def test_all_micros_registry():
+    assert set(mb.ALL_MICROS) == {"A", "B", "C", "D", "E"}
