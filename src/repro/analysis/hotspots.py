@@ -45,13 +45,17 @@ class HotSpot:
     excess_c: float          # avg above the node's run baseline
     total_time_s: float
     score: float             # excess x time — the ranking key
+    coverage: float = 1.0    # sampling coverage behind these statistics
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.function} on {self.node}: avg {self.avg_c:.1f} C "
             f"(+{self.excess_c:.1f} C over baseline) for "
             f"{self.total_time_s:.2f} s via {self.sensor}"
         )
+        if self.coverage < 0.995:
+            text += f" [coverage {self.coverage:.0%}]"
+        return text
 
 
 def identify_hot_spots(
@@ -59,8 +63,15 @@ def identify_hot_spots(
     *,
     top_n: Optional[int] = None,
     include_blocks: bool = True,
+    min_coverage: float = 0.0,
 ) -> list[HotSpot]:
-    """Rank (node, function) pairs by thermal weight, hottest first."""
+    """Rank (node, function) pairs by thermal weight, hottest first.
+
+    ``min_coverage`` discards functions whose sampling coverage fell below
+    the threshold (gaps from sensor failures or trace loss): their
+    statistics rest on too few sweeps to rank honestly.  The default keeps
+    everything and lets callers read the per-spot ``coverage`` instead.
+    """
     spots: list[HotSpot] = []
     for node_name in profile.node_names():
         node = profile.node(node_name)
@@ -68,6 +79,8 @@ def identify_hot_spots(
         baseline = _node_baseline(node, sensors)
         for fp in node.functions.values():
             if not fp.significant:
+                continue
+            if fp.coverage < min_coverage:
                 continue
             if not include_blocks and fp.name.endswith("@blk"):
                 continue
@@ -92,6 +105,7 @@ def identify_hot_spots(
                     excess_c=excess,
                     total_time_s=fp.total_time_s,
                     score=max(0.0, excess) * fp.total_time_s,
+                    coverage=fp.coverage,
                 )
             )
     spots.sort(key=lambda h: -h.score)

@@ -25,6 +25,28 @@ from repro.simmachine.machine import ClusterConfig, Machine
 from repro.util.errors import ReproError
 
 
+def _add_inject_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--inject", default=None, metavar="SPEC",
+        help="fault-injection spec, e.g. "
+             "'sweep_failure_rate=0.2,record_loss_rate=0.05,crashes=1' "
+             "(keys are repro.faults.FaultConfig fields; "
+             "nodes=node1+node3 limits the blast radius)")
+    p.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault schedule (default: the run seed)")
+
+
+def _make_injector(args, machine):
+    """Build the session's FaultInjector from --inject, or None."""
+    if getattr(args, "inject", None) is None:
+        return None
+    from repro.faults import FaultInjector
+
+    seed = args.fault_seed if args.fault_seed is not None else args.seed
+    return FaultInjector.from_spec(args.inject, seed, machine.node_names())
+
+
 def _add_output_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--celsius", action="store_true",
                    help="report degC instead of degF")
@@ -58,10 +80,11 @@ def cmd_micro(args) -> int:
 
     machine = Machine(ClusterConfig(n_nodes=1, seed=args.seed,
                                     vary_nodes=False))
-    session = TempestSession(machine)
+    injector = _make_injector(args, machine)
+    session = TempestSession(machine, injector=injector)
     bench = ALL_MICROS[args.bench.upper()]
     session.run_serial(bench, "node1", 0)
-    profile = session.profile()
+    profile = session.profile(strict=injector is None)
     _emit(profile, args)
     if args.plot:
         node = profile.node("node1")
@@ -107,10 +130,11 @@ def cmd_npb(args) -> int:
         return 2
     program, config, run_name = setup
     machine = Machine(ClusterConfig(n_nodes=args.nodes, seed=args.seed))
-    session = TempestSession(machine)
+    injector = _make_injector(args, machine)
+    session = TempestSession(machine, injector=injector)
     session.run_mpi(lambda ctx: program(ctx, config), args.ranks,
                     name=run_name)
-    profile = session.profile()
+    profile = session.profile(strict=injector is None)
     _emit(profile, args)
     if args.plot:
         sensor = profile.node(profile.node_names()[0]).sensor_names()[0]
@@ -133,10 +157,11 @@ def cmd_hotspots(args) -> int:
         return 2
     program, config, run_name = setup
     machine = Machine(ClusterConfig(n_nodes=args.nodes, seed=args.seed))
-    session = TempestSession(machine)
+    injector = _make_injector(args, machine)
+    session = TempestSession(machine, injector=injector)
     session.run_mpi(lambda ctx: program(ctx, config), args.ranks,
                     name=run_name)
-    profile = session.profile()
+    profile = session.profile(strict=injector is None)
 
     print("Hot nodes (mean CPU temperature, hottest first):")
     for name, mean_c in hot_nodes(profile):
@@ -153,7 +178,8 @@ def cmd_hotspots(args) -> int:
 
 
 def cmd_parse(args) -> int:
-    bundle = TraceBundle.load(args.bundle)
+    bundle = TraceBundle.load(args.bundle,
+                              tolerate_truncation=args.lenient)
     profile = TempestParser(bundle, strict=not args.lenient).parse()
     _emit(profile, args)
     return 0
@@ -218,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1234)
     p.add_argument("--plot", action="store_true")
     _add_output_args(p)
+    _add_inject_args(p)
     p.set_defaults(fn=cmd_micro)
 
     p = sub.add_parser("npb", help="run an NPB benchmark on the simulated cluster")
@@ -230,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1234)
     p.add_argument("--plot", action="store_true")
     _add_output_args(p)
+    _add_inject_args(p)
     p.set_defaults(fn=cmd_npb)
 
     p = sub.add_parser("hotspots",
@@ -241,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=None)
     p.add_argument("--seed", type=int, default=1234)
     p.add_argument("--top", type=int, default=5)
+    _add_inject_args(p)
     p.set_defaults(fn=cmd_hotspots)
 
     p = sub.add_parser("parse", help="parse a saved trace bundle")

@@ -82,8 +82,11 @@ class NodeTracer:
         self.n_func_events = 0
         self.n_samples = 0
         #: sweeps tempd skipped because a sensor read failed (§4.1:
-        #: "thermal sensor technology is emergent and at times unstable")
+        #: "thermal sensor technology is emergent and at times unstable");
+        #: incremented live as failures happen, not at daemon exit
         self.n_failed_sweeps = 0
+        #: sensor reads re-attempted under tempd's retry-with-backoff
+        self.n_retries = 0
 
     # -- hooks -----------------------------------------------------------
     def on_enter(self, proc: SimProcess, name: str) -> None:

@@ -102,6 +102,7 @@ class TempestParser:
                 significant=significant,
                 sensor_stats=stats,
                 n_samples=n_hits,
+                coverage=_coverage(total, n_hits, self.sampling_hz),
             )
 
         t0, t1 = timeline.span
@@ -137,6 +138,28 @@ class TempestParser:
             if name not in out:
                 out[name] = (np.empty(0), np.empty(0))
         return out
+
+
+#: below this many expected sweeps, a shortfall is indistinguishable from
+#: sampling-phase quantization, so no gap is reported
+_MIN_EXPECTED_SWEEPS = 4.0
+
+
+def _coverage(total_time_s: float, n_hits: int, sampling_hz: float) -> float:
+    """Fraction of expected sampling sweeps that actually landed.
+
+    At ``sampling_hz`` a function active for ``total_time_s`` should catch
+    about ``total * hz`` sweeps; failed sweeps, lost records, or a dead
+    tempd make ``n_hits`` fall short, and the gap-aware statistics report
+    that shortfall rather than silently presenting thin data as complete.
+    Functions expecting fewer than :data:`_MIN_EXPECTED_SWEEPS` sweeps are
+    below the sampling resolution (a one-sweep miss there is phase luck,
+    not a fault) — coverage is pinned to 1.0 for them.
+    """
+    expected = total_time_s * sampling_hz
+    if expected < _MIN_EXPECTED_SWEEPS:
+        return 1.0
+    return min(1.0, n_hits / expected)
 
 
 def _samples_in_spans(

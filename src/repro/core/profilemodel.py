@@ -30,6 +30,11 @@ class FunctionProfile:
     significant: bool            # total time >= sensor sampling interval
     sensor_stats: dict[str, SensorStats] = field(default_factory=dict)
     n_samples: int = 0           # sample sweeps attributed to this function
+    #: fraction of the expected sampling sweeps that actually landed in
+    #: this function's intervals (< 1.0 when sensor failures, record loss,
+    #: or a dead tempd left gaps); 1.0 when the function is too short for
+    #: the question to be meaningful
+    coverage: float = 1.0
 
     def hottest_sensor(self) -> Optional[tuple[str, SensorStats]]:
         """The sensor with the highest average, or None if insignificant."""

@@ -26,6 +26,8 @@ def _format_function(fp: FunctionProfile, fahrenheit: bool,
     if show_calls:
         header += (f"  Calls: {fp.n_calls}  "
                    f"Self(sec): {fp.exclusive_time_s:.6f}")
+    if fp.coverage < 0.995:
+        header += f"  Coverage: {fp.coverage:.0%}"
     lines = [header]
     if not fp.significant:
         lines.append(
@@ -104,6 +106,7 @@ def profile_to_rows(
                 "exclusive_time_s": round(fp.exclusive_time_s, 6),
                 "calls": fp.n_calls,
                 "significant": fp.significant,
+                "coverage": round(fp.coverage, 4),
             }
             if not fp.sensor_stats:
                 rows.append({**base, "sensor": None})
@@ -133,8 +136,8 @@ def dump_csv(profile: RunProfile, *, fahrenheit: bool = True) -> str:
     if not rows:
         return ""
     fields = ["node", "function", "total_time_s", "exclusive_time_s",
-              "calls", "significant", "sensor", "min", "avg", "max",
-              "sdv", "var", "med", "mod"]
+              "calls", "significant", "coverage", "sensor", "min", "avg",
+              "max", "sdv", "var", "med", "mod"]
     buf = io.StringIO()
     writer = csv.DictWriter(buf, fieldnames=fields, restval="")
     writer.writeheader()

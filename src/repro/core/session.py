@@ -46,11 +46,17 @@ class TempestSession:
         tempd_core: Optional[int] = None,
         enabled: bool = True,
         spool_dir=None,
+        injector=None,
     ):
         self.machine = machine
         self.costs = costs
         self.tempd_config = tempd_config
         self.tempd_core = tempd_core
+        #: optional :class:`repro.faults.FaultInjector` (duck-typed — the
+        #: session only calls ``wrap_reader`` / ``wrap_tracer`` /
+        #: ``watch_tempd``) that degrades sensors, traces, and daemons for
+        #: chaos experiments
+        self.injector = injector
         #: when set, every node's records stream to <spool_dir>/<node>.spool
         #: as they are recorded (constant-write trace collection)
         self.spool_dir = spool_dir
@@ -75,6 +81,8 @@ class TempestSession:
             return self.tracers[node_name]
         node = self.machine.node(node_name)
         reader = SimSensorReader(node)
+        if self.injector is not None:
+            reader = self.injector.wrap_reader(node_name, reader)
         spool = None
         if self.spool_dir is not None:
             from pathlib import Path
@@ -88,6 +96,10 @@ class TempestSession:
             costs=self.costs,
             spool=spool,
         )
+        if self.injector is not None and spool is None:
+            # Record loss/corruption happens in the in-memory sink; the
+            # spooled path keeps its write-through contract untouched.
+            self.injector.wrap_tracer(tracer)
         self.tracers[node_name] = tracer
         self.readers[node_name] = reader
         if self.enabled:
@@ -103,6 +115,8 @@ class TempestSession:
                 name=f"tempd@{node_name}",
             )
             self._tempd_procs[node_name] = proc
+            if self.injector is not None:
+                self.injector.watch_tempd(self, node_name, tracer, reader)
         return tracer
 
     def wrap(self, ctx, gen):

@@ -83,6 +83,8 @@ class NodeTrace:
         self.tsc_hz = float(tsc_hz)       # calibrated nominal TSC frequency
         self.sensor_names = list(sensor_names)
         self.records: list[TraceRecord] = []
+        #: set by tolerant loaders when this trace lost its tail on disk
+        self.truncated = False
 
     def append(self, record: TraceRecord) -> None:
         """Append one record (records arrive in per-core time order)."""
@@ -153,32 +155,72 @@ class TraceBundle:
             (path / f"{name}.trace").write_bytes(blob)
 
     @classmethod
-    def load(cls, path: Path) -> "TraceBundle":
-        """Read a bundle previously written by :meth:`save`."""
+    def load(cls, path: Path, *,
+             tolerate_truncation: bool = False) -> "TraceBundle":
+        """Read a bundle previously written by :meth:`save`.
+
+        Every malformation — unreadable or torn ``meta.json``, a bad symbol
+        table, a missing or truncated record file — surfaces as a clean
+        :class:`TraceError`, never a ``json`` or ``struct`` exception from
+        mid-record.  With ``tolerate_truncation`` a record file whose tail
+        was lost (node died mid-write, partial copy off the cluster) is
+        recovered instead: the torn partial record and anything the header
+        promised beyond it are dropped, and the node's trace is marked
+        ``truncated`` so the parser's consumers know the coverage story.
+        """
         path = Path(path)
         meta_path = path / "meta.json"
         if not meta_path.exists():
             raise TraceError(f"{path} is not a trace bundle (no meta.json)")
-        header = json.loads(meta_path.read_text())
+        try:
+            header = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TraceError(f"{meta_path} is unreadable: {exc}")
+        if not isinstance(header, dict):
+            raise TraceError(f"{meta_path} is not a JSON object")
         if header.get("format") != "tempest-trace-v1":
             raise TraceError(f"unknown trace format {header.get('format')!r}")
-        bundle = cls(SymbolTable.from_dict(header["symtab"]))
+        try:
+            bundle = cls(SymbolTable.from_dict(header["symtab"]))
+            node_infos = dict(header["nodes"])
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise TraceError(f"{meta_path} header is malformed: {exc}")
         bundle.meta = header.get("meta", {})
         rec_size = TraceRecord.packed_size()
-        for name, info in header["nodes"].items():
-            trace = NodeTrace(name, info["tsc_hz"], info["sensor_names"])
-            blob = (path / f"{name}.trace").read_bytes()
-            if len(blob) % rec_size:
+        for name, info in node_infos.items():
+            try:
+                trace = NodeTrace(name, info["tsc_hz"], info["sensor_names"])
+                declared = int(info["n_records"])
+            except (KeyError, TypeError, ValueError) as exc:
                 raise TraceError(
-                    f"{name}.trace is corrupt: {len(blob)} bytes is not a "
-                    f"multiple of {rec_size}"
+                    f"node entry {name!r} in {meta_path} is malformed: {exc}"
                 )
+            rec_path = path / f"{name}.trace"
+            try:
+                blob = rec_path.read_bytes()
+            except OSError as exc:
+                if not tolerate_truncation:
+                    raise TraceError(f"cannot read {rec_path}: {exc}")
+                trace.truncated = True
+                bundle.add_node(trace)
+                continue
+            remainder = len(blob) % rec_size
+            if remainder:
+                if not tolerate_truncation:
+                    raise TraceError(
+                        f"{name}.trace is corrupt: {len(blob)} bytes is not "
+                        f"a multiple of {rec_size}"
+                    )
+                blob = blob[: len(blob) - remainder]
+                trace.truncated = True
             n = len(blob) // rec_size
-            if n != info["n_records"]:
-                raise TraceError(
-                    f"{name}.trace has {n} records, header says "
-                    f"{info['n_records']}"
-                )
+            if n != declared:
+                if not (tolerate_truncation and n < declared):
+                    raise TraceError(
+                        f"{name}.trace has {n} records, header says "
+                        f"{declared}"
+                    )
+                trace.truncated = True
             for i in range(n):
                 trace.append(TraceRecord.unpack(blob, i * rec_size))
             bundle.add_node(trace)

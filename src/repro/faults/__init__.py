@@ -1,0 +1,37 @@
+"""Composable fault injection for the profiling pipeline.
+
+``repro.faults`` provides a seeded, deterministic fault model — sensor
+failures, trace-record loss/corruption, clock skew, and tempd
+crash/restart — plus the wiring to apply it to a live
+:class:`~repro.core.session.TempestSession`.  See
+``docs/INTERNALS.md`` ("Fault model & chaos testing") and ``tests/faults/``
+for the chaos/property harness built on top of it.
+"""
+
+from repro.faults.inject import FaultInjector, parse_inject_spec
+from repro.faults.lossy import LossyNodeTrace, LossyTraceSpool
+from repro.faults.plan import (
+    EV_CRASH,
+    EV_DROPOUT,
+    EV_STUCK,
+    EV_TSC_SKEW,
+    FaultConfig,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.faults.sensorfaults import FaultySensorReader
+
+__all__ = [
+    "EV_CRASH",
+    "EV_DROPOUT",
+    "EV_STUCK",
+    "EV_TSC_SKEW",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultySensorReader",
+    "LossyNodeTrace",
+    "LossyTraceSpool",
+    "parse_inject_spec",
+]

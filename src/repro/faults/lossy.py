@@ -1,0 +1,104 @@
+"""Lossy / corrupting trace sinks.
+
+Trace records can be lost or damaged anywhere between the hook and the
+parser: a wrapped ring buffer, a crashed writer, bit rot on the spool file.
+Two sinks inject those failures under a :class:`~repro.faults.plan.FaultPlan`:
+
+* :class:`LossyNodeTrace` — an in-memory
+  :class:`~repro.core.trace.NodeTrace` whose ``append`` drops, corrupts, or
+  clock-skews records before storing them (what a chaos session wires in
+  place of the tracer's pristine trace).
+* :class:`LossyTraceSpool` — a :class:`~repro.core.spool.TraceSpool`
+  subclass applying the same fault model on the write-through path to disk.
+
+Corruption is payload-level, never framing-level: a corrupted record still
+unpacks, it just carries a wrong temperature (TEMP) or a forward-jittered
+timestamp (ENTER/EXIT).  Framing damage — a truncated tail — is exercised
+separately through :meth:`repro.core.trace.TraceBundle.load` and
+:func:`repro.core.spool.read_spool`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.spool import TraceSpool
+from repro.core.trace import NodeTrace, REC_TEMP, TraceRecord
+from repro.faults.plan import FaultPlan
+
+
+class _FaultingSink:
+    """Shared drop/corrupt/skew logic for the two sink classes."""
+
+    def _init_faults(self, plan: FaultPlan, node_name: str,
+                     tsc_hz: float) -> None:
+        self._plan = plan
+        self._fault_node = node_name
+        self._fault_tsc_hz = float(tsc_hz)
+        self.n_records_dropped = 0
+        self.n_records_corrupted = 0
+        self.n_records_skewed = 0
+
+    def _apply_faults(self, record: TraceRecord):
+        """Return the (possibly corrupted) record, or None to drop it."""
+        plan, node = self._plan, self._fault_node
+        action = plan.record_action(node)
+        if action == "drop":
+            self.n_records_dropped += 1
+            return None
+        if action == "corrupt":
+            self.n_records_corrupted += 1
+            if record.kind == REC_TEMP:
+                record = TraceRecord(
+                    record.kind, record.addr, record.tsc, record.core,
+                    record.pid, record.value + plan.corrupt_temp_offset(node),
+                )
+            else:
+                record = TraceRecord(
+                    record.kind, record.addr,
+                    record.tsc + plan.corrupt_tsc_jitter(node),
+                    record.core, record.pid, record.value,
+                )
+        skew = plan.skew_cycles(node, record.tsc / self._fault_tsc_hz)
+        if skew:
+            self.n_records_skewed += 1
+            record = TraceRecord(record.kind, record.addr, record.tsc + skew,
+                                 record.core, record.pid, record.value)
+        return record
+
+
+class LossyNodeTrace(_FaultingSink, NodeTrace):
+    """A NodeTrace that loses and damages records as they arrive."""
+
+    def __init__(self, node_name: str, tsc_hz: float,
+                 sensor_names: list[str], plan: FaultPlan):
+        NodeTrace.__init__(self, node_name, tsc_hz, sensor_names)
+        self._init_faults(plan, node_name, tsc_hz)
+
+    def append(self, record: TraceRecord) -> None:
+        record = self._apply_faults(record)
+        if record is not None:
+            NodeTrace.append(self, record)
+
+
+class LossyTraceSpool(_FaultingSink, TraceSpool):
+    """A TraceSpool that loses and damages records on the way to disk."""
+
+    def __init__(self, path: Path, plan: FaultPlan, node_name: str,
+                 tsc_hz: float):
+        TraceSpool.__init__(self, path)
+        self._init_faults(plan, node_name, tsc_hz)
+
+    def write(self, record: TraceRecord) -> None:
+        record = self._apply_faults(record)
+        if record is not None:
+            TraceSpool.write(self, record)
+
+    def truncate_tail(self, n_bytes: int) -> None:
+        """Chop *n_bytes* off the spool's tail — a mid-append crash.
+
+        Closes the spool first; the file is left torn for recovery tests.
+        """
+        self.close()
+        blob = self.path.read_bytes()
+        self.path.write_bytes(blob[: max(0, len(blob) - n_bytes)])

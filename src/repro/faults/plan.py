@@ -1,0 +1,275 @@
+"""Deterministic fault schedules for chaos experiments.
+
+§4.1 of the paper warns that "thermal sensor technology is emergent and at
+times unstable"; a production profiling pipeline additionally loses trace
+records, suffers clock steps, and watches daemons die mid-run.  A
+:class:`FaultPlan` turns one experiment seed into a *fully reproducible*
+schedule of such events, so a chaos run can be replayed bit-for-bit from
+its seed alone.
+
+Two classes of faults coexist:
+
+* **Scheduled events** (sensor dropout windows, stuck-at windows, tempd
+  crash/restart, TSC skew steps) are precomputed at plan construction and
+  exposed via :meth:`FaultPlan.events`; :meth:`FaultPlan.encode` serializes
+  them canonically — identical seeds yield byte-identical schedules.
+* **Per-occurrence draws** (a transient sweep failure, dropping or
+  corrupting one trace record) cannot be pre-timed because sweep and record
+  times depend on the workload; they instead consume dedicated per-node
+  substreams of :class:`repro.util.rng.RngStreams`, which makes them
+  deterministic for a fixed seed and call sequence.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Optional
+
+from repro.util.errors import ConfigError
+from repro.util.rng import RngStreams
+
+#: scheduled event kinds
+EV_DROPOUT = "dropout"    # every sensor read in the window fails
+EV_STUCK = "stuck"        # sensors freeze at their window-entry values
+EV_CRASH = "crash"        # tempd dies; duration_s = restart delay
+EV_TSC_SKEW = "tsc_skew"  # the node's trace clock steps forward by magnitude
+
+_KINDS = (EV_DROPOUT, EV_STUCK, EV_CRASH, EV_TSC_SKEW)
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value < 1.0:
+        raise ConfigError(f"{name} must be in [0, 1), got {value}")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """What to break, how often, and for how long.
+
+    ``nodes`` limits injection to the named nodes; empty means every node
+    the plan is built for.  All windows and event times are drawn within
+    ``[0, horizon_s)``.
+    """
+
+    nodes: tuple = ()
+    # -- sensor faults --------------------------------------------------
+    sweep_failure_rate: float = 0.0      # transient SensorError per read call
+    dropout_windows: int = 0             # windows in which every read fails
+    dropout_duration_s: float = 1.0
+    stuck_windows: int = 0               # windows of frozen (stuck-at) values
+    stuck_duration_s: float = 2.0
+    # -- trace-record faults --------------------------------------------
+    record_loss_rate: float = 0.0        # silently drop a record
+    record_corrupt_rate: float = 0.0     # perturb a record's payload
+    temp_corrupt_sd_c: float = 8.0       # corruption magnitude for TEMP values
+    tsc_corrupt_max_cycles: int = 50_000  # forward jitter for func records
+    # -- clock faults ----------------------------------------------------
+    tsc_skew_steps: int = 0              # forward clock steps per node
+    tsc_skew_max_cycles: int = 200_000
+    # -- daemon faults ----------------------------------------------------
+    crashes: int = 0                     # tempd kill events per node
+    crash_restart_delay_s: float = 0.5
+    # -- schedule extent --------------------------------------------------
+    horizon_s: float = 60.0
+
+    def __post_init__(self):
+        _check_rate("sweep_failure_rate", self.sweep_failure_rate)
+        _check_rate("record_loss_rate", self.record_loss_rate)
+        _check_rate("record_corrupt_rate", self.record_corrupt_rate)
+        for name in ("dropout_windows", "stuck_windows", "tsc_skew_steps",
+                     "crashes", "tsc_skew_max_cycles",
+                     "tsc_corrupt_max_cycles"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0: {self}")
+        for name in ("dropout_duration_s", "stuck_duration_s",
+                     "crash_restart_delay_s", "temp_corrupt_sd_c"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0: {self}")
+        if self.horizon_s <= 0:
+            raise ConfigError(f"horizon_s must be positive: {self}")
+
+    def any_faults(self) -> bool:
+        """True when this config injects anything at all."""
+        return any((
+            self.sweep_failure_rate > 0, self.dropout_windows > 0,
+            self.stuck_windows > 0, self.record_loss_rate > 0,
+            self.record_corrupt_rate > 0, self.tsc_skew_steps > 0,
+            self.crashes > 0,
+        ))
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault on one node."""
+
+    t_s: float
+    node: str
+    kind: str
+    duration_s: float = 0.0
+    magnitude: float = 0.0
+
+    @property
+    def end_s(self) -> float:
+        return self.t_s + self.duration_s
+
+
+class FaultPlan:
+    """A seeded, deterministic fault schedule over a set of nodes."""
+
+    def __init__(self, config: FaultConfig, seed: int,
+                 node_names: Iterable[str]):
+        self.config = config
+        self.seed = int(seed)
+        self.node_names = list(node_names)
+        if config.nodes:
+            unknown = [n for n in config.nodes if n not in self.node_names]
+            if unknown:
+                raise ConfigError(
+                    f"fault config names unknown nodes {unknown}; "
+                    f"have {self.node_names}"
+                )
+            self.affected = list(config.nodes)
+        else:
+            self.affected = list(self.node_names)
+        self._streams = RngStreams(self.seed)
+        self._events: list[FaultEvent] = sorted(self._build_events())
+        # Per-node lookup structures for the window queries.
+        self._by_node_kind: dict[tuple[str, str], list[FaultEvent]] = {}
+        for ev in self._events:
+            self._by_node_kind.setdefault((ev.node, ev.kind), []).append(ev)
+        # Per-node lazy draw streams for per-occurrence faults.
+        self._sweep_rng = {n: self._streams.get(f"faults/sweep/{n}")
+                           for n in self.affected}
+        self._record_rng = {n: self._streams.get(f"faults/record/{n}")
+                            for n in self.affected}
+        self._corrupt_rng = {n: self._streams.get(f"faults/corrupt/{n}")
+                             for n in self.affected}
+
+    # ------------------------------------------------------------------
+    # Schedule construction
+
+    def _window_starts(self, node: str, kind: str, count: int,
+                       duration: float) -> list[float]:
+        rng = self._streams.get(f"faults/{kind}/{node}")
+        span = max(0.0, self.config.horizon_s - duration)
+        return sorted(float(rng.uniform(0.0, span)) for _ in range(count))
+
+    def _build_events(self) -> list[FaultEvent]:
+        cfg = self.config
+        out: list[FaultEvent] = []
+        for node in self.affected:
+            for t in self._window_starts(node, EV_DROPOUT,
+                                         cfg.dropout_windows,
+                                         cfg.dropout_duration_s):
+                out.append(FaultEvent(t, node, EV_DROPOUT,
+                                      cfg.dropout_duration_s))
+            for t in self._window_starts(node, EV_STUCK, cfg.stuck_windows,
+                                         cfg.stuck_duration_s):
+                out.append(FaultEvent(t, node, EV_STUCK,
+                                      cfg.stuck_duration_s))
+            for t in self._window_starts(node, EV_CRASH, cfg.crashes, 0.0):
+                out.append(FaultEvent(t, node, EV_CRASH,
+                                      cfg.crash_restart_delay_s))
+            skew_rng = self._streams.get(f"faults/{EV_TSC_SKEW}/{node}")
+            for _ in range(cfg.tsc_skew_steps):
+                t = float(skew_rng.uniform(0.0, cfg.horizon_s))
+                cycles = int(skew_rng.integers(1, cfg.tsc_skew_max_cycles + 1))
+                out.append(FaultEvent(t, node, EV_TSC_SKEW,
+                                      magnitude=float(cycles)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Schedule queries
+
+    def events(self) -> list[FaultEvent]:
+        """Every scheduled event, time-ordered."""
+        return list(self._events)
+
+    def events_for(self, node: str,
+                   kind: Optional[str] = None) -> list[FaultEvent]:
+        """Scheduled events on *node*, optionally of one *kind*."""
+        if kind is not None:
+            return list(self._by_node_kind.get((node, kind), []))
+        return [ev for ev in self._events if ev.node == node]
+
+    def encode(self) -> bytes:
+        """Canonical byte serialization of the scheduled events.
+
+        Identical ``(config, seed, node set)`` inputs produce byte-identical
+        output — the reproducibility contract chaos runs rely on.
+        """
+        payload = {
+            "seed": self.seed,
+            "nodes": self.affected,
+            "config": asdict(self.config),
+            "events": [asdict(ev) for ev in self._events],
+        }
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def _window_at(self, node: str, kind: str,
+                   t: float) -> Optional[FaultEvent]:
+        evs = self._by_node_kind.get((node, kind), [])
+        if not evs:
+            return None
+        i = bisect_right([ev.t_s for ev in evs], t) - 1
+        if i >= 0 and evs[i].t_s <= t < evs[i].end_s:
+            return evs[i]
+        return None
+
+    def in_dropout(self, node: str, t: float) -> bool:
+        """Is *node* inside a sensor-dropout window at time *t*?"""
+        return self._window_at(node, EV_DROPOUT, t) is not None
+
+    def stuck_window(self, node: str, t: float) -> Optional[FaultEvent]:
+        """The stuck-at window covering (node, t), or None."""
+        return self._window_at(node, EV_STUCK, t)
+
+    def skew_cycles(self, node: str, t: float) -> int:
+        """Cumulative forward TSC skew injected on *node* up to time *t*."""
+        total = 0
+        for ev in self._by_node_kind.get((node, EV_TSC_SKEW), []):
+            if ev.t_s <= t:
+                total += int(ev.magnitude)
+        return total
+
+    # ------------------------------------------------------------------
+    # Per-occurrence draws (deterministic for a fixed call sequence)
+
+    def sweep_fails(self, node: str) -> bool:
+        """Draw: does this sensor-read call fail transiently?"""
+        rng = self._sweep_rng.get(node)
+        if rng is None or self.config.sweep_failure_rate <= 0.0:
+            return False
+        return bool(rng.random() < self.config.sweep_failure_rate)
+
+    def record_action(self, node: str) -> str:
+        """Draw the fate of one trace record: 'keep', 'drop', or 'corrupt'."""
+        rng = self._record_rng.get(node)
+        if rng is None:
+            return "keep"
+        cfg = self.config
+        if cfg.record_loss_rate <= 0.0 and cfg.record_corrupt_rate <= 0.0:
+            return "keep"
+        u = float(rng.random())
+        if u < cfg.record_loss_rate:
+            return "drop"
+        if u < cfg.record_loss_rate + cfg.record_corrupt_rate:
+            return "corrupt"
+        return "keep"
+
+    def corrupt_temp_offset(self, node: str) -> float:
+        """Draw the degC perturbation for one corrupted TEMP record."""
+        rng = self._corrupt_rng.get(node)
+        if rng is None:
+            return 0.0
+        return float(rng.normal(0.0, self.config.temp_corrupt_sd_c))
+
+    def corrupt_tsc_jitter(self, node: str) -> int:
+        """Draw the forward tick jitter for one corrupted func record."""
+        rng = self._corrupt_rng.get(node)
+        if rng is None or self.config.tsc_corrupt_max_cycles <= 0:
+            return 0
+        return int(rng.integers(0, self.config.tsc_corrupt_max_cycles + 1))

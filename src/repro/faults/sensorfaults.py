@@ -1,0 +1,58 @@
+"""Fault-injecting sensor reader.
+
+:class:`FaultySensorReader` decorates any
+:class:`~repro.core.sensors.SensorReader` with the sensor-level faults of a
+:class:`~repro.faults.plan.FaultPlan`: transient per-call failures, dropout
+windows in which every read fails, and stuck-at windows in which the
+readings freeze at their window-entry values (a common failure mode of
+SMBus-attached thermal chips).
+"""
+
+from __future__ import annotations
+
+from repro.core.sensors import SensorReader
+from repro.faults.plan import FaultPlan
+from repro.util.errors import SensorError
+
+
+class FaultySensorReader(SensorReader):
+    """Wrap *inner* and misbehave according to *plan* for *node_name*."""
+
+    def __init__(self, inner: SensorReader, plan: FaultPlan, node_name: str):
+        self.inner = inner
+        self.plan = plan
+        self.node_name = node_name
+        #: observability counters for tests and chaos reports
+        self.n_calls = 0
+        self.n_transient_failures = 0
+        self.n_dropout_failures = 0
+        self.n_stuck_reads = 0
+        self._stuck_values: dict[float, list[tuple[int, float]]] = {}
+
+    def sensor_names(self) -> list[str]:
+        return self.inner.sensor_names()
+
+    def read_all(self, t: float) -> list[tuple[int, float]]:
+        self.n_calls += 1
+        if self.plan.in_dropout(self.node_name, t):
+            self.n_dropout_failures += 1
+            raise SensorError(
+                f"injected dropout on {self.node_name} at t={t:.3f}s"
+            )
+        if self.plan.sweep_fails(self.node_name):
+            self.n_transient_failures += 1
+            raise SensorError(
+                f"injected transient failure on {self.node_name} "
+                f"at t={t:.3f}s"
+            )
+        window = self.plan.stuck_window(self.node_name, t)
+        if window is not None:
+            frozen = self._stuck_values.get(window.t_s)
+            if frozen is None:
+                # First read inside the window captures the stuck values.
+                frozen = self.inner.read_all(t)
+                self._stuck_values[window.t_s] = frozen
+            else:
+                self.n_stuck_reads += 1
+            return list(frozen)
+        return self.inner.read_all(t)

@@ -196,6 +196,8 @@ class SimProcess:
         #: deferred migration requested by steering policies)
         self.pending_rebind: Optional[int] = None
         self._finish_waiters: list[Callable[[Any], None]] = []
+        #: True once the process was forcibly terminated via :meth:`kill`
+        self.killed = False
         #: observers invoked as fn(proc, event) on finish ("exit") — used by
         #: the Tempest session to stop tempd and flush traces.
         self.trace_context: Any = None  # set by instrumentation layers
@@ -249,9 +251,27 @@ class SimProcess:
         return v
 
     # -- lifecycle -------------------------------------------------------
+    def kill(self) -> None:
+        """Terminate the process immediately (SIGKILL at simulated speed).
+
+        The generator is closed, the process finishes with ``result=None``,
+        and any already-scheduled wakeups (a pending sleep timer, a compute
+        completion) become no-ops instead of resuming a corpse.  Fault
+        injection uses this to take tempd down mid-run; anything the
+        process was mid-way through — a half-written sweep, an unflushed
+        buffer — is simply lost, exactly like the real crash.
+        """
+        if self.state == ST_FINISHED:
+            return
+        self.killed = True
+        self._gen.close()
+        self._finish(None)
+
     def resume(self, value: Any = None) -> None:
         """Drive the generator one step with *value* as the yield result."""
         if self.state == ST_FINISHED:
+            if self.killed:
+                return  # a stale wakeup landing after a kill
             raise SimulationError(f"{self} resumed after finishing")
         self.state = ST_RUNNING
         if self.pending_rebind is not None:

@@ -1,0 +1,86 @@
+"""FaultySensorReader: transient failures, dropout windows, stuck-at."""
+
+import pytest
+
+from repro.core.sensors import SensorReader
+from repro.faults import FaultConfig, FaultPlan, FaultySensorReader
+from repro.util.errors import SensorError
+
+
+class RampReader(SensorReader):
+    """Deterministic stub: each sensor reads ``base + t``."""
+
+    def __init__(self, n=2):
+        self._names = [f"S{i}" for i in range(n)]
+
+    def sensor_names(self):
+        return list(self._names)
+
+    def read_all(self, t):
+        return [(i, 30.0 + 10.0 * i + t) for i in range(len(self._names))]
+
+
+def make(cfg, seed=1):
+    plan = FaultPlan(cfg, seed=seed, node_names=["n"])
+    return FaultySensorReader(RampReader(), plan, "n"), plan
+
+
+def test_passthrough_without_faults():
+    reader, _ = make(FaultConfig())
+    assert reader.sensor_names() == ["S0", "S1"]
+    assert reader.read_all(1.5) == [(0, 31.5), (1, 41.5)]
+    assert reader.n_transient_failures == 0
+
+
+def test_transient_failures_raise_sensor_error():
+    reader, _ = make(FaultConfig(sweep_failure_rate=0.5))
+    failures = 0
+    for k in range(200):
+        try:
+            out = reader.read_all(float(k))
+        except SensorError:
+            failures += 1
+        else:
+            assert out == [(0, 30.0 + k), (1, 40.0 + k)]
+    assert failures == reader.n_transient_failures
+    assert 60 < failures < 140
+
+
+def test_dropout_window_fails_every_read():
+    cfg = FaultConfig(dropout_windows=1, dropout_duration_s=3.0,
+                      horizon_s=20.0)
+    reader, plan = make(cfg)
+    (ev,) = plan.events_for("n", "dropout")
+    for frac in (0.0, 0.5, 0.9):
+        with pytest.raises(SensorError):
+            reader.read_all(ev.t_s + frac * ev.duration_s)
+    assert reader.n_dropout_failures == 3
+    # Outside the window, reads succeed again.
+    assert reader.read_all(ev.end_s + 0.1)
+
+
+def test_stuck_window_freezes_values():
+    cfg = FaultConfig(stuck_windows=1, stuck_duration_s=4.0, horizon_s=20.0)
+    reader, plan = make(cfg)
+    (ev,) = plan.events_for("n", "stuck")
+    first = reader.read_all(ev.t_s + 0.1)
+    later = reader.read_all(ev.t_s + 3.0)
+    assert later == first                       # frozen, not tracking t
+    assert reader.n_stuck_reads == 1            # the first read primes
+    after = reader.read_all(ev.end_s + 1.0)
+    assert after != first                       # thawed
+
+
+def test_deterministic_failure_sequence():
+    def run():
+        reader, _ = make(FaultConfig(sweep_failure_rate=0.3), seed=77)
+        out = []
+        for k in range(100):
+            try:
+                reader.read_all(float(k))
+                out.append(True)
+            except SensorError:
+                out.append(False)
+        return out
+
+    assert run() == run()

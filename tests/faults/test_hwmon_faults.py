@@ -1,0 +1,106 @@
+"""HwmonSensorReader against deliberately broken synthetic sysfs trees
+(satellite 3): missing inputs, non-numeric content, empty dirs, files
+disappearing between discovery and read."""
+
+import pytest
+
+from repro.core.sensors import HwmonSensorReader, discover_hwmon
+from repro.util.errors import SensorError
+
+
+def make_chip(root, idx, name="coretemp", temps=(45.0,), labels=None):
+    chip = root / f"hwmon{idx}"
+    chip.mkdir(parents=True)
+    (chip / "name").write_text(name + "\n")
+    for n, degc in enumerate(temps, start=1):
+        (chip / f"temp{n}_input").write_text(f"{int(degc * 1000)}\n")
+        if labels and n - 1 < len(labels):
+            (chip / f"temp{n}_label").write_text(labels[n - 1] + "\n")
+    return chip
+
+
+def test_healthy_tree(tmp_path):
+    make_chip(tmp_path, 0, temps=(45.0, 47.5), labels=["Core 0", "Core 1"])
+    make_chip(tmp_path, 1, name="acpitz", temps=(38.0,))
+    reader = HwmonSensorReader(tmp_path)
+    assert reader.sensor_names() == ["Core 0", "Core 1", "acpitz/temp1"]
+    assert reader.read_all() == [(0, 45.0), (1, 47.5), (2, 38.0)]
+
+
+def test_root_missing():
+    with pytest.raises(SensorError):
+        HwmonSensorReader("/nonexistent/hwmon/root")
+
+
+def test_tree_with_no_sensors(tmp_path):
+    # Chip directories exist but expose no temp*_input at all.
+    chip = tmp_path / "hwmon0"
+    chip.mkdir()
+    (chip / "name").write_text("pwmonly\n")
+    (chip / "pwm1").write_text("128\n")
+    with pytest.raises(SensorError, match="no temp"):
+        HwmonSensorReader(tmp_path)
+
+
+def test_empty_root(tmp_path):
+    with pytest.raises(SensorError, match="no temp"):
+        HwmonSensorReader(tmp_path)
+
+
+def test_chip_without_inputs_skipped(tmp_path):
+    """A sensorless chip beside a healthy one: skipped, not fatal."""
+    make_chip(tmp_path, 0, temps=())            # name only, no channels
+    make_chip(tmp_path, 1, name="nvme", temps=(33.0,))
+    reader = HwmonSensorReader(tmp_path)
+    assert reader.sensor_names() == ["nvme/temp1"]
+
+
+def test_hwmon_entry_that_is_a_file(tmp_path):
+    (tmp_path / "hwmon0").write_text("not a directory\n")
+    make_chip(tmp_path, 1, temps=(50.0,))
+    reader = HwmonSensorReader(tmp_path)
+    assert reader.read_all() == [(0, 50.0)]
+
+
+def test_missing_name_file_falls_back_to_dirname(tmp_path):
+    chip = tmp_path / "hwmon0"
+    chip.mkdir()
+    (chip / "temp1_input").write_text("41000\n")
+    reader = HwmonSensorReader(tmp_path)
+    assert reader.sensor_names() == ["hwmon0/temp1"]
+
+
+def test_non_numeric_input_is_sensor_error(tmp_path):
+    chip = make_chip(tmp_path, 0, temps=(45.0,))
+    (chip / "temp1_input").write_text("ERR\n")
+    reader_fresh = HwmonSensorReader(tmp_path)
+    with pytest.raises(SensorError, match="temp1"):
+        reader_fresh.read_all()
+
+
+def test_input_disappears_after_discovery(tmp_path):
+    """The driver unbinding mid-run: discovery saw the file, read fails
+    with SensorError (which tempd turns into a failed/retried sweep)."""
+    chip = make_chip(tmp_path, 0, temps=(45.0, 46.0))
+    reader = HwmonSensorReader(tmp_path)
+    assert len(reader.read_all()) == 2
+    (chip / "temp2_input").unlink()
+    with pytest.raises(SensorError):
+        reader.read_all()
+
+
+def test_channel_ordering_is_numeric(tmp_path):
+    # temp10 must sort after temp2, not between temp1 and temp2.
+    make_chip(tmp_path, 0, temps=(40.0, 41.0))
+    (tmp_path / "hwmon0" / "temp10_input").write_text("49000\n")
+    reader = HwmonSensorReader(tmp_path)
+    assert reader.sensor_names() == [
+        "coretemp/temp1", "coretemp/temp2", "coretemp/temp10",
+    ]
+    assert reader.read_all() == [(0, 40.0), (1, 41.0), (2, 49.0)]
+
+
+def test_discover_returns_none_on_bad_default(tmp_path, monkeypatch):
+    monkeypatch.setattr(HwmonSensorReader, "DEFAULT_ROOT",
+                        tmp_path / "nope")
+    assert discover_hwmon() is None

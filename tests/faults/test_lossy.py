@@ -1,0 +1,106 @@
+"""Lossy/corrupting trace sinks: drop, corrupt, skew — never torn framing."""
+
+import pytest
+
+from repro.core.spool import read_spool
+from repro.core.trace import REC_ENTER, REC_EXIT, REC_TEMP, TraceRecord
+from repro.faults import FaultConfig, FaultPlan, LossyNodeTrace, LossyTraceSpool
+from repro.util.errors import TraceError
+
+TSC_HZ = 1e9
+
+
+def records(n=1000):
+    out = []
+    for i in range(n):
+        kind = REC_TEMP if i % 3 == 0 else (REC_ENTER if i % 2 else REC_EXIT)
+        out.append(TraceRecord(kind, i % 7, i * 1_000_000, 0, 1,
+                               45.0 if kind == REC_TEMP else 0.0))
+    return out
+
+
+def make_trace(cfg, seed=1):
+    plan = FaultPlan(cfg, seed=seed, node_names=["n"])
+    return LossyNodeTrace("n", TSC_HZ, ["S0"], plan)
+
+
+def test_loss_rate_approximate():
+    trace = make_trace(FaultConfig(record_loss_rate=0.2))
+    for r in records():
+        trace.append(r)
+    assert trace.n_records_dropped + len(trace.records) == 1000
+    assert 120 < trace.n_records_dropped < 280
+
+
+def test_corruption_keeps_records_parseable():
+    trace = make_trace(FaultConfig(record_corrupt_rate=0.3))
+    original = records()
+    for r in original:
+        trace.append(r)
+    assert len(trace.records) == 1000          # corruption never drops
+    assert trace.n_records_corrupted > 200
+    changed = sum(1 for a, b in zip(original, trace.records) if a != b)
+    assert changed == trace.n_records_corrupted
+    for a, b in zip(original, trace.records):
+        assert b.kind == a.kind and b.pid == a.pid
+        if a.kind == REC_TEMP:
+            assert b.tsc == a.tsc              # TEMP corruption hits value
+        else:
+            assert b.tsc >= a.tsc              # func corruption jitters fwd
+            assert b.value == a.value
+        # Round-trips through the binary layout regardless.
+        assert TraceRecord.unpack(b.pack()) == b
+
+
+def test_tsc_skew_steps_shift_later_records():
+    cfg = FaultConfig(tsc_skew_steps=1, tsc_skew_max_cycles=500_000,
+                      horizon_s=1.0)
+    plan = FaultPlan(cfg, seed=4, node_names=["n"])
+    (ev,) = plan.events_for("n", "tsc_skew")
+    trace = LossyNodeTrace("n", TSC_HZ, ["S0"], plan)
+    before = TraceRecord(REC_ENTER, 1, int((ev.t_s - 0.01) * TSC_HZ), 0, 1)
+    after = TraceRecord(REC_EXIT, 1, int((ev.t_s + 0.01) * TSC_HZ), 0, 1)
+    trace.append(before)
+    trace.append(after)
+    assert trace.records[0].tsc == before.tsc
+    assert trace.records[1].tsc == after.tsc + int(ev.magnitude)
+    assert trace.n_records_skewed == 1
+
+
+def test_lossy_spool_round_trip(tmp_path):
+    plan = FaultPlan(FaultConfig(record_loss_rate=0.1), seed=2,
+                     node_names=["n"])
+    spool = LossyTraceSpool(tmp_path / "n.spool", plan, "n", TSC_HZ)
+    with spool:
+        for r in records(500):
+            spool.write(r)
+    survived = read_spool(tmp_path / "n.spool")
+    assert len(survived) == 500 - spool.n_records_dropped
+    assert spool.records_written == len(survived)
+    assert 20 < spool.n_records_dropped < 90
+
+
+def test_lossy_spool_truncate_tail_then_recover(tmp_path):
+    plan = FaultPlan(FaultConfig(), seed=2, node_names=["n"])
+    spool = LossyTraceSpool(tmp_path / "n.spool", plan, "n", TSC_HZ)
+    with spool:
+        for r in records(10):
+            spool.write(r)
+    spool.truncate_tail(5)                      # mid-record crash
+    survived = read_spool(tmp_path / "n.spool")
+    assert len(survived) == 9                   # torn record dropped
+    with pytest.raises(TraceError):
+        read_spool(tmp_path / "n.spool", tolerate_truncation=False)
+
+
+def test_deterministic_surviving_stream():
+    def run():
+        trace = make_trace(
+            FaultConfig(record_loss_rate=0.1, record_corrupt_rate=0.1),
+            seed=31,
+        )
+        for r in records(300):
+            trace.append(r)
+        return list(trace.records)
+
+    assert run() == run()

@@ -1,0 +1,144 @@
+"""FaultPlan: schedule construction, queries, and determinism."""
+
+import pytest
+
+from repro.faults import (
+    EV_CRASH,
+    EV_DROPOUT,
+    EV_STUCK,
+    EV_TSC_SKEW,
+    FaultConfig,
+    FaultPlan,
+)
+from repro.util.errors import ConfigError
+
+NODES = ["node1", "node2", "node3"]
+
+FULL = FaultConfig(
+    sweep_failure_rate=0.2,
+    dropout_windows=2,
+    stuck_windows=1,
+    record_loss_rate=0.05,
+    record_corrupt_rate=0.02,
+    tsc_skew_steps=2,
+    crashes=1,
+    horizon_s=30.0,
+)
+
+
+def test_same_seed_byte_identical_schedule():
+    """Acceptance: identical seed => byte-identical injected schedule."""
+    a = FaultPlan(FULL, seed=42, node_names=NODES)
+    b = FaultPlan(FULL, seed=42, node_names=NODES)
+    assert a.encode() == b.encode()
+    assert a.events() == b.events()
+
+
+def test_different_seed_different_schedule():
+    a = FaultPlan(FULL, seed=42, node_names=NODES)
+    b = FaultPlan(FULL, seed=43, node_names=NODES)
+    assert a.encode() != b.encode()
+
+
+def test_events_within_horizon_and_sorted():
+    plan = FaultPlan(FULL, seed=7, node_names=NODES)
+    events = plan.events()
+    assert events == sorted(events)
+    for ev in events:
+        assert 0.0 <= ev.t_s < FULL.horizon_s
+        if ev.kind in (EV_DROPOUT, EV_STUCK):
+            assert ev.end_s <= FULL.horizon_s + 1e-9
+
+
+def test_event_counts_per_node():
+    plan = FaultPlan(FULL, seed=7, node_names=NODES)
+    for node in NODES:
+        assert len(plan.events_for(node, EV_DROPOUT)) == 2
+        assert len(plan.events_for(node, EV_STUCK)) == 1
+        assert len(plan.events_for(node, EV_CRASH)) == 1
+        assert len(plan.events_for(node, EV_TSC_SKEW)) == 2
+
+
+def test_node_scoping():
+    cfg = FaultConfig(nodes=("node2",), dropout_windows=1,
+                      sweep_failure_rate=0.5)
+    plan = FaultPlan(cfg, seed=1, node_names=NODES)
+    assert plan.affected == ["node2"]
+    assert plan.events_for("node1") == []
+    assert len(plan.events_for("node2", EV_DROPOUT)) == 1
+    # Unaffected nodes never draw faults.
+    assert not any(plan.sweep_fails("node1") for _ in range(200))
+    assert any(plan.sweep_fails("node2") for _ in range(200))
+
+
+def test_unknown_node_in_config_rejected():
+    with pytest.raises(ConfigError):
+        FaultPlan(FaultConfig(nodes=("ghost",)), seed=1, node_names=NODES)
+
+
+def test_sweep_failure_rate_approximate():
+    plan = FaultPlan(FaultConfig(sweep_failure_rate=0.2, horizon_s=10.0),
+                     seed=5, node_names=["n"])
+    fails = sum(plan.sweep_fails("n") for _ in range(5000))
+    assert 0.15 < fails / 5000 < 0.25
+
+
+def test_sweep_draw_sequence_deterministic():
+    mk = lambda: FaultPlan(FaultConfig(sweep_failure_rate=0.3), 11, ["n"])
+    a, b = mk(), mk()
+    assert [a.sweep_fails("n") for _ in range(500)] == \
+           [b.sweep_fails("n") for _ in range(500)]
+
+
+def test_record_action_rates_and_determinism():
+    cfg = FaultConfig(record_loss_rate=0.1, record_corrupt_rate=0.1)
+    mk = lambda: FaultPlan(cfg, 3, ["n"])
+    a, b = mk(), mk()
+    seq_a = [a.record_action("n") for _ in range(5000)]
+    seq_b = [b.record_action("n") for _ in range(5000)]
+    assert seq_a == seq_b
+    drops = seq_a.count("drop") / 5000
+    corrupts = seq_a.count("corrupt") / 5000
+    assert 0.07 < drops < 0.13
+    assert 0.07 < corrupts < 0.13
+
+
+def test_window_queries():
+    cfg = FaultConfig(dropout_windows=1, dropout_duration_s=2.0,
+                      horizon_s=20.0)
+    plan = FaultPlan(cfg, seed=9, node_names=["n"])
+    (ev,) = plan.events_for("n", EV_DROPOUT)
+    mid = ev.t_s + ev.duration_s / 2
+    assert plan.in_dropout("n", mid)
+    assert not plan.in_dropout("n", ev.t_s - 0.01)
+    assert not plan.in_dropout("n", ev.end_s + 0.01)
+
+
+def test_skew_is_cumulative_and_forward():
+    cfg = FaultConfig(tsc_skew_steps=3, tsc_skew_max_cycles=1000,
+                      horizon_s=10.0)
+    plan = FaultPlan(cfg, seed=2, node_names=["n"])
+    evs = plan.events_for("n", EV_TSC_SKEW)
+    assert all(ev.magnitude >= 1 for ev in evs)
+    assert plan.skew_cycles("n", -1.0) == 0
+    total = plan.skew_cycles("n", cfg.horizon_s + 1)
+    assert total == sum(int(ev.magnitude) for ev in evs)
+    # Monotone non-decreasing over time.
+    prev = 0
+    for t in [0.0, 2.5, 5.0, 7.5, 10.0]:
+        cur = plan.skew_cycles("n", t)
+        assert cur >= prev
+        prev = cur
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        FaultConfig(sweep_failure_rate=1.0)
+    with pytest.raises(ConfigError):
+        FaultConfig(record_loss_rate=-0.1)
+    with pytest.raises(ConfigError):
+        FaultConfig(dropout_windows=-1)
+    with pytest.raises(ConfigError):
+        FaultConfig(horizon_s=0.0)
+    assert not FaultConfig().any_faults()
+    assert FaultConfig(crashes=1).any_faults()
