@@ -1,0 +1,262 @@
+"""Columnar trace core at scale: object path vs array path (tentpole PR 2).
+
+Generates a ~1M-record synthetic trace (nested ENTER/EXIT call pairs from
+several processes, interleaved with 4 Hz-style TEMP sweeps) and times the
+three stages the refactor targets, each implemented both ways:
+
+* **save** — per-record ``struct.pack`` loop (seed object path) vs one
+  ``RecordColumns.to_bytes`` buffer;
+* **load** — per-record ``struct.unpack_from`` loop materializing
+  :class:`TraceRecord` objects vs one ``np.frombuffer`` reinterpret;
+* **parse** — regression pre-scan + timeline build + sensor-series split
+  over a list of objects vs over the structured columns.
+
+Results land in ``BENCH_columnar.json`` at the repo root (and a rendered
+table in ``benchmarks/results/trace_scale.txt``).  The acceptance gate —
+columnar ≥ 5x faster on save+load+parse combined — is asserted here, so CI
+fails if the columnar path ever regresses below the seed object path.
+
+``TEMPEST_BENCH_RECORDS`` overrides the record count (CI uses a reduced
+count; the ratio is scale-stable because both paths are O(n)).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import struct
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.records import RECORD_DTYPE, RecordColumns
+from repro.core.symtab import SymbolTable
+from repro.core.timeline import build_timeline
+from repro.core.trace import REC_ENTER, REC_EXIT, REC_TEMP, TraceRecord
+from repro.core.tsc import detect_regressions
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_columnar.json"
+
+N_RECORDS = int(os.environ.get("TEMPEST_BENCH_RECORDS", "1000000"))
+TSC_HZ = 1.8e9
+_REC_STRUCT = struct.Struct("<Bqqiid")
+
+
+# ----------------------------------------------------------------------
+# Synthetic trace generation (columnar, so setup is not the bottleneck)
+
+def synthesize_columns(n_records: int, *, n_pids: int = 4,
+                       n_funcs: int = 24, n_sensors: int = 2,
+                       seed: int = 2007) -> tuple[np.ndarray, SymbolTable]:
+    """A balanced, monotonic synthetic trace of ~n_records events.
+
+    Each pid runs back-to-back two-deep call pairs (outer/inner ENTER,
+    inner/outer EXIT); every ~50 function events a TEMP sweep lands.
+    """
+    rng = np.random.default_rng(seed)
+    symtab = SymbolTable()
+    addrs = np.array([symtab.address_of(f"func_{i:03d}")
+                      for i in range(n_funcs)], dtype=np.int64)
+
+    out = np.empty(n_records, dtype=RECORD_DTYPE)
+    pos = 0
+    tsc = 0
+    sweep_due = 0
+    while pos < n_records:
+        if pos + 4 > n_records:
+            # Not enough room for a whole call quad: pad the tail with
+            # TEMP records so every pid's call stream stays balanced.
+            tsc += 5_000
+            out[pos] = (REC_TEMP, pos % n_sensors, tsc, 3, 999, 40.0)
+            pos += 1
+            continue
+        pid = int(rng.integers(1, n_pids + 1))
+        outer, inner = rng.integers(0, n_funcs, size=2)
+        quad = [
+            (REC_ENTER, addrs[outer]), (REC_ENTER, addrs[inner]),
+            (REC_EXIT, addrs[inner]), (REC_EXIT, addrs[outer]),
+        ]
+        for kind, addr in quad:
+            tsc += int(rng.integers(10_000, 60_000))
+            out[pos] = (kind, addr, tsc, pid % 4, pid, 0.0)
+            pos += 1
+            sweep_due += 1
+        if sweep_due >= 50 and pos + n_sensors <= n_records:
+            sweep_due = 0
+            tsc += 5_000
+            for s in range(n_sensors):
+                out[pos] = (REC_TEMP, s, tsc, 3, 999,
+                            40.0 + float(rng.normal(0.0, 2.0)))
+                pos += 1
+    return out, symtab
+
+
+# ----------------------------------------------------------------------
+# The two implementations of each stage
+
+def save_objects(records: list[TraceRecord]) -> bytes:
+    return b"".join(r.pack() for r in records)
+
+
+def save_columnar(cols: RecordColumns) -> bytes:
+    return cols.to_bytes()
+
+
+def load_objects(blob: bytes) -> list[TraceRecord]:
+    size = _REC_STRUCT.size
+    return [TraceRecord.unpack(blob, i * size)
+            for i in range(len(blob) // size)]
+
+
+def load_columnar(blob: bytes) -> RecordColumns:
+    return RecordColumns.from_buffer(blob)
+
+
+def _seconds(tsc):
+    return tsc / TSC_HZ
+
+
+def parse_objects(records: list[TraceRecord], symtab: SymbolTable):
+    func = [r for r in records if r.kind in (REC_ENTER, REC_EXIT)]
+    detect_regressions(func)
+    timeline = build_timeline(func, symtab, _seconds, strict=False)
+    per_sensor: dict[int, list[tuple[float, float]]] = {}
+    for r in records:
+        if r.kind == REC_TEMP:
+            per_sensor.setdefault(r.addr, []).append((_seconds(r.tsc), r.value))
+    series = {
+        idx: (np.array([p[0] for p in pts]), np.array([p[1] for p in pts]))
+        for idx, pts in per_sensor.items()
+    }
+    return timeline, series
+
+
+def parse_columnar(arr: np.ndarray, symtab: SymbolTable):
+    kind = arr["kind"]
+    func = arr[(kind == REC_ENTER) | (kind == REC_EXIT)]
+    detect_regressions(func)
+    timeline = build_timeline(func, symtab, _seconds, strict=False)
+    temp = arr[kind == REC_TEMP]
+    times = temp["tsc"] / TSC_HZ
+    series = {
+        int(idx): (times[temp["addr"] == idx],
+                   temp["value"][temp["addr"] == idx])
+        for idx in np.unique(temp["addr"])
+    }
+    return timeline, series
+
+
+def _timed(fn, *args):
+    t0 = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - t0, result
+
+
+def _warmup(symtab_n: int = 20_000) -> None:
+    """Exercise both paths once at small scale so one-time costs (lazy
+    numpy imports, allocator warm-up) don't land in either timing."""
+    arr, symtab = synthesize_columns(symtab_n)
+    cols = RecordColumns.from_array(arr)
+    records = list(cols.iter_records())
+    parse_objects(load_objects(save_objects(records)), symtab)
+    parse_columnar(load_columnar(save_columnar(cols)).array, symtab)
+
+
+def run_scale_benchmark(n_records: int = N_RECORDS) -> dict:
+    _warmup()
+    arr, symtab = synthesize_columns(n_records)
+    cols = RecordColumns.from_array(arr)
+    t_materialize, records = _timed(lambda: list(cols.iter_records()))
+
+    obj: dict[str, float] = {}
+    col: dict[str, float] = {}
+
+    # Run the object path to completion first, then free its millions of
+    # heap objects before timing the columnar path — otherwise the
+    # columnar stages pay GC scans over the object path's leftovers.
+    # GC stays off inside the timed regions for both paths alike.
+    gc.disable()
+    try:
+        obj["save_s"], blob_obj = _timed(save_objects, records)
+        obj["load_s"], loaded_obj = _timed(load_objects, blob_obj)
+        obj["parse_s"], (tl_obj, _) = _timed(parse_objects, loaded_obj,
+                                             symtab)
+        n_loaded_obj = len(loaded_obj)
+        span_obj = tl_obj.span
+        names_obj = tl_obj.function_names()
+        del records, loaded_obj, tl_obj
+    finally:
+        gc.enable()
+    gc.collect()
+
+    gc.disable()
+    try:
+        col["save_s"], blob_col = _timed(save_columnar, cols)
+        col["load_s"], loaded_col = _timed(load_columnar, blob_col)
+        col["parse_s"], (tl_col, _) = _timed(
+            parse_columnar, loaded_col.array, symtab
+        )
+    finally:
+        gc.enable()
+
+    assert blob_obj == blob_col, "columnar serialization is not byte-identical"
+    assert n_loaded_obj == len(loaded_col) == n_records
+    assert span_obj == tl_col.span
+    assert names_obj == tl_col.function_names()
+
+    obj["total_s"] = obj["save_s"] + obj["load_s"] + obj["parse_s"]
+    col["total_s"] = col["save_s"] + col["load_s"] + col["parse_s"]
+    speedup = {
+        stage: obj[stage] / col[stage] if col[stage] > 0 else float("inf")
+        for stage in ("save_s", "load_s", "parse_s", "total_s")
+    }
+    return {
+        "n_records": n_records,
+        "bytes": len(blob_col),
+        "materialize_objects_s": t_materialize,
+        "object_path": obj,
+        "columnar_path": col,
+        "speedup": speedup,
+    }
+
+
+def render_table(result: dict) -> str:
+    lines = [
+        f"Columnar trace core @ {result['n_records']:,} records "
+        f"({result['bytes'] / 1e6:.1f} MB)",
+        f"{'stage':<10}{'object path':>14}{'columnar':>14}{'speedup':>10}",
+        "-" * 48,
+    ]
+    for stage in ("save_s", "load_s", "parse_s", "total_s"):
+        lines.append(
+            f"{stage[:-2]:<10}"
+            f"{result['object_path'][stage]:>13.3f}s"
+            f"{result['columnar_path'][stage]:>13.3f}s"
+            f"{result['speedup'][stage]:>9.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_trace_scale(benchmark, results_dir):
+    from benchmarks.conftest import once, write_artifact
+
+    result = once(benchmark, run_scale_benchmark)
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    write_artifact(results_dir, "trace_scale.txt", render_table(result))
+
+    # The acceptance gate: end-to-end (save+load+parse) must beat the seed
+    # object path by >= 5x.  Individual stages are reported, not gated —
+    # parse includes the (shared, sequential) stack replay.
+    assert result["speedup"]["total_s"] >= 5.0, (
+        f"columnar path only {result['speedup']['total_s']:.1f}x faster; "
+        "expected >= 5x"
+    )
+
+
+if __name__ == "__main__":
+    res = run_scale_benchmark()
+    BENCH_JSON.write_text(json.dumps(res, indent=2) + "\n")
+    print(render_table(res))

@@ -29,7 +29,6 @@ from repro.core.trace import (
     REC_ENTER,
     REC_EXIT,
     REC_TEMP,
-    TraceRecord,
 )
 from repro.simmachine.process import SimProcess
 from repro.util.errors import ConfigError
@@ -89,23 +88,22 @@ class NodeTracer:
         self.n_retries = 0
 
     # -- hooks -----------------------------------------------------------
+    # The hooks emit straight into the trace's columnar sink
+    # (``append_event``) — no per-event TraceRecord object on the hot path.
+
     def on_enter(self, proc: SimProcess, name: str) -> None:
         """Function-entry hook: record and charge."""
         addr = self.symtab.address_of(name)
-        self.trace.append(
-            TraceRecord(REC_ENTER, addr, proc.read_tsc(), proc.core_id,
-                        proc.pid)
-        )
+        self.trace.append_event(REC_ENTER, addr, proc.read_tsc(),
+                                proc.core_id, proc.pid)
         proc.charge_overhead(self.costs.enter_s)
         self.n_func_events += 1
 
     def on_exit(self, proc: SimProcess, name: str) -> None:
         """Function-exit hook: record and charge."""
         addr = self.symtab.address_of(name)
-        self.trace.append(
-            TraceRecord(REC_EXIT, addr, proc.read_tsc(), proc.core_id,
-                        proc.pid)
-        )
+        self.trace.append_event(REC_EXIT, addr, proc.read_tsc(),
+                                proc.core_id, proc.pid)
         proc.charge_overhead(self.costs.exit_s)
         self.n_func_events += 1
 
@@ -114,10 +112,8 @@ class NodeTracer:
         """tempd hook: record one sweep of (sensor_index, degC) samples."""
         tsc = proc.read_tsc()
         for idx, value in samples:
-            self.trace.append(
-                TraceRecord(REC_TEMP, idx, tsc, proc.core_id, proc.pid,
-                            float(value))
-            )
+            self.trace.append_event(REC_TEMP, idx, tsc, proc.core_id,
+                                    proc.pid, float(value))
         self.n_samples += len(samples)
 
     def sample_cost(self, n_sensors: int) -> float:

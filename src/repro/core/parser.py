@@ -55,11 +55,14 @@ class TempestParser:
 
     def parse_node(self, trace: NodeTrace) -> NodeProfile:
         """Parse one node: timeline + sample attribution + statistics."""
+        # One pass over the columns builds the function-record view used by
+        # both the regression pre-scan and the timeline builder.
+        func_columns = trace.func_columns()
         if self.strict:
             # Pre-scan for the §3.3 hazard so the error names the offender.
             from repro.core.tsc import detect_regressions
 
-            reports = detect_regressions(trace.func_records())
+            reports = detect_regressions(func_columns)
             if reports:
                 raise TraceError(
                     f"{trace.node_name}: timestamp regressions detected — "
@@ -68,7 +71,7 @@ class TempestParser:
                        else "")
                 )
         timeline = build_timeline(
-            trace.func_records(),
+            func_columns,
             self.bundle.symtab,
             trace.seconds,
             strict=self.strict,
@@ -117,24 +120,33 @@ class TempestParser:
     def _sensor_series(
         self, trace: NodeTrace
     ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
-        per_sensor: dict[int, list[tuple[float, float]]] = {}
-        for rec in trace.temp_records():
-            per_sensor.setdefault(rec.addr, []).append(
-                (trace.seconds(rec.tsc), rec.value)
-            )
+        """Per-sensor (times, values) arrays, built as pure column ops.
+
+        One vectorized TSC→seconds conversion covers every sample; each
+        sensor's series is a boolean-mask selection, preserving arrival
+        order within the sensor.
+        """
+        temp = trace.temp_columns()
         out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
-        for idx in sorted(per_sensor):
-            if idx >= len(trace.sensor_names):
-                raise TraceError(
-                    f"{trace.node_name}: TEMP record for sensor index {idx} "
-                    f"but only {len(trace.sensor_names)} sensors declared"
+        if len(temp):
+            sensor_idx = temp["addr"]
+            times_all = np.asarray(trace.seconds(temp["tsc"]),
+                                   dtype=np.float64)
+            values_all = temp["value"].astype(np.float64)
+            for idx in np.unique(sensor_idx):
+                idx = int(idx)
+                if idx >= len(trace.sensor_names) or idx < 0:
+                    raise TraceError(
+                        f"{trace.node_name}: TEMP record for sensor index "
+                        f"{idx} but only {len(trace.sensor_names)} sensors "
+                        "declared"
+                    )
+                mask = sensor_idx == idx
+                out[trace.sensor_names[idx]] = (
+                    times_all[mask], values_all[mask]
                 )
-            pts = per_sensor[idx]
-            times = np.array([p[0] for p in pts])
-            values = np.array([p[1] for p in pts])
-            out[trace.sensor_names[idx]] = (times, values)
         # Sensors that never produced a sample still appear, empty.
-        for i, name in enumerate(trace.sensor_names):
+        for name in trace.sensor_names:
             if name not in out:
                 out[name] = (np.empty(0), np.empty(0))
         return out

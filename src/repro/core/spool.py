@@ -2,12 +2,21 @@
 
 The real Tempest appends trace records to a file *during* execution — a
 long run must not hold its whole trace in memory.  A :class:`TraceSpool`
-attaches to a :class:`~repro.core.trace.NodeTrace` and writes each record's
-packed bytes through to disk as it is appended; :func:`read_spool` recovers
-the records later (tolerating a truncated tail, e.g. after a crash), and
+attaches to a :class:`~repro.core.trace.NodeTrace` and sinks each record
+as it is appended; :func:`read_spool` recovers the records later
+(tolerating a truncated tail, e.g. after a crash), and
 :func:`spool_to_bundle` reassembles a full
 :class:`~repro.core.trace.TraceBundle` from a directory of spools plus the
 saved header.
+
+Spooling is buffered and columnar: records accumulate in a small
+structured-array chunk and hit the file as one ``write`` per
+:data:`SPOOL_CHUNK_RECORDS` records (or on ``flush``/``close``), instead
+of one ``struct.pack`` + ``write`` per record.  The flush contract is:
+after ``flush()`` or ``close()`` every accepted record is on disk; a
+crash between flushes loses at most one chunk, and a crash mid-write
+loses at most one torn record at the tail — both are what
+:func:`read_spool`'s tolerant mode recovers from.
 """
 
 from __future__ import annotations
@@ -16,32 +25,73 @@ import json
 from pathlib import Path
 from typing import Optional
 
+import numpy as np
+
+from repro.core.records import (
+    RECORD_SIZE,
+    RecordColumns,
+    RecordSeq,
+    records_from_buffer,
+    records_to_bytes,
+)
 from repro.core.symtab import SymbolTable
 from repro.core.trace import NodeTrace, TraceBundle, TraceRecord
 from repro.util.errors import TraceError
 
+#: records buffered per chunk before the spool writes to its file
+SPOOL_CHUNK_RECORDS = 4096
+
 
 class TraceSpool:
-    """File-backed write-through sink for one node's trace records."""
+    """File-backed buffered sink for one node's trace records."""
 
-    def __init__(self, path: Path):
+    def __init__(self, path: Path, *, chunk_records: int = SPOOL_CHUNK_RECORDS):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("wb")
+        self._chunk = RecordColumns(capacity=max(1, chunk_records))
+        self._chunk_records = max(1, int(chunk_records))
         self.records_written = 0
         self.closed = False
 
-    def write(self, record: TraceRecord) -> None:
+    def write_event(self, kind: int, addr: int, tsc: int, core: int,
+                    pid: int, value: float = 0.0) -> None:
+        """Buffer one event; the chunk drains to disk when full."""
         if self.closed:
             raise TraceError(f"spool {self.path} already closed")
-        self._fh.write(record.pack())
+        self._chunk.append_row(kind, addr, tsc, core, pid, value)
         self.records_written += 1
+        if len(self._chunk) >= self._chunk_records:
+            self._drain()
+
+    def write(self, record: TraceRecord) -> None:
+        """Buffer one record (compat wrapper over :meth:`write_event`)."""
+        self.write_event(record.kind, record.addr, record.tsc, record.core,
+                         record.pid, record.value)
+
+    def write_array(self, arr: np.ndarray) -> None:
+        """Sink a whole structured record array in one write."""
+        if self.closed:
+            raise TraceError(f"spool {self.path} already closed")
+        if not len(arr):
+            return
+        self._drain()
+        self._fh.write(records_to_bytes(arr))
+        self.records_written += len(arr)
+
+    def _drain(self) -> None:
+        if len(self._chunk):
+            self._fh.write(self._chunk.to_bytes())
+            self._chunk.clear()
 
     def flush(self) -> None:
+        """Drain the buffered chunk and flush the OS file buffer."""
+        self._drain()
         self._fh.flush()
 
     def close(self) -> None:
         if not self.closed:
+            self._drain()
             self._fh.close()
             self.closed = True
 
@@ -57,7 +107,7 @@ class SpoolingNodeTrace(NodeTrace):
     """A NodeTrace that writes every record through to a spool.
 
     ``keep_in_memory=False`` drops records after spooling — the
-    constant-memory mode for very long runs (the in-memory list stays
+    constant-memory mode for very long runs (the in-memory columns stay
     empty; parse from the spool afterwards).
     """
 
@@ -68,29 +118,41 @@ class SpoolingNodeTrace(NodeTrace):
         self.spool = spool
         self.keep_in_memory = keep_in_memory
 
-    def append(self, record: TraceRecord) -> None:
-        self.spool.write(record)
+    def append_event(self, kind: int, addr: int, tsc: int, core: int,
+                     pid: int, value: float = 0.0) -> None:
+        self.spool.write_event(kind, addr, tsc, core, pid, value)
         if self.keep_in_memory:
-            super().append(record)
+            super().append_event(kind, addr, tsc, core, pid, value)
+
+    def extend_columns(self, arr: np.ndarray) -> None:
+        self.spool.write_array(arr)
+        if self.keep_in_memory:
+            super().extend_columns(arr)
 
 
-def read_spool(path: Path, *, tolerate_truncation: bool = True
-               ) -> list[TraceRecord]:
-    """Read all records from a spool file.
+def read_spool_columns(path: Path, *, tolerate_truncation: bool = True
+                       ) -> np.ndarray:
+    """Read a spool file as one structured record array (vectorized).
 
     A partially written final record (machine crashed mid-append) is
     dropped when ``tolerate_truncation`` is set; otherwise it raises.
     """
     blob = Path(path).read_bytes()
-    size = TraceRecord.packed_size()
-    remainder = len(blob) % size
+    remainder = len(blob) % RECORD_SIZE
     if remainder:
         if not tolerate_truncation:
             raise TraceError(
-                f"{path}: {len(blob)} bytes is not a multiple of {size}"
+                f"{path}: {len(blob)} bytes is not a multiple of {RECORD_SIZE}"
             )
         blob = blob[: len(blob) - remainder]
-    return [TraceRecord.unpack(blob, i * size) for i in range(len(blob) // size)]
+    return records_from_buffer(blob)
+
+
+def read_spool(path: Path, *, tolerate_truncation: bool = True) -> RecordSeq:
+    """Read all records from a spool file, as a list-like record view."""
+    return RecordSeq(
+        read_spool_columns(path, tolerate_truncation=tolerate_truncation)
+    )
 
 
 def write_spool_header(directory: Path, symtab: SymbolTable,
@@ -124,7 +186,6 @@ def spool_to_bundle(directory: Path) -> TraceBundle:
         trace = NodeTrace(name, info["tsc_hz"], info["sensor_names"])
         spool_file = directory / f"{name}.spool"
         if spool_file.exists():
-            for rec in read_spool(spool_file):
-                trace.append(rec)
+            trace.extend_columns(read_spool_columns(spool_file))
         bundle.add_node(trace)
     return bundle

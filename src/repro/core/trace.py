@@ -13,7 +13,16 @@ Timestamps are stored as raw TSC ticks (what rdtsc returns); converting to
 seconds is the *parser's* job, using the per-node calibration stored in the
 bundle — exactly the division of labour in the paper.
 
-A :class:`TraceBundle` can round-trip to disk as a directory containing a
+Storage is columnar: a :class:`NodeTrace` holds one
+:class:`~repro.core.records.RecordColumns` (a numpy structured array in the
+exact ``<Bqqiid`` byte layout) rather than a list of per-record objects.
+:class:`TraceRecord` remains the one-record value type for point appends,
+tests, and iteration, but the hot paths — save, load, spooling, parsing —
+move whole arrays.  ``tempest-trace-v1`` bundles written by the old
+per-object code load byte-identically, and bundles written here are
+byte-identical to what the old code would have produced.
+
+A :class:`TraceBundle` round-trips to disk as a directory containing a
 JSON header (symbol table, node metadata, calibration) plus one compact
 binary record file per node, or as human-readable JSONL for debugging.
 """
@@ -26,6 +35,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional
 
+import numpy as np
+
+from repro.core.records import (
+    RECORD_DTYPE,
+    RECORD_SIZE,
+    RecordColumns,
+    RecordSeq,
+    records_from_buffer,
+)
 from repro.core.symtab import SymbolTable
 from repro.util.errors import TraceError
 
@@ -36,7 +54,9 @@ REC_TEMP = 3
 _KIND_NAMES = {REC_ENTER: "ENTER", REC_EXIT: "EXIT", REC_TEMP: "TEMP"}
 
 #: binary layout: kind, addr-or-sensor, tsc, core, pid, value
+#: (kept as the reference layout; RECORD_DTYPE matches it byte-for-byte)
 _REC_STRUCT = struct.Struct("<Bqqiid")
+assert _REC_STRUCT.size == RECORD_SIZE, "columnar dtype diverged from <Bqqiid"
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,7 +93,14 @@ class TraceRecord:
 
 
 class NodeTrace:
-    """Append-only record stream for one node, plus calibration metadata."""
+    """Append-only record stream for one node, plus calibration metadata.
+
+    Records live in :attr:`columns`; ``records`` is a list-like
+    :class:`~repro.core.records.RecordSeq` view for per-object consumers.
+    Subclasses that intercept the record stream (spooling, fault
+    injection) override :meth:`append_event` — every append funnels
+    through it.
+    """
 
     def __init__(self, node_name: str, tsc_hz: float,
                  sensor_names: list[str]):
@@ -82,28 +109,62 @@ class NodeTrace:
         self.node_name = node_name
         self.tsc_hz = float(tsc_hz)       # calibrated nominal TSC frequency
         self.sensor_names = list(sensor_names)
-        self.records: list[TraceRecord] = []
+        self.columns = RecordColumns()
         #: set by tolerant loaders when this trace lost its tail on disk
         self.truncated = False
 
+    @property
+    def records(self) -> RecordSeq:
+        """List-like view of the records (materializes objects on demand)."""
+        return RecordSeq(self.columns.array)
+
+    def append_event(self, kind: int, addr: int, tsc: int, core: int,
+                     pid: int, value: float = 0.0) -> None:
+        """Append one event straight into the columns (the canonical sink)."""
+        self.columns.append_row(kind, addr, tsc, core, pid, value)
+
     def append(self, record: TraceRecord) -> None:
         """Append one record (records arrive in per-core time order)."""
-        self.records.append(record)
+        self.append_event(record.kind, record.addr, record.tsc, record.core,
+                          record.pid, record.value)
 
-    def seconds(self, tsc: int) -> float:
-        """Convert a raw TSC value to seconds using this node's calibration."""
+    def extend_columns(self, arr: np.ndarray) -> None:
+        """Bulk-append a structured record array (vectorized sink).
+
+        The base implementation is a single array copy; subclasses that
+        intercept per-record appends override this with their vectorized
+        equivalent (e.g. fault masks) so bulk loads stay bulk.
+        """
+        self.columns.extend_array(arr)
+
+    def seconds(self, tsc):
+        """Convert raw TSC value(s) to seconds using this node's calibration.
+
+        Accepts a scalar or a numpy array (vectorized).
+        """
         return tsc / self.tsc_hz
 
-    def temp_records(self) -> list[TraceRecord]:
-        """Just the temperature samples, in arrival order."""
-        return [r for r in self.records if r.kind == REC_TEMP]
+    def temp_columns(self) -> np.ndarray:
+        """Temperature samples as a structured array, in arrival order."""
+        arr = self.columns.array
+        return arr[arr["kind"] == REC_TEMP]
 
-    def func_records(self) -> list[TraceRecord]:
-        """Just the function ENTER/EXIT events, in arrival order."""
-        return [r for r in self.records if r.kind in (REC_ENTER, REC_EXIT)]
+    def func_columns(self) -> np.ndarray:
+        """Function ENTER/EXIT events as a structured array, in arrival order."""
+        arr = self.columns.array
+        kind = arr["kind"]
+        return arr[(kind == REC_ENTER) | (kind == REC_EXIT)]
+
+    def temp_records(self) -> RecordSeq:
+        """Just the temperature samples, in arrival order (object view)."""
+        return RecordSeq(self.temp_columns())
+
+    def func_records(self) -> RecordSeq:
+        """Just the function ENTER/EXIT events, in arrival order (object view)."""
+        return RecordSeq(self.func_columns())
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.columns)
 
 
 class TraceBundle:
@@ -133,26 +194,36 @@ class TraceBundle:
     # Binary directory round-trip
 
     def save(self, path: Path) -> None:
-        """Write the bundle to *path* (a directory, created if needed)."""
+        """Write the bundle to *path* (a directory, created if needed).
+
+        Each node's record file is one ``tobytes`` of its column array —
+        byte-identical to the per-record ``struct.pack`` loop this
+        replaced.  The optional per-node ``truncated`` key is only
+        emitted when set, so bundles of intact traces stay byte-identical
+        to pre-columnar writers.
+        """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
+
+        def node_info(t: NodeTrace) -> dict:
+            info = {
+                "tsc_hz": t.tsc_hz,
+                "sensor_names": t.sensor_names,
+                "n_records": len(t),
+            }
+            if t.truncated:
+                info["truncated"] = True
+            return info
+
         header = {
             "format": "tempest-trace-v1",
             "symtab": self.symtab.to_dict(),
             "meta": self.meta,
-            "nodes": {
-                name: {
-                    "tsc_hz": t.tsc_hz,
-                    "sensor_names": t.sensor_names,
-                    "n_records": len(t.records),
-                }
-                for name, t in self.nodes.items()
-            },
+            "nodes": {name: node_info(t) for name, t in self.nodes.items()},
         }
         (path / "meta.json").write_text(json.dumps(header, indent=2))
         for name, t in self.nodes.items():
-            blob = b"".join(r.pack() for r in t.records)
-            (path / f"{name}.trace").write_bytes(blob)
+            (path / f"{name}.trace").write_bytes(t.columns.to_bytes())
 
     @classmethod
     def load(cls, path: Path, *,
@@ -167,6 +238,8 @@ class TraceBundle:
         recovered instead: the torn partial record and anything the header
         promised beyond it are dropped, and the node's trace is marked
         ``truncated`` so the parser's consumers know the coverage story.
+        A ``truncated`` flag persisted by :meth:`save` (a trace that was
+        itself recovered before re-saving) is restored on load.
         """
         path = Path(path)
         meta_path = path / "meta.json"
@@ -186,10 +259,10 @@ class TraceBundle:
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise TraceError(f"{meta_path} header is malformed: {exc}")
         bundle.meta = header.get("meta", {})
-        rec_size = TraceRecord.packed_size()
         for name, info in node_infos.items():
             try:
                 trace = NodeTrace(name, info["tsc_hz"], info["sensor_names"])
+                trace.truncated = bool(info.get("truncated", False))
                 declared = int(info["n_records"])
             except (KeyError, TypeError, ValueError) as exc:
                 raise TraceError(
@@ -204,16 +277,16 @@ class TraceBundle:
                 trace.truncated = True
                 bundle.add_node(trace)
                 continue
-            remainder = len(blob) % rec_size
+            remainder = len(blob) % RECORD_SIZE
             if remainder:
                 if not tolerate_truncation:
                     raise TraceError(
                         f"{name}.trace is corrupt: {len(blob)} bytes is not "
-                        f"a multiple of {rec_size}"
+                        f"a multiple of {RECORD_SIZE}"
                     )
                 blob = blob[: len(blob) - remainder]
                 trace.truncated = True
-            n = len(blob) // rec_size
+            n = len(blob) // RECORD_SIZE
             if n != declared:
                 if not (tolerate_truncation and n < declared):
                     raise TraceError(
@@ -221,8 +294,7 @@ class TraceBundle:
                         f"{declared}"
                     )
                 trace.truncated = True
-            for i in range(n):
-                trace.append(TraceRecord.unpack(blob, i * rec_size))
+            trace.extend_columns(records_from_buffer(blob))
             bundle.add_node(trace)
         return bundle
 

@@ -14,6 +14,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.records import RecordSeq
 from repro.core.trace import REC_ENTER, REC_EXIT, TraceRecord
 from repro.util.errors import ConfigError
 
@@ -77,13 +80,21 @@ class RegressionReport:
         )
 
 
-def detect_regressions(records: list[TraceRecord]) -> list[RegressionReport]:
+def detect_regressions(records) -> list[RegressionReport]:
     """Scan function records for per-pid non-monotonic timestamps.
 
     A clean (bound) trace returns an empty list; an unbound process that
     migrated across skewed cores shows up here before the timeline builder
     rejects it, so tools can report *which* process broke the binding rule.
+
+    *records* is either a structured record array (vectorized per-pid
+    running-max scan) or any iterable of :class:`TraceRecord`; reported
+    indices refer to positions in the stream passed in, either way.
     """
+    if isinstance(records, RecordSeq):
+        records = records.array
+    if isinstance(records, np.ndarray):
+        return _detect_regressions_columns(records)
     last: dict[int, int] = {}
     out: list[RegressionReport] = []
     for i, rec in enumerate(records):
@@ -96,6 +107,33 @@ def detect_regressions(records: list[TraceRecord]) -> list[RegressionReport]:
                                  back_step_ticks=prev - rec.tsc)
             )
         last[rec.pid] = max(prev or rec.tsc, rec.tsc)
+    return out
+
+
+def _detect_regressions_columns(arr: np.ndarray) -> list[RegressionReport]:
+    """Columnar :func:`detect_regressions`: one running-max pass per pid."""
+    kind = arr["kind"]
+    mask = (kind == REC_ENTER) | (kind == REC_EXIT)
+    positions = np.nonzero(mask)[0]
+    tsc = arr["tsc"][mask]
+    pids = arr["pid"][mask]
+    out: list[RegressionReport] = []
+    for pid in np.unique(pids):
+        sel = pids == pid
+        t = tsc[sel]
+        if len(t) < 2:
+            continue
+        pos = positions[sel]
+        prev_max = np.maximum.accumulate(t)[:-1]
+        bad = np.nonzero(t[1:] < prev_max)[0] + 1
+        for j in bad:
+            out.append(
+                RegressionReport(
+                    pid=int(pid), index=int(pos[j]),
+                    back_step_ticks=int(prev_max[j - 1] - t[j]),
+                )
+            )
+    out.sort(key=lambda r: r.index)
     return out
 
 

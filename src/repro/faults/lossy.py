@@ -5,11 +5,18 @@ parser: a wrapped ring buffer, a crashed writer, bit rot on the spool file.
 Two sinks inject those failures under a :class:`~repro.faults.plan.FaultPlan`:
 
 * :class:`LossyNodeTrace` — an in-memory
-  :class:`~repro.core.trace.NodeTrace` whose ``append`` drops, corrupts, or
+  :class:`~repro.core.trace.NodeTrace` whose sink drops, corrupts, or
   clock-skews records before storing them (what a chaos session wires in
   place of the tracer's pristine trace).
 * :class:`LossyTraceSpool` — a :class:`~repro.core.spool.TraceSpool`
-  subclass applying the same fault model on the write-through path to disk.
+  subclass applying the same fault model on the buffered path to disk.
+
+Per-record appends draw each record's fate individually; bulk columnar
+appends (:meth:`LossyNodeTrace.extend_columns`) draw one uniform vector
+from the same per-node substream and apply loss as a boolean mask and
+skew as a vectorized cumulative-sum lookup — bit-identical to the
+per-record path for the same record stream, because a size-*n* uniform
+draw consumes the generator state exactly like *n* single draws.
 
 Corruption is payload-level, never framing-level: a corrupted record still
 unpacks, it just carries a wrong temperature (TEMP) or a forward-jittered
@@ -22,9 +29,11 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.spool import TraceSpool
 from repro.core.trace import NodeTrace, REC_TEMP, TraceRecord
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import ACT_CORRUPT, ACT_DROP, FaultPlan
 
 
 class _FaultingSink:
@@ -39,8 +48,10 @@ class _FaultingSink:
         self.n_records_corrupted = 0
         self.n_records_skewed = 0
 
-    def _apply_faults(self, record: TraceRecord):
-        """Return the (possibly corrupted) record, or None to drop it."""
+    def _apply_faults_row(self, kind: int, addr: int, tsc: int, core: int,
+                          pid: int, value: float):
+        """Fault one record's fields; returns the new fields, or None to
+        drop the record."""
         plan, node = self._plan, self._fault_node
         action = plan.record_action(node)
         if action == "drop":
@@ -48,23 +59,56 @@ class _FaultingSink:
             return None
         if action == "corrupt":
             self.n_records_corrupted += 1
-            if record.kind == REC_TEMP:
-                record = TraceRecord(
-                    record.kind, record.addr, record.tsc, record.core,
-                    record.pid, record.value + plan.corrupt_temp_offset(node),
-                )
+            if kind == REC_TEMP:
+                value = value + plan.corrupt_temp_offset(node)
             else:
-                record = TraceRecord(
-                    record.kind, record.addr,
-                    record.tsc + plan.corrupt_tsc_jitter(node),
-                    record.core, record.pid, record.value,
-                )
-        skew = plan.skew_cycles(node, record.tsc / self._fault_tsc_hz)
+                tsc = tsc + plan.corrupt_tsc_jitter(node)
+        skew = plan.skew_cycles(node, tsc / self._fault_tsc_hz)
         if skew:
             self.n_records_skewed += 1
-            record = TraceRecord(record.kind, record.addr, record.tsc + skew,
-                                 record.core, record.pid, record.value)
-        return record
+            tsc = tsc + skew
+        return kind, addr, tsc, core, pid, value
+
+    def _apply_faults_array(self, arr: np.ndarray) -> np.ndarray:
+        """Vectorized fault application over a structured record array.
+
+        Loss is a boolean-mask selection, skew a cumulative-sum lookup;
+        only the (rare) corrupted records pay a per-record draw, in
+        stream order, so the corruption substream stays aligned with the
+        per-record path.
+        """
+        plan, node = self._plan, self._fault_node
+        n = len(arr)
+        if n == 0:
+            return arr
+        actions = plan.record_actions(node, n)
+        out = np.array(arr, copy=True)
+        corrupt_idx = np.nonzero(actions == ACT_CORRUPT)[0]
+        if len(corrupt_idx):
+            self.n_records_corrupted += len(corrupt_idx)
+            kinds = out["kind"]
+            for i in corrupt_idx:
+                if kinds[i] == REC_TEMP:
+                    out["value"][i] += plan.corrupt_temp_offset(node)
+                else:
+                    out["tsc"][i] += plan.corrupt_tsc_jitter(node)
+        keep = actions != ACT_DROP
+        self.n_records_dropped += int(n - keep.sum())
+        out = out[keep]
+        skew = plan.skew_cycles_array(node, out["tsc"] / self._fault_tsc_hz)
+        skewed = skew != 0
+        if skewed.any():
+            self.n_records_skewed += int(skewed.sum())
+            out["tsc"] += skew
+        return out
+
+    def _apply_faults(self, record: TraceRecord):
+        """Return the (possibly corrupted) record, or None to drop it."""
+        fields = self._apply_faults_row(record.kind, record.addr, record.tsc,
+                                        record.core, record.pid, record.value)
+        if fields is None:
+            return None
+        return TraceRecord(*fields)
 
 
 class LossyNodeTrace(_FaultingSink, NodeTrace):
@@ -75,10 +119,14 @@ class LossyNodeTrace(_FaultingSink, NodeTrace):
         NodeTrace.__init__(self, node_name, tsc_hz, sensor_names)
         self._init_faults(plan, node_name, tsc_hz)
 
-    def append(self, record: TraceRecord) -> None:
-        record = self._apply_faults(record)
-        if record is not None:
-            NodeTrace.append(self, record)
+    def append_event(self, kind: int, addr: int, tsc: int, core: int,
+                     pid: int, value: float = 0.0) -> None:
+        fields = self._apply_faults_row(kind, addr, tsc, core, pid, value)
+        if fields is not None:
+            NodeTrace.append_event(self, *fields)
+
+    def extend_columns(self, arr: np.ndarray) -> None:
+        NodeTrace.extend_columns(self, self._apply_faults_array(arr))
 
 
 class LossyTraceSpool(_FaultingSink, TraceSpool):
@@ -89,10 +137,14 @@ class LossyTraceSpool(_FaultingSink, TraceSpool):
         TraceSpool.__init__(self, path)
         self._init_faults(plan, node_name, tsc_hz)
 
-    def write(self, record: TraceRecord) -> None:
-        record = self._apply_faults(record)
-        if record is not None:
-            TraceSpool.write(self, record)
+    def write_event(self, kind: int, addr: int, tsc: int, core: int,
+                    pid: int, value: float = 0.0) -> None:
+        fields = self._apply_faults_row(kind, addr, tsc, core, pid, value)
+        if fields is not None:
+            TraceSpool.write_event(self, *fields)
+
+    def write_array(self, arr: np.ndarray) -> None:
+        TraceSpool.write_array(self, self._apply_faults_array(arr))
 
     def truncate_tail(self, n_bytes: int) -> None:
         """Chop *n_bytes* off the spool's tail — a mid-append crash.

@@ -27,8 +27,15 @@ from bisect import bisect_right
 from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.util.errors import ConfigError
 from repro.util.rng import RngStreams
+
+#: codes returned by :meth:`FaultPlan.record_actions` (vectorized draws)
+ACT_KEEP = 0
+ACT_DROP = 1
+ACT_CORRUPT = 2
 
 #: scheduled event kinds
 EV_DROPOUT = "dropout"    # every sensor read in the window fails
@@ -259,6 +266,39 @@ class FaultPlan:
         if u < cfg.record_loss_rate + cfg.record_corrupt_rate:
             return "corrupt"
         return "keep"
+
+    def record_actions(self, node: str, n: int) -> np.ndarray:
+        """Draw the fate of *n* consecutive trace records at once.
+
+        Returns an array of :data:`ACT_KEEP` / :data:`ACT_DROP` /
+        :data:`ACT_CORRUPT` codes.  The draws consume the same per-node
+        substream as :meth:`record_action`, one uniform per record, so a
+        bulk application is bit-identical to *n* per-record calls.
+        """
+        rng = self._record_rng.get(node)
+        cfg = self.config
+        out = np.zeros(n, dtype=np.uint8)
+        if (rng is None or n == 0
+                or (cfg.record_loss_rate <= 0.0
+                    and cfg.record_corrupt_rate <= 0.0)):
+            return out
+        u = rng.random(n)
+        out[u < cfg.record_loss_rate] = ACT_DROP
+        out[(u >= cfg.record_loss_rate)
+            & (u < cfg.record_loss_rate + cfg.record_corrupt_rate)] = ACT_CORRUPT
+        return out
+
+    def skew_cycles_array(self, node: str, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`skew_cycles`: cumulative forward TSC skew on
+        *node* at each time in *ts* (consumes no randomness)."""
+        evs = self._by_node_kind.get((node, EV_TSC_SKEW), [])
+        ts = np.asarray(ts, dtype=np.float64)
+        if not evs:
+            return np.zeros(len(ts), dtype=np.int64)
+        starts = np.array([ev.t_s for ev in evs])
+        cum = np.cumsum([int(ev.magnitude) for ev in evs])
+        idx = np.searchsorted(starts, ts, side="right") - 1
+        return np.where(idx >= 0, cum[np.maximum(idx, 0)], 0)
 
     def corrupt_temp_offset(self, node: str) -> float:
         """Draw the degC perturbation for one corrupted TEMP record."""

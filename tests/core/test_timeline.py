@@ -254,3 +254,182 @@ def test_call_arcs_recursion_self_arc():
     ])
     assert tl.arcs[("fib", "fib")] == 2
     assert tl.arcs[("<root>", "fib")] == 1
+
+
+# ----------------------------------------------------------------------
+# Lenient-unwind top-of-stack accounting (regression tests: the unwind
+# path used to leave a stale ``top_since`` naming an already-popped frame,
+# corrupting every later exclusive-time credit for that pid).
+
+def test_lenient_unwind_credits_new_top_not_popped_frame():
+    tl = build(
+        [
+            (REC_ENTER, "a", 0.0),
+            (REC_ENTER, "b", 1.0),
+            (REC_ENTER, "c", 2.0),
+            (REC_EXIT, "b", 4.0),   # crosses c: c unwinds, b pops
+            (REC_EXIT, "a", 6.0),
+        ],
+        strict=False,
+    )
+    assert tl.exclusive_time("a") == pytest.approx(3.0)  # 0-1 and 4-6
+    assert tl.exclusive_time("b") == pytest.approx(1.0)  # 1-2
+    assert tl.exclusive_time("c") == pytest.approx(2.0)  # 2-4
+    # Exclusive times must tile the whole single-pid span exactly.
+    total = sum(tl.exclusive_time(n) for n in ("a", "b", "c"))
+    assert total == pytest.approx(6.0)
+
+
+def test_lenient_unmatched_exit_clears_top_since():
+    tl = build(
+        [
+            (REC_ENTER, "a", 0.0),
+            (REC_EXIT, "zz", 2.0),  # matches nothing: whole stack unwinds
+            (REC_ENTER, "c", 3.0),
+            (REC_EXIT, "c", 5.0),
+        ],
+        strict=False,
+    )
+    # "a" was force-closed at t=2; nothing may credit it beyond that.
+    assert tl.exclusive_time("a") == pytest.approx(2.0)
+    assert tl.exclusive_time("c") == pytest.approx(2.0)
+    for seg in tl.top_segments:
+        if seg.name == "a":
+            assert seg.end_s <= 2.0
+
+
+# ----------------------------------------------------------------------
+# Columnar input: the vectorized builder must agree with the replay
+# builder record-for-record.
+
+def _timeline_pair(events, pid=1):
+    """The same stream built from an object list and from columns."""
+    from repro.core.records import RecordColumns
+
+    sym = SymbolTable()
+    recs = make_records(events, sym, pid=pid)
+    arr = RecordColumns.from_records(recs).array
+    sec = lambda tsc: tsc / 1e9
+    return (
+        build_timeline(recs, sym, sec),
+        build_timeline(arr, sym, sec),
+    )
+
+
+def _assert_timelines_match(tl_obj, tl_col):
+    assert tl_obj.span == pytest.approx(tl_col.span)
+    names = set(tl_obj.function_names())
+    assert names == set(tl_col.function_names())
+    for n in names:
+        assert tl_obj.inclusive_time(n) == pytest.approx(tl_col.inclusive_time(n))
+        assert tl_obj.exclusive_time(n) == pytest.approx(tl_col.exclusive_time(n))
+        assert tl_obj.call_count(n) == tl_col.call_count(n)
+        assert tl_obj.union_spans(n) == pytest.approx(tl_col.union_spans(n))
+    assert tl_obj.arcs == tl_col.arcs
+    ivs = lambda tl: [(i.name, i.start_s, i.end_s, i.depth, i.pid)
+                      for i in tl.intervals]
+    assert ivs(tl_obj) == ivs(tl_col)
+    segs = lambda tl: [(s.name, s.start_s, s.end_s, s.pid)
+                       for s in tl.top_segments]
+    assert segs(tl_obj) == segs(tl_col)
+
+
+def test_columnar_matches_replay_micro_d():
+    tl_obj, tl_col = _timeline_pair([
+        (REC_ENTER, "main", 0.0),
+        (REC_ENTER, "foo1", 1.0),
+        (REC_ENTER, "foo2", 2.0),
+        (REC_EXIT, "foo2", 3.0),
+        (REC_EXIT, "foo1", 5.0),
+        (REC_ENTER, "foo2", 6.0),
+        (REC_EXIT, "foo2", 7.5),
+        (REC_EXIT, "main", 10.0),
+    ])
+    _assert_timelines_match(tl_obj, tl_col)
+
+
+def test_columnar_matches_replay_recursion():
+    tl_obj, tl_col = _timeline_pair([
+        (REC_ENTER, "fib", 0.0),
+        (REC_ENTER, "fib", 1.0),
+        (REC_ENTER, "fib", 2.0),
+        (REC_EXIT, "fib", 3.0),
+        (REC_EXIT, "fib", 4.0),
+        (REC_EXIT, "fib", 5.0),
+    ])
+    _assert_timelines_match(tl_obj, tl_col)
+
+
+def test_columnar_matches_replay_multi_pid():
+    from repro.core.records import RecordColumns
+
+    sym = SymbolTable()
+    recs = make_records(
+        [(REC_ENTER, "main", 0.0), (REC_ENTER, "foo", 2.0),
+         (REC_EXIT, "foo", 4.0), (REC_EXIT, "main", 6.0)], sym, pid=1,
+    ) + make_records(
+        [(REC_ENTER, "worker", 1.0), (REC_ENTER, "foo", 3.0),
+         (REC_EXIT, "foo", 5.0), (REC_EXIT, "worker", 9.0)], sym, pid=2,
+    )
+    recs.sort(key=lambda r: r.tsc)  # interleave the two pids' events
+    arr = RecordColumns.from_records(recs).array
+    sec = lambda tsc: tsc / 1e9
+    _assert_timelines_match(
+        build_timeline(recs, sym, sec), build_timeline(arr, sym, sec)
+    )
+
+
+def test_columnar_anomalous_stream_falls_back_to_replay():
+    from repro.core.records import RecordColumns
+
+    events = [
+        (REC_ENTER, "a", 0.0),
+        (REC_ENTER, "b", 1.0),
+        (REC_EXIT, "a", 3.0),   # crossed frames: not well-formed
+    ]
+    sym = SymbolTable()
+    recs = make_records(events, sym)
+    arr = RecordColumns.from_records(recs).array
+    sec = lambda tsc: tsc / 1e9
+    with pytest.raises(TraceError):
+        build_timeline(arr, sym, sec, strict=True)
+    tl_obj = build_timeline(recs, sym, sec, strict=False)
+    tl_col = build_timeline(arr, sym, sec, strict=False)
+    _assert_timelines_match(tl_obj, tl_col)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_property_columnar_matches_replay_random_streams(data):
+    """Random balanced multi-pid streams: both builders must agree."""
+    from repro.core.records import RecordColumns
+
+    sym = SymbolTable()
+    n_pids = data.draw(st.integers(min_value=1, max_value=3))
+    names = ["f", "g", "h", "f"]  # repeats force recursion/self-arcs
+    events = []
+    tsc = 0
+    stacks = {pid: [] for pid in range(1, n_pids + 1)}
+    for _ in range(data.draw(st.integers(min_value=0, max_value=40))):
+        pid = data.draw(st.integers(min_value=1, max_value=n_pids))
+        stack = stacks[pid]
+        tsc += data.draw(st.integers(min_value=0, max_value=1000))
+        if stack and data.draw(st.booleans()):
+            events.append(TraceRecord(REC_EXIT,
+                                      sym.address_of(stack.pop()), tsc, 0,
+                                      pid))
+        else:
+            name = data.draw(st.sampled_from(names))
+            stack.append(name)
+            events.append(TraceRecord(REC_ENTER, sym.address_of(name), tsc,
+                                      0, pid))
+    for pid, stack in stacks.items():  # close everything: well-formed
+        while stack:
+            tsc += 10
+            events.append(TraceRecord(REC_EXIT, sym.address_of(stack.pop()),
+                                      tsc, 0, pid))
+    arr = RecordColumns.from_records(events).array
+    sec = lambda t: t / 1e9
+    _assert_timelines_match(
+        build_timeline(events, sym, sec), build_timeline(arr, sym, sec)
+    )

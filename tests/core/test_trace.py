@@ -125,3 +125,39 @@ def test_jsonl_dump_readable(tmp_path):
 
 def test_total_records():
     assert make_bundle().total_records() == 4
+
+
+# ----------------------------------------------------------------------
+# The per-node ``truncated`` flag must survive a save/load cycle
+# (regression: save() used to drop it, so a recovered-then-resaved bundle
+# silently forgot its coverage story).
+
+def test_truncated_flag_roundtrips_through_save(tmp_path):
+    bundle = make_bundle()
+    bundle.node("node1").truncated = True
+    bundle.save(tmp_path / "trace")
+    info = json.loads((tmp_path / "trace" / "meta.json").read_text())
+    assert info["nodes"]["node1"]["truncated"] is True
+    loaded = TraceBundle.load(tmp_path / "trace")
+    assert loaded.node("node1").truncated is True
+
+
+def test_untruncated_bundle_header_omits_flag(tmp_path):
+    # Intact traces keep the pre-columnar header shape: no "truncated" key.
+    make_bundle().save(tmp_path / "trace")
+    info = json.loads((tmp_path / "trace" / "meta.json").read_text())
+    assert "truncated" not in info["nodes"]["node1"]
+    assert TraceBundle.load(tmp_path / "trace").node("node1").truncated is False
+
+
+def test_recovered_bundle_stays_truncated_after_resave(tmp_path):
+    bundle = make_bundle()
+    bundle.save(tmp_path / "torn")
+    f = tmp_path / "torn" / "node1.trace"
+    f.write_bytes(f.read_bytes()[:-5])  # tear the tail mid-record
+    recovered = TraceBundle.load(tmp_path / "torn", tolerate_truncation=True)
+    assert recovered.node("node1").truncated is True
+    recovered.save(tmp_path / "resaved")
+    reloaded = TraceBundle.load(tmp_path / "resaved")
+    assert reloaded.node("node1").truncated is True
+    assert len(reloaded.node("node1")) == 3  # torn record stayed dropped

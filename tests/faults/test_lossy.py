@@ -104,3 +104,56 @@ def test_deterministic_surviving_stream():
         return list(trace.records)
 
     assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# Bulk columnar fault application must be bit-identical to the per-record
+# path: a size-n uniform draw consumes the generator state exactly like n
+# single draws, so both paths see the same fault schedule.
+
+def test_bulk_uniform_draw_matches_single_draws():
+    import numpy as np
+
+    a = np.random.default_rng(123)
+    b = np.random.default_rng(123)
+    assert np.array_equal(a.random(500),
+                          np.array([b.random() for _ in range(500)]))
+
+
+def test_record_actions_match_per_record_draws():
+    from repro.faults.plan import ACT_CORRUPT, ACT_DROP, ACT_KEEP
+
+    cfg = FaultConfig(record_loss_rate=0.15, record_corrupt_rate=0.2)
+    plan_a = FaultPlan(cfg, seed=7, node_names=["n"])
+    plan_b = FaultPlan(cfg, seed=7, node_names=["n"])
+    single = [plan_a.record_action("n") for _ in range(400)]
+    codes = {"keep": ACT_KEEP, "drop": ACT_DROP, "corrupt": ACT_CORRUPT}
+    bulk = plan_b.record_actions("n", 400)
+    assert [codes[s] for s in single] == list(bulk)
+
+
+def test_skew_cycles_array_matches_scalar():
+    import numpy as np
+
+    cfg = FaultConfig(tsc_skew_steps=3, tsc_skew_max_cycles=100_000,
+                      horizon_s=10.0)
+    plan = FaultPlan(cfg, seed=11, node_names=["n"])
+    ts = np.linspace(0.0, 12.0, 97)
+    bulk = plan.skew_cycles_array("n", ts)
+    assert list(bulk) == [plan.skew_cycles("n", float(t)) for t in ts]
+
+
+def test_bulk_extend_equals_per_record_appends():
+    from repro.core.records import RecordColumns
+
+    cfg = FaultConfig(record_loss_rate=0.1, record_corrupt_rate=0.15,
+                      tsc_skew_steps=2, horizon_s=2.0)
+    original = records(600)
+    per_record = make_trace(cfg, seed=5)
+    for r in original:
+        per_record.append(r)
+    bulk = make_trace(cfg, seed=5)
+    bulk.extend_columns(RecordColumns.from_records(original).array)
+    assert bulk.records == per_record.records
+    assert bulk.n_records_dropped == per_record.n_records_dropped
+    assert bulk.n_records_corrupted == per_record.n_records_corrupted
