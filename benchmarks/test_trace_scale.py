@@ -88,8 +88,10 @@ def synthesize_columns(n_records: int, *, n_pids: int = 4,
             sweep_due = 0
             tsc += 5_000
             for s in range(n_sensors):
-                out[pos] = (REC_TEMP, s, tsc, 3, 999,
-                            40.0 + float(rng.normal(0.0, 2.0)))
+                # Quantized to 0.25 degC like real hwmon readings — which
+                # also bounds the streaming engine's exact mode-bin count.
+                reading = round((40.0 + float(rng.normal(0.0, 2.0))) * 4) / 4
+                out[pos] = (REC_TEMP, s, tsc, 3, 999, reading)
                 pos += 1
     return out, symtab
 
@@ -256,7 +258,138 @@ def test_trace_scale(benchmark, results_dir):
     )
 
 
+# ----------------------------------------------------------------------
+# Streaming engine: constant-memory parse vs batch parse (tentpole PR 3)
+
+BENCH_STREAMING_JSON = REPO_ROOT / "BENCH_streaming.json"
+
+
+def _make_accumulator(symtab, batch):
+    from repro.core.streamprof import ProfileAccumulator
+
+    return ProfileAccumulator(
+        "bench", symtab, _seconds, ["S0", "S1"],
+        sampling_hz=4.0, strict=False, batch=batch,
+    )
+
+
+def _assert_profiles_match(stream_prof, batch_prof) -> None:
+    """The acceptance contract: streaming output matches batch exactly,
+    except Med which is within +-0.5 degC (P2 estimator)."""
+    assert set(stream_prof.functions) == set(batch_prof.functions)
+    for name, bf in batch_prof.functions.items():
+        sf = stream_prof.functions[name]
+        assert sf.n_calls == bf.n_calls
+        assert sf.significant == bf.significant
+        assert sf.n_samples == bf.n_samples
+        assert sf.total_time_s == bf.total_time_s            # bit-equal
+        assert abs(sf.exclusive_time_s - bf.exclusive_time_s) <= \
+            1e-9 * max(1.0, abs(bf.exclusive_time_s))
+        for sensor, bs in bf.sensor_stats.items():
+            ss = sf.sensor_stats[sensor]
+            assert (ss.n, ss.min, ss.max, ss.mod) == \
+                (bs.n, bs.min, bs.max, bs.mod)               # exact
+            assert abs(ss.avg - bs.avg) <= 1e-9 * max(1.0, abs(bs.avg))
+            assert abs(ss.var - bs.var) <= 1e-9 * max(1.0, abs(bs.var))
+            assert abs(ss.med - bs.med) <= 0.5               # documented band
+
+
+def run_streaming_benchmark(n_records: int = N_RECORDS) -> dict:
+    """Peak-memory comparison: streaming chunked parse vs batch parse.
+
+    The trace goes to a spool file first (both parses read the same
+    bytes); peaks are measured with tracemalloc (numpy registers its
+    allocations), reset per phase — ru_maxrss is process-monotonic and
+    cannot measure the second phase.  Streaming runs first so the batch
+    phase's garbage cannot inflate its peak.
+    """
+    import tracemalloc
+
+    from repro.core.spool import SPOOL_CHUNK_RECORDS, TraceSpool, \
+        iter_spool_chunks
+
+    arr, symtab = synthesize_columns(n_records)
+    spool_path = REPO_ROOT / "benchmarks" / "results" / "stream_bench.spool"
+    spool_path.parent.mkdir(exist_ok=True)
+    with TraceSpool(spool_path) as spool:
+        spool.write_array(arr)
+    del arr
+    gc.collect()
+
+    tracemalloc.start()
+    try:
+        # -- streaming: bounded chunks straight into the accumulator
+        gc.collect()
+        tracemalloc.reset_peak()
+        t0 = time.perf_counter()
+        acc = _make_accumulator(symtab, batch=False)
+        for chunk in iter_spool_chunks(spool_path,
+                                       chunk_records=SPOOL_CHUNK_RECORDS):
+            acc.consume(chunk)
+        stream_prof = acc.finalize()
+        stream_s = time.perf_counter() - t0
+        _, stream_peak = tracemalloc.get_traced_memory()
+
+        # -- batch: whole file resident, classic vectorized pipeline
+        del acc
+        gc.collect()
+        tracemalloc.reset_peak()
+        t0 = time.perf_counter()
+        from repro.core.spool import read_spool_columns
+
+        batch_acc = _make_accumulator(symtab, batch=True)
+        batch_acc.consume(read_spool_columns(spool_path))
+        batch_prof = batch_acc.finalize()
+        batch_s = time.perf_counter() - t0
+        _, batch_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+        spool_path.unlink(missing_ok=True)
+
+    _assert_profiles_match(stream_prof, batch_prof)
+
+    return {
+        "n_records": n_records,
+        "streaming": {"parse_s": stream_s, "peak_bytes": stream_peak},
+        "batch": {"parse_s": batch_s, "peak_bytes": batch_peak},
+        "peak_ratio": stream_peak / batch_peak if batch_peak else 0.0,
+        "n_functions": len(batch_prof.functions),
+    }
+
+
+def render_streaming_table(result: dict) -> str:
+    s, b = result["streaming"], result["batch"]
+    return "\n".join([
+        f"Streaming engine @ {result['n_records']:,} records",
+        f"{'path':<12}{'parse':>10}{'peak mem':>14}",
+        "-" * 36,
+        f"{'batch':<12}{b['parse_s']:>9.3f}s{b['peak_bytes'] / 1e6:>12.1f}MB",
+        f"{'streaming':<12}{s['parse_s']:>9.3f}s{s['peak_bytes'] / 1e6:>12.1f}MB",
+        f"peak ratio: {result['peak_ratio']:.1%} (gate: <= 25%)",
+    ])
+
+
+def test_streaming_memory_gate(benchmark, results_dir):
+    from benchmarks.conftest import once, write_artifact
+
+    result = once(benchmark, run_streaming_benchmark)
+    BENCH_STREAMING_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    write_artifact(results_dir, "trace_streaming.txt",
+                   render_streaming_table(result))
+
+    # The acceptance gate: the streaming parse must hold peak memory at
+    # <= 25% of the batch parse on the same trace (output equality is
+    # asserted inside the run).
+    assert result["peak_ratio"] <= 0.25, (
+        f"streaming peak is {result['peak_ratio']:.1%} of batch; "
+        "expected <= 25%"
+    )
+
+
 if __name__ == "__main__":
     res = run_scale_benchmark()
     BENCH_JSON.write_text(json.dumps(res, indent=2) + "\n")
     print(render_table(res))
+    res_s = run_streaming_benchmark()
+    BENCH_STREAMING_JSON.write_text(json.dumps(res_s, indent=2) + "\n")
+    print(render_streaming_table(res_s))

@@ -58,6 +58,28 @@ def _add_output_args(p: argparse.ArgumentParser) -> None:
                    help="also write a self-contained HTML report here")
 
 
+def _add_live_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--live", type=float, default=None, metavar="SECONDS",
+        help="print a live hotspot snapshot every SECONDS of simulated "
+             "time while the workload runs (streaming engine)")
+
+
+def _live_session_kwargs(args) -> dict:
+    """Progress-callback kwargs for TempestSession when --live is set."""
+    if getattr(args, "live", None) is None:
+        return {}
+    from repro.core.report import render_live_snapshot
+
+    fahrenheit = not args.celsius
+
+    def on_progress(profile, sim_now):
+        print(render_live_snapshot(profile, sim_now, fahrenheit=fahrenheit))
+        print()
+
+    return {"on_progress": on_progress, "progress_interval_s": args.live}
+
+
 def _emit(profile, args) -> None:
     fahrenheit = not args.celsius
     if args.format == "csv":
@@ -81,7 +103,8 @@ def cmd_micro(args) -> int:
     machine = Machine(ClusterConfig(n_nodes=1, seed=args.seed,
                                     vary_nodes=False))
     injector = _make_injector(args, machine)
-    session = TempestSession(machine, injector=injector)
+    session = TempestSession(machine, injector=injector,
+                             **_live_session_kwargs(args))
     bench = ALL_MICROS[args.bench.upper()]
     session.run_serial(bench, "node1", 0)
     profile = session.profile(strict=injector is None)
@@ -131,7 +154,8 @@ def cmd_npb(args) -> int:
     program, config, run_name = setup
     machine = Machine(ClusterConfig(n_nodes=args.nodes, seed=args.seed))
     injector = _make_injector(args, machine)
-    session = TempestSession(machine, injector=injector)
+    session = TempestSession(machine, injector=injector,
+                             **_live_session_kwargs(args))
     session.run_mpi(lambda ctx: program(ctx, config), args.ranks,
                     name=run_name)
     profile = session.profile(strict=injector is None)
@@ -178,9 +202,20 @@ def cmd_hotspots(args) -> int:
 
 
 def cmd_parse(args) -> int:
-    bundle = TraceBundle.load(args.bundle,
-                              tolerate_truncation=args.lenient)
-    profile = TempestParser(bundle, strict=not args.lenient).parse()
+    if args.stream:
+        # Constant-memory parse of a spool directory: records are folded
+        # chunk by chunk into streaming accumulators, never fully resident.
+        from repro.core.streamprof import stream_spool_profile
+
+        profile = stream_spool_profile(
+            args.bundle,
+            chunk_records=args.chunk_records,
+            strict=not args.lenient,
+        )
+    else:
+        bundle = TraceBundle.load(args.bundle,
+                                  tolerate_truncation=args.lenient)
+        profile = TempestParser(bundle, strict=not args.lenient).parse()
     _emit(profile, args)
     return 0
 
@@ -245,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true")
     _add_output_args(p)
     _add_inject_args(p)
+    _add_live_args(p)
     p.set_defaults(fn=cmd_micro)
 
     p = sub.add_parser("npb", help="run an NPB benchmark on the simulated cluster")
@@ -258,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plot", action="store_true")
     _add_output_args(p)
     _add_inject_args(p)
+    _add_live_args(p)
     p.set_defaults(fn=cmd_npb)
 
     p = sub.add_parser("hotspots",
@@ -275,6 +312,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("parse", help="parse a saved trace bundle")
     p.add_argument("bundle", type=Path)
     p.add_argument("--lenient", action="store_true")
+    p.add_argument("--stream", action="store_true",
+                   help="treat the path as a spool directory and parse it "
+                        "chunk-by-chunk with the streaming engine "
+                        "(constant memory)")
+    p.add_argument("--chunk-records", type=int, default=None,
+                   help="records per streaming chunk (default: the spool "
+                        "chunk size, 4096)")
     _add_output_args(p)
     p.set_defaults(fn=cmd_parse)
 

@@ -37,7 +37,7 @@ from repro.core.instrument import (
     NodeTracer,
 )
 from repro.core.realprof import RealTempest
-from repro.core.spool import TraceSpool, spool_to_bundle
+from repro.core.spool import TraceSpool, iter_spool_chunks, spool_to_bundle
 from repro.core.sensors import (
     SensorReader,
     SimSensorReader,
@@ -48,7 +48,17 @@ from repro.core.timeline import FunctionInterval, Timeline, build_timeline
 from repro.core.stats import SensorStats, compute_sensor_stats
 from repro.core.profilemodel import FunctionProfile, NodeProfile, RunProfile
 from repro.core.parser import TempestParser
-from repro.core.report import render_stdout_report, profile_to_rows
+from repro.core.streamprof import (
+    OnlineStats,
+    ProfileAccumulator,
+    StreamingRunProfiler,
+    stream_spool_profile,
+)
+from repro.core.report import (
+    render_live_snapshot,
+    render_stdout_report,
+    profile_to_rows,
+)
 from repro.core.session import TempestSession
 from repro.core.perblk import block
 
@@ -66,6 +76,7 @@ __all__ = [
     "NodeTracer",
     "RealTempest",
     "TraceSpool",
+    "iter_spool_chunks",
     "spool_to_bundle",
     "SensorReader",
     "SimSensorReader",
@@ -81,6 +92,11 @@ __all__ = [
     "NodeProfile",
     "RunProfile",
     "TempestParser",
+    "OnlineStats",
+    "ProfileAccumulator",
+    "StreamingRunProfiler",
+    "stream_spool_profile",
+    "render_live_snapshot",
     "render_stdout_report",
     "profile_to_rows",
     "TempestSession",

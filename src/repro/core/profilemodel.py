@@ -53,6 +53,10 @@ class NodeProfile:
     functions: dict[str, FunctionProfile]
     sensor_series: dict[str, tuple[np.ndarray, np.ndarray]]  # name -> (t, degC)
     timeline: Timeline
+    #: per-sensor whole-node statistics; the streaming engine fills this
+    #: (it never materializes the raw series), the batch path leaves it
+    #: empty because the series answers the same questions exactly
+    sensor_summary: dict[str, SensorStats] = field(default_factory=dict)
 
     def functions_by_time(self) -> list[FunctionProfile]:
         """Functions ordered by decreasing inclusive time (report order)."""
@@ -70,17 +74,29 @@ class NodeProfile:
             )
 
     def sensor_names(self) -> list[str]:
-        return list(self.sensor_series)
+        if self.sensor_series:
+            return list(self.sensor_series)
+        return list(self.sensor_summary)
 
     def mean_temperature(self, sensor: str) -> float:
         """Run-average temperature of one sensor (degC)."""
-        _, values = self.sensor_series[sensor]
-        return float(values.mean()) if len(values) else float("nan")
+        series = self.sensor_series.get(sensor)
+        if series is not None and len(series[1]):
+            return float(series[1].mean())
+        summary = self.sensor_summary.get(sensor)
+        if summary is not None and summary.n:
+            return summary.avg
+        return float("nan")
 
     def max_temperature(self, sensor: str) -> float:
         """Run-peak temperature of one sensor (degC)."""
-        _, values = self.sensor_series[sensor]
-        return float(values.max()) if len(values) else float("nan")
+        series = self.sensor_series.get(sensor)
+        if series is not None and len(series[1]):
+            return float(series[1].max())
+        summary = self.sensor_summary.get(sensor)
+        if summary is not None and summary.n:
+            return summary.max
+        return float("nan")
 
 
 @dataclass
@@ -113,11 +129,19 @@ class RunProfile:
 
         ``sensor_pred(name) -> bool`` filters which sensors count; defaults
         to CPU-ish sensors (name contains "CPU"), falling back to all.
+        Ties (including all-NaN scores) break deterministically toward the
+        lexically smaller node name, never dict insertion order.
         """
         pred = sensor_pred or (lambda s: "CPU" in s)
 
         def score(node: NodeProfile) -> float:
             names = [s for s in node.sensor_names() if pred(s)] or node.sensor_names()
-            return float(np.mean([node.mean_temperature(s) for s in names]))
+            if not names:
+                return float("-inf")
+            value = float(np.mean([node.mean_temperature(s) for s in names]))
+            return value if value == value else float("-inf")
 
-        return max(self.nodes, key=lambda n: score(self.nodes[n]))
+        if not self.nodes:
+            raise ConfigError("hottest_node on a profile with no nodes")
+        return min(self.nodes,
+                   key=lambda n: (-score(self.nodes[n]), n))

@@ -16,6 +16,7 @@ import json
 from typing import Optional, Union
 
 from repro.core.profilemodel import FunctionProfile, NodeProfile, RunProfile
+from repro.util.units import c_to_f
 
 _HEADER = f"{'':<10}{'Min':>8}{'Avg':>8}{'Max':>8}{'Sdv':>7}{'Var':>7}{'Med':>8}{'Mod':>8}"
 
@@ -89,6 +90,49 @@ def render_stdout_report(
         return "(no functions profiled)"
     blocks = [_format_function(f, fahrenheit, show_calls) for f in fns]
     return "\n\n".join(blocks)
+
+
+def render_live_snapshot(
+    profile: RunProfile,
+    sim_now: float,
+    *,
+    top_n: int = 5,
+    fahrenheit: bool = True,
+) -> str:
+    """One compact mid-run hotspot frame (the CLI ``--live`` view).
+
+    A few lines per node — elapsed sim time, the hottest sensor reading
+    so far, and the top functions by inclusive time with their hottest
+    sensor's running average — refreshed from streaming-engine snapshots,
+    so rendering one costs O(functions), not O(trace).
+    """
+    unit = "F" if fahrenheit else "C"
+    lines = [f"[t={sim_now:9.3f}s] live profile"]
+    for node_name in profile.node_names():
+        node = profile.node(node_name)
+        peak = ""
+        sensors = node.sensor_names()
+        if sensors:
+            temps = {s: node.max_temperature(s) for s in sensors}
+            temps = {s: v for s, v in temps.items() if v == v}
+            if temps:
+                s_hot = max(temps, key=temps.get)
+                v = c_to_f(temps[s_hot]) if fahrenheit else temps[s_hot]
+                peak = f"  peak {s_hot} {v:.1f}{unit}"
+        lines.append(f"  {node_name}: {len(node.functions)} functions{peak}")
+        for fp in node.functions_by_time()[:top_n]:
+            hot = fp.hottest_sensor()
+            if hot is not None:
+                sensor, st = hot
+                if fahrenheit:
+                    st = st.to_fahrenheit()
+                therm = f"  {sensor} avg {st.avg:6.2f}{unit} (n={st.n})"
+            else:
+                therm = "  (below sampling interval)"
+            lines.append(
+                f"    {fp.name:<24}{fp.total_time_s:>10.3f}s{therm}"
+            )
+    return "\n".join(lines)
 
 
 def profile_to_rows(

@@ -47,11 +47,21 @@ class TempestSession:
         enabled: bool = True,
         spool_dir=None,
         injector=None,
+        on_progress: Optional[Callable] = None,
+        progress_interval_s: float = 1.0,
     ):
         self.machine = machine
         self.costs = costs
         self.tempd_config = tempd_config
         self.tempd_core = tempd_core
+        #: ``on_progress(profile, sim_now)`` fires every
+        #: ``progress_interval_s`` simulated seconds while a workload runs,
+        #: with a live :class:`RunProfile` snapshot (see :meth:`live_profile`)
+        self.on_progress = on_progress
+        self.progress_interval_s = float(progress_interval_s)
+        self._progress_installed = False
+        self._live = None                      # lazy StreamingRunProfiler
+        self._live_cursors: dict[str, int] = {}
         #: optional :class:`repro.faults.FaultInjector` (duck-typed — the
         #: session only calls ``wrap_reader`` / ``wrap_tracer`` /
         #: ``watch_tempd``) that degrades sensors, traces, and daemons for
@@ -153,7 +163,12 @@ class TempestSession:
             name=name,
             wrap=self.wrap,
         )
-        self.machine.run_to_completion(procs)
+        self._install_progress()
+        try:
+            self.machine.run_to_completion(procs)
+        except BaseException:
+            self._emergency_flush()
+            raise
         self.last_workload_end = self.machine.sim.now
         self.stop()
         return [p.result for p in procs]
@@ -174,7 +189,12 @@ class TempestSession:
             return result
 
         proc = self.machine.spawn(body, node, core, name=name or "serial")
-        self.machine.run_to_completion([proc])
+        self._install_progress()
+        try:
+            self.machine.run_to_completion([proc])
+        except BaseException:
+            self._emergency_flush()
+            raise
         self.last_workload_end = self.machine.sim.now
         self.stop()
         return proc.result
@@ -197,6 +217,42 @@ class TempestSession:
                 raise ConfigError(f"tempd daemons failed to stop: {stuck}")
         if self.spool_dir is not None:
             self.finalize_spools()
+
+    def _emergency_flush(self) -> None:
+        """Best-effort preservation when a workload dies mid-run.
+
+        Every spool is driven through its context manager so the buffered
+        columnar chunk (up to 4095 records, previously dropped on the
+        floor) reaches disk before the handle closes, and the header is
+        written so the partial trace stays parseable post-mortem.  Errors
+        here must never mask the workload's own exception.
+        """
+        from repro.core.spool import SpoolingNodeTrace
+
+        for tracer in self.tracers.values():
+            trace = tracer.trace
+            if isinstance(trace, SpoolingNodeTrace) and not trace.spool.closed:
+                try:
+                    with trace.spool:
+                        pass       # __exit__ drains the chunk, then closes
+                except Exception:
+                    pass
+        if self.spool_dir is not None:
+            try:
+                self.finalize_spools()
+            except Exception:
+                pass
+
+    def _install_progress(self) -> None:
+        """Arm the periodic live-profile callback (idempotent)."""
+        if self._progress_installed or self.on_progress is None:
+            return
+        self._progress_installed = True
+        self.machine.every(
+            self.progress_interval_s,
+            lambda: self.on_progress(self.live_profile(),
+                                     self.machine.sim.now),
+        )
 
     def finalize_spools(self) -> None:
         """Close spools and write the header so the directory is loadable
@@ -235,6 +291,48 @@ class TempestSession:
     def profile(self, *, strict: bool = True) -> RunProfile:
         """Collect and parse in one step."""
         return TempestParser(self.collect(), strict=strict).parse()
+
+    def live_profile(self) -> RunProfile:
+        """A valid :class:`RunProfile` of everything recorded *so far*.
+
+        Callable at any point — mid-run (from a progress callback or an
+        interleaved sim process), or after completion.  Each call feeds
+        only the records that arrived since the previous call into
+        per-node streaming accumulators (cursor-based tail reads), so the
+        cost of live profiling is proportional to new data, and memory
+        stays O(functions × sensors) even for ``keep_in_memory=False``
+        spooled traces — the on-disk spool is tail-read in place of the
+        in-memory columns.  Open call frames are credited up to the
+        latest event seen; the snapshot never disturbs accumulation.
+        """
+        from repro.core.spool import SpoolingNodeTrace
+        from repro.core.streamprof import StreamingRunProfiler
+
+        if self._live is None:
+            self._live = StreamingRunProfiler(
+                self.symtab,
+                sampling_hz=self.tempd_config.sampling_hz,
+                strict=False,
+                meta={
+                    "sampling_hz": self.tempd_config.sampling_hz,
+                    "seed": self.machine.config.seed,
+                    "live": True,
+                },
+            )
+        profiler = self._live
+        profiler.meta["nodes"] = list(self.tracers)
+        for name, tracer in self.tracers.items():
+            trace = tracer.trace
+            acc = profiler.add_node(name, trace.tsc_hz, trace.sensor_names)
+            cursor = self._live_cursors.get(name, 0)
+            if isinstance(trace, SpoolingNodeTrace) and not trace.keep_in_memory:
+                chunk = trace.spool.tail_records(cursor)
+            else:
+                chunk = trace.columns.array[cursor:]
+            if len(chunk):
+                acc.consume(chunk)
+                self._live_cursors[name] = cursor + len(chunk)
+        return profiler.snapshot()
 
     # ------------------------------------------------------------------
     # Overhead accounting helpers (§3.4)

@@ -91,14 +91,40 @@ class TraceSpool:
 
     def close(self) -> None:
         if not self.closed:
-            self._drain()
-            self._fh.close()
-            self.closed = True
+            try:
+                self._drain()
+            finally:
+                self._fh.close()
+                self.closed = True
+
+    def tail_records(self, start_record: int = 0) -> np.ndarray:
+        """Everything accepted from *start_record* on, as a record array.
+
+        The incremental read API behind live profiling: flushes the
+        buffered chunk first (so "accepted" means *every* record, not just
+        the drained ones), then reads from the byte offset of
+        *start_record* — a caller keeping a cursor sees each record
+        exactly once across successive calls.  A torn trailing record is
+        dropped, mirroring :func:`read_spool_columns`.
+        """
+        if not self.closed:
+            self.flush()
+        with self.path.open("rb") as fh:
+            fh.seek(start_record * RECORD_SIZE)
+            blob = fh.read()
+        remainder = len(blob) % RECORD_SIZE
+        if remainder:
+            blob = blob[: len(blob) - remainder]
+        return records_from_buffer(blob)
 
     def __enter__(self) -> "TraceSpool":
         return self
 
     def __exit__(self, *exc) -> bool:
+        # The context-manager guarantee: however the block exits —
+        # normally or by exception — the buffered chunk (up to
+        # chunk_records-1 records) reaches the file before the handle
+        # closes.  ``close`` drains first, so nothing is dropped.
         self.close()
         return False
 
@@ -155,6 +181,43 @@ def read_spool(path: Path, *, tolerate_truncation: bool = True) -> RecordSeq:
     )
 
 
+def iter_spool_chunks(path: Path, *, chunk_records: int = SPOOL_CHUNK_RECORDS,
+                      start_record: int = 0,
+                      tolerate_truncation: bool = True):
+    """Yield a spool file's records as bounded structured-array chunks.
+
+    The constant-memory read path: at most ``chunk_records`` records are
+    resident per iteration regardless of file size, which is what lets
+    the streaming engine profile arbitrarily long spools.  ``start_record``
+    skips records already consumed (cursor-style tail reads).  A torn
+    trailing record is dropped when ``tolerate_truncation`` is set,
+    otherwise it raises :class:`TraceError`.
+    """
+    path = Path(path)
+    chunk_bytes = max(1, int(chunk_records)) * RECORD_SIZE
+    with path.open("rb") as fh:
+        if start_record:
+            fh.seek(start_record * RECORD_SIZE)
+        pending = b""
+        while True:
+            blob = fh.read(chunk_bytes)
+            if not blob:
+                break
+            if pending:
+                blob = pending + blob
+                pending = b""
+            remainder = len(blob) % RECORD_SIZE
+            if remainder:
+                pending = blob[len(blob) - remainder:]
+                blob = blob[: len(blob) - remainder]
+            if blob:
+                yield records_from_buffer(blob)
+    if pending and not tolerate_truncation:
+        raise TraceError(
+            f"{path}: trailing {len(pending)} bytes are not a whole record"
+        )
+
+
 def write_spool_header(directory: Path, symtab: SymbolTable,
                        nodes: dict[str, dict], meta: dict) -> None:
     """Persist the bundle header alongside per-node spools.
@@ -171,8 +234,8 @@ def write_spool_header(directory: Path, symtab: SymbolTable,
     }, indent=2))
 
 
-def spool_to_bundle(directory: Path) -> TraceBundle:
-    """Reassemble a TraceBundle from ``header.json`` + ``<node>.spool`` files."""
+def read_spool_header(directory: Path) -> dict:
+    """Load and validate a spool directory's ``header.json``."""
     directory = Path(directory)
     header_path = directory / "header.json"
     if not header_path.exists():
@@ -180,6 +243,13 @@ def spool_to_bundle(directory: Path) -> TraceBundle:
     header = json.loads(header_path.read_text())
     if header.get("format") != "tempest-spool-v1":
         raise TraceError(f"unknown spool format {header.get('format')!r}")
+    return header
+
+
+def spool_to_bundle(directory: Path) -> TraceBundle:
+    """Reassemble a TraceBundle from ``header.json`` + ``<node>.spool`` files."""
+    directory = Path(directory)
+    header = read_spool_header(directory)
     bundle = TraceBundle(SymbolTable.from_dict(header["symtab"]))
     bundle.meta = header.get("meta", {})
     for name, info in header["nodes"].items():

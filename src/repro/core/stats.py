@@ -9,6 +9,7 @@ smaller value for determinism.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass
 from typing import Sequence
@@ -49,6 +50,46 @@ class SensorStats:
     def as_tuple(self) -> tuple:
         return (self.min, self.avg, self.max, self.sdv, self.var,
                 self.med, self.mod)
+
+    @classmethod
+    def empty(cls) -> "SensorStats":
+        """The zero-sample statistic set: ``n == 0``, everything else NaN.
+
+        The explicit alternative to :func:`compute_sensor_stats` raising
+        on empty input — callers that must represent an uncovered
+        (function, sensor) pair carry this instead of special-casing, and
+        reports render the NaNs as absent.
+        """
+        nan = math.nan
+        return cls(n=0, min=nan, avg=nan, max=nan, sdv=nan, var=nan,
+                   med=nan, mod=nan)
+
+    @classmethod
+    def from_accumulator(cls, acc) -> "SensorStats":
+        """Summarize an online accumulator (duck-typed: anything exposing
+        ``n``/``min``/``max``/``avg``/``var``/``sdv``/``med``/``mod``,
+        canonically :class:`repro.core.streamprof.OnlineStats`).
+
+        Tolerance vs the exact batch :func:`compute_sensor_stats` over the
+        same samples: ``n``/``min``/``max``/``mod`` are exact; ``avg`` /
+        ``var`` / ``sdv`` differ only by summation-order rounding (Welford
+        vs numpy pairwise, relative error ~1e-12); ``med`` is the P²
+        estimate — exact below six samples, within ±0.5 °C beyond for
+        quantized thermal readings (the bound the streaming benchmark
+        gate asserts).
+        """
+        if acc.n == 0:
+            return cls.empty()
+        return cls(
+            n=int(acc.n),
+            min=float(acc.min),
+            avg=min(max(float(acc.avg), float(acc.min)), float(acc.max)),
+            max=float(acc.max),
+            sdv=float(acc.sdv),
+            var=float(acc.var),
+            med=float(acc.med),
+            mod=float(acc.mod),
+        )
 
 
 def compute_sensor_stats(values: Sequence[float]) -> SensorStats:

@@ -1,0 +1,890 @@
+"""Streaming profile engine: single-pass, constant-memory profiling.
+
+The paper's parser is post-mortem: collect the full trace plus the tempd
+sample log, then merge them offline.  The batch pipeline mirrored that,
+holding O(records) state through ``TraceBundle`` → ``TempestParser`` →
+``RunProfile``.  This module inverts the dataflow: a
+:class:`ProfileAccumulator` consumes columnar record chunks (the
+``RecordColumns`` chunks that ``TraceSpool`` writes and
+:func:`repro.core.spool.iter_spool_chunks` reads back) *incrementally*,
+maintaining per-function/per-sensor online statistics and an incremental
+frame stack, so a profile snapshot is available at any point mid-run and
+peak memory is bounded by O(functions × sensors), not trace length.
+
+Two modes share one interface:
+
+* **streaming** (``batch=False``, the default) — every chunk is folded
+  into constant-size state the moment it arrives:
+
+  - Welford mean/variance, running min/max, a P² quantile estimator for
+    ``Med`` and an exact quantized-bin counter for ``Mod`` per
+    (function, sensor) pair (:class:`OnlineStats`);
+  - an incremental replay of the ENTER/EXIT stream (the exact semantics
+    of the timeline replay builder, including lenient repair: mismatched
+    EXITs unwind, timestamp regressions clamp, open frames close at the
+    last event time);
+  - inclusive time as an *online union*: a global per-function
+    activation counter opens a union span on the 0→1 transition and
+    closes it on 1→0, with a one-span ``pending`` buffer so touching
+    spans merge exactly like the batch span merge;
+  - sample attribution at arrival time: a TEMP record is credited to
+    every function currently on some stack, to functions whose union
+    span closed at exactly the sample's timestamp, and (retroactively,
+    via a one-sweep cache) to functions entered at exactly the sample's
+    timestamp — reproducing the batch parser's closed-interval
+    ``start <= t <= end`` attribution on time-ordered streams.
+
+* **batch** (``batch=True``) — chunks are buffered and ``finalize()``
+  runs the classic vectorized pipeline (timeline build + union-span
+  sample attribution + exact :func:`~repro.core.stats.compute_sensor_stats`)
+  over the concatenation.  This is what :class:`~repro.core.parser.TempestParser`
+  drives, and its output is bit-identical to the historical batch parser.
+
+Equivalence contract (pinned by ``tests/core/test_streamprof.py`` and the
+``benchmarks/test_trace_scale.py`` streaming gate): on a record stream
+whose converted timestamps are globally non-decreasing, the streaming mode
+is *chunking-invariant* (chunk sizes 1, 7, 4096 and whole-run produce
+bit-identical profiles — the engine's state transitions depend only on
+record order, never on chunk boundaries) and matches the batch mode
+exactly for inclusive/exclusive times, call counts, arcs,
+``n``/``min``/``max``/``mod``, within documented floating-point tolerance
+for ``avg``/``var``/``sdv`` (Welford vs numpy pairwise summation,
+relative error ~1e-12), and within ±0.5 °C for ``med`` (P² estimator; see
+:meth:`~repro.core.stats.SensorStats.from_accumulator`).  Streams that
+are only per-process time-ordered (cross-core TSC skew) may attribute
+boundary samples differently; the divergence window is bounded by the
+skew magnitude.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.core.profilemodel import FunctionProfile, NodeProfile, RunProfile
+from repro.core.records import RECORD_DTYPE, empty_records
+from repro.core.stats import SensorStats, compute_sensor_stats
+from repro.core.symtab import SymbolTable
+from repro.core.timeline import Timeline, build_timeline
+from repro.core.trace import REC_ENTER, REC_EXIT, REC_TEMP
+from repro.util.errors import TraceError
+
+__all__ = [
+    "OnlineStats",
+    "ProfileAccumulator",
+    "StreamingRunProfiler",
+    "stream_spool_profile",
+]
+
+
+# ----------------------------------------------------------------------
+# Online per-sensor statistics
+
+class OnlineStats:
+    """Constant-memory estimator of the Figure 2(a) statistic set.
+
+    ``n``/``min``/``max`` are exact; ``avg``/``var``/``sdv`` use Welford's
+    recurrence (exact multiset, summation-order rounding only); ``mod`` is
+    an exact counter over the quantized readings (sensor readings are
+    quantized, so equal readings are bit-identical floats — the same
+    assumption the batch ``Counter`` makes; memory is O(distinct
+    readings), bounded by the sensor's quantization range); ``med`` is the
+    P² (Jain & Chlamtac) single-pass median estimator — exact below six
+    samples, approximate beyond.
+    """
+
+    __slots__ = ("n", "min", "max", "_mean", "_m2", "_bins", "_q", "_pos")
+
+    def __init__(self):
+        self.n = 0
+        self.min = math.inf
+        self.max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._bins: dict[float, int] = {}
+        self._q: list[float] = []        # marker heights (samples until 5)
+        self._pos: Optional[list[int]] = None   # marker positions, 1-based
+
+    def push(self, x: float) -> None:
+        """Fold one sample into every estimator."""
+        x = float(x)
+        self.n += 1
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        self._bins[x] = self._bins.get(x, 0) + 1
+        self._push_med(x)
+
+    def push_many(self, values) -> None:
+        """Fold samples in order (order-stable: chunking never reorders)."""
+        for v in values:
+            self.push(v)
+
+    # -- P² median ------------------------------------------------------
+    def _push_med(self, x: float) -> None:
+        q = self._q
+        if self._pos is None:
+            q.append(x)
+            if len(q) == 5:
+                q.sort()
+                self._pos = [1, 2, 3, 4, 5]
+            return
+        pos = self._pos
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            if x > q[4]:
+                q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1
+        n5 = pos[4]
+        desired = (
+            1.0,
+            (n5 - 1) * 0.25 + 1.0,
+            (n5 - 1) * 0.50 + 1.0,
+            (n5 - 1) * 0.75 + 1.0,
+            float(n5),
+        )
+        for i in (1, 2, 3):
+            d = desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1) or \
+               (d <= -1.0 and pos[i - 1] - pos[i] < -1):
+                step = 1 if d >= 0 else -1
+                cand = self._parabolic(i, step)
+                if not (q[i - 1] < cand < q[i + 1]):
+                    cand = q[i] + step * (q[i + step] - q[i]) / (
+                        pos[i + step] - pos[i]
+                    )
+                q[i] = cand
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: int) -> float:
+        q, pos = self._q, self._pos
+        return q[i] + d / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + d) * (q[i + 1] - q[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - d) * (q[i] - q[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    # -- derived statistics --------------------------------------------
+    @property
+    def avg(self) -> float:
+        if self.n == 0:
+            return math.nan
+        # Clamp like the batch path: rounding must not push the mean
+        # outside the sample range.
+        return min(max(self._mean, self.min), self.max)
+
+    @property
+    def var(self) -> float:
+        return self._m2 / self.n if self.n else math.nan
+
+    @property
+    def sdv(self) -> float:
+        return math.sqrt(self.var) if self.n else math.nan
+
+    @property
+    def med(self) -> float:
+        if self.n == 0:
+            return math.nan
+        if self._pos is None:
+            return float(np.median(self._q))
+        return float(self._q[2])
+
+    @property
+    def mod(self) -> float:
+        if not self._bins:
+            return math.nan
+        best = max(self._bins.items(), key=lambda kv: (kv[1], -kv[0]))
+        return float(best[0])
+
+
+# ----------------------------------------------------------------------
+# Attribution helpers (shared by the batch finalizer and the parser)
+
+#: below this many expected sweeps, a shortfall is indistinguishable from
+#: sampling-phase quantization, so no gap is reported
+_MIN_EXPECTED_SWEEPS = 4.0
+
+
+def _coverage(total_time_s: float, n_hits: int, sampling_hz: float) -> float:
+    """Fraction of expected sampling sweeps that actually landed.
+
+    At ``sampling_hz`` a function active for ``total_time_s`` should catch
+    about ``total * hz`` sweeps; failed sweeps, lost records, or a dead
+    tempd make ``n_hits`` fall short, and the gap-aware statistics report
+    that shortfall rather than silently presenting thin data as complete.
+    Functions expecting fewer than :data:`_MIN_EXPECTED_SWEEPS` sweeps are
+    below the sampling resolution (a one-sweep miss there is phase luck,
+    not a fault) — coverage is pinned to 1.0 for them.
+    """
+    expected = total_time_s * sampling_hz
+    if expected < _MIN_EXPECTED_SWEEPS:
+        return 1.0
+    return min(1.0, n_hits / expected)
+
+
+def _samples_in_spans(
+    times: np.ndarray, values: np.ndarray, spans: list[tuple[float, float]]
+) -> np.ndarray:
+    """Values whose timestamps fall inside any of the (disjoint, sorted)
+    spans — vectorized with searchsorted."""
+    if len(times) == 0 or not spans:
+        return np.empty(0)
+    starts = np.array([s for s, _ in spans])
+    ends = np.array([e for _, e in spans])
+    # For each time, the candidate span is the last with start <= t.
+    idx = np.searchsorted(starts, times, side="right") - 1
+    ok = idx >= 0
+    hit = np.zeros(len(times), dtype=bool)
+    valid = np.where(ok)[0]
+    hit[valid] = times[valid] <= ends[idx[valid]]
+    return values[hit]
+
+
+# ----------------------------------------------------------------------
+# The accumulator
+
+class ProfileAccumulator:
+    """Fold columnar record chunks into one node's profile.
+
+    ``consume`` accepts structured record arrays of any size in stream
+    order; ``snapshot`` returns a valid :class:`NodeProfile` at any point
+    (open frames credited up to the latest event seen) without disturbing
+    the accumulation; ``finalize`` applies end-of-trace semantics (strict:
+    open frames raise; lenient: they close at the process's last event
+    time) and returns the final profile.
+
+    In streaming mode the state is O(functions × sensors) regardless of
+    how many records flow through.  In batch mode (``batch=True``) chunks
+    are buffered and ``finalize`` runs the classic vectorized pipeline —
+    the mode :class:`~repro.core.parser.TempestParser` drives, bit-equal
+    to the historical batch parser.
+    """
+
+    def __init__(
+        self,
+        node_name: str,
+        symtab: SymbolTable,
+        seconds_fn: Callable,
+        sensor_names: list[str],
+        *,
+        sampling_hz: float = 4.0,
+        strict: bool = False,
+        min_samples_for_stats: int = 1,
+        batch: bool = False,
+    ):
+        self.node_name = node_name
+        self.symtab = symtab
+        self.seconds_fn = seconds_fn
+        self.sensor_names = list(sensor_names)
+        self.sampling_hz = float(sampling_hz)
+        self.strict = strict
+        self.min_samples_for_stats = int(min_samples_for_stats)
+        self.batch = batch
+        self.n_records = 0
+        self._finalized = False
+        self._names: dict[int, str] = {}      # addr -> resolved symbol
+        if batch:
+            self._chunks: list[np.ndarray] = []
+            return
+        # -- per-process replay state (the incremental stack machine)
+        self._stacks: dict[int, list[tuple[str, float]]] = {}
+        self._last_time: dict[int, float] = {}
+        self._now = 0.0                      # latest time seen in any record
+        self._top_since: dict[int, tuple[str, float]] = {}
+        # -- per-function aggregates
+        self._exclusive: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+        self._arcs: dict[tuple[str, str], int] = {}
+        self._active: dict[str, int] = {}            # open activation count
+        self._open_start: dict[str, float] = {}      # current union span start
+        self._open_floor: dict[str, float] = {}      # merged-span end floor
+        self._pending: dict[str, tuple[float, float]] = {}  # closed, unmerged
+        self._union_total: dict[str, float] = {}
+        self._span_lo = math.inf
+        self._span_hi = -math.inf
+        # -- per-(function, sensor) online statistics
+        self._stats: dict[tuple[str, int], OnlineStats] = {}
+        self._attr_seq: dict[tuple[str, int], int] = {}
+        self._seq = 0
+        # samples sharing the latest sample timestamp (retro attribution)
+        self._recent: tuple[Optional[float], list[tuple[int, int, float]]] = \
+            (None, [])
+        # union spans that closed at the latest close timestamp
+        self._closed_at: tuple[Optional[float], set[str]] = (None, set())
+        # -- node-level per-sensor aggregates (snapshot sensor_summary)
+        self._summary = [OnlineStats() for _ in self.sensor_names]
+
+    # ------------------------------------------------------------------
+    # Ingest
+
+    def consume(self, arr: np.ndarray) -> None:
+        """Fold one columnar record chunk (any size, stream order)."""
+        if self._finalized:
+            raise TraceError(
+                f"{self.node_name}: accumulator already finalized"
+            )
+        if arr.dtype != RECORD_DTYPE:
+            arr = np.asarray(arr)
+            if arr.dtype != RECORD_DTYPE:
+                raise TraceError(
+                    f"{self.node_name}: chunk dtype {arr.dtype} is not the "
+                    "record dtype"
+                )
+        if not len(arr):
+            return
+        self.n_records += len(arr)
+        if self.batch:
+            self._chunks.append(arr)
+            return
+        self._consume_stream(arr)
+
+    def consume_records(self, records: Iterable) -> None:
+        """Fold an iterable of :class:`TraceRecord`-shaped objects."""
+        from repro.core.records import RecordColumns
+
+        self.consume(RecordColumns.from_records(records).array)
+
+    def consume_samples(self, t: float,
+                        samples: Iterable[tuple[int, float]]) -> None:
+        """Fold one tempd sweep — ``(sensor_index, degC)`` pairs taken at
+        time *t* — without routing it through trace records.
+
+        The direct hookup for live monitors sitting next to the daemon;
+        equivalent to consuming the sweep's TEMP records at stream
+        position *t*.  Streaming mode only (batch mode buffers raw record
+        chunks and has no record to buffer here).
+        """
+        if self.batch:
+            raise TraceError(
+                f"{self.node_name}: consume_samples requires streaming mode"
+            )
+        for sidx, value in samples:
+            self._on_sample(int(sidx), float(t), float(value))
+
+    def _times_of(self, tsc: np.ndarray) -> np.ndarray:
+        """Vectorized TSC→seconds, matching the batch conversion exactly."""
+        try:
+            times = np.asarray(self.seconds_fn(tsc), dtype=np.float64)
+            if times.shape != tsc.shape:
+                raise TypeError("seconds_fn is not elementwise")
+        except Exception:
+            times = np.array([self.seconds_fn(int(v)) for v in tsc],
+                             dtype=np.float64)
+        return times
+
+    def _consume_stream(self, arr: np.ndarray) -> None:
+        kinds = arr["kind"].tolist()
+        addrs = arr["addr"].tolist()
+        times = self._times_of(arr["tsc"]).tolist()
+        pids = arr["pid"].tolist()
+        values = arr["value"].tolist()
+        names = self._names
+        name_of = self.symtab.name_of
+        on_enter, on_exit, on_sample = \
+            self._on_enter, self._on_exit, self._on_sample
+        for kind, addr, t, pid, value in zip(kinds, addrs, times, pids,
+                                             values):
+            if kind == REC_TEMP:
+                on_sample(addr, t, value)
+                continue
+            if kind != REC_ENTER and kind != REC_EXIT:
+                continue
+            name = names.get(addr)
+            if name is None:
+                name = names[addr] = name_of(addr)
+            if kind == REC_ENTER:
+                on_enter(name, t, pid)
+            else:
+                on_exit(name, t, pid)
+
+    # -- function events (ported from the replay builder, incremental) --
+
+    def _clamp(self, t: float, pid: int) -> float:
+        prev = self._last_time.get(pid)
+        if prev is not None and t < prev - 1e-12:
+            if self.strict:
+                raise TraceError(
+                    f"pid {pid}: timestamps regressed ({t} after {prev}); "
+                    "was the process bound to one core?"
+                )
+            t = prev  # lenient: clamp to restore monotonicity
+        self._last_time[pid] = t
+        if t > self._now:
+            self._now = t
+        return t
+
+    def _credit_top(self, pid: int, until: float) -> None:
+        cur = self._top_since.get(pid)
+        if cur is not None:
+            name, since = cur
+            if until > since:
+                self._exclusive[name] = (
+                    self._exclusive.get(name, 0.0) + (until - since)
+                )
+
+    def _on_enter(self, name: str, t: float, pid: int) -> None:
+        stack = self._stacks.get(pid)
+        if stack is None:
+            stack = self._stacks[pid] = []
+        t = self._clamp(t, pid)
+        self._credit_top(pid, t)
+        caller = stack[-1][0] if stack else "<root>"
+        arcs = self._arcs
+        arcs[(caller, name)] = arcs.get((caller, name), 0) + 1
+        stack.append((name, t))
+        self._top_since[pid] = (name, t)
+        self._calls[name] = self._calls.get(name, 0) + 1
+        if t < self._span_lo:
+            self._span_lo = t
+        self._union_open(name, t)
+
+    def _on_exit(self, name: str, t: float, pid: int) -> None:
+        stack = self._stacks.get(pid)
+        if stack is None:
+            stack = self._stacks[pid] = []
+        t = self._clamp(t, pid)
+        if not stack:
+            if self.strict:
+                raise TraceError(
+                    f"pid {pid}: EXIT {name!r} with empty stack"
+                )
+            return
+        if stack[-1][0] != name:
+            if self.strict:
+                raise TraceError(
+                    f"pid {pid}: EXIT {name!r} but top of stack is "
+                    f"{stack[-1][0]!r}"
+                )
+            # Lenient: close the current top-of-stack segment at this
+            # timestamp *before* unwinding (the crossed frames are about
+            # to be popped), exactly like the replay builder.
+            self._credit_top(pid, t)
+            while stack and stack[-1][0] != name:
+                crossed, _t0 = stack.pop()
+                self._union_close(crossed, t)
+            if not stack:
+                # The EXIT matched nothing: every frame unwound.
+                self._top_since.pop(pid, None)
+                return
+            self._top_since[pid] = (stack[-1][0], t)
+        self._credit_top(pid, t)
+        stack.pop()
+        self._union_close(name, t)
+        if stack:
+            self._top_since[pid] = (stack[-1][0], t)
+        else:
+            self._top_since.pop(pid, None)
+
+    # -- online inclusive-time union -----------------------------------
+
+    def _union_open(self, name: str, t: float) -> None:
+        count = self._active.get(name)
+        if count:
+            self._active[name] = count + 1
+            return
+        self._active[name] = 1
+        pend = self._pending.pop(name, None)
+        if pend is not None:
+            start, end = pend
+            if t <= end:
+                # Touching (or time-disordered) reopen: resume the merged
+                # span — same semantics as the batch span merge.
+                self._open_start[name] = start
+                self._open_floor[name] = end
+            else:
+                self._union_total[name] = (
+                    self._union_total.get(name, 0.0) + (end - start)
+                )
+                self._open_start[name] = t
+        else:
+            self._open_start[name] = t
+        # Retroactive attribution: samples that arrived at exactly this
+        # timestamp belong to the span that starts here (batch attribution
+        # is closed-interval on both ends).
+        rt, rsamples = self._recent
+        if rt == t:
+            for seq, sidx, value in rsamples:
+                self._attribute(name, sidx, value, seq)
+
+    def _union_close(self, name: str, t: float) -> None:
+        if t > self._span_hi:
+            self._span_hi = t
+        count = self._active.get(name, 0) - 1
+        if count > 0:
+            self._active[name] = count
+            return
+        self._active.pop(name, None)
+        start = self._open_start.pop(name)
+        floor = self._open_floor.pop(name, None)
+        end = t if floor is None or t >= floor else floor
+        self._pending[name] = (start, end)
+        ct, cset = self._closed_at
+        if ct == end:
+            cset.add(name)
+        else:
+            self._closed_at = (end, {name})
+
+    # -- sample attribution --------------------------------------------
+
+    def _on_sample(self, sidx: int, t: float, value: float) -> None:
+        if sidx >= len(self.sensor_names) or sidx < 0:
+            raise TraceError(
+                f"{self.node_name}: TEMP record for sensor index "
+                f"{sidx} but only {len(self.sensor_names)} sensors "
+                "declared"
+            )
+        self._seq += 1
+        seq = self._seq
+        if t > self._now:
+            self._now = t
+        self._summary[sidx].push(value)
+        rt, rsamples = self._recent
+        if rt == t:
+            rsamples.append((seq, sidx, value))
+        else:
+            self._recent = (t, [(seq, sidx, value)])
+        for name in self._active:
+            self._attribute(name, sidx, value, seq)
+        ct, cset = self._closed_at
+        if ct == t:
+            for name in cset:
+                self._attribute(name, sidx, value, seq)
+
+    def _attribute(self, name: str, sidx: int, value: float,
+                   seq: int) -> None:
+        key = (name, sidx)
+        if self._attr_seq.get(key) == seq:
+            return
+        self._attr_seq[key] = seq
+        st = self._stats.get(key)
+        if st is None:
+            st = self._stats[key] = OnlineStats()
+        st.push(value)
+
+    # ------------------------------------------------------------------
+    # Profile construction
+
+    def snapshot(self) -> NodeProfile:
+        """A valid profile of everything consumed so far (non-destructive).
+
+        Open activations and the open top-of-stack segment are credited
+        provisionally up to the latest event seen; the accumulation
+        continues unaffected afterwards.
+        """
+        if self.batch:
+            return self._finalize_batch(strict=False)
+        # "Now" is the latest record seen — function event *or* sensor
+        # sample — so a snapshot taken while a long function is still open
+        # keeps accruing its time between ENTER and EXIT.
+        now = self._now
+        totals = dict(self._union_total)
+        for name, (start, end) in self._pending.items():
+            totals[name] = totals.get(name, 0.0) + (end - start)
+        span_hi = self._span_hi
+        for name in self._active:
+            start = self._open_start[name]
+            if now > start:
+                totals[name] = totals.get(name, 0.0) + (now - start)
+            span_hi = max(span_hi, now)
+        exclusive = dict(self._exclusive)
+        for pid, (name, since) in self._top_since.items():
+            if now > since:
+                exclusive[name] = exclusive.get(name, 0.0) + (now - since)
+        return self._build_profile(totals, exclusive, span_hi)
+
+    def finalize(self) -> NodeProfile:
+        """Apply end-of-trace semantics and return the final profile.
+
+        Strict mode raises on frames still open (matching the batch
+        parser); lenient mode closes them at their process's last event
+        time, exactly like the replay builder's end-of-trace handling.
+        The accumulator rejects further ``consume`` calls afterwards.
+        """
+        if self.batch:
+            profile = self._finalize_batch(strict=self.strict)
+            self._finalized = True
+            return profile
+        for pid, stack in self._stacks.items():
+            if stack:
+                if self.strict:
+                    open_names = [n for n, _ in stack]
+                    raise TraceError(
+                        f"pid {pid}: trace ended with open frames "
+                        f"{open_names}"
+                    )
+                t_end = self._last_time.get(pid, stack[-1][1])
+                self._credit_top(pid, t_end)
+                while stack:
+                    name, _t0 = stack.pop()
+                    self._union_close(name, t_end)
+                self._top_since.pop(pid, None)
+        totals = dict(self._union_total)
+        for name, (start, end) in self._pending.items():
+            totals[name] = totals.get(name, 0.0) + (end - start)
+        self._finalized = True
+        return self._build_profile(totals, dict(self._exclusive),
+                                   self._span_hi)
+
+    def _build_profile(self, totals: dict[str, float],
+                       exclusive: dict[str, float],
+                       span_hi: float) -> NodeProfile:
+        interval_s = 1.0 / self.sampling_hz
+        min_needed = max(1, self.min_samples_for_stats)
+        functions: dict[str, FunctionProfile] = {}
+        for name in sorted(self._calls, key=lambda n: totals.get(n, 0.0),
+                           reverse=True):
+            total = totals.get(name, 0.0)
+            significant = total >= interval_s
+            stats: dict[str, SensorStats] = {}
+            n_hits = 0
+            if significant:
+                for sidx, sensor in enumerate(self.sensor_names):
+                    st = self._stats.get((name, sidx))
+                    n = st.n if st is not None else 0
+                    if n >= min_needed:
+                        stats[sensor] = SensorStats.from_accumulator(st)
+                        n_hits = max(n_hits, n)
+                    elif self.min_samples_for_stats == 0:
+                        stats[sensor] = SensorStats.empty()
+                if not any(s.n for s in stats.values()):
+                    # Long function but no samples landed: degrade to
+                    # insignificant rather than invent data.
+                    significant = False
+                    stats = {}
+            functions[name] = FunctionProfile(
+                name=name,
+                total_time_s=total,
+                exclusive_time_s=exclusive.get(name, 0.0),
+                n_calls=self._calls.get(name, 0),
+                significant=significant,
+                sensor_stats=stats,
+                n_samples=n_hits,
+                coverage=_coverage(total, n_hits, self.sampling_hz),
+            )
+        if math.isinf(self._span_lo) or math.isinf(span_hi):
+            t0, t1 = 0.0, 0.0
+        else:
+            t0, t1 = self._span_lo, span_hi
+        series = {
+            name: (np.empty(0), np.empty(0)) for name in self.sensor_names
+        }
+        summary = {
+            name: SensorStats.from_accumulator(self._summary[i])
+            for i, name in enumerate(self.sensor_names)
+        }
+        timeline = Timeline.from_aggregates(
+            exclusive, dict(self._calls), dict(self._arcs), (t0, t1),
+            inclusive_s=totals,
+        )
+        return NodeProfile(
+            node_name=self.node_name,
+            duration_s=t1 - t0,
+            functions=functions,
+            sensor_series=series,
+            timeline=timeline,
+            sensor_summary=summary,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch mode: the classic vectorized pipeline over buffered chunks
+
+    def _finalize_batch(self, *, strict: bool) -> NodeProfile:
+        if self._chunks:
+            arr = (self._chunks[0] if len(self._chunks) == 1
+                   else np.concatenate(self._chunks))
+        else:
+            arr = empty_records()
+        kind = arr["kind"]
+        func = arr[(kind == REC_ENTER) | (kind == REC_EXIT)]
+        timeline = build_timeline(func, self.symtab, self.seconds_fn,
+                                  strict=strict)
+        series = self._series_from(arr[kind == REC_TEMP])
+        interval_s = 1.0 / self.sampling_hz
+        min_needed = max(1, self.min_samples_for_stats)
+
+        functions: dict[str, FunctionProfile] = {}
+        for name in timeline.function_names():
+            total = timeline.inclusive_time(name)
+            significant = total >= interval_s
+            stats: dict[str, SensorStats] = {}
+            n_hits = 0
+            if significant:
+                spans = timeline.union_spans(name)
+                for sensor, (times, values) in series.items():
+                    hit = _samples_in_spans(times, values, spans)
+                    if len(hit) >= min_needed:
+                        stats[sensor] = compute_sensor_stats(hit)
+                        n_hits = max(n_hits, len(hit))
+                    elif self.min_samples_for_stats == 0:
+                        stats[sensor] = SensorStats.empty()
+                if not any(s.n for s in stats.values()):
+                    # Long function but no samples landed (e.g. tempd died
+                    # early): degrade to insignificant rather than invent
+                    # data.
+                    significant = False
+                    stats = {}
+            functions[name] = FunctionProfile(
+                name=name,
+                total_time_s=total,
+                exclusive_time_s=timeline.exclusive_time(name),
+                n_calls=timeline.call_count(name),
+                significant=significant,
+                sensor_stats=stats,
+                n_samples=n_hits,
+                coverage=_coverage(total, n_hits, self.sampling_hz),
+            )
+
+        t0, t1 = timeline.span
+        return NodeProfile(
+            node_name=self.node_name,
+            duration_s=t1 - t0,
+            functions=functions,
+            sensor_series=series,
+            timeline=timeline,
+        )
+
+    def _series_from(
+        self, temp: np.ndarray
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Per-sensor (times, values) arrays, built as pure column ops."""
+        out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        if len(temp):
+            sensor_idx = temp["addr"]
+            times_all = self._times_of(temp["tsc"])
+            values_all = temp["value"].astype(np.float64)
+            for idx in np.unique(sensor_idx):
+                idx = int(idx)
+                if idx >= len(self.sensor_names) or idx < 0:
+                    raise TraceError(
+                        f"{self.node_name}: TEMP record for sensor index "
+                        f"{idx} but only {len(self.sensor_names)} sensors "
+                        "declared"
+                    )
+                mask = sensor_idx == idx
+                out[self.sensor_names[idx]] = (
+                    times_all[mask], values_all[mask]
+                )
+        # Sensors that never produced a sample still appear, empty.
+        for name in self.sensor_names:
+            if name not in out:
+                out[name] = (np.empty(0), np.empty(0))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Cluster-level driver
+
+class StreamingRunProfiler:
+    """One :class:`ProfileAccumulator` per node, one `RunProfile` out.
+
+    The live-profiling front end: :meth:`add_node` registers a node as its
+    trace appears, :meth:`consume` folds that node's new chunks, and
+    :meth:`snapshot` / :meth:`finalize` assemble the cluster-wide profile.
+    """
+
+    def __init__(self, symtab: SymbolTable, *, sampling_hz: float = 4.0,
+                 strict: bool = False, min_samples_for_stats: int = 1,
+                 meta: Optional[dict] = None):
+        self.symtab = symtab
+        self.sampling_hz = float(sampling_hz)
+        self.strict = strict
+        self.min_samples_for_stats = min_samples_for_stats
+        self.meta = dict(meta or {})
+        self.accumulators: dict[str, ProfileAccumulator] = {}
+
+    def add_node(self, node_name: str, tsc_hz: float,
+                 sensor_names: list[str]) -> ProfileAccumulator:
+        """Register a node (idempotent); returns its accumulator."""
+        acc = self.accumulators.get(node_name)
+        if acc is None:
+            acc = ProfileAccumulator(
+                node_name,
+                self.symtab,
+                lambda tsc, hz=float(tsc_hz): tsc / hz,
+                sensor_names,
+                sampling_hz=self.sampling_hz,
+                strict=self.strict,
+                min_samples_for_stats=self.min_samples_for_stats,
+            )
+            self.accumulators[node_name] = acc
+        return acc
+
+    def consume(self, node_name: str, chunk: np.ndarray) -> None:
+        try:
+            acc = self.accumulators[node_name]
+        except KeyError:
+            raise TraceError(
+                f"no accumulator for node {node_name!r}; "
+                f"have {list(self.accumulators)}"
+            )
+        acc.consume(chunk)
+
+    def snapshot(self) -> RunProfile:
+        return RunProfile(
+            nodes={name: acc.snapshot()
+                   for name, acc in self.accumulators.items()},
+            sampling_hz=self.sampling_hz,
+            meta=dict(self.meta),
+        )
+
+    def finalize(self) -> RunProfile:
+        return RunProfile(
+            nodes={name: acc.finalize()
+                   for name, acc in self.accumulators.items()},
+            sampling_hz=self.sampling_hz,
+            meta=dict(self.meta),
+        )
+
+
+def stream_spool_profile(directory, *, chunk_records: Optional[int] = None,
+                         strict: bool = False,
+                         min_samples_for_stats: int = 1) -> RunProfile:
+    """Constant-memory profile of a spool directory.
+
+    Reads ``header.json`` plus each ``<node>.spool`` in fixed-size record
+    chunks and folds them straight into streaming accumulators — the
+    whole trace is never resident, so peak memory is O(chunk + functions
+    × sensors) however long the run was.  The batch equivalent is
+    ``spool_to_bundle`` + ``TempestParser``.
+    """
+    from repro.core.spool import (
+        SPOOL_CHUNK_RECORDS,
+        iter_spool_chunks,
+        read_spool_header,
+    )
+
+    directory = Path(directory)
+    header = read_spool_header(directory)
+    meta = header.get("meta", {})
+    profiler = StreamingRunProfiler(
+        SymbolTable.from_dict(header["symtab"]),
+        sampling_hz=float(meta.get("sampling_hz", 4.0)),
+        strict=strict,
+        min_samples_for_stats=min_samples_for_stats,
+        meta=meta,
+    )
+    size = chunk_records or SPOOL_CHUNK_RECORDS
+    for name, info in header["nodes"].items():
+        acc = profiler.add_node(name, info["tsc_hz"], info["sensor_names"])
+        spool_file = directory / f"{name}.spool"
+        if spool_file.exists():
+            for chunk in iter_spool_chunks(spool_file, chunk_records=size):
+                acc.consume(chunk)
+    return profiler.finalize()

@@ -9,6 +9,14 @@ than 1% of CPU time" and "had no impact on the system temperature" are
 
 The daemon exits when its tracer's ``stopped`` flag is set, mirroring the
 shared-library destructor that "sends a signal to tempd for termination".
+
+Samples recorded through the tracer land in the node trace as TEMP records
+and are therefore visible to the streaming engine the moment they are
+written: :meth:`repro.core.session.TempestSession.live_profile` tail-reads
+them into per-node :class:`~repro.core.streamprof.ProfileAccumulator`\\ s
+mid-run, and a monitor co-located with the daemon can feed sweeps straight
+to an accumulator via
+:meth:`~repro.core.streamprof.ProfileAccumulator.consume_samples`.
 """
 
 from __future__ import annotations

@@ -155,6 +155,9 @@ class Timeline:
         #: exact caller->callee dynamic-call counts ("<root>" for top-level)
         self.arcs: dict[tuple[str, str], int] = arcs or {}
         self._span = span
+        # Aggregate-only timelines (streaming) carry inclusive sums
+        # directly instead of deriving them from interval unions.
+        self._inclusive_override: Optional[dict[str, float]] = None
         # Merged per-function interval unions, for time and sample queries.
         if unions is not None:
             self._unions = unions
@@ -199,10 +202,15 @@ class Timeline:
     # ------------------------------------------------------------------
     def function_names(self) -> list[str]:
         """Functions observed, ordered by decreasing inclusive time."""
+        if self._inclusive_override is not None:
+            return sorted(self._inclusive_override, key=self.inclusive_time,
+                          reverse=True)
         return sorted(self._unions, key=self.inclusive_time, reverse=True)
 
     def inclusive_time(self, name: str) -> float:
         """Union duration of all activations (recursion-safe)."""
+        if self._inclusive_override is not None:
+            return self._inclusive_override.get(name, 0.0)
         return sum(e - s for s, e in self._unions.get(name, []))
 
     def exclusive_time(self, name: str) -> float:
@@ -250,6 +258,31 @@ class Timeline:
             min(row[1] for row in rows),
             max(row[2] for row in rows),
         )
+
+    @classmethod
+    def from_aggregates(
+        cls,
+        exclusive_s: dict[str, float],
+        call_counts: dict[str, int],
+        arcs: dict[tuple[str, str], int],
+        span: tuple[float, float],
+        *,
+        inclusive_s: Optional[dict[str, float]] = None,
+    ) -> "Timeline":
+        """An aggregate-only timeline (no per-call intervals or segments).
+
+        This is what the streaming engine produces: the per-function sums
+        exist, but the per-activation interval list was never materialized
+        — that is the whole point of constant-memory profiling.  Interval
+        and segment queries return empty views; ``inclusive_time`` answers
+        from *inclusive_s* when given (``union_spans`` stays empty, since
+        the underlying spans were folded away as they closed).
+        """
+        tl = cls([], [], exclusive_s, call_counts, arcs,
+                 unions={}, span=span)
+        if inclusive_s:
+            tl._inclusive_override = dict(inclusive_s)
+        return tl
 
 
 def _merge_spans(spans: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:

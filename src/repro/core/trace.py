@@ -155,6 +155,22 @@ class NodeTrace:
         kind = arr["kind"]
         return arr[(kind == REC_ENTER) | (kind == REC_EXIT)]
 
+    def iter_column_chunks(self, chunk_records: int):
+        """Yield the record stream as bounded structured-array views.
+
+        The in-memory twin of :func:`repro.core.spool.iter_spool_chunks`:
+        feeding every chunk to a streaming consumer in order is equivalent
+        to handing it the whole array at once — the chunk boundary carries
+        no semantics.  Views, not copies; do not append while iterating.
+        """
+        if chunk_records < 1:
+            raise TraceError(
+                f"chunk_records must be positive, got {chunk_records}"
+            )
+        arr = self.columns.array
+        for lo in range(0, len(arr), chunk_records):
+            yield arr[lo:lo + chunk_records]
+
     def temp_records(self) -> RecordSeq:
         """Just the temperature samples, in arrival order (object view)."""
         return RecordSeq(self.temp_columns())

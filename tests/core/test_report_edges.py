@@ -88,3 +88,63 @@ def test_run_profile_hottest_node_without_cpu_sensors():
     )
     run = RunProfile(nodes={"n1": node}, sampling_hz=4.0)
     assert run.hottest_node() == "n1"
+
+
+def _node_at(name, temps):
+    return NodeProfile(
+        node_name=name, duration_s=1.0, functions={},
+        sensor_series={"CPU": (np.arange(float(len(temps))),
+                               np.array(temps, dtype=float))},
+        timeline=Timeline([], [], {}, {}),
+    )
+
+
+def test_hottest_node_tie_breaks_by_name():
+    """Equal scores resolve to the lexically smaller name, regardless of
+    dict insertion order (previously dict-order dependent)."""
+    hot = [50.0, 50.0]
+    forward = RunProfile(
+        nodes={"node1": _node_at("node1", hot),
+               "node2": _node_at("node2", hot)},
+        sampling_hz=4.0)
+    backward = RunProfile(
+        nodes={"node2": _node_at("node2", hot),
+               "node1": _node_at("node1", hot)},
+        sampling_hz=4.0)
+    assert forward.hottest_node() == "node1"
+    assert backward.hottest_node() == "node1"
+
+
+def test_hottest_node_nan_scores_deterministic():
+    """Nodes with no samples (NaN mean) score -inf, so an all-empty run
+    still answers deterministically instead of by dict order."""
+    run = RunProfile(
+        nodes={"b": empty_node("b"), "a": empty_node("a")},
+        sampling_hz=4.0)
+    assert run.hottest_node() == "a"
+    mixed = RunProfile(
+        nodes={"a": empty_node("a"), "z": _node_at("z", [30.0])},
+        sampling_hz=4.0)
+    assert mixed.hottest_node() == "z"
+
+
+def test_sensor_summary_fallback_without_series():
+    """Streaming profiles carry per-sensor summaries instead of raw
+    series; node-level temperature queries answer from them."""
+    from repro.core.stats import SensorStats
+
+    node = NodeProfile(
+        node_name="n1", duration_s=1.0, functions={},
+        sensor_series={},
+        timeline=Timeline([], [], {}, {}),
+        sensor_summary={"CPU": compute_sensor_stats([40.0, 44.0])},
+    )
+    assert node.sensor_names() == ["CPU"]
+    assert node.mean_temperature("CPU") == pytest.approx(42.0)
+    assert node.max_temperature("CPU") == 44.0
+    empty = NodeProfile(
+        node_name="n2", duration_s=0.0, functions={},
+        sensor_series={}, timeline=Timeline([], [], {}, {}),
+        sensor_summary={"CPU": SensorStats.empty()},
+    )
+    assert np.isnan(empty.mean_temperature("CPU"))

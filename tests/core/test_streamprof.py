@@ -1,0 +1,500 @@
+"""Streaming profile engine: online estimators, chunk invariance,
+streaming-vs-batch equivalence, and live mid-run profiling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import instrument
+from repro.core.records import RecordColumns
+from repro.core.session import TempestSession
+from repro.core.stats import SensorStats, compute_sensor_stats
+from repro.core.streamprof import (
+    OnlineStats,
+    ProfileAccumulator,
+    StreamingRunProfiler,
+    stream_spool_profile,
+)
+from repro.core.symtab import SymbolTable
+from repro.core.trace import NodeTrace, REC_ENTER, REC_EXIT, REC_TEMP
+from repro.faults import FaultConfig, FaultPlan, LossyNodeTrace
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.power import ACTIVITY_BURN
+from repro.simmachine.process import Compute, Sleep
+from repro.util.errors import TraceError
+
+TSC_HZ = 1e9
+
+
+# ----------------------------------------------------------------------
+# OnlineStats vs the exact batch statistics
+
+def quantized_samples(n, seed=7):
+    rng = np.random.default_rng(seed)
+    # Quantized like real thermal readings: multiples of 0.5 degC.
+    return np.round(rng.normal(55.0, 4.0, size=n) * 2.0) / 2.0
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 5, 6, 50, 5000])
+def test_online_stats_matches_exact(n):
+    values = quantized_samples(n)
+    st = OnlineStats()
+    st.push_many(values)
+    exact = compute_sensor_stats(values)
+    assert st.n == exact.n
+    assert st.min == exact.min
+    assert st.max == exact.max
+    assert st.mod == exact.mod
+    assert st.avg == pytest.approx(exact.avg, rel=1e-9)
+    assert st.var == pytest.approx(exact.var, rel=1e-9, abs=1e-12)
+    assert st.sdv == pytest.approx(exact.sdv, rel=1e-9, abs=1e-12)
+    # P2 median: exact below 5 samples, within the documented band beyond.
+    if n < 5:
+        assert st.med == exact.med
+    else:
+        assert st.med == pytest.approx(exact.med, abs=0.5)
+
+
+def test_online_stats_empty():
+    st = OnlineStats()
+    assert st.n == 0
+    assert math.isnan(st.avg) and math.isnan(st.med) and math.isnan(st.mod)
+
+
+def test_from_accumulator_and_empty():
+    st = OnlineStats()
+    st.push_many([40.0, 41.0, 41.0])
+    s = SensorStats.from_accumulator(st)
+    assert (s.n, s.min, s.max, s.mod) == (3, 40.0, 41.0, 41.0)
+    empty = SensorStats.from_accumulator(OnlineStats())
+    assert empty == SensorStats.empty()
+    assert empty.n == 0 and math.isnan(empty.avg)
+
+
+def test_mode_tie_breaks_to_smaller_value():
+    st = OnlineStats()
+    st.push_many([41.0, 40.0, 41.0, 40.0])
+    assert st.mod == 40.0  # same tie rule as compute_sensor_stats
+
+
+# ----------------------------------------------------------------------
+# Synthetic monotone node traces
+
+def synth_trace(n_quads=400, n_pids=3, n_funcs=8, n_sensors=2, seed=11,
+                trace=None):
+    """A balanced multi-pid trace with nesting, recursion-ish repeats and
+    touching spans; timestamps globally monotone."""
+    rng = np.random.default_rng(seed)
+    symtab = SymbolTable()
+    addrs = [symtab.address_of(f"f{i}") for i in range(n_funcs)]
+    sensors = [f"S{i}" for i in range(n_sensors)]
+    if trace is None:
+        trace = NodeTrace("node1", TSC_HZ, sensors)
+    tsc = 0
+    for q in range(n_quads):
+        pid = int(rng.integers(1, n_pids + 1))
+        outer, inner = (int(x) for x in rng.integers(0, n_funcs, size=2))
+        for kind, addr in ((REC_ENTER, addrs[outer]),
+                           (REC_ENTER, addrs[inner]),
+                           (REC_EXIT, addrs[inner]),
+                           (REC_EXIT, addrs[outer])):
+            tsc += int(rng.integers(10_000, 80_000))
+            trace.append_event(kind, addr, tsc, pid % 2, pid)
+            if rng.random() < 0.08:
+                # A sweep lands between function events (same or later tsc
+                # exercises the boundary-tie attribution paths).
+                t_tsc = tsc if rng.random() < 0.5 else tsc + 1_000
+                for s in range(n_sensors):
+                    trace.append_event(
+                        REC_TEMP, s, t_tsc, 3, 999,
+                        float(np.round(rng.normal(50, 3) * 4) / 4))
+    return trace, symtab
+
+
+def make_acc(trace, symtab, **kw):
+    return ProfileAccumulator(
+        trace.node_name, symtab, trace.seconds, trace.sensor_names,
+        sampling_hz=4.0, **kw)
+
+
+def profile_key(prof):
+    """Everything observable about a NodeProfile, as comparable data."""
+    fns = {}
+    for name, fp in prof.functions.items():
+        fns[name] = (
+            fp.total_time_s, fp.exclusive_time_s, fp.n_calls,
+            fp.significant, fp.n_samples, fp.coverage,
+            {s: st for s, st in fp.sensor_stats.items()},
+        )
+    return (prof.node_name, prof.duration_s, fns,
+            dict(prof.timeline.arcs), prof.timeline.span,
+            prof.sensor_summary)
+
+
+def stream_profile(trace, symtab, chunk_records, **kw):
+    acc = make_acc(trace, symtab, **kw)
+    if chunk_records is None:
+        acc.consume(trace.columns.array)
+    else:
+        for chunk in trace.iter_column_chunks(chunk_records):
+            acc.consume(chunk)
+    return acc.finalize()
+
+
+# ----------------------------------------------------------------------
+# Chunk-size invariance (the streaming property): bit-identical profiles
+
+@pytest.mark.parametrize("chunk", [1, 7, 4096])
+def test_chunk_size_invariance(chunk):
+    trace, symtab = synth_trace()
+    whole = stream_profile(trace, symtab, None)
+    chunked = stream_profile(trace, symtab, chunk)
+    assert profile_key(chunked) == profile_key(whole)
+
+
+@pytest.mark.parametrize("chunk", [1, 7, 4096])
+def test_chunk_size_invariance_lossy(chunk):
+    """Invariance holds on damaged streams too: the repair decisions are
+    per-record, so chunk boundaries cannot change them."""
+    plan = FaultPlan(
+        FaultConfig(record_loss_rate=0.05, record_corrupt_rate=0.05),
+        seed=3, node_names=["node1"])
+    lossy = LossyNodeTrace("node1", TSC_HZ, ["S0", "S1"], plan)
+    trace, symtab = synth_trace(trace=lossy)
+    whole = stream_profile(trace, symtab, None)
+    chunked = stream_profile(trace, symtab, chunk)
+    assert profile_key(chunked) == profile_key(whole)
+
+
+# ----------------------------------------------------------------------
+# Streaming vs batch on monotone traces
+
+def assert_stream_matches_batch(stream_prof, batch_prof):
+    assert set(stream_prof.functions) == set(batch_prof.functions)
+    assert stream_prof.duration_s == pytest.approx(batch_prof.duration_s,
+                                                  rel=1e-12)
+    for name, bf in batch_prof.functions.items():
+        sf = stream_prof.functions[name]
+        assert sf.n_calls == bf.n_calls
+        assert sf.significant == bf.significant
+        assert sf.n_samples == bf.n_samples
+        assert sf.coverage == pytest.approx(bf.coverage, rel=1e-12)
+        assert sf.total_time_s == pytest.approx(bf.total_time_s, rel=1e-12)
+        assert sf.exclusive_time_s == pytest.approx(bf.exclusive_time_s,
+                                                    rel=1e-12)
+        assert set(sf.sensor_stats) == set(bf.sensor_stats)
+        for sensor, bs in bf.sensor_stats.items():
+            ss = sf.sensor_stats[sensor]
+            assert ss.n == bs.n
+            assert ss.min == bs.min
+            assert ss.max == bs.max
+            assert ss.mod == bs.mod
+            assert ss.avg == pytest.approx(bs.avg, rel=1e-9)
+            assert ss.var == pytest.approx(bs.var, rel=1e-9, abs=1e-12)
+            assert ss.med == pytest.approx(bs.med, abs=0.5)
+    assert stream_prof.timeline.arcs == batch_prof.timeline.arcs
+
+
+def test_streaming_matches_batch_on_monotone_trace():
+    trace, symtab = synth_trace(n_quads=1500, seed=23)
+    stream_prof = stream_profile(trace, symtab, 512)
+    batch_prof = stream_profile(trace, symtab, None, batch=True)
+    assert_stream_matches_batch(stream_prof, batch_prof)
+
+
+def test_streaming_matches_batch_exact_inclusive_sums():
+    """On monotone streams the online union replays the batch span-merge
+    summation order, so inclusive totals are bit-equal, not just close.
+    (Exclusive time is only close: the vectorized batch builder sums
+    per-pid segment vectors in a different order than the per-event
+    stream.)"""
+    trace, symtab = synth_trace(n_quads=800, seed=5)
+    stream_prof = stream_profile(trace, symtab, 64)
+    batch_prof = stream_profile(trace, symtab, None, batch=True)
+    for name, bf in batch_prof.functions.items():
+        assert stream_prof.functions[name].total_time_s == bf.total_time_s
+        assert stream_prof.functions[name].exclusive_time_s == \
+            pytest.approx(bf.exclusive_time_s, rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Lenient repair + strict errors, ported semantics
+
+def mini_events(events, sensors=("S0",)):
+    trace = NodeTrace("n", TSC_HZ, list(sensors))
+    symtab = SymbolTable()
+    for name, kind, tsc, pid in events:
+        addr = symtab.address_of(name) if name else 0
+        trace.append_event(kind, addr, tsc, 0, pid)
+    return trace, symtab
+
+
+def test_strict_exit_empty_stack():
+    trace, symtab = mini_events([("f", REC_EXIT, 100, 1)])
+    acc = make_acc(trace, symtab, strict=True)
+    with pytest.raises(TraceError, match="EXIT 'f' with empty stack"):
+        acc.consume(trace.columns.array)
+
+
+def test_strict_exit_mismatch():
+    trace, symtab = mini_events([
+        ("a", REC_ENTER, 100, 1), ("b", REC_EXIT, 200, 1)])
+    acc = make_acc(trace, symtab, strict=True)
+    with pytest.raises(TraceError, match="EXIT 'b' but top of stack is 'a'"):
+        acc.consume(trace.columns.array)
+
+
+def test_strict_open_frames_at_finalize():
+    trace, symtab = mini_events([("a", REC_ENTER, 100, 1)])
+    acc = make_acc(trace, symtab, strict=True)
+    acc.consume(trace.columns.array)
+    with pytest.raises(TraceError, match="ended with open frames"):
+        acc.finalize()
+
+
+def test_lenient_repair_matches_batch_builder():
+    """Mismatched EXITs unwind and open frames close at the last event —
+    the streaming repair must produce the replay builder's numbers."""
+    trace, symtab = mini_events([
+        ("a", REC_ENTER, 0, 1),
+        ("b", REC_ENTER, 1_000_000, 1),
+        ("c", REC_ENTER, 2_000_000, 1),
+        ("a", REC_EXIT, 3_000_000, 1),     # unwinds c and b
+        ("d", REC_ENTER, 4_000_000, 1),    # left open at end of trace
+        ("x", REC_ENTER, 5_000_000, 1),
+        ("x", REC_EXIT, 6_000_000, 1),
+    ])
+    stream_prof = stream_profile(trace, symtab, 1, strict=False)
+    batch_prof = stream_profile(trace, symtab, None, strict=False,
+                                batch=True)
+    for name in batch_prof.functions:
+        bf = batch_prof.functions[name]
+        sf = stream_prof.functions[name]
+        assert sf.total_time_s == bf.total_time_s, name
+        assert sf.exclusive_time_s == bf.exclusive_time_s, name
+        assert sf.n_calls == bf.n_calls, name
+
+
+def test_empty_trace_finalizes_empty():
+    trace = NodeTrace("n", TSC_HZ, ["S0"])
+    acc = make_acc(trace, SymbolTable())
+    prof = acc.finalize()
+    assert prof.functions == {}
+    assert prof.duration_s == 0.0
+    assert prof.sensor_summary["S0"].n == 0
+
+
+def test_consume_after_finalize_rejected():
+    trace, symtab = synth_trace(n_quads=5)
+    acc = make_acc(trace, symtab)
+    acc.finalize()
+    with pytest.raises(TraceError, match="already finalized"):
+        acc.consume(trace.columns.array)
+
+
+def test_streaming_bad_sensor_index_raises():
+    trace, symtab = mini_events([(None, REC_TEMP, 100, 999)], sensors=[])
+    acc = make_acc(trace, symtab)
+    with pytest.raises(TraceError, match="sensor index 0"):
+        acc.consume(trace.columns.array)
+
+
+def test_consume_samples_direct_feed():
+    """tempd sweeps fed directly (no trace records) attribute like TEMP
+    records at the same stream position."""
+    trace, symtab = mini_events([
+        ("f", REC_ENTER, 0, 1), ("f", REC_EXIT, 2_000_000_000, 1)])
+    via_records = NodeTrace("n", TSC_HZ, ["S0"])
+    for name, kind, tsc, pid in [("f", REC_ENTER, 0, 1)]:
+        via_records.append_event(kind, symtab.address_of("f"), tsc, 0, pid)
+    acc = make_acc(trace, symtab)
+    arr = trace.columns.array
+    acc.consume(arr[:1])
+    acc.consume_samples(1.0, [(0, 48.0), (0, 49.0)])
+    acc.consume(arr[1:])
+    prof = acc.finalize()
+    st = prof.functions["f"].sensor_stats["S0"]
+    assert (st.n, st.min, st.max) == (2, 48.0, 49.0)
+
+
+# ----------------------------------------------------------------------
+# Snapshots: valid profiles mid-stream, accumulation undisturbed
+
+def test_snapshot_is_nondestructive_and_progressive():
+    trace, symtab = synth_trace(n_quads=300, seed=2)
+    acc = make_acc(trace, symtab)
+    arr = trace.columns.array
+    half = len(arr) // 2
+    acc.consume(arr[:half])
+    snap1 = acc.snapshot()
+    snap1b = acc.snapshot()
+    assert profile_key(snap1) == profile_key(snap1b)
+    acc.consume(arr[half:])
+    final = acc.finalize()
+    whole = stream_profile(trace, symtab, None)
+    assert profile_key(final) == profile_key(whole)
+    # The mid-stream snapshot saw some, not all, of the calls.
+    assert sum(f.n_calls for f in snap1.functions.values()) < \
+        sum(f.n_calls for f in final.functions.values())
+
+
+def test_snapshot_credits_open_frames():
+    trace, symtab = mini_events([
+        ("a", REC_ENTER, 0, 1),
+        ("b", REC_ENTER, 1_000_000_000, 1),
+        ("b", REC_EXIT, 2_000_000_000, 1),
+    ])
+    acc = make_acc(trace, symtab)
+    acc.consume(trace.columns.array)
+    snap = acc.snapshot()
+    # 'a' is still open; the snapshot credits it up to the last event (2s).
+    assert snap.functions["a"].total_time_s == pytest.approx(2.0)
+    assert snap.functions["b"].total_time_s == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Live profiling through the session
+
+@instrument
+def _hot(ctx):
+    for _ in range(10):
+        yield Compute(0.4, ACTIVITY_BURN)
+
+
+@instrument
+def _idle(ctx):
+    yield Sleep(0.1)
+
+
+@instrument(name="main")
+def _workload(ctx):
+    yield from _hot(ctx)
+    yield from _idle(ctx)
+
+
+def test_live_profile_mid_run_and_progress_callbacks():
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=3))
+    seen = []
+
+    def on_progress(profile, now):
+        seen.append((now, profile))
+
+    s = TempestSession(m, on_progress=on_progress, progress_interval_s=0.5)
+    s.run_serial(_workload, "node1", 0)
+
+    assert len(seen) >= 4          # ~4s workload, 0.5s cadence
+    mid_now, mid_prof = seen[len(seen) // 2]
+    assert 0.0 < mid_now < s.last_workload_end
+    node = mid_prof.node("node1")
+    assert "_hot" in node.functions            # mid-run: _hot already seen
+    assert node.functions["_hot"].total_time_s > 0.0
+    # Snapshots are monotone: later snapshots never lose inclusive time.
+    totals = [p.node("node1").functions.get("_hot") for _, p in seen]
+    times = [f.total_time_s for f in totals if f is not None]
+    assert times == sorted(times)
+
+    # After the run the live view covers the whole trace.
+    final_live = s.live_profile()
+    batch = s.profile(strict=False)
+    lf = final_live.node("node1").functions["_hot"]
+    bf = batch.node("node1").functions["_hot"]
+    assert lf.n_calls == bf.n_calls
+    assert lf.total_time_s == pytest.approx(bf.total_time_s, rel=1e-9)
+
+
+def test_live_profile_constant_memory_spooled(tmp_path):
+    """keep_in_memory=False traces live-profile off the spool tail."""
+    from repro.core.instrument import NodeTracer
+    from repro.core.spool import TraceSpool
+
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False, seed=4))
+    s = TempestSession(m, spool_dir=tmp_path)
+    # Flip the session's tracers to constant-memory mode at attach time.
+    orig_attach = s.attach
+
+    def attach(node_name):
+        tracer = orig_attach(node_name)
+        trace = tracer.trace
+        if hasattr(trace, "keep_in_memory"):
+            trace.keep_in_memory = False
+            trace.columns = RecordColumns()   # drop anything buffered
+        return tracer
+
+    s.attach = attach
+    s.run_serial(_workload, "node1", 0)
+    live = s.live_profile()
+    node = live.node("node1")
+    assert node.functions["_hot"].n_calls == 1
+    assert node.functions["_hot"].total_time_s > 3.0
+    # The in-memory columns really stayed empty.
+    assert len(s.tracers["node1"].trace.columns) == 0
+
+
+# ----------------------------------------------------------------------
+# Spool-directory streaming
+
+def test_stream_spool_profile_matches_batch(tmp_path):
+    from repro.core.spool import spool_to_bundle
+    from repro.core.parser import TempestParser
+
+    m = Machine(ClusterConfig(n_nodes=2, vary_nodes=False, seed=9))
+    s = TempestSession(m, spool_dir=tmp_path)
+    s.run_mpi(lambda ctx: _workload(ctx), 2)
+    streamed = stream_spool_profile(tmp_path, chunk_records=333,
+                                    strict=False)
+    batch = TempestParser(spool_to_bundle(tmp_path), strict=False).parse()
+    assert set(streamed.nodes) == set(batch.nodes)
+    for name in batch.nodes:
+        sn = streamed.node(name)
+        bn = batch.node(name)
+        assert set(sn.functions) == set(bn.functions)
+        for fname, bf in bn.functions.items():
+            sf = sn.functions[fname]
+            assert sf.n_calls == bf.n_calls
+            assert sf.total_time_s == pytest.approx(bf.total_time_s,
+                                                    rel=1e-9)
+
+
+def test_streaming_run_profiler_unknown_node():
+    profiler = StreamingRunProfiler(SymbolTable())
+    with pytest.raises(TraceError, match="no accumulator for node"):
+        profiler.consume("ghost", np.empty(0))
+
+
+# ----------------------------------------------------------------------
+# min_samples_for_stats=0: explicit SensorStats.empty() instead of a crash
+
+def uncovered_sensor_trace():
+    """One long function; sensor S0 sampled inside it, S1 never sampled."""
+    trace = NodeTrace("n", TSC_HZ, ["S0", "S1"])
+    symtab = SymbolTable()
+    f = symtab.address_of("f")
+    trace.append_event(REC_ENTER, f, 0, 0, 1)
+    trace.append_event(REC_TEMP, 0, 500_000_000, 3, 999, 46.0)
+    trace.append_event(REC_EXIT, f, 1_000_000_000, 0, 1)
+    return trace, symtab
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_min_samples_zero_yields_empty_stats(batch):
+    """Historically min_samples_for_stats=0 crashed in
+    compute_sensor_stats on the uncovered sensor; now it carries
+    SensorStats.empty() explicitly."""
+    trace, symtab = uncovered_sensor_trace()
+    prof = stream_profile(trace, symtab, None if batch else 2,
+                          batch=batch, min_samples_for_stats=0)
+    fp = prof.functions["f"]
+    assert fp.significant
+    assert fp.sensor_stats["S0"].n == 1
+    empty = fp.sensor_stats["S1"]
+    assert empty == SensorStats.empty()
+    assert empty.n == 0 and math.isnan(empty.avg)
+
+
+@pytest.mark.parametrize("batch", [True, False])
+def test_min_samples_default_suppresses_uncovered_sensor(batch):
+    trace, symtab = uncovered_sensor_trace()
+    prof = stream_profile(trace, symtab, None if batch else 2, batch=batch)
+    fp = prof.functions["f"]
+    assert set(fp.sensor_stats) == {"S0"}        # unchanged default shape
