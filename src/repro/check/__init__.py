@@ -1,0 +1,66 @@
+"""Static analysis and sanitizers for the profiling pipeline.
+
+Tempest's whole value is trust in the numbers it reports: a per-function
+thermal profile is only meaningful if the entry/exit stream balances, the
+timestamps are monotone per process, and the sensor readouts are
+physically sane.  ``repro.check`` makes those invariants *checkable*:
+
+* :mod:`repro.check.diagnostics` — the typed diagnostic model (rule id,
+  severity, location, fix hint) with machine-readable JSON output, plus
+  the registry of every codified rule.
+* :mod:`repro.check.tracelint` — TraceLint, the validator for
+  ``tempest-trace-v1`` bundles, spool directories, and
+  :class:`~repro.core.profilemodel.RunProfile` objects.
+* :mod:`repro.check.determinism` — the DES determinism ("race")
+  detector for :mod:`repro.simmachine.events`: unstable same-timestamp
+  tie-breaks and unseeded global-RNG draws inside sim paths.
+
+All three surface through ``tempest check`` (see :mod:`repro.cli`) and
+the ``lint-and-check`` CI job.
+"""
+
+from repro.check.diagnostics import (
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    CheckReport,
+    Diagnostic,
+    Rule,
+    RULES,
+    rule,
+)
+from repro.check.tracelint import (
+    check_bundle_dir,
+    check_layout,
+    check_path,
+    check_profile,
+    check_records,
+    check_spool_dir,
+    compare_profiles,
+)
+from repro.check.determinism import (
+    DeterminismReport,
+    global_rng_guard,
+    run_tie_scramble,
+)
+
+__all__ = [
+    "SEV_ERROR",
+    "SEV_INFO",
+    "SEV_WARNING",
+    "CheckReport",
+    "Diagnostic",
+    "Rule",
+    "RULES",
+    "rule",
+    "check_bundle_dir",
+    "check_layout",
+    "check_path",
+    "check_profile",
+    "check_records",
+    "check_spool_dir",
+    "compare_profiles",
+    "DeterminismReport",
+    "global_rng_guard",
+    "run_tie_scramble",
+]

@@ -9,6 +9,13 @@ Mirrors the paper's workflow from the terminal:
 * ``tempest parse <bundle>`` — post-process a saved trace bundle.
 * ``tempest sensors [--root PATH]`` — list hwmon sensors (real Linux or a
   materialized virtual tree).
+* ``tempest check <path>...`` — static analysis: TraceLint over bundles
+  and spool directories, the repo lint over Python sources.
+
+Every subcommand follows one exit-code contract: **0** clean, **1**
+findings (failed verification, lint/check diagnostics, diff problems),
+**2** usage error or crash (bad arguments, unreadable inputs, any
+:class:`ReproError` escaping a command).
 """
 
 from __future__ import annotations
@@ -230,8 +237,9 @@ def cmd_compare(args) -> int:
                           strict=not args.lenient).parse()
     deltas = diff_profiles(before, after)
     if not deltas:
+        # Incomparable inputs are a usage problem, not a diff finding.
         print("no common nodes between the two bundles", file=sys.stderr)
-        return 1
+        return 2
     print(render_diff(deltas, min_time_s=args.min_time))
     return 0
 
@@ -259,12 +267,73 @@ def cmd_sensors(args) -> int:
         reader = (HwmonSensorReader(args.root) if args.root
                   else HwmonSensorReader())
     except SensorError as exc:
+        # No hwmon tree is an environment problem, not a finding: exit 2.
         print(f"no sensors: {exc}", file=sys.stderr)
-        return 1
+        return 2
     for idx, value in reader.read_all():
         name = reader.sensor_names()[idx]
         print(f"{name:<24} {value:6.1f} C")
     return 0
+
+
+def _print_rules_catalogue() -> None:
+    from repro.check import RULES
+
+    for r in sorted(RULES.values(), key=lambda r: r.id):
+        line = f"{r.id}  {r.severity:<7}  {r.name:<24}  {r.invariant}"
+        if r.tolerance != "exact":
+            line += f"  [tolerance: {r.tolerance}]"
+        print(line)
+
+
+def cmd_check(args) -> int:
+    """Static analysis: TraceLint bundles/spools, repo-lint Python sources.
+
+    Each path is dispatched by inspection: a directory holding
+    ``meta.json`` is a trace bundle, one holding ``header.json`` is a
+    spool directory, and ``.py`` files or directories containing them go
+    through :mod:`repro.devtools.lint`.  Anything else is a usage error.
+    """
+    from repro.check import CheckReport
+    from repro.check.tracelint import check_bundle_dir, check_spool_dir
+    from repro.devtools.lint import _iter_py_files, lint_paths
+
+    if args.rules:
+        _print_rules_catalogue()
+        return 0
+    if not args.paths:
+        print("tempest check: give at least one path (or --rules)",
+              file=sys.stderr)
+        return 2
+
+    report = CheckReport()
+    lint_targets: list[Path] = []
+    for raw in args.paths:
+        p = Path(raw)
+        if p.is_dir() and (p / "meta.json").is_file():
+            report.add_checked(str(p))
+            report.extend(check_bundle_dir(p, deep=not args.no_deep))
+        elif p.is_dir() and (p / "header.json").is_file():
+            report.add_checked(str(p))
+            report.extend(check_spool_dir(p))
+        elif (p.is_file() and p.suffix == ".py") or (
+                p.is_dir() and _iter_py_files([p])):
+            lint_targets.append(p)
+        else:
+            kind = "directory" if p.is_dir() else "path"
+            print(f"tempest check: {p}: not a trace bundle, spool "
+                  f"directory, or Python source {kind}", file=sys.stderr)
+            return 2
+    if lint_targets:
+        for p in lint_targets:
+            report.add_checked(str(p))
+        report.extend(lint_paths(lint_targets))
+
+    print(report.render())
+    if args.json:
+        args.json.write_text(report.to_json())
+        print(f"diagnostics written to {args.json}", file=sys.stderr)
+    return report.exit_code(strict=args.strict)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,6 +410,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--root", type=Path, default=None)
     p.set_defaults(fn=cmd_sensors)
 
+    p = sub.add_parser(
+        "check",
+        help="run TraceLint / repo lint over bundles, spools, and sources")
+    p.add_argument("paths", nargs="*", type=Path,
+                   help="trace bundles, spool directories, .py files, or "
+                        "source directories")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail (exit 1) on warnings")
+    p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                   help="write the tempest-check-v1 JSON report here")
+    p.add_argument("--rules", action="store_true",
+                   help="print the diagnostics catalogue and exit")
+    p.add_argument("--no-deep", action="store_true",
+                   help="skip the batch-vs-streaming cross-validation pass")
+    p.set_defaults(fn=cmd_check)
+
     return parser
 
 
@@ -349,8 +434,10 @@ def main(argv=None) -> int:
     try:
         return args.fn(args)
     except ReproError as exc:
+        # A ReproError escaping a command is a crash/usage problem, not a
+        # finding: the contract reserves 1 for diagnosed findings.
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

@@ -17,6 +17,8 @@ sensors, ``HwmonSensorReader()`` profiles live hardware.
 
 from __future__ import annotations
 
+# repro-lint: allow=wall-clock — this is the real-hardware backend; the
+# host clock *is* the data source here, not a determinism leak.
 import os
 import sys
 import threading

@@ -18,6 +18,7 @@ parser.
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Callable, Optional
 
 from repro.core.instrument import HookCosts, NodeTracer
@@ -31,7 +32,9 @@ from repro.mpisim.network import Network
 from repro.mpisim.runtime import mpi_spawn
 from repro.simmachine.machine import Machine
 from repro.simmachine.process import SimProcess, ST_FINISHED
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, TraceError
+
+_log = logging.getLogger(__name__)
 
 
 class TempestSession:
@@ -235,13 +238,14 @@ class TempestSession:
                 try:
                     with trace.spool:
                         pass       # __exit__ drains the chunk, then closes
-                except Exception:
-                    pass
+                except (OSError, TraceError) as exc:
+                    _log.debug("emergency spool flush for %s failed: %s",
+                               trace.node_name, exc)
         if self.spool_dir is not None:
             try:
                 self.finalize_spools()
-            except Exception:
-                pass
+            except (OSError, TraceError, ConfigError) as exc:
+                _log.debug("emergency spool-header write failed: %s", exc)
 
     def _install_progress(self) -> None:
         """Arm the periodic live-profile callback (idempotent)."""

@@ -59,6 +59,7 @@ skew magnitude.
 from __future__ import annotations
 
 import json
+import logging
 import math
 from pathlib import Path
 from typing import Callable, Iterable, Optional
@@ -79,6 +80,8 @@ __all__ = [
     "StreamingRunProfiler",
     "stream_spool_profile",
 ]
+
+_log = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -384,7 +387,10 @@ class ProfileAccumulator:
             times = np.asarray(self.seconds_fn(tsc), dtype=np.float64)
             if times.shape != tsc.shape:
                 raise TypeError("seconds_fn is not elementwise")
-        except Exception:
+        except (TypeError, ValueError, AttributeError) as exc:
+            # seconds_fn is not vectorizable; convert record-by-record.
+            _log.debug("%s: seconds_fn %r is not elementwise (%s)",
+                       self.node_name, self.seconds_fn, exc)
             times = np.array([self.seconds_fn(int(v)) for v in tsc],
                              dtype=np.float64)
         return times

@@ -33,6 +33,7 @@ Two builders produce identical timelines:
 from __future__ import annotations
 
 import bisect
+import logging
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -42,6 +43,8 @@ from repro.core.records import RecordSeq
 from repro.core.symtab import SymbolTable
 from repro.core.trace import REC_ENTER, REC_EXIT, TraceRecord
 from repro.util.errors import TraceError
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -327,7 +330,10 @@ def _event_arrays(records: np.ndarray, symtab: SymbolTable, seconds_fn):
         times = np.asarray(seconds_fn(tsc), dtype=np.float64)
         if times.shape != tsc.shape:
             raise TypeError("seconds_fn is not elementwise")
-    except Exception:
+    except (TypeError, ValueError, AttributeError) as exc:
+        # seconds_fn is not vectorizable; fall back to per-record calls.
+        _log.debug("seconds_fn %r is not elementwise (%s); converting "
+                   "record-by-record", seconds_fn, exc)
         times = np.array([seconds_fn(int(v)) for v in tsc], dtype=np.float64)
     uniq, inverse = np.unique(records["addr"], return_inverse=True)
     names = [symtab.name_of(int(a)) for a in uniq]

@@ -11,6 +11,8 @@ migrating across skewed cores) before timeline reconstruction.
 
 from __future__ import annotations
 
+# repro-lint: allow=wall-clock — calibration *measures* the host clock;
+# that is its whole job, not a leak of wall time into the simulation.
 import time
 from dataclasses import dataclass
 

@@ -1,0 +1,20 @@
+"""Developer tooling: repo-specific static checks.
+
+:mod:`repro.devtools.lint` is the AST-based lint enforcing the rules a
+generic linter cannot know: no wall clock in simulation paths, no
+process-global randomness, no silent exception swallowing, and the
+record dtype/struct constants must round-trip.  Run it with
+``python -m repro.devtools.lint [paths]`` or through ``tempest check``.
+"""
+
+__all__ = ["lint_file", "lint_paths", "lint_source"]
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.devtools.lint`` does not import the
+    # module twice (runpy warns when the package eagerly imports it).
+    if name in __all__:
+        from repro.devtools import lint
+
+        return getattr(lint, name)
+    raise AttributeError(name)

@@ -1,0 +1,363 @@
+"""AST-based repo lint: the rules a generic linter cannot know.
+
+Four rules, DL001-DL004 (registered in
+:mod:`repro.check.diagnostics`):
+
+* **DL001 wall-clock-in-sim** — no ``time.time()`` / ``perf_counter`` /
+  ``monotonic`` / ``datetime.now`` inside ``repro.simmachine`` or
+  ``repro.core``: the simulation is a discrete-event world and the hot
+  paths must stay replayable.  Real-hardware backends opt out with a
+  module pragma.
+* **DL002 global-random** — no stdlib ``random`` import, no draw from
+  numpy's global RNG (``np.random.<draw>()``), no seedless
+  ``np.random.default_rng()``.  All randomness flows through
+  :class:`repro.util.rng.RngStreams` or an explicitly seeded generator.
+* **DL003 silent-except** — no bare / ``except Exception`` /
+  ``except BaseException`` handler whose body only passes or continues:
+  swallowed failures must at least log.
+* **DL004 dtype-roundtrip** — a runtime self-check that
+  ``records.RECORD_DTYPE`` and ``trace._REC_STRUCT`` still describe the
+  same 33 bytes (run once per :func:`lint_paths` invocation).
+
+Opt-outs are explicit and visible: a comment anywhere in the file of the
+form ``# repro-lint: allow=wall-clock`` (comma-separated rule names or
+ids) disables that rule for the whole module.
+
+Run as ``python -m repro.devtools.lint [paths]`` (defaults to
+``src/repro``) or through ``tempest check``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.check.diagnostics import CheckReport, Diagnostic, make_diagnostic
+
+#: pragma syntax: ``# repro-lint: allow=wall-clock,global-random``
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*allow=([\w,\-]+)")
+
+#: accepted pragma tokens per rule
+_RULE_TOKENS = {
+    "DL001": {"dl001", "wall-clock", "wall-clock-in-sim"},
+    "DL002": {"dl002", "global-random"},
+    "DL003": {"dl003", "silent-except"},
+    "DL004": {"dl004", "dtype-roundtrip"},
+}
+
+#: wall-clock reads on the ``time`` module
+_TIME_WALL_FNS = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    "localtime", "gmtime",
+}
+
+#: wall-clock constructors on the ``datetime.datetime`` class
+_DATETIME_WALL_FNS = {"now", "utcnow", "today"}
+
+#: draw methods on numpy's process-global RNG
+_NUMPY_GLOBAL_DRAWS = {
+    "random", "rand", "randn", "randint", "random_sample", "normal",
+    "uniform", "choice", "shuffle", "permutation", "standard_normal",
+    "exponential", "poisson", "bytes", "seed",
+}
+
+
+def _module_allows(source: str) -> set[str]:
+    """Rule ids disabled module-wide by ``# repro-lint: allow=`` pragmas."""
+    allowed: set[str] = set()
+    for match in _PRAGMA_RE.finditer(source):
+        for token in match.group(1).lower().split(","):
+            token = token.strip()
+            for rule_id, tokens in _RULE_TOKENS.items():
+                if token in tokens:
+                    allowed.add(rule_id)
+    return allowed
+
+
+def _in_sim_scope(filename: str) -> bool:
+    """True for files under ``repro/simmachine`` or ``repro/core`` —
+    the paths DL001 polices."""
+    normal = str(filename).replace("\\", "/")
+    return "repro/simmachine" in normal or "repro/core" in normal
+
+
+def _is_rng_module(filename: str) -> bool:
+    """``repro/util/rng.py`` is the sanctioned randomness layer."""
+    normal = str(filename).replace("\\", "/")
+    return normal.endswith("repro/util/rng.py")
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, filename: str, allowed: set[str]):
+        self.filename = filename
+        self.allowed = allowed
+        self.sim_scope = _in_sim_scope(filename)
+        self.rng_module = _is_rng_module(filename)
+        self.diagnostics: list[Diagnostic] = []
+        # alias tracking (module-wide; good enough for this codebase)
+        self.time_aliases: set[str] = set()
+        self.time_fn_aliases: dict[str, str] = {}   # local name -> fn
+        self.datetime_mod_aliases: set[str] = set()
+        self.datetime_cls_aliases: set[str] = set()
+        self.numpy_aliases: set[str] = set()
+        self.numpy_random_aliases: set[str] = set()
+
+    def _emit(self, rule_id: str, message: str, node: ast.AST) -> None:
+        if rule_id in self.allowed:
+            return
+        self.diagnostics.append(make_diagnostic(
+            rule_id, message, path=self.filename,
+            location=f"{node.lineno}:{node.col_offset + 1}",
+            hint={"DL001": "use simulated time (sim.now / TSC records), "
+                           "or add '# repro-lint: allow=wall-clock' for a "
+                           "real-hardware backend",
+                  "DL002": "draw from a seeded repro.util.rng.RngStreams "
+                           "substream or np.random.default_rng(seed)",
+                  "DL003": "narrow the exception type and log the swallow "
+                           "(logging.debug at minimum)",
+                  "DL004": "keep RECORD_DTYPE and _REC_STRUCT in "
+                           "lockstep"}[rule_id],
+        ))
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self.time_aliases.add(local)
+            elif alias.name == "datetime":
+                self.datetime_mod_aliases.add(local)
+            elif alias.name == "numpy":
+                self.numpy_aliases.add(local)
+            elif alias.name == "numpy.random":
+                self.numpy_random_aliases.add(alias.asname or "numpy")
+            elif alias.name == "random" and not self.rng_module:
+                self._emit("DL002",
+                           "imports the stdlib random module (process-"
+                           "global RNG state)", node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_WALL_FNS:
+                    self.time_fn_aliases[alias.asname or alias.name] = \
+                        alias.name
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name == "datetime":
+                    self.datetime_cls_aliases.add(alias.asname or "datetime")
+        elif node.module == "random" and not self.rng_module:
+            self._emit("DL002",
+                       "imports from the stdlib random module (process-"
+                       "global RNG state)", node)
+        elif node.module in ("numpy.random", "numpy") and any(
+                a.name == "random" for a in node.names):
+            for a in node.names:
+                if a.name == "random" and node.module == "numpy":
+                    self.numpy_random_aliases.add(a.asname or "random")
+        self.generic_visit(node)
+
+    # -- calls ----------------------------------------------------------
+    def _numpy_random_value(self, value: ast.expr) -> bool:
+        """Is *value* an expression for the ``numpy.random`` module?"""
+        if isinstance(value, ast.Name):
+            return value.id in self.numpy_random_aliases
+        return (isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in self.numpy_aliases)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        desc = None
+        try:
+            desc = ast.unparse(func)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            desc = "<call>"
+        # DL001: wall clock in sim scope
+        if self.sim_scope:
+            if isinstance(func, ast.Name) and \
+                    func.id in self.time_fn_aliases:
+                self._emit("DL001",
+                           f"wall-clock call {desc}() (time."
+                           f"{self.time_fn_aliases[func.id]}) in a "
+                           "simulation path", node)
+            elif isinstance(func, ast.Attribute) and \
+                    func.attr in _TIME_WALL_FNS and \
+                    isinstance(func.value, ast.Name) and \
+                    func.value.id in self.time_aliases:
+                self._emit("DL001",
+                           f"wall-clock call {desc}() in a simulation "
+                           "path", node)
+            elif isinstance(func, ast.Attribute) and \
+                    func.attr in _DATETIME_WALL_FNS:
+                value = func.value
+                is_cls = (isinstance(value, ast.Name)
+                          and value.id in self.datetime_cls_aliases)
+                is_mod_cls = (isinstance(value, ast.Attribute)
+                              and value.attr == "datetime"
+                              and isinstance(value.value, ast.Name)
+                              and value.value.id
+                              in self.datetime_mod_aliases)
+                if is_cls or is_mod_cls:
+                    self._emit("DL001",
+                               f"wall-clock call {desc}() in a "
+                               "simulation path", node)
+        # DL002: numpy global RNG
+        if isinstance(func, ast.Attribute):
+            if func.attr in _NUMPY_GLOBAL_DRAWS and \
+                    self._numpy_random_value(func.value):
+                self._emit("DL002",
+                           f"draw {desc}() uses numpy's process-global "
+                           "RNG", node)
+            elif func.attr == "default_rng" and \
+                    self._numpy_random_value(func.value) and \
+                    not node.args and not node.keywords:
+                self._emit("DL002",
+                           f"{desc}() without a seed is fresh OS entropy "
+                           "— unreproducible", node)
+        self.generic_visit(node)
+
+    # -- exception handlers ---------------------------------------------
+    def _is_broad_handler(self, node: ast.ExceptHandler) -> bool:
+        if node.type is None:
+            return True
+        names = []
+        if isinstance(node.type, ast.Name):
+            names = [node.type.id]
+        elif isinstance(node.type, ast.Tuple):
+            names = [e.id for e in node.type.elts
+                     if isinstance(e, ast.Name)]
+        return any(n in ("Exception", "BaseException") for n in names)
+
+    def _swallows_silently(self, body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Expr) and \
+                    isinstance(stmt.value, ast.Constant):
+                continue   # docstring / ellipsis
+            return False
+        return True
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._is_broad_handler(node) and \
+                self._swallows_silently(node.body):
+            caught = "bare except" if node.type is None else \
+                f"except {ast.unparse(node.type)}"
+            self._emit("DL003",
+                       f"{caught} swallows silently (body is only "
+                       "pass/continue) — narrow the type and log", node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, filename: str = "<string>"
+                ) -> list[Diagnostic]:
+    """Lint one module's source text; returns its diagnostics."""
+    allowed = _module_allows(source)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [make_diagnostic(
+            "DL003", f"file does not parse: {exc}", path=filename,
+            location=f"{exc.lineno or 0}:{exc.offset or 0}",
+            hint="fix the syntax error first",
+        )]
+    linter = _Linter(filename, allowed)
+    linter.visit(tree)
+    return linter.diagnostics
+
+
+def lint_file(path) -> list[Diagnostic]:
+    """Lint one ``.py`` file."""
+    path = Path(path)
+    return lint_source(path.read_text(), str(path))
+
+
+def check_constants_roundtrip() -> list[Diagnostic]:
+    """DL004: the live dtype and struct constants still agree.
+
+    Semantic, not textual: reuses the TL017 byte-level round-trip against
+    the *live* ``trace._REC_STRUCT`` format, so a drift in either
+    constant is caught regardless of which file changed.
+    """
+    from repro.check.tracelint import check_layout
+    from repro.core.records import RECORD_SIZE
+    from repro.core.trace import _REC_STRUCT
+
+    diags: list[Diagnostic] = []
+    if _REC_STRUCT.size != RECORD_SIZE:
+        diags.append(make_diagnostic(
+            "DL004",
+            f"trace._REC_STRUCT size {_REC_STRUCT.size} != "
+            f"records.RECORD_SIZE {RECORD_SIZE}",
+            path="repro/core", hint="keep the constants in lockstep",
+        ))
+    fmt = _REC_STRUCT.format
+    if isinstance(fmt, bytes):   # pre-3.7 struct kept bytes; be tolerant
+        fmt = fmt.decode()
+    for d in check_layout(struct_format=fmt, path="repro/core"):
+        diags.append(make_diagnostic(
+            "DL004", d.message, path=d.path, location=d.location,
+            hint="keep RECORD_DTYPE and _REC_STRUCT in lockstep",
+        ))
+    return diags
+
+
+def _iter_py_files(paths: Iterable) -> list[Path]:
+    out: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+def lint_paths(paths: Iterable, *, constants: bool = True
+               ) -> list[Diagnostic]:
+    """Lint every ``.py`` file under *paths*, plus (once) the DL004
+    dtype/struct runtime round-trip."""
+    diags: list[Diagnostic] = []
+    for path in _iter_py_files(paths):
+        diags.extend(lint_file(path))
+    if constants:
+        diags.extend(check_constants_roundtrip())
+    return diags
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry: ``python -m repro.devtools.lint [paths]``."""
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="repro.devtools.lint",
+        description="repo-specific AST lint (DL001-DL004)",
+    )
+    ap.add_argument("paths", nargs="*", default=["src/repro"],
+                    help="files or directories to lint "
+                         "(default: src/repro)")
+    ap.add_argument("--json", metavar="FILE",
+                    help="also write the diagnostics report as JSON")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0) and 2
+    report = CheckReport()
+    for p in args.paths:
+        report.add_checked(p)
+    report.extend(lint_paths(args.paths))
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+    return report.exit_code(strict=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,11 +4,23 @@ A minimal, deterministic event queue: events are ordered by (time, sequence
 number) so same-time events fire in scheduling order.  All higher layers
 (processes, thermal sampling, MPI transfers) are built on this kernel; no
 component of the simulation ever reads the wall clock.
+
+Two opt-in variants support the determinism detector
+(:mod:`repro.check.determinism`):
+
+* :class:`InstrumentedSimulator` records every group of events that fired
+  at the same simulated time, with the call site that scheduled each —
+  the raw material for flagging unstable tie-breaks.
+* :class:`ScrambledTieSimulator` replaces the insertion-order tie-break
+  with a seeded hash of the insertion index.  Running the same scenario
+  under several scramble seeds and comparing results separates genuinely
+  commuting same-time events from ones whose order silently matters.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -125,3 +137,123 @@ class Simulator:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
+
+
+# ----------------------------------------------------------------------
+# Determinism-detector variants
+
+
+def _schedule_origin() -> str:
+    """The call site that scheduled an event: first frame outside this
+    module, as ``module:function`` (stable across runs, unlike ids)."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{frame.f_globals.get('__name__', '?')}:{frame.f_code.co_name}"
+
+
+@dataclass(frozen=True)
+class TieGroup:
+    """Events that fired at one identical simulated time, in fire order."""
+
+    time: float
+    origins: tuple[str, ...]
+
+    @property
+    def cross_site(self) -> bool:
+        """True when the tie spans distinct scheduling call sites —
+        the only ties whose order *could* encode a hidden dependency
+        (same-site ties are ordered loop iterations by construction)."""
+        return len(set(self.origins)) >= 2
+
+
+class InstrumentedSimulator(Simulator):
+    """A :class:`Simulator` that records same-time tie groups.
+
+    Every scheduled event is tagged with its scheduling call site; as
+    events fire, consecutive events at one simulated time are collected
+    into :class:`TieGroup` entries (``ties``).  Pure observation — event
+    order is exactly the base simulator's.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ties: list[TieGroup] = []
+        self._group_time: Optional[float] = None
+        self._group: list[str] = []
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> Event:
+        origin = _schedule_origin()
+
+        def fire(t: float = float(time), origin: str = origin,
+                 callback: Callable[[], None] = callback) -> None:
+            self._record_fire(t, origin)
+            callback()
+
+        ev = super().schedule_at(time, fire)
+        ev.origin = origin   # Event is a plain dataclass; tag rides along
+        return ev
+
+    def _record_fire(self, t: float, origin: str) -> None:
+        if t == self._group_time:
+            self._group.append(origin)
+            return
+        self._flush_group()
+        self._group_time = t
+        self._group = [origin]
+
+    def _flush_group(self) -> None:
+        if len(self._group) >= 2:
+            self.ties.append(
+                TieGroup(time=self._group_time, origins=tuple(self._group))
+            )
+        self._group = []
+        self._group_time = None
+
+    def finish(self) -> list[TieGroup]:
+        """Close the trailing group and return every recorded tie."""
+        self._flush_group()
+        return list(self.ties)
+
+    def cross_site_ties(self) -> list[TieGroup]:
+        """Recorded ties spanning distinct scheduling call sites."""
+        return [g for g in self.finish() if g.cross_site]
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a seeded bijection on 64-bit ints."""
+    x &= 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class ScrambledTieSimulator(Simulator):
+    """A :class:`Simulator` whose same-time tie-break is a seeded hash.
+
+    Events still fire in non-decreasing time order, but ties resolve by
+    ``splitmix64(seed + insertion_index)`` instead of insertion order —
+    every seed yields a different (deterministic) permutation of each tie
+    group.  A scenario whose observable result is identical across seeds
+    has no hidden order dependence; one that diverges does.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._scramble_seed = _mix64(int(seed) * 0x9E3779B97F4A7C15 + 1)
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> Event:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        key = _mix64(self._scramble_seed ^ self._seq)
+        ev = Event(time=float(time), seq=key, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev

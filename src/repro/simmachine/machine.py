@@ -53,9 +53,12 @@ class ClusterConfig:
 class Machine:
     """A simulated cluster of nodes with a shared event loop."""
 
-    def __init__(self, config: ClusterConfig = ClusterConfig()):
+    def __init__(self, config: ClusterConfig = ClusterConfig(), *,
+                 sim: Optional[Simulator] = None):
         self.config = config
-        self.sim = Simulator()
+        # An injected simulator lets the determinism detector swap in an
+        # instrumented or tie-scrambling event queue.
+        self.sim = sim if sim is not None else Simulator()
         self.rngs = RngStreams(config.seed)
         self.nodes: dict[str, SimNode] = {}
         self._procs: list[SimProcess] = []

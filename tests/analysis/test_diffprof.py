@@ -96,4 +96,5 @@ def test_cli_compare_disjoint(tmp_path, capsys):
 
     empty = TraceBundle(SymbolTable())
     empty.save(tmp_path / "a")
-    assert main(["compare", str(tmp_path / "b"), str(tmp_path / "a")]) == 1
+    # Incomparable inputs are a usage error (2), not a diff finding (1).
+    assert main(["compare", str(tmp_path / "b"), str(tmp_path / "a")]) == 2

@@ -1,0 +1,12 @@
+"""Shared fixtures for the tempest-check test suite."""
+
+import pytest
+
+from tests.check.fixtures import build_bundle
+
+
+@pytest.fixture
+def clean_bundle_dir(tmp_path):
+    path = tmp_path / "bundle"
+    build_bundle().save(path)
+    return path

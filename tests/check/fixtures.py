@@ -1,0 +1,53 @@
+"""Hand-built trace artifacts shared by the tempest-check tests."""
+
+import numpy as np
+
+from repro.core.records import RECORD_DTYPE
+from repro.core.symtab import SymbolTable
+from repro.core.trace import (
+    NodeTrace,
+    REC_ENTER,
+    REC_EXIT,
+    REC_TEMP,
+    TraceBundle,
+    TraceRecord,
+)
+
+
+def fill_trace(trace, symtab, *, n_pairs=20, tsc0=0):
+    """Append a well-formed main/kernel stream with quantized TEMPs."""
+    main = symtab.address_of("main")
+    kern = symtab.address_of("kernel")
+    tsc = tsc0
+    trace.append(TraceRecord(REC_ENTER, main, tsc, 0, 1))
+    for _ in range(n_pairs):
+        tsc += 50_000_000
+        trace.append(TraceRecord(REC_ENTER, kern, tsc, 0, 1))
+        tsc += 10_000_000
+        trace.append(TraceRecord(REC_TEMP, 0, tsc, 3, 2, 44.5))
+        trace.append(TraceRecord(REC_TEMP, 1, tsc, 3, 2, 41.0))
+        tsc += 40_000_000
+        trace.append(TraceRecord(REC_EXIT, kern, tsc, 0, 1))
+    tsc += 1_000_000
+    trace.append(TraceRecord(REC_EXIT, main, tsc, 0, 1))
+    return tsc
+
+
+def build_bundle(n_pairs=20):
+    """A clean single-node bundle with balanced stacks and on-grid TEMPs."""
+    symtab = SymbolTable()
+    trace = NodeTrace("node1", 1.8e9, ["S0", "S1"])
+    fill_trace(trace, symtab, n_pairs=n_pairs)
+    bundle = TraceBundle(symtab)
+    bundle.add_node(trace)
+    bundle.meta = {"sampling_hz": 4.0, "workload": "unit"}
+    return bundle
+
+
+def records_array(rows):
+    """Build a structured record array from (kind, addr, tsc, core, pid,
+    value) tuples."""
+    arr = np.zeros(len(rows), dtype=RECORD_DTYPE)
+    for i, row in enumerate(rows):
+        arr[i] = row
+    return arr

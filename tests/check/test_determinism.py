@@ -1,0 +1,159 @@
+"""DES determinism detector: tie scrambling and the global-RNG guard.
+
+The regression test deliberately introduces an unstable same-timestamp
+tie-break — two subsystems append to a shared list at the same simulated
+time — and asserts the detector flags it (DS001), while the commuting
+version of the same scenario passes under every scramble seed.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.check.determinism import (
+    DeterminismReport,
+    fingerprint,
+    global_rng_guard,
+    run_tie_scramble,
+)
+from repro.simmachine.events import (
+    InstrumentedSimulator,
+    ScrambledTieSimulator,
+    Simulator,
+)
+
+
+# ----------------------------------------------------------------------
+# Tie scrambling
+
+
+def _order_dependent_scenario(sim):
+    """Two subsystems race to append at t=1.0 — the classic hidden
+    order dependence this detector exists to catch."""
+    log = []
+
+    def subsystem_a():
+        sim.schedule_at(1.0, lambda: log.append("a"))
+
+    def subsystem_b():
+        sim.schedule_at(1.0, lambda: log.append("b"))
+
+    subsystem_a()
+    subsystem_b()
+    sim.run()
+    return log
+
+
+def _commuting_scenario(sim):
+    """Same shape, but the tied events write disjoint state — order
+    cannot matter and the detector must stay quiet about it."""
+    state = {}
+
+    def subsystem_a():
+        sim.schedule_at(1.0, lambda: state.update(a=1))
+
+    def subsystem_b():
+        sim.schedule_at(1.0, lambda: state.update(b=2))
+
+    subsystem_a()
+    subsystem_b()
+    sim.run()
+    return dict(sorted(state.items()))
+
+
+def test_unstable_tie_break_is_flagged():
+    report = run_tie_scramble(_order_dependent_scenario)
+    assert not report.deterministic
+    assert len(set(report.fingerprints)) > 1
+    ds = [d for d in report.diagnostics if d.rule == "DS001"]
+    assert len(ds) == 1
+    assert ds[0].severity == "warning"
+    # The diagnostic names the call sites that actually tied.
+    assert "subsystem_a" in ds[0].message
+    assert "subsystem_b" in ds[0].message
+    assert "ORDER-DEPENDENT" in report.describe()
+
+
+def test_commuting_ties_pass_with_info_note():
+    report = run_tie_scramble(_commuting_scenario)
+    assert report.deterministic
+    assert len(set(report.fingerprints)) == 1
+    assert len(report.cross_site_ties) == 1   # the hazard was observed...
+    ds = [d for d in report.diagnostics if d.rule == "DS001"]
+    assert len(ds) == 1
+    assert ds[0].severity == "info"           # ...but proven commuting
+
+
+def test_tieless_scenario_is_silent():
+    def scenario(sim):
+        out = []
+        sim.schedule_at(1.0, lambda: out.append("x"))
+        sim.schedule_at(2.0, lambda: out.append("y"))
+        sim.run()
+        return out
+
+    report = run_tie_scramble(scenario)
+    assert report.deterministic
+    assert report.cross_site_ties == []
+    assert report.diagnostics == []
+
+
+def test_needs_two_seeds():
+    with pytest.raises(ValueError):
+        run_tie_scramble(_commuting_scenario, seeds=[1])
+
+
+def test_scramble_is_deterministic_per_seed():
+    for seed in (0, 1, 99):
+        a = fingerprint(_order_dependent_scenario(ScrambledTieSimulator(seed)))
+        b = fingerprint(_order_dependent_scenario(ScrambledTieSimulator(seed)))
+        assert a == b
+
+
+def test_instrumented_simulator_preserves_base_order():
+    base = _order_dependent_scenario(Simulator())
+    inst = InstrumentedSimulator()
+    assert _order_dependent_scenario(inst) == base
+    ties = inst.finish()
+    assert len(ties) == 1
+    assert ties[0].time == 1.0
+    assert ties[0].cross_site
+
+
+# ----------------------------------------------------------------------
+# Global-RNG guard
+
+
+def test_guard_catches_stdlib_and_numpy_draws():
+    with global_rng_guard() as guard:
+        random.random()
+        np.random.rand(2)
+    assert not guard.clean
+    entries = {entry for entry, _ in guard.draws}
+    assert "random.random" in entries
+    assert "numpy.random.rand" in entries
+    diags = guard.diagnostics()
+    assert diags and all(d.rule == "DS002" for d in diags)
+    assert all(d.severity == "error" for d in diags)
+
+
+def test_guard_is_transparent_and_restores():
+    before = random.Random(42).random()
+    with global_rng_guard() as guard:
+        random.seed(42)
+        during = random.random()
+    assert during == before        # draws still flow through the original
+    random.seed(42)
+    assert random.random() == before   # and the patch is fully unwound
+    assert guard.draws             # while still being recorded
+
+
+def test_guard_clean_on_seeded_substreams():
+    from repro.util.rng import RngStreams
+
+    with global_rng_guard() as guard:
+        streams = RngStreams(123)
+        streams.get("unit-test").normal(size=8)
+    assert guard.clean
+    assert guard.diagnostics() == []

@@ -1,0 +1,156 @@
+"""repro.devtools.lint: per-rule snippets, pragmas, and the repo itself."""
+
+from pathlib import Path
+
+from repro.devtools.lint import (
+    check_constants_roundtrip,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+SIM_FILE = "src/repro/simmachine/fake.py"   # inside DL001's scope
+OTHER_FILE = "src/repro/workloads/fake.py"  # outside it
+
+
+def rules_of(diags):
+    return sorted(d.rule for d in diags)
+
+
+# ----------------------------------------------------------------------
+# DL001: wall clock in sim paths
+
+
+def test_wall_clock_flagged_in_sim_scope():
+    src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+    assert rules_of(lint_source(src, SIM_FILE)) == ["DL001"]
+
+
+def test_wall_clock_allowed_outside_sim_scope():
+    src = "import time\n\ndef f():\n    return time.time()\n"
+    assert lint_source(src, OTHER_FILE) == []
+
+
+def test_wall_clock_via_from_import_and_datetime():
+    src = ("from time import monotonic as mono\n"
+           "from datetime import datetime\n"
+           "def f():\n"
+           "    return mono(), datetime.now()\n")
+    assert rules_of(lint_source(src, SIM_FILE)) == ["DL001", "DL001"]
+
+
+def test_sleep_is_not_a_wall_clock_read():
+    src = "import time\n\ndef f():\n    time.sleep(0.1)\n"
+    assert lint_source(src, SIM_FILE) == []
+
+
+def test_wall_clock_pragma_opt_out():
+    src = ("# repro-lint: allow=wall-clock\n"
+           "import time\n\ndef f():\n    return time.time()\n")
+    assert lint_source(src, SIM_FILE) == []
+
+
+# ----------------------------------------------------------------------
+# DL002: global randomness
+
+
+def test_stdlib_random_import_flagged_everywhere():
+    assert rules_of(lint_source("import random\n", OTHER_FILE)) == ["DL002"]
+    assert rules_of(lint_source("from random import choice\n",
+                                OTHER_FILE)) == ["DL002"]
+
+
+def test_rng_module_is_exempt():
+    assert lint_source("import random\n", "src/repro/util/rng.py") == []
+
+
+def test_numpy_global_draws_flagged():
+    src = ("import numpy as np\n"
+           "def f():\n"
+           "    np.random.seed(1)\n"
+           "    return np.random.normal()\n")
+    assert rules_of(lint_source(src, OTHER_FILE)) == ["DL002", "DL002"]
+
+
+def test_seedless_default_rng_flagged_seeded_ok():
+    src = "import numpy as np\ng = np.random.default_rng()\n"
+    assert rules_of(lint_source(src, OTHER_FILE)) == ["DL002"]
+    src = "import numpy as np\ng = np.random.default_rng(42)\n"
+    assert lint_source(src, OTHER_FILE) == []
+
+
+# ----------------------------------------------------------------------
+# DL003: silent broad excepts
+
+
+def test_silent_broad_except_flagged():
+    src = ("def f():\n"
+           "    try:\n"
+           "        g()\n"
+           "    except Exception:\n"
+           "        pass\n")
+    assert rules_of(lint_source(src, OTHER_FILE)) == ["DL003"]
+
+
+def test_bare_except_flagged():
+    src = ("def f():\n"
+           "    try:\n"
+           "        g()\n"
+           "    except:\n"
+           "        pass\n")
+    assert rules_of(lint_source(src, OTHER_FILE)) == ["DL003"]
+
+
+def test_broad_except_with_logging_passes():
+    src = ("import logging\n"
+           "def f():\n"
+           "    try:\n"
+           "        g()\n"
+           "    except Exception as exc:\n"
+           "        logging.debug('boom: %s', exc)\n")
+    assert lint_source(src, OTHER_FILE) == []
+
+
+def test_narrow_silent_except_passes():
+    src = ("def f():\n"
+           "    try:\n"
+           "        g()\n"
+           "    except KeyError:\n"
+           "        pass\n")
+    assert lint_source(src, OTHER_FILE) == []
+
+
+def test_syntax_error_is_a_diagnostic_not_a_crash():
+    diags = lint_source("def f(:\n", OTHER_FILE)
+    assert rules_of(diags) == ["DL003"]
+    assert "does not parse" in diags[0].message
+
+
+# ----------------------------------------------------------------------
+# DL004 + whole-tree runs
+
+
+def test_constants_roundtrip_is_clean():
+    assert check_constants_roundtrip() == []
+
+
+def repo_src() -> Path:
+    return Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_whole_repo_lints_clean():
+    """The shipped tree must satisfy its own lint — pragma opt-outs
+    included.  A finding here means new code leaked a wall-clock call,
+    global RNG draw, or silent except into the tree."""
+    diags = lint_paths([repo_src()])
+    assert diags == [], "\n".join(d.describe() for d in diags)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    assert main([str(repo_src())]) == 0
+    capsys.readouterr()
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "DL002" in out

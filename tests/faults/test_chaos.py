@@ -113,3 +113,76 @@ def test_unaffected_run_with_empty_plan_matches_clean():
     plan = FaultPlan(FaultConfig(), seed=1, node_names=NODES)
     _, noop = run_ft(FaultInjector(plan))
     assert rank_hot_functions(clean) == rank_hot_functions(noop)
+
+
+# ----------------------------------------------------------------------
+# Determinism under the chaos lens: scrambled tie-breaks and RNG hygiene
+
+
+def micro_scenario(sim):
+    """One full serial profiling session on an injected simulator,
+    reduced to the numbers a report would print."""
+    from repro.core.session import TempestSession
+    from repro.workloads.microbench import ALL_MICROS
+
+    machine = Machine(ClusterConfig(n_nodes=1, seed=1234,
+                                    vary_nodes=False), sim=sim)
+    session = TempestSession(machine)
+    session.run_serial(ALL_MICROS["A"], "node1", 0)
+    profile = session.profile()
+    node = profile.node("node1")
+    return {
+        name: (round(f.total_time_s, 12), f.n_calls, f.n_samples)
+        for name, f in sorted(node.functions.items())
+    }
+
+
+def test_micro_session_survives_tie_scrambling():
+    """The whole pipeline's result must not depend on how same-time DES
+    events happen to be ordered — the detector proves it by permuting
+    every tie group and comparing profiles."""
+    from repro.check.determinism import run_tie_scramble
+
+    report = run_tie_scramble(micro_scenario)
+    assert report.deterministic, report.describe()
+    assert not any(d.severity in ("warning", "error")
+                   for d in report.diagnostics)
+
+
+def test_micro_session_draws_no_global_rng():
+    """All simulation randomness flows through seeded repro.util.rng
+    substreams; a single draw from the process-global RNG is a DS002."""
+    from repro.check.determinism import global_rng_guard
+    from repro.simmachine.events import Simulator
+
+    with global_rng_guard() as guard:
+        micro_scenario(Simulator())
+    assert guard.clean, [d.describe() for d in guard.diagnostics()]
+
+
+def test_detector_flags_mpi_tie_order_coupling():
+    """The MPI layer leans on the kernel's documented insertion-order
+    tie-break: same-time events from different ranks do not commute, so
+    scrambled tie-breaks shift the (still fully seeded-deterministic)
+    result.  The detector must surface that coupling as a DS001 warning
+    naming the mpisim call sites — this is the regression test that the
+    detector actually catches order-dependent ties in a real scenario,
+    not just in toy ones."""
+    from repro.check.determinism import run_tie_scramble
+
+    def scenario(sim):
+        machine = Machine(ClusterConfig(n_nodes=4, seed=1234), sim=sim)
+        session = TempestSession(machine, injector=chaos_injector())
+        session.run_mpi(ft_benchmark, 4, FT)
+        profile = session.profile(strict=False)
+        return {
+            node: sorted((name, round(f.total_time_s, 12), f.n_calls)
+                         for name, f in profile.node(node).functions.items())
+            for node in profile.node_names()
+        }
+
+    report = run_tie_scramble(scenario, seeds=(0, 1))
+    assert not report.deterministic
+    ds = [d for d in report.diagnostics if d.rule == "DS001"]
+    assert len(ds) == 1 and ds[0].severity == "warning"
+    assert "repro.mpisim.comm" in ds[0].message

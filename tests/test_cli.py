@@ -44,7 +44,8 @@ def test_npb_unknown_bench(capsys):
 
 
 def test_npb_bad_class_is_clean_error(capsys):
-    assert main(["npb", "--bench", "FT", "--klass", "Q"]) == 1
+    # Bad arguments escape as a ReproError -> usage/crash exit code 2.
+    assert main(["npb", "--bench", "FT", "--klass", "Q"]) == 2
     assert "error:" in capsys.readouterr().err
 
 
@@ -72,7 +73,8 @@ def test_sensors_against_virtual_tree(tmp_path, capsys):
 
 
 def test_sensors_missing_root(capsys):
-    assert main(["sensors", "--root", "/nonexistent/x"]) == 1
+    # A missing hwmon tree is an environment problem (2), not a finding.
+    assert main(["sensors", "--root", "/nonexistent/x"]) == 2
 
 
 def test_hotspots_command(capsys):
