@@ -1,0 +1,111 @@
+"""Wire collection at scale: aggregation throughput over the loopback.
+
+Synthesizes a large spool (the same generator the columnar benchmark
+uses), pushes it through the full ``tempest-wire-v1`` stack — collector
+chunking, frame encode, CRC, decode, dedup/cursor logic, verbatim buffer
+append — over the in-memory loopback transport, and gates sustained
+throughput at >= 200k records/s.  That floor is what makes live cluster
+collection viable: a 4 Hz tempd sweep across a rack produces orders of
+magnitude fewer records than that, so the collection layer never becomes
+the bottleneck the paper warns profiling tools about.
+
+Results land in ``BENCH_wire.json`` at the repo root (plus a rendered
+table in ``benchmarks/results/wire_scale.txt``).  ``TEMPEST_BENCH_RECORDS``
+overrides the record count (CI uses a reduced count; throughput is
+scale-stable because every stage is O(n))."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cluster import CollectorClient, CollectorConfig, LoopbackHub
+from repro.core.records import RECORD_SIZE
+from repro.core.spool import TraceSpool, write_spool_header
+
+from benchmarks.test_trace_scale import synthesize_columns
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_wire.json"
+
+N_RECORDS = int(os.environ.get("TEMPEST_BENCH_RECORDS", "1000000"))
+MIN_RECORDS_PER_S = 200_000.0
+
+
+def build_big_spool(tmp_path: Path, n_records: int):
+    arr, symtab = synthesize_columns(n_records)
+    spool_dir = tmp_path / "spools"
+    spool = TraceSpool(spool_dir / "node1.spool")
+    spool.write_array(arr)
+    spool.close()
+    write_spool_header(
+        spool_dir, symtab,
+        {"node1": {"tsc_hz": 1.8e9, "sensor_names": ["S0", "S1"]}},
+        {"sampling_hz": 4.0},
+    )
+    return spool_dir
+
+
+def run_wire_benchmark(tmp_path: Path, n_records: int = N_RECORDS) -> dict:
+    spool_dir = build_big_spool(tmp_path, n_records)
+    raw = (spool_dir / "node1.spool").read_bytes()
+
+    # Warm up the whole stack at small scale so lazy imports and
+    # first-call numpy costs stay out of the timed region.
+    warm_hub = LoopbackHub()
+    warm = CollectorClient.from_spool_header(
+        spool_dir, "node1", warm_hub.connect,
+        config=CollectorConfig(chunk_records=256),
+    )
+    warm._connect()
+    warm.close()
+
+    hub = LoopbackHub()
+    client = CollectorClient.from_spool_header(
+        spool_dir, "node1", hub.connect,
+        config=CollectorConfig(chunk_records=4096),
+    )
+    t0 = time.perf_counter()
+    acked = client.push_spool(spool_dir / "node1.spool")
+    elapsed = time.perf_counter() - t0
+    client.close()
+
+    assert acked == n_records
+    assert bytes(hub.aggregator.nodes["node1"].buf) == raw, \
+        "wire reassembly is not byte-identical"
+    return {
+        "n_records": n_records,
+        "bytes": len(raw),
+        "push_s": elapsed,
+        "records_per_s": n_records / elapsed,
+        "mb_per_s": len(raw) / 1e6 / elapsed,
+        "frames_sent": client.metrics.frames_sent,
+        "server_metrics": hub.aggregator.metrics.to_dict(),
+    }
+
+
+def render_table(result: dict) -> str:
+    return "\n".join([
+        f"Wire collection @ {result['n_records']:,} records "
+        f"({result['bytes'] / 1e6:.1f} MB, "
+        f"{result['frames_sent']} frames)",
+        f"{'push':<12}{result['push_s']:>10.3f} s",
+        f"{'throughput':<12}{result['records_per_s']:>10,.0f} records/s",
+        f"{'bandwidth':<12}{result['mb_per_s']:>10.1f} MB/s",
+    ])
+
+
+def test_wire_scale(benchmark, results_dir, tmp_path):
+    from benchmarks.conftest import once, write_artifact
+
+    result = once(benchmark, lambda: run_wire_benchmark(tmp_path))
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    write_artifact(results_dir, "wire_scale.txt", render_table(result))
+
+    assert result["records_per_s"] >= MIN_RECORDS_PER_S, (
+        f"wire path sustained only {result['records_per_s']:,.0f} "
+        f"records/s; the live-collection floor is "
+        f"{MIN_RECORDS_PER_S:,.0f}"
+    )

@@ -36,6 +36,7 @@ from repro.check.tracelint import (
     check_profile,
     check_records,
     check_spool_dir,
+    compare_bundle_dirs,
     compare_profiles,
 )
 from repro.check.determinism import (
@@ -59,6 +60,7 @@ __all__ = [
     "check_profile",
     "check_records",
     "check_spool_dir",
+    "compare_bundle_dirs",
     "compare_profiles",
     "DeterminismReport",
     "global_rng_guard",

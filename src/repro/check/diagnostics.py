@@ -114,6 +114,12 @@ RULES: dict[str, Rule] = {r.id: r for r in [
     _r("TL021", "significance-incoherent", SEV_WARNING,
        "significant implies total_time_s >= the sampling interval and "
        "non-empty sensor statistics"),
+    _r("TL022", "wire-reassembly-divergence", SEV_ERROR,
+       "a bundle reassembled from tempest-wire-v1 chunks is "
+       "byte-identical to the locally saved bundle: same node set, each "
+       "node's record file byte-for-byte equal, and equivalent header "
+       "metadata (symtab, calibration, sensors, meta; key order and the "
+       "derivable n_records/truncated fields excepted)"),
     # ----------------------------------------------------------- determinism
     _r("DS001", "unstable-tie-break", SEV_WARNING,
        "no two same-timestamp DES events scheduled from distinct call "

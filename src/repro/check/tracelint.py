@@ -21,6 +21,8 @@ Entry points, coarse to fine:
   arithmetic, statistic sanity, significance coherence.
 * :func:`compare_profiles` — TL018, batch vs streaming agreement within
   the tolerances documented in ``docs/INTERNALS.md``.
+* :func:`compare_bundle_dirs` — TL022, a wire-reassembled bundle is
+  byte-identical to the locally saved baseline.
 * :func:`check_layout` — TL017, the ``RECORD_DTYPE`` vs ``<Bqqiid``
   byte-layout self-check.
 """
@@ -88,6 +90,8 @@ _HINTS = {
              "OnlineStats",
     "TL021": "recompute significance: inclusive time vs the sampling "
              "interval, with at least one attributed sample",
+    "TL022": "the wire path lost or reordered data; re-push the spool, or "
+             "check the aggregator's gap/dup metrics for the culprit",
 }
 
 
@@ -730,4 +734,99 @@ def compare_profiles(batch, stream, *, rel: float = 1e-9,
                             f"{fname}/{sensor}: med {sb.med!r} vs "
                             f"{ss.med!r} (abs {med_abs_c:g} degC)", sloc)
         diags.extend(agg.diagnostics())
+    return diags
+
+
+# ----------------------------------------------------------------------
+# TL022: wire reassembly byte-identity
+
+
+#: per-node header fields the wire is allowed to derive rather than copy
+_DERIVABLE_NODE_FIELDS = frozenset({"n_records", "truncated"})
+
+
+def compare_bundle_dirs(local, wire) -> list[Diagnostic]:
+    """TL022: a wire-reassembled bundle matches the local baseline.
+
+    *local* is the bundle saved in-process (the baseline), *wire* the
+    bundle an :class:`~repro.cluster.Aggregator` persisted from
+    ``tempest-wire-v1`` chunks.  The contract is byte-identity where it
+    matters: the same node set, each node's ``.trace`` file byte-for-byte
+    equal, and equivalent header metadata — symbol table, calibration,
+    sensor names, run meta.  JSON key order and the derivable
+    ``n_records`` / ``truncated`` fields are exempt (the aggregator
+    recomputes them from what it received).
+    """
+    local, wire = Path(local), Path(wire)
+    label = f"{local} vs {wire}"
+    diags: list[Diagnostic] = []
+    headers = []
+    for p in (local, wire):
+        header, header_diags = _load_header(p / "meta.json",
+                                            "tempest-trace-v1", str(p))
+        diags.extend(header_diags)
+        headers.append(header)
+    if headers[0] is None or headers[1] is None:
+        return diags
+    lhead, whead = headers
+
+    if lhead.get("symtab") != whead.get("symtab"):
+        diags.append(_diag("TL022",
+                           "symbol tables differ between the local and "
+                           "wire-reassembled bundles", path=label))
+    if lhead.get("meta") != whead.get("meta"):
+        diags.append(_diag("TL022",
+                           f"run meta differs: local "
+                           f"{lhead.get('meta')!r} vs wire "
+                           f"{whead.get('meta')!r}", path=label))
+
+    lnodes, wnodes = set(lhead["nodes"]), set(whead["nodes"])
+    for node in sorted(lnodes - wnodes):
+        diags.append(_diag("TL022",
+                           "node is missing from the wire-reassembled "
+                           "bundle", path=label, node=node))
+    for node in sorted(wnodes - lnodes):
+        diags.append(_diag("TL022",
+                           "node appears only in the wire-reassembled "
+                           "bundle", path=label, node=node))
+
+    for node in sorted(lnodes & wnodes):
+        linfo, winfo = lhead["nodes"][node], whead["nodes"][node]
+        if isinstance(linfo, dict) and isinstance(winfo, dict):
+            lkeep = {k: v for k, v in linfo.items()
+                     if k not in _DERIVABLE_NODE_FIELDS}
+            wkeep = {k: v for k, v in winfo.items()
+                     if k not in _DERIVABLE_NODE_FIELDS}
+            if lkeep != wkeep:
+                diff = sorted(k for k in set(lkeep) | set(wkeep)
+                              if lkeep.get(k) != wkeep.get(k))
+                diags.append(_diag("TL022",
+                                   f"node header fields differ: {diff}",
+                                   path=label, node=node))
+        try:
+            lblob = (local / f"{node}.trace").read_bytes()
+            wblob = (wire / f"{node}.trace").read_bytes()
+        except OSError as exc:
+            diags.append(_diag("TL022",
+                               f"record file is unreadable: {exc}",
+                               path=label, node=node))
+            continue
+        if lblob == wblob:
+            continue
+        if len(lblob) != len(wblob):
+            diags.append(_diag("TL022",
+                               f"record files differ in size: local "
+                               f"{len(lblob)} bytes "
+                               f"({len(lblob) // RECORD_SIZE} records) vs "
+                               f"wire {len(wblob)} bytes "
+                               f"({len(wblob) // RECORD_SIZE} records)",
+                               path=label, node=node))
+            continue
+        off = next(i for i, (a, b) in enumerate(zip(lblob, wblob))
+                   if a != b)
+        diags.append(_diag("TL022",
+                           f"record files diverge at byte {off} "
+                           f"(record {off // RECORD_SIZE})",
+                           path=label, node=node,
+                           location=f"record[{off // RECORD_SIZE}]"))
     return diags

@@ -180,6 +180,9 @@ def cmd_npb(args) -> int:
 
 def cmd_hotspots(args) -> int:
     """Run an NPB benchmark and print the hot-spot analysis (questions 1-3)."""
+    import dataclasses
+    import json
+
     from repro.analysis.hotspots import hot_nodes, identify_hot_spots
     from repro.analysis.optimize import recommend
 
@@ -194,17 +197,34 @@ def cmd_hotspots(args) -> int:
                     name=run_name)
     profile = session.profile(strict=injector is None)
 
+    nodes = hot_nodes(profile)
+    spots = identify_hot_spots(profile, top_n=args.top)
+    recs = recommend(profile, top_n=args.top)
+
     print("Hot nodes (mean CPU temperature, hottest first):")
-    for name, mean_c in hot_nodes(profile):
+    for name, mean_c in nodes:
         print(f"  {name:<8} {mean_c:6.1f} C")
     print()
     print(f"Top {args.top} hot spots:")
-    for spot in identify_hot_spots(profile, top_n=args.top):
+    for spot in spots:
         print(f"  {spot.describe()}")
     print()
     print("Recommendations:")
-    for rec in recommend(profile, top_n=args.top):
+    for rec in recs:
         print(f"  {rec.function} on {rec.node}: {rec.reason}")
+    if args.json:
+        # The machine-readable contract mirrors `tempest check --json`:
+        # a versioned format tag, written to a file, noted on stderr.
+        args.json.write_text(json.dumps({
+            "format": "tempest-hotspots-v1",
+            "bench": run_name,
+            "hot_nodes": [
+                {"node": name, "mean_c": mean_c} for name, mean_c in nodes
+            ],
+            "hot_spots": [dataclasses.asdict(s) for s in spots],
+            "recommendations": [dataclasses.asdict(r) for r in recs],
+        }, indent=2))
+        print(f"hotspot report written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -261,6 +281,8 @@ def cmd_verify(args) -> int:
 
 
 def cmd_sensors(args) -> int:
+    import json
+
     from repro.core.sensors import HwmonSensorReader, SensorError
 
     try:
@@ -270,10 +292,140 @@ def cmd_sensors(args) -> int:
         # No hwmon tree is an environment problem, not a finding: exit 2.
         print(f"no sensors: {exc}", file=sys.stderr)
         return 2
-    for idx, value in reader.read_all():
-        name = reader.sensor_names()[idx]
+    readings = [(reader.sensor_names()[idx], value)
+                for idx, value in reader.read_all()]
+    for name, value in readings:
         print(f"{name:<24} {value:6.1f} C")
+    if args.json:
+        # Same machine-readable contract as `tempest check --json`.
+        args.json.write_text(json.dumps({
+            "format": "tempest-sensors-v1",
+            "sensors": [
+                {"name": name, "value_c": value} for name, value in readings
+            ],
+        }, indent=2))
+        print(f"sensor report written to {args.json}", file=sys.stderr)
     return 0
+
+
+def _parse_hostport(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def cmd_serve(args) -> int:
+    """Run the cluster aggregator: accept collector streams, merge, drain.
+
+    Exit 0 when every expected node drained completely; 1 when the drain
+    timed out or a node's EOF receipt fell short of its declared total.
+    """
+    import json
+
+    from repro.cluster import AggregatorServer
+
+    host, port = _parse_hostport(args.bind)
+    server = AggregatorServer(host, port, live=False,
+                              expected_nodes=args.nodes)
+    print(f"aggregator listening on {server.host}:{server.port}",
+          file=sys.stderr, flush=True)
+    drained = server.wait_drained(args.timeout)
+    server.shutdown()
+    agg = server.aggregator
+
+    nodes_report = {}
+    complete = drained
+    for name in sorted(agg.nodes):
+        node = agg.nodes[name]
+        nodes_report[name] = {
+            "n_records": node.n_records,
+            "declared_total": node.declared_total,
+            "drained": node.drained,
+        }
+        if not node.drained:
+            complete = False
+    print(f"drained={drained} nodes={len(agg.nodes)}", file=sys.stderr)
+    for key, value in agg.metrics.to_dict().items():
+        print(f"  {key:<18} {value}", file=sys.stderr)
+
+    if agg.nodes and any(n.n_records for n in agg.nodes.values()):
+        profile = agg.merged_profile()
+        _emit(profile, args)
+    if args.out:
+        agg.save_bundle(args.out)
+        print(f"trace bundle written to {args.out}", file=sys.stderr)
+    if args.json:
+        args.json.write_text(json.dumps({
+            "format": "tempest-serve-v1",
+            "drained": bool(complete),
+            "metrics": agg.metrics.to_dict(),
+            "nodes": nodes_report,
+        }, indent=2))
+        print(f"serve report written to {args.json}", file=sys.stderr)
+    return 0 if complete else 1
+
+
+def cmd_push(args) -> int:
+    """Push a finalized spool directory's nodes to a running aggregator."""
+    import json
+
+    from repro.cluster import CollectorClient, CollectorConfig, SocketTransport
+    from repro.core.records import RECORD_SIZE
+    from repro.core.spool import read_spool_header
+
+    host, port = _parse_hostport(args.connect)
+    header = read_spool_header(args.spool_dir)
+    node_names = sorted(header["nodes"])
+    if args.node:
+        if args.node not in header["nodes"]:
+            print(f"tempest push: {args.spool_dir} has no node "
+                  f"{args.node!r}; have {node_names}", file=sys.stderr)
+            return 2
+        node_names = [args.node]
+
+    config = CollectorConfig(
+        chunk_records=args.chunk_records,
+        queue_frames=args.queue_frames,
+        queue_policy=args.policy,
+    )
+    report = {}
+    complete = True
+    for name in node_names:
+        spool_file = args.spool_dir / f"{name}.spool"
+        if not spool_file.exists():
+            print(f"tempest push: {spool_file} missing, skipping",
+                  file=sys.stderr)
+            complete = False
+            continue
+        client = CollectorClient.from_spool_header(
+            args.spool_dir, name,
+            lambda: SocketTransport(host, port),
+            config=config,
+        )
+        total = spool_file.stat().st_size // RECORD_SIZE
+        acked = client.push_spool(spool_file)
+        client.close()
+        report[name] = {
+            "records_total": total,
+            "records_acked": acked,
+            "metrics": client.metrics.to_dict(),
+        }
+        print(f"{name}: {acked}/{total} records acknowledged "
+              f"({client.metrics.reconnects} reconnects, "
+              f"{client.metrics.records_dropped} dropped under "
+              "backpressure)", file=sys.stderr)
+        if acked < total:
+            complete = False
+    if args.json:
+        args.json.write_text(json.dumps({
+            "format": "tempest-push-v1",
+            "nodes": report,
+        }, indent=2))
+        print(f"push report written to {args.json}", file=sys.stderr)
+    return 0 if complete else 1
 
 
 def _print_rules_catalogue() -> None:
@@ -295,7 +447,11 @@ def cmd_check(args) -> int:
     through :mod:`repro.devtools.lint`.  Anything else is a usage error.
     """
     from repro.check import CheckReport
-    from repro.check.tracelint import check_bundle_dir, check_spool_dir
+    from repro.check.tracelint import (
+        check_bundle_dir,
+        check_spool_dir,
+        compare_bundle_dirs,
+    )
     from repro.devtools.lint import _iter_py_files, lint_paths
 
     if args.rules:
@@ -305,6 +461,10 @@ def cmd_check(args) -> int:
         print("tempest check: give at least one path (or --rules)",
               file=sys.stderr)
         return 2
+    if args.baseline is not None and not (args.baseline / "meta.json").is_file():
+        print(f"tempest check: --baseline {args.baseline}: not a trace "
+              "bundle", file=sys.stderr)
+        return 2
 
     report = CheckReport()
     lint_targets: list[Path] = []
@@ -313,6 +473,10 @@ def cmd_check(args) -> int:
         if p.is_dir() and (p / "meta.json").is_file():
             report.add_checked(str(p))
             report.extend(check_bundle_dir(p, deep=not args.no_deep))
+            if args.baseline is not None:
+                # TL022: the reassembled bundle (e.g. from wire chunks)
+                # must be byte-identical to the locally saved baseline.
+                report.extend(compare_bundle_dirs(args.baseline, p))
         elif p.is_dir() and (p / "header.json").is_file():
             report.add_checked(str(p))
             report.extend(check_spool_dir(p))
@@ -375,6 +539,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=None)
     p.add_argument("--seed", type=int, default=1234)
     p.add_argument("--top", type=int, default=5)
+    p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                   help="write the tempest-hotspots-v1 JSON report here")
     _add_inject_args(p)
     p.set_defaults(fn=cmd_hotspots)
 
@@ -408,7 +574,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sensors", help="list hwmon thermal sensors")
     p.add_argument("--root", type=Path, default=None)
+    p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                   help="write the tempest-sensors-v1 JSON report here")
     p.set_defaults(fn=cmd_sensors)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the cluster aggregator for tempest-wire-v1 collectors")
+    p.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="listen address (port 0 picks a free port, "
+                        "printed on stderr)")
+    p.add_argument("--nodes", type=int, default=None, metavar="N",
+                   help="drain once N distinct nodes have sent EOF "
+                        "(default: whatever connects)")
+    p.add_argument("--timeout", type=float, default=60.0, metavar="SECONDS",
+                   help="give up waiting for the drain after this long")
+    p.add_argument("--out", type=Path, default=None, metavar="DIR",
+                   help="save the merged tempest-trace-v1 bundle here")
+    p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                   help="write the tempest-serve-v1 JSON report here")
+    _add_output_args(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "push",
+        help="push a finalized spool directory to a running aggregator")
+    p.add_argument("spool_dir", type=Path)
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="aggregator address")
+    p.add_argument("--node", default=None,
+                   help="push only this node's spool (default: all)")
+    p.add_argument("--chunk-records", type=int, default=4096,
+                   help="records per CHUNK frame")
+    p.add_argument("--queue-frames", type=int, default=8,
+                   help="bounded send-queue capacity, in frames")
+    p.add_argument("--policy", choices=["block", "drop"], default="block",
+                   help="full-queue policy: block (lossless backpressure) "
+                        "or drop (evict oldest, recover via resume)")
+    p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                   help="write the tempest-push-v1 JSON report here")
+    p.set_defaults(fn=cmd_push)
 
     p = sub.add_parser(
         "check",
@@ -424,6 +629,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the diagnostics catalogue and exit")
     p.add_argument("--no-deep", action="store_true",
                    help="skip the batch-vs-streaming cross-validation pass")
+    p.add_argument("--baseline", type=Path, default=None, metavar="DIR",
+                   help="cross-validate each checked bundle against this "
+                        "locally saved bundle (TL022: byte-identical "
+                        "records, equivalent metadata)")
     p.set_defaults(fn=cmd_check)
 
     return parser

@@ -1,0 +1,71 @@
+"""Cluster collection service: ``tempest-wire-v1`` streaming aggregation.
+
+The paper runs one ``tempd`` per node and merges per-node streams into a
+cluster profile offline; this package is the live path — collectors tail
+each node's :class:`~repro.core.spool.TraceSpool` and stream columnar
+record chunks to one aggregator, which maintains a merged
+:class:`~repro.core.profilemodel.RunProfile` (exactly equal to the
+in-process profile once drained) and can persist a byte-compatible
+``tempest-trace-v1`` bundle.
+
+Layers, bottom up:
+
+* :mod:`repro.cluster.wire` — the frame codec (pure bytes);
+* :mod:`repro.cluster.aggregator` — protocol/merge core, per-connection
+  state machine, threaded socket server;
+* :mod:`repro.cluster.collector` — spool-tailing client with a bounded
+  backpressure queue and reconnect-with-resume;
+* :mod:`repro.cluster.loopback` — synchronous in-memory transport so
+  every protocol path is deterministically testable without sockets.
+
+CLI: ``tempest serve`` (aggregator) and ``tempest push`` (collector).
+"""
+
+from repro.cluster.aggregator import (
+    METRIC_NAMES,
+    Aggregator,
+    AggregatorConnection,
+    AggregatorServer,
+    NodeState,
+    WireMetrics,
+)
+from repro.cluster.collector import (
+    CollectorClient,
+    CollectorConfig,
+    CollectorMetrics,
+    SocketTransport,
+)
+from repro.cluster.loopback import LoopbackHub, LoopbackTransport
+from repro.cluster.wire import (
+    FRAME_TYPES,
+    WIRE_FORMAT,
+    FrameDecoder,
+    WireError,
+    decode_chunk,
+    encode_chunk,
+    encode_frame,
+    encode_json_frame,
+)
+
+__all__ = [
+    "Aggregator",
+    "AggregatorConnection",
+    "AggregatorServer",
+    "CollectorClient",
+    "CollectorConfig",
+    "CollectorMetrics",
+    "FRAME_TYPES",
+    "FrameDecoder",
+    "LoopbackHub",
+    "LoopbackTransport",
+    "METRIC_NAMES",
+    "NodeState",
+    "SocketTransport",
+    "WIRE_FORMAT",
+    "WireError",
+    "WireMetrics",
+    "decode_chunk",
+    "encode_chunk",
+    "encode_frame",
+    "encode_json_frame",
+]

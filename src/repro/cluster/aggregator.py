@@ -1,0 +1,504 @@
+"""Cluster-side aggregation of ``tempest-wire-v1`` streams.
+
+The paper runs one ``tempd`` per node and merges the per-node streams
+into a cluster profile after the fact; this module is the live version
+of that merge.  An :class:`Aggregator` holds the protocol/merge logic
+with **no I/O at all** — bytes in, response bytes out — so every path is
+deterministically testable over the in-memory loopback transport.
+:class:`AggregatorConnection` wraps it in the per-connection state
+machine, and :class:`AggregatorServer` adds real sockets and threads on
+top.
+
+Delivery semantics: the wire is at-least-once (collectors retransmit
+after reconnects; :class:`~repro.faults.LossyWire` duplicates and drops
+frames on purpose), and the aggregator makes it exactly-once by keeping
+one authoritative cursor per node — ``n_records`` accepted so far:
+
+* a chunk starting exactly at the cursor is appended;
+* a chunk entirely below the cursor is a duplicate — dropped, counted;
+* a chunk straddling the cursor has its already-seen prefix trimmed;
+* a chunk starting *beyond* the cursor is a gap (frames were lost or
+  dropped under backpressure) — the connection resets, and the
+  collector's reconnect HELLO learns ``resume_from`` = the cursor, so
+  lost data costs a retransmit, never a hole in the profile.
+
+Each node's accepted record bytes accumulate verbatim (the zero
+re-encode invariant), so the drained bundle is byte-identical to what
+the node's own spool would have produced, and the merged profile is
+computed by the same batch parser the in-process path uses — equality
+with the single-process profile is exact, not approximate.
+
+Connection state machine (drift-documented in ``docs/INTERNALS.md``)::
+
+    WAIT_HELLO --HELLO/ack--> STREAMING --EOF/ack--> DRAINED
+         |                        |
+         +--- anything else ------+---> closed (WireError; client
+                                        reconnects and resumes)
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Optional
+
+from repro.cluster.wire import (
+    FRAME_TYPES,
+    FT_CHUNK,
+    FT_EOF,
+    FT_EOF_ACK,
+    FT_ERROR,
+    FT_HEARTBEAT,
+    FT_HELLO,
+    FT_HELLO_ACK,
+    WIRE_FORMAT,
+    FrameDecoder,
+    WireError,
+    decode_chunk,
+    decode_json,
+    encode_json_frame,
+)
+from repro.core.parser import TempestParser
+from repro.core.profilemodel import RunProfile
+from repro.core.records import RECORD_SIZE, records_from_buffer
+from repro.core.streamprof import StreamingRunProfiler
+from repro.core.symtab import SymbolTable
+from repro.core.trace import NodeTrace, TraceBundle
+from repro.util.errors import TraceError
+
+_log = logging.getLogger(__name__)
+
+#: connection states
+ST_WAIT_HELLO = "WAIT_HELLO"
+ST_STREAMING = "STREAMING"
+ST_DRAINED = "DRAINED"
+
+
+@dataclass
+class WireMetrics:
+    """Aggregator-side counters for one run.
+
+    Every field is one metric; :meth:`to_dict` is the serialized form and
+    ``docs/INTERNALS.md`` carries the catalogue — a drift test asserts
+    the two stay in sync (same mechanism as the diagnostics catalogue).
+    """
+
+    #: complete frames accepted (all types, across all connections)
+    frames_in: int = 0
+    #: payload + header bytes of those frames
+    bytes_in: int = 0
+    #: records accepted into node buffers (after dedup/trim)
+    records_in: int = 0
+    #: records discarded as already-seen duplicates
+    dup_records: int = 0
+    #: connections reset because a chunk started beyond the cursor
+    gap_resets: int = 0
+    #: HELLOs for a node that had already said HELLO before
+    reconnects: int = 0
+    #: records the collectors reported dropping under backpressure
+    client_drops: int = 0
+    #: deepest send-queue depth any collector reported
+    client_queue_peak: int = 0
+    #: heartbeat frames received
+    heartbeats: int = 0
+    #: protocol errors (bad frames, bad state, symtab conflicts)
+    errors: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: metric-name registry (drift-tested against docs/INTERNALS.md)
+METRIC_NAMES: tuple[str, ...] = tuple(f.name for f in fields(WireMetrics))
+
+
+@dataclass
+class NodeState:
+    """Everything the aggregator knows about one node's stream."""
+
+    name: str
+    tsc_hz: float
+    sensor_names: list[str]
+    meta: dict
+    #: accepted record bytes, verbatim (the zero re-encode buffer)
+    buf: bytearray = field(default_factory=bytearray)
+    #: authoritative cursor: records accepted so far
+    n_records: int = 0
+    #: the node sent EOF and it was fully satisfied
+    drained: bool = False
+    #: records_total the last EOF declared (None until first EOF)
+    declared_total: Optional[int] = None
+
+
+class Aggregator:
+    """Protocol-and-merge core: frames in, per-node record buffers out.
+
+    Thread-safe (the socket server drives it from one thread per
+    connection); I/O-free (the loopback transport drives it directly).
+    With ``live=True`` every accepted chunk is *also* folded into a
+    streaming :class:`~repro.core.streamprof.ProfileAccumulator` per
+    node, so :meth:`live_snapshot` yields a mid-run merged profile at
+    O(functions × sensors) extra memory.
+    """
+
+    def __init__(self, *, live: bool = False, strict: bool = False):
+        self.live = live
+        self.strict = strict
+        self.symtab = SymbolTable()
+        self.nodes: dict[str, NodeState] = {}
+        self.metrics = WireMetrics()
+        self.meta: dict = {}
+        self._lock = threading.Lock()
+        self._live_profiler: Optional[StreamingRunProfiler] = None
+
+    # ------------------------------------------------------------------
+    # Frame handling (called under one connection's thread)
+
+    def on_hello(self, payload: bytes) -> tuple[str, bytes]:
+        """Process a HELLO; return (node_name, HELLO_ACK bytes)."""
+        obj = decode_json(payload)
+        fmt = obj.get("format")
+        if fmt != WIRE_FORMAT:
+            raise WireError(
+                f"HELLO declares format {fmt!r}, expected {WIRE_FORMAT!r}"
+            )
+        try:
+            name = str(obj["node"])
+            tsc_hz = float(obj["tsc_hz"])
+            sensor_names = [str(s) for s in obj["sensor_names"]]
+            symtab = {str(k): int(v) for k, v in obj["symtab"].items()}
+            meta = dict(obj.get("meta", {}))
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise WireError(f"malformed HELLO: {exc}")
+        with self._lock:
+            try:
+                self.symtab.merge(symtab)
+            except TraceError as exc:
+                self.metrics.errors += 1
+                raise WireError(str(exc))
+            if not self.meta:
+                self.meta = meta
+            node = self.nodes.get(name)
+            if node is None:
+                node = NodeState(name, tsc_hz, sensor_names, meta)
+                self.nodes[name] = node
+                if self.live:
+                    self._live().add_node(name, tsc_hz, sensor_names)
+            else:
+                self.metrics.reconnects += 1
+            resume = node.n_records
+        return name, encode_json_frame(FT_HELLO_ACK, {"resume_from": resume})
+
+    def on_chunk(self, node_name: str, payload: bytes) -> None:
+        """Fold one CHUNK into the node's buffer (dedup/trim/gap logic)."""
+        start, blob, _arr = decode_chunk(payload)
+        n_new = len(blob) // RECORD_SIZE
+        with self._lock:
+            node = self.nodes[node_name]
+            cursor = node.n_records
+            if start > cursor:
+                # Records went missing between the cursor and this chunk
+                # (dropped under backpressure or lost on the wire): reset
+                # the connection so the collector re-HELLOs and learns
+                # the resume point.  The spool retains everything, so a
+                # gap costs a retransmit, never data.
+                self.metrics.gap_resets += 1
+                raise WireError(
+                    f"{node_name}: chunk starts at record {start} but "
+                    f"only {cursor} received — gap, resetting"
+                )
+            if start + n_new <= cursor:
+                self.metrics.dup_records += n_new
+                return
+            if start < cursor:
+                skip = cursor - start
+                self.metrics.dup_records += skip
+                blob = blob[skip * RECORD_SIZE:]
+                n_new -= skip
+            node.buf.extend(blob)
+            node.n_records += n_new
+            self.metrics.records_in += n_new
+            if self.live and n_new:
+                self._live().consume(node_name, records_from_buffer(blob))
+
+    def on_heartbeat(self, node_name: str, payload: bytes) -> None:
+        obj = decode_json(payload)
+        with self._lock:
+            self.metrics.heartbeats += 1
+            drops = int(obj.get("records_dropped", 0))
+            if drops > self.metrics.client_drops:
+                self.metrics.client_drops = drops
+            depth = int(obj.get("queue_depth", 0))
+            if depth > self.metrics.client_queue_peak:
+                self.metrics.client_queue_peak = depth
+
+    def on_eof(self, node_name: str, payload: bytes) -> bytes:
+        """Process an EOF; return the EOF_ACK receipt bytes."""
+        obj = decode_json(payload)
+        try:
+            total = int(obj["records_total"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError(f"malformed EOF: {exc}")
+        with self._lock:
+            node = self.nodes[node_name]
+            node.declared_total = total
+            # The drain receipt tells the collector how much actually
+            # landed; a collector that dropped frames sees received <
+            # total, rewinds to `received`, and retransmits the rest.
+            node.drained = node.n_records >= total
+            received = node.n_records
+        return encode_json_frame(FT_EOF_ACK, {"records_received": received})
+
+    # ------------------------------------------------------------------
+    # Drain / results
+
+    def _live(self) -> StreamingRunProfiler:
+        # Callers hold self._lock.
+        if self._live_profiler is None:
+            self._live_profiler = StreamingRunProfiler(
+                self.symtab,
+                sampling_hz=float(self.meta.get("sampling_hz", 4.0)),
+                strict=False,
+                meta=dict(self.meta),
+            )
+        return self._live_profiler
+
+    def drained_nodes(self) -> list[str]:
+        with self._lock:
+            return sorted(n.name for n in self.nodes.values() if n.drained)
+
+    def all_drained(self, expected_nodes: Optional[int] = None) -> bool:
+        """True when every known node (and at least *expected_nodes* of
+        them, if given) has a fully satisfied EOF."""
+        with self._lock:
+            if not self.nodes:
+                return False
+            if expected_nodes is not None and len(self.nodes) < expected_nodes:
+                return False
+            return all(n.drained for n in self.nodes.values())
+
+    def to_bundle(self) -> TraceBundle:
+        """Reassemble the accepted streams as a :class:`TraceBundle`.
+
+        Node record bytes are the buffers verbatim, so each node's
+        ``.trace`` file on :meth:`save_bundle` is byte-identical to the
+        locally saved bundle for the same run (the TL022 contract).
+        Nodes are emitted in sorted order — arrival order is a property
+        of the network, not of the run.
+        """
+        with self._lock:
+            bundle = TraceBundle(self.symtab)
+            bundle.meta = dict(self.meta)
+            for name in sorted(self.nodes):
+                node = self.nodes[name]
+                trace = NodeTrace(name, node.tsc_hz, node.sensor_names)
+                trace.extend_columns(records_from_buffer(bytes(node.buf)))
+                bundle.add_node(trace)
+            return bundle
+
+    def merged_profile(self) -> RunProfile:
+        """The cluster profile of everything accepted, via the batch
+        parser — the same pipeline the in-process path drives, so the
+        result is *equal*, not approximately equal, when the streams
+        arrived intact."""
+        return TempestParser(self.to_bundle(), strict=self.strict).parse()
+
+    def live_snapshot(self) -> RunProfile:
+        """Mid-stream merged profile (requires ``live=True``)."""
+        with self._lock:
+            if not self.live:
+                raise WireError("aggregator was not started with live=True")
+            return self._live().snapshot()
+
+    def save_bundle(self, path) -> None:
+        """Persist a ``tempest-trace-v1`` bundle of the accepted streams."""
+        self.to_bundle().save(Path(path))
+
+
+class AggregatorConnection:
+    """Per-connection protocol state machine over an :class:`Aggregator`.
+
+    ``on_bytes`` absorbs raw received bytes and returns the response
+    bytes to send back; a :class:`WireError` raised out of it means the
+    connection must be closed (the collector reconnects and resumes).
+    Pure computation — both the socket server and the loopback transport
+    drive connections through this one code path.
+    """
+
+    def __init__(self, aggregator: Aggregator):
+        self.aggregator = aggregator
+        self.decoder = FrameDecoder()
+        self.state = ST_WAIT_HELLO
+        self.node_name: Optional[str] = None
+
+    def on_bytes(self, data: bytes) -> list[bytes]:
+        """Feed received bytes; return response frames (as raw bytes)."""
+        agg = self.aggregator
+        out: list[bytes] = []
+        try:
+            frames = self.decoder.feed(data)
+        except WireError:
+            with agg._lock:
+                agg.metrics.errors += 1
+            raise
+        for ftype, payload in frames:
+            with agg._lock:
+                agg.metrics.frames_in += 1
+                agg.metrics.bytes_in += len(payload) + 11  # header is 11 bytes
+            try:
+                out.extend(self._on_frame(ftype, payload))
+            except WireError as exc:
+                with agg._lock:
+                    agg.metrics.errors += 1
+                _log.debug("connection for %s: %s", self.node_name, exc)
+                raise
+        return out
+
+    def _on_frame(self, ftype: int, payload: bytes) -> list[bytes]:
+        agg = self.aggregator
+        if self.state == ST_WAIT_HELLO:
+            if ftype != FT_HELLO:
+                raise WireError(
+                    f"expected HELLO, got {FRAME_TYPES[ftype]}"
+                )
+            self.node_name, ack = agg.on_hello(payload)
+            self.state = ST_STREAMING
+            return [ack]
+        if self.state == ST_STREAMING:
+            if ftype == FT_CHUNK:
+                agg.on_chunk(self.node_name, payload)
+                return []
+            if ftype == FT_HEARTBEAT:
+                agg.on_heartbeat(self.node_name, payload)
+                return []
+            if ftype == FT_EOF:
+                ack = agg.on_eof(self.node_name, payload)
+                self.state = ST_DRAINED
+                return [ack]
+            raise WireError(
+                f"{self.node_name}: {FRAME_TYPES[ftype]} frame while "
+                "streaming"
+            )
+        raise WireError(
+            f"{self.node_name}: {FRAME_TYPES[ftype]} frame after EOF"
+        )
+
+    def on_disconnect(self) -> None:
+        """The peer vanished: drop any partial frame; the cursor stands."""
+        self.decoder.reset()
+
+    def error_frame(self, message: str) -> bytes:
+        """A terminal ERROR frame to send before closing."""
+        return encode_json_frame(FT_ERROR, {"error": message})
+
+
+class AggregatorServer:
+    """Threaded socket front end: accept loop + one thread per connection.
+
+    Collectors connect, stream, EOF; :meth:`wait_drained` blocks until
+    *expected_nodes* distinct nodes have fully drained (or the timeout
+    lapses — a graceful drain, not a hang, when a node died mid-run).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 live: bool = False, strict: bool = False,
+                 expected_nodes: Optional[int] = None):
+        self.aggregator = Aggregator(live=live, strict=strict)
+        self.expected_nodes = expected_nodes
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(32)
+        self._sock.settimeout(0.2)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._drained = threading.Event()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tempest-aggregator-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            t = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="tempest-aggregator-conn", daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        state = AggregatorConnection(self.aggregator)
+        sock.settimeout(0.2)
+        try:
+            while not self._stop.is_set():
+                try:
+                    data = sock.recv(1 << 16)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                try:
+                    responses = state.on_bytes(data)
+                except WireError as exc:
+                    try:
+                        sock.sendall(state.error_frame(str(exc)))
+                    except OSError:
+                        pass
+                    break
+                for resp in responses:
+                    sock.sendall(resp)
+                if state.state == ST_DRAINED:
+                    self._check_drained()
+        except OSError as exc:
+            _log.debug("connection dropped: %s", exc)
+        finally:
+            state.on_disconnect()
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._check_drained()
+
+    def _check_drained(self) -> None:
+        if self.aggregator.all_drained(self.expected_nodes):
+            self._drained.set()
+
+    # ------------------------------------------------------------------
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until every expected node drained; False on timeout."""
+        return self._drained.wait(timeout)
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the listener, join connection threads."""
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=2.0)
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    def __enter__(self) -> "AggregatorServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False

@@ -81,6 +81,7 @@ class TempestSession:
         self.readers: dict[str, SimSensorReader] = {}
         self._tempd_procs: dict[str, SimProcess] = {}
         self._stopped = False
+        self._spools_finalized = False
         #: simulated time at which the last workload finished (before the
         #: tempd drain window) — the number overhead comparisons should use
         self.last_workload_end: float = 0.0
@@ -260,9 +261,19 @@ class TempestSession:
 
     def finalize_spools(self) -> None:
         """Close spools and write the header so the directory is loadable
-        with :func:`repro.core.spool.spool_to_bundle`."""
+        with :func:`repro.core.spool.spool_to_bundle`.
+
+        Idempotent: a session may finalize through ``stop()`` *and*
+        through ``_emergency_flush`` (or an external collector may have
+        drained the same spools already) — the second call must neither
+        raise on the closed spools nor rewrite the header out from under
+        a reader.
+        """
         from repro.core.spool import SpoolingNodeTrace, write_spool_header
 
+        if self._spools_finalized:
+            return
+        self._spools_finalized = True
         nodes = {}
         for name, tracer in self.tracers.items():
             trace = tracer.trace

@@ -85,7 +85,14 @@ class TraceSpool:
             self._chunk.clear()
 
     def flush(self) -> None:
-        """Drain the buffered chunk and flush the OS file buffer."""
+        """Drain the buffered chunk and flush the OS file buffer.
+
+        A no-op once closed: ``close`` already drained everything, and a
+        collector tail-reading the spool may flush concurrently with the
+        session finalizing it — the double flush must not raise.
+        """
+        if self.closed:
+            return
         self._drain()
         self._fh.flush()
 

@@ -807,12 +807,16 @@ class StreamingRunProfiler:
 
     def __init__(self, symtab: SymbolTable, *, sampling_hz: float = 4.0,
                  strict: bool = False, min_samples_for_stats: int = 1,
-                 meta: Optional[dict] = None):
+                 meta: Optional[dict] = None, batch: bool = False):
         self.symtab = symtab
         self.sampling_hz = float(sampling_hz)
         self.strict = strict
         self.min_samples_for_stats = min_samples_for_stats
         self.meta = dict(meta or {})
+        #: ``batch=True`` buffers chunks and finalizes through the classic
+        #: vectorized pipeline — what a consumer wants when it collects
+        #: remote streams but needs bit-equality with the batch parser
+        self.batch = batch
         self.accumulators: dict[str, ProfileAccumulator] = {}
 
     def add_node(self, node_name: str, tsc_hz: float,
@@ -828,6 +832,7 @@ class StreamingRunProfiler:
                 sampling_hz=self.sampling_hz,
                 strict=self.strict,
                 min_samples_for_stats=self.min_samples_for_stats,
+                batch=self.batch,
             )
             self.accumulators[node_name] = acc
         return acc

@@ -53,6 +53,35 @@ class SymbolTable:
                 f"address {addr:#x} not present in the symbol table"
             )
 
+    def merge(self, mapping: dict[str, int]) -> None:
+        """Fold another table's name -> address mapping into this one.
+
+        The cluster aggregator merges every node's HELLO symbol table into
+        one cluster-wide table; nodes running the same instrumented binary
+        agree on addresses, so any conflict — one name at two addresses,
+        or one address claimed by two names — means the streams belong to
+        different builds and is a :class:`TraceError`, not something to
+        paper over.
+        """
+        for name, addr in mapping.items():
+            addr = int(addr)
+            have = self._by_name.get(name)
+            if have is not None:
+                if have != addr:
+                    raise TraceError(
+                        f"symbol table conflict: {name!r} is {have:#x} "
+                        f"here but {addr:#x} in the merged table"
+                    )
+                continue
+            claimed = self._by_addr.get(addr)
+            if claimed is not None:
+                raise TraceError(
+                    f"symbol table conflict: address {addr:#x} is "
+                    f"{claimed!r} here but {name!r} in the merged table"
+                )
+            self._by_name[name] = addr
+            self._by_addr[addr] = name
+
     def to_dict(self) -> dict[str, int]:
         """Serializable name -> address mapping."""
         return dict(self._by_name)

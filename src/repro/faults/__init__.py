@@ -20,6 +20,11 @@ from repro.faults.plan import (
     FaultPlan,
 )
 from repro.faults.sensorfaults import FaultySensorReader
+from repro.faults.wirefaults import (
+    LossyWire,
+    LossyWireTransport,
+    WireFaultConfig,
+)
 
 __all__ = [
     "EV_CRASH",
@@ -33,5 +38,8 @@ __all__ = [
     "FaultySensorReader",
     "LossyNodeTrace",
     "LossyTraceSpool",
+    "LossyWire",
+    "LossyWireTransport",
+    "WireFaultConfig",
     "parse_inject_spec",
 ]

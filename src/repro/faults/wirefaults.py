@@ -1,0 +1,152 @@
+"""``LossyWire``: seeded fault injection for the cluster wire protocol.
+
+Where :mod:`repro.faults.lossy` damages *records* before they reach a
+sink, :class:`LossyWire` damages *frames* in flight — the failure modes a
+real cluster network exhibits between a collector and the aggregator:
+
+* **loss** — a frame silently vanishes (the server later sees a gap and
+  resets the connection);
+* **duplicate** — a frame is delivered twice (the server's cursor dedup
+  must absorb it);
+* **tear** — the connection dies mid-frame: a truncated prefix is
+  delivered, then :class:`ConnectionError` (the server's decoder holds
+  the partial frame until the disconnect discards it);
+* **corrupt** — one payload byte is flipped, so the frame arrives whole
+  but fails its CRC (the server resets; the client resumes);
+* **delay** — a frame is held back and delivered *after* the next one
+  (a one-frame reordering window — enough to exercise the gap/dup logic
+  from both sides);
+* **disconnect** — the connection drops cleanly between frames.
+
+Each collector's wire draws from its own ``wire/<node>`` substream of
+the experiment seed (the same :class:`~repro.util.rng.RngStreams`
+discipline as every other fault source), so a chaos run is exactly
+reproducible: same seed, same frame fates, same reconnects, same final
+profile.
+
+Faults apply to client→server traffic only; responses (acks) pass
+through untouched.  That matches the asymmetry that matters — the data
+stream is the bulk path — and keeps the handshake semantics testable in
+isolation (an ack lost to a *disconnect* is still exercised, since the
+client's recv fails on the severed connection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class WireFaultConfig:
+    """Per-frame fault probabilities for one lossy wire."""
+
+    #: silently discard the frame
+    frame_loss_rate: float = 0.0
+    #: deliver the frame twice, back to back
+    frame_dup_rate: float = 0.0
+    #: deliver a truncated prefix, then raise ConnectionError
+    frame_tear_rate: float = 0.0
+    #: flip one payload byte (CRC failure at the receiver)
+    frame_corrupt_rate: float = 0.0
+    #: hold the frame, deliver it after the next one
+    frame_delay_rate: float = 0.0
+    #: drop the connection cleanly before sending the frame
+    disconnect_rate: float = 0.0
+
+
+class LossyWireTransport:
+    """One faulty connection wrapping a real transport."""
+
+    def __init__(self, inner, config: WireFaultConfig, rng):
+        self._inner = inner
+        self._config = config
+        self._rng = rng
+        self._held: Optional[bytes] = None
+
+    def send(self, data: bytes) -> None:
+        cfg, rng = self._config, self._rng
+        u = rng.random()
+        # One draw per frame, partitioned into fate bands — cheap, and
+        # the fate sequence depends only on the substream, never on
+        # payload contents or timing.
+        if u < cfg.disconnect_rate:
+            self._flush_held()
+            self._inner.close()
+            raise ConnectionError("injected disconnect")
+        u -= cfg.disconnect_rate
+        if u < cfg.frame_loss_rate:
+            self._flush_held()
+            return                      # the frame just never arrives
+        u -= cfg.frame_loss_rate
+        if u < cfg.frame_tear_rate:
+            cut = 1 + int(rng.integers(0, max(1, len(data) - 1)))
+            self._flush_held()
+            try:
+                self._inner.send(data[:cut])
+            finally:
+                self._inner.close()
+            raise ConnectionError("injected mid-frame tear")
+        u -= cfg.frame_tear_rate
+        if u < cfg.frame_corrupt_rate and len(data):
+            pos = int(rng.integers(0, len(data)))
+            data = data[:pos] + bytes([data[pos] ^ 0xFF]) + data[pos + 1:]
+        u -= cfg.frame_corrupt_rate
+        if u < cfg.frame_dup_rate:
+            self._flush_held()
+            self._inner.send(data)
+            self._inner.send(data)
+            return
+        u -= cfg.frame_dup_rate
+        if u < cfg.frame_delay_rate:
+            # Hold this frame; it rides behind the next send.
+            self._flush_held()
+            self._held = data
+            return
+        prev, self._held = self._held, None
+        self._inner.send(data)
+        if prev is not None:
+            self._inner.send(prev)      # delivered late: reordered by one
+
+    def _flush_held(self) -> None:
+        """A held frame goes out before any terminal event (its delay is
+        over); losing it too would double-penalize one draw."""
+        prev, self._held = self._held, None
+        if prev is not None:
+            try:
+                self._inner.send(prev)
+            except (ConnectionError, OSError):
+                pass
+
+    def recv_frame(self):
+        return self._inner.recv_frame()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class LossyWire:
+    """Transport-factory wrapper injecting seeded wire faults.
+
+    Wraps any transport factory (socket or loopback)::
+
+        wire = LossyWire(hub.connect, WireFaultConfig(frame_loss_rate=0.05),
+                         seed=7, node_name="node1")
+        client = CollectorClient(..., transport_factory=wire)
+
+    All connections of one wire share one ``wire/<node>`` substream, so
+    the fault sequence spans reconnects deterministically.
+    """
+
+    def __init__(self, inner_factory: Callable, config: WireFaultConfig,
+                 *, seed: int = 0, node_name: str = "node"):
+        self.inner_factory = inner_factory
+        self.config = config
+        self.node_name = node_name
+        self._rng = RngStreams(seed).get(f"wire/{node_name}")
+
+    def __call__(self) -> LossyWireTransport:
+        return LossyWireTransport(self.inner_factory(), self.config,
+                                  self._rng)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the cluster collection tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.spool import TraceSpool, write_spool_header
+from repro.core.symtab import SymbolTable
+from repro.core.trace import REC_ENTER, REC_EXIT, REC_TEMP
+
+TSC_HZ = 1.8e9
+SENSORS = ["S0", "S1"]
+
+
+def build_spool_dir(path: Path, node_names, *, n_pairs: int = 30,
+                    sampling_hz: float = 4.0) -> Path:
+    """A finalized multi-node spool directory with well-formed streams.
+
+    Each node runs a main/kernel call pattern with on-grid TEMP sweeps —
+    the same shape as the check-suite fixtures, but written through the
+    spool path so the on-disk bytes are exactly what a collector ships.
+    """
+    path = Path(path)
+    symtab = SymbolTable()
+    main = symtab.address_of("main")
+    kern = symtab.address_of("kernel")
+    nodes = {}
+    for ni, name in enumerate(node_names):
+        spool = TraceSpool(path / f"{name}.spool")
+        tsc = 1_000 * ni
+        spool.write_event(REC_ENTER, main, tsc, 0, 1)
+        for i in range(n_pairs):
+            tsc += 50_000_000
+            spool.write_event(REC_ENTER, kern, tsc, 0, 1)
+            tsc += 10_000_000
+            spool.write_event(REC_TEMP, 0, tsc, 3, 2,
+                              44.0 + 0.25 * (i % 8) + 0.5 * ni)
+            spool.write_event(REC_TEMP, 1, tsc, 3, 2, 41.0)
+            tsc += 40_000_000
+            spool.write_event(REC_EXIT, kern, tsc, 0, 1)
+        tsc += 1_000_000
+        spool.write_event(REC_EXIT, main, tsc, 0, 1)
+        spool.close()
+        nodes[name] = {"tsc_hz": TSC_HZ, "sensor_names": list(SENSORS)}
+    write_spool_header(path, symtab, nodes, {"sampling_hz": sampling_hz})
+    return path
+
+
+@pytest.fixture
+def spool_dir(tmp_path):
+    """A three-node finalized spool directory."""
+    return build_spool_dir(tmp_path / "spools",
+                           ["node1", "node2", "node3"])
