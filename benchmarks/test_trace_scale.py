@@ -17,7 +17,9 @@ columnar ≥ 5x faster on save+load+parse combined — is asserted here, so CI
 fails if the columnar path ever regresses below the seed object path.
 
 ``TEMPEST_BENCH_RECORDS`` overrides the record count (CI uses a reduced
-count; the ratio is scale-stable because both paths are O(n)).
+count; the ratio is scale-stable because both paths are O(n)) and
+``TEMPEST_BENCH_SEED`` the workload RNG seed — both are recorded in the
+result JSONs so a published number names the draw that produced it.
 """
 
 from __future__ import annotations
@@ -41,6 +43,9 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_JSON = REPO_ROOT / "BENCH_columnar.json"
 
 N_RECORDS = int(os.environ.get("TEMPEST_BENCH_RECORDS", "1000000"))
+#: workload RNG seed — override to check ratio stability across draws;
+#: the seed actually used is recorded in every result JSON.
+BENCH_SEED = int(os.environ.get("TEMPEST_BENCH_SEED", "2007"))
 TSC_HZ = 1.8e9
 _REC_STRUCT = struct.Struct("<Bqqiid")
 
@@ -50,7 +55,7 @@ _REC_STRUCT = struct.Struct("<Bqqiid")
 
 def synthesize_columns(n_records: int, *, n_pids: int = 4,
                        n_funcs: int = 24, n_sensors: int = 2,
-                       seed: int = 2007) -> tuple[np.ndarray, SymbolTable]:
+                       seed: int = BENCH_SEED) -> tuple[np.ndarray, SymbolTable]:
     """A balanced, monotonic synthetic trace of ~n_records events.
 
     Each pid runs back-to-back two-deep call pairs (outer/inner ENTER,
@@ -217,6 +222,7 @@ def run_scale_benchmark(n_records: int = N_RECORDS) -> dict:
     }
     return {
         "n_records": n_records,
+        "seed": BENCH_SEED,
         "bytes": len(blob_col),
         "materialize_objects_s": t_materialize,
         "object_path": obj,
@@ -264,12 +270,12 @@ def test_trace_scale(benchmark, results_dir):
 BENCH_STREAMING_JSON = REPO_ROOT / "BENCH_streaming.json"
 
 
-def _make_accumulator(symtab, batch):
+def _make_accumulator(symtab, batch, vectorized=True):
     from repro.core.streamprof import ProfileAccumulator
 
     return ProfileAccumulator(
         "bench", symtab, _seconds, ["S0", "S1"],
-        sampling_hz=4.0, strict=False, batch=batch,
+        sampling_hz=4.0, strict=False, batch=batch, vectorized=vectorized,
     )
 
 
@@ -295,18 +301,28 @@ def _assert_profiles_match(stream_prof, batch_prof) -> None:
 
 
 def run_streaming_benchmark(n_records: int = N_RECORDS) -> dict:
-    """Peak-memory comparison: streaming chunked parse vs batch parse.
+    """Streaming chunked parse vs batch parse: wall time and peak memory.
 
-    The trace goes to a spool file first (both parses read the same
-    bytes); peaks are measured with tracemalloc (numpy registers its
-    allocations), reset per phase — ru_maxrss is process-monotonic and
-    cannot measure the second phase.  Streaming runs first so the batch
-    phase's garbage cannot inflate its peak.
+    The trace goes to a spool file first (all parses read the same
+    bytes).  Wall times are taken in a tracemalloc-free phase — the
+    tracer adds per-allocation overhead that would distort the speed
+    ratio — covering three engines: the vectorized streaming fast path
+    (the "after"), the forced-scalar streaming replay (the "before" the
+    segment reduction replaced), and the batch pipeline (the yardstick
+    both gates compare against).  Peaks are then measured with
+    tracemalloc (numpy registers its allocations), reset per phase —
+    ru_maxrss is process-monotonic and cannot measure the second phase.
+    Streaming runs first so the batch phase's garbage cannot inflate its
+    peak.
     """
     import tracemalloc
 
-    from repro.core.spool import SPOOL_CHUNK_RECORDS, TraceSpool, \
-        iter_spool_chunks
+    from repro.core.spool import (
+        STREAM_CHUNK_RECORDS,
+        TraceSpool,
+        iter_spool_chunks,
+        read_spool_columns,
+    )
 
     arr, symtab = synthesize_columns(n_records)
     spool_path = REPO_ROOT / "benchmarks" / "results" / "stream_bench.spool"
@@ -314,65 +330,99 @@ def run_streaming_benchmark(n_records: int = N_RECORDS) -> dict:
     with TraceSpool(spool_path) as spool:
         spool.write_array(arr)
     del arr
-    gc.collect()
 
-    tracemalloc.start()
-    try:
-        # -- streaming: bounded chunks straight into the accumulator
-        gc.collect()
-        tracemalloc.reset_peak()
-        t0 = time.perf_counter()
-        acc = _make_accumulator(symtab, batch=False)
+    def stream_once(vectorized):
+        acc = _make_accumulator(symtab, batch=False, vectorized=vectorized)
         for chunk in iter_spool_chunks(spool_path,
-                                       chunk_records=SPOOL_CHUNK_RECORDS):
+                                       chunk_records=STREAM_CHUNK_RECORDS):
             acc.consume(chunk)
-        stream_prof = acc.finalize()
-        stream_s = time.perf_counter() - t0
-        _, stream_peak = tracemalloc.get_traced_memory()
+        return acc.finalize()
 
-        # -- batch: whole file resident, classic vectorized pipeline
-        del acc
+    def batch_once():
+        acc = _make_accumulator(symtab, batch=True)
+        acc.consume(read_spool_columns(spool_path))
+        return acc.finalize()
+
+    try:
+        # -- timing phase: no tracemalloc, GC quiesced between runs
         gc.collect()
-        tracemalloc.reset_peak()
-        t0 = time.perf_counter()
-        from repro.core.spool import read_spool_columns
+        stream_s, stream_prof = _timed(stream_once, True)
+        gc.collect()
+        batch_s, batch_prof = _timed(batch_once)
+        gc.collect()
+        scalar_s, scalar_prof = _timed(stream_once, False)
+        gc.collect()
 
-        batch_acc = _make_accumulator(symtab, batch=True)
-        batch_acc.consume(read_spool_columns(spool_path))
-        batch_prof = batch_acc.finalize()
-        batch_s = time.perf_counter() - t0
-        _, batch_peak = tracemalloc.get_traced_memory()
+        # -- memory phase: same runs again under the allocation tracer
+        tracemalloc.start()
+        try:
+            gc.collect()
+            tracemalloc.reset_peak()
+            stream_once(True)
+            _, stream_peak = tracemalloc.get_traced_memory()
+            gc.collect()
+            tracemalloc.reset_peak()
+            batch_once()
+            _, batch_peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
     finally:
-        tracemalloc.stop()
         spool_path.unlink(missing_ok=True)
 
     _assert_profiles_match(stream_prof, batch_prof)
+    _assert_profiles_match(scalar_prof, batch_prof)
 
     return {
         "n_records": n_records,
+        "seed": BENCH_SEED,
+        "chunk_records": STREAM_CHUNK_RECORDS,
         "streaming": {"parse_s": stream_s, "peak_bytes": stream_peak},
+        "streaming_scalar": {"parse_s": scalar_s},
         "batch": {"parse_s": batch_s, "peak_bytes": batch_peak},
         "peak_ratio": stream_peak / batch_peak if batch_peak else 0.0,
+        "speed_ratio": stream_s / batch_s if batch_s else 0.0,
+        "scalar_speed_ratio": scalar_s / batch_s if batch_s else 0.0,
         "n_functions": len(batch_prof.functions),
     }
 
 
 def render_streaming_table(result: dict) -> str:
     s, b = result["streaming"], result["batch"]
+    sc = result["streaming_scalar"]
     return "\n".join([
-        f"Streaming engine @ {result['n_records']:,} records",
-        f"{'path':<12}{'parse':>10}{'peak mem':>14}",
-        "-" * 36,
-        f"{'batch':<12}{b['parse_s']:>9.3f}s{b['peak_bytes'] / 1e6:>12.1f}MB",
-        f"{'streaming':<12}{s['parse_s']:>9.3f}s{s['peak_bytes'] / 1e6:>12.1f}MB",
-        f"peak ratio: {result['peak_ratio']:.1%} (gate: <= 25%)",
+        f"Streaming engine @ {result['n_records']:,} records "
+        f"(seed {result['seed']}, chunks of {result['chunk_records']:,})",
+        f"{'path':<14}{'parse':>10}{'peak mem':>14}",
+        "-" * 38,
+        f"{'batch':<14}{b['parse_s']:>9.3f}s{b['peak_bytes'] / 1e6:>12.1f}MB",
+        f"{'scalar strm':<14}{sc['parse_s']:>9.3f}s{'—':>14}",
+        f"{'vector strm':<14}{s['parse_s']:>9.3f}s"
+        f"{s['peak_bytes'] / 1e6:>12.1f}MB",
+        f"peak ratio:  {result['peak_ratio']:.1%} (gate: <= 25%)",
+        f"speed ratio: {result['speed_ratio']:.2f}x batch (gate: <= 1.2x; "
+        f"scalar was {result['scalar_speed_ratio']:.2f}x)",
     ])
 
 
-def test_streaming_memory_gate(benchmark, results_dir):
-    from benchmarks.conftest import once, write_artifact
+# One heavy run shared by the memory and speed gates: whichever test
+# runs first fills the cache; running either alone still works.
+_STREAMING_RESULT: dict = {}
 
-    result = once(benchmark, run_streaming_benchmark)
+
+def _streaming_result(benchmark=None):
+    if not _STREAMING_RESULT:
+        if benchmark is not None:
+            from benchmarks.conftest import once
+            _STREAMING_RESULT.update(once(benchmark, run_streaming_benchmark))
+        else:
+            _STREAMING_RESULT.update(run_streaming_benchmark())
+    return _STREAMING_RESULT
+
+
+def test_streaming_memory_gate(benchmark, results_dir):
+    from benchmarks.conftest import write_artifact
+
+    result = _streaming_result(benchmark)
     BENCH_STREAMING_JSON.write_text(json.dumps(result, indent=2) + "\n")
     write_artifact(results_dir, "trace_streaming.txt",
                    render_streaming_table(result))
@@ -386,10 +436,22 @@ def test_streaming_memory_gate(benchmark, results_dir):
     )
 
 
+def test_streaming_speed_gate(results_dir):
+    # The vectorized segment reduction's gate: constant-memory streaming
+    # may cost at most 20% wall time over the fully-resident batch
+    # pipeline on the same ~1M-record spool.  (The scalar replay it
+    # replaced is reported alongside in BENCH_streaming.json.)
+    result = _streaming_result()
+    assert result["speed_ratio"] <= 1.2, (
+        f"vectorized streaming is {result['speed_ratio']:.2f}x batch; "
+        "expected <= 1.2x"
+    )
+
+
 if __name__ == "__main__":
     res = run_scale_benchmark()
     BENCH_JSON.write_text(json.dumps(res, indent=2) + "\n")
     print(render_table(res))
-    res_s = run_streaming_benchmark()
+    res_s = _streaming_result()
     BENCH_STREAMING_JSON.write_text(json.dumps(res_s, indent=2) + "\n")
     print(render_streaming_table(res_s))

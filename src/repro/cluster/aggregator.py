@@ -194,7 +194,7 @@ class Aggregator:
 
     def on_chunk(self, node_name: str, payload: bytes) -> None:
         """Fold one CHUNK into the node's buffer (dedup/trim/gap logic)."""
-        start, blob, _arr = decode_chunk(payload)
+        start, blob, arr = decode_chunk(payload)
         n_new = len(blob) // RECORD_SIZE
         with self._lock:
             node = self.nodes[node_name]
@@ -217,12 +217,18 @@ class Aggregator:
                 skip = cursor - start
                 self.metrics.dup_records += skip
                 blob = blob[skip * RECORD_SIZE:]
+                arr = arr[skip:]
                 n_new -= skip
             node.buf.extend(blob)
             node.n_records += n_new
             self.metrics.records_in += n_new
             if self.live and n_new:
-                self._live().consume(node_name, records_from_buffer(blob))
+                # decode_chunk already produced the record array — hand
+                # the (dedup-trimmed) view straight to the streaming
+                # accumulator instead of re-decoding the bytes.  Safe:
+                # streaming consume() extracts what it keeps; it never
+                # retains the input view past the call.
+                self._live().consume(node_name, arr)
 
     def on_heartbeat(self, node_name: str, payload: bytes) -> None:
         obj = decode_json(payload)

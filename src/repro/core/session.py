@@ -320,7 +320,11 @@ class TempestSession:
         in-memory columns.  Open call frames are credited up to the
         latest event seen; the snapshot never disturbs accumulation.
         """
-        from repro.core.spool import SpoolingNodeTrace
+        from repro.core.spool import (
+            STREAM_CHUNK_RECORDS,
+            SpoolingNodeTrace,
+            iter_spool_chunks,
+        )
         from repro.core.streamprof import StreamingRunProfiler
 
         if self._live is None:
@@ -341,12 +345,23 @@ class TempestSession:
             acc = profiler.add_node(name, trace.tsc_hz, trace.sensor_names)
             cursor = self._live_cursors.get(name, 0)
             if isinstance(trace, SpoolingNodeTrace) and not trace.keep_in_memory:
-                chunk = trace.spool.tail_records(cursor)
+                # Bounded-memory tail read: flush buffered records, then
+                # stream the new region in STREAM_CHUNK_RECORDS pieces so
+                # a long gap between live_profile() calls never forces
+                # the whole backlog resident at once.
+                trace.spool.flush()
+                for chunk in iter_spool_chunks(
+                        trace.spool.path,
+                        chunk_records=STREAM_CHUNK_RECORDS,
+                        start_record=cursor):
+                    acc.consume(chunk)
+                    cursor += len(chunk)
+                self._live_cursors[name] = cursor
             else:
                 chunk = trace.columns.array[cursor:]
-            if len(chunk):
-                acc.consume(chunk)
-                self._live_cursors[name] = cursor + len(chunk)
+                if len(chunk):
+                    acc.consume(chunk)
+                    self._live_cursors[name] = cursor + len(chunk)
         return profiler.snapshot()
 
     # ------------------------------------------------------------------

@@ -41,6 +41,14 @@ from repro.util.errors import TraceError
 #: records buffered per chunk before the spool writes to its file
 SPOOL_CHUNK_RECORDS = 4096
 
+#: records per chunk when *reading* a spool into the streaming profiler.
+#: Larger than the write granularity: the vectorized segment reduction
+#: amortizes per-chunk overhead over more records.  Its pipeline
+#: temporaries cost ~340 bytes/record at peak, so 32 Ki records ≈ 11 MB
+#: resident — inside the ≤25%-of-batch peak-memory gate even for the
+#: reduced 200k-record CI benchmark scale.
+STREAM_CHUNK_RECORDS = 32768
+
 
 class TraceSpool:
     """File-backed buffered sink for one node's trace records."""

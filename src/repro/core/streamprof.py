@@ -16,9 +16,10 @@ Two modes share one interface:
 * **streaming** (``batch=False``, the default) — every chunk is folded
   into constant-size state the moment it arrives:
 
-  - Welford mean/variance, running min/max, a P² quantile estimator for
-    ``Med`` and an exact quantized-bin counter for ``Mod`` per
-    (function, sensor) pair (:class:`OnlineStats`);
+  - Welford mean/variance (bulk Chan merges for whole chunks), running
+    min/max, a P² quantile estimator for ``Med`` and an exact
+    quantized-bin counter for ``Mod`` per (function, sensor) pair
+    (:class:`OnlineStats`);
   - an incremental replay of the ENTER/EXIT stream (the exact semantics
     of the timeline replay builder, including lenient repair: mismatched
     EXITs unwind, timestamp regressions clamp, open frames close at the
@@ -34,35 +35,56 @@ Two modes share one interface:
     timestamp — reproducing the batch parser's closed-interval
     ``start <= t <= end`` attribution on time-ordered streams.
 
+  Well-formed chunks take a **vectorized fast path** (chunked numpy
+  segment reduction — see :meth:`ProfileAccumulator.consume`); any chunk
+  it cannot prove well-formed replays record-at-a-time through the
+  scalar engine above, so lenient repair and strict errors are exactly
+  the historical ones.  :data:`FALLBACK_REASONS` enumerates the
+  conditions (documented in ``docs/INTERNALS.md``).
+
 * **batch** (``batch=True``) — chunks are buffered and ``finalize()``
   runs the classic vectorized pipeline (timeline build + union-span
   sample attribution + exact :func:`~repro.core.stats.compute_sensor_stats`)
   over the concatenation.  This is what :class:`~repro.core.parser.TempestParser`
   drives, and its output is bit-identical to the historical batch parser.
 
-Equivalence contract (pinned by ``tests/core/test_streamprof.py`` and the
-``benchmarks/test_trace_scale.py`` streaming gate): on a record stream
-whose converted timestamps are globally non-decreasing, the streaming mode
-is *chunking-invariant* (chunk sizes 1, 7, 4096 and whole-run produce
-bit-identical profiles — the engine's state transitions depend only on
-record order, never on chunk boundaries) and matches the batch mode
-exactly for inclusive/exclusive times, call counts, arcs,
-``n``/``min``/``max``/``mod``, within documented floating-point tolerance
-for ``avg``/``var``/``sdv`` (Welford vs numpy pairwise summation,
-relative error ~1e-12), and within ±0.5 °C for ``med`` (P² estimator; see
+Equivalence contract (pinned by ``tests/core/test_streamprof.py``,
+``tests/core/test_streamprof_differential.py`` and the
+``benchmarks/test_trace_scale.py`` streaming gates): on a record stream
+whose converted timestamps are globally non-decreasing, the streaming
+mode is chunking-invariant for every exact field — inclusive/exclusive
+times, call counts, arcs, span, ``n``/``min``/``max``/``mod``/``med``
+are bit-identical for chunk sizes 1, 7, 4096 and whole-run, and match
+the batch mode exactly (``med`` stays bit-stable because the P²
+estimator is fed element-wise in stream order even on the bulk path).
+``avg``/``var``/``sdv`` are chunk-size-dependent only in their rounding:
+the fast path folds each chunk's samples with one Chan/Welford merge,
+so moments agree with the scalar engine and with batch within relative
+~1e-12 (the suite asserts 1e-9), and ``med`` is within ±0.5 °C of the
+exact median (P² bound; see
 :meth:`~repro.core.stats.SensorStats.from_accumulator`).  Streams that
 are only per-process time-ordered (cross-core TSC skew) may attribute
 boundary samples differently; the divergence window is bounded by the
 skew magnitude.
+
+One structural caveat: the online union keeps O(functions) state — an
+open span plus an activation count per function — so it cannot hold a
+*hole* open inside a still-active span.  A process abandoned mid-run
+with open frames is leniently closed at its last-seen time by
+``finalize()``; if other processes ran the same function later with
+gaps, batch keeps the gap and streaming bridges it (inclusive time may
+read high by at most that gap).  Every stream-vs-batch divergence on a
+monotone stream is of this shape; traces whose processes stay live to
+the end of the run match batch exactly.
 """
 
 from __future__ import annotations
 
-import json
-import logging
 import math
 from pathlib import Path
 from typing import Callable, Iterable, Optional
+
+import logging
 
 import numpy as np
 
@@ -70,11 +92,12 @@ from repro.core.profilemodel import FunctionProfile, NodeProfile, RunProfile
 from repro.core.records import RECORD_DTYPE, empty_records
 from repro.core.stats import SensorStats, compute_sensor_stats
 from repro.core.symtab import SymbolTable
-from repro.core.timeline import Timeline, build_timeline
+from repro.core.timeline import Timeline, build_timeline, frame_depths
 from repro.core.trace import REC_ENTER, REC_EXIT, REC_TEMP
 from repro.util.errors import TraceError
 
 __all__ = [
+    "FALLBACK_REASONS",
     "OnlineStats",
     "ProfileAccumulator",
     "StreamingRunProfiler",
@@ -90,9 +113,10 @@ _log = logging.getLogger(__name__)
 class OnlineStats:
     """Constant-memory estimator of the Figure 2(a) statistic set.
 
-    ``n``/``min``/``max`` are exact; ``avg``/``var``/``sdv`` use Welford's
-    recurrence (exact multiset, summation-order rounding only); ``mod`` is
-    an exact counter over the quantized readings (sensor readings are
+    ``n``/``min``/``max`` are exact; ``avg``/``var``/``sdv`` use
+    Welford's recurrence per sample and Chan's parallel merge per bulk
+    block (exact multiset, summation-order rounding only); ``mod`` is an
+    exact counter over the quantized readings (sensor readings are
     quantized, so equal readings are bit-identical floats — the same
     assumption the batch ``Counter`` makes; memory is O(distinct
     readings), bounded by the sensor's quantization range); ``med`` is the
@@ -127,9 +151,52 @@ class OnlineStats:
         self._push_med(x)
 
     def push_many(self, values) -> None:
-        """Fold samples in order (order-stable: chunking never reorders)."""
-        for v in values:
-            self.push(v)
+        """Fold a contiguous block of samples (stream order).
+
+        The bulk path behind the vectorized accumulator: ``n``, ``min``,
+        ``max`` and the mode bins reduce array-wise; the running
+        mean/M2 folds the block in with one Chan parallel-Welford merge
+        (not a per-element loop), so a block of *k* samples costs O(k)
+        numpy work plus the inherently sequential P² update.  The P²
+        markers are fed element-wise in order, which keeps ``med``
+        bit-identical between bulk and scalar feeding; ``avg``/``var``
+        differ from per-element pushes only in summation rounding
+        (~1e-12 relative).
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        k = arr.size
+        if k == 0:
+            return
+        if k == 1:
+            self.push(float(arr[0]))
+            return
+        n0 = self.n
+        self.n = n0 + k
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        # Chan's parallel merge: two-pass block moments, then one fold.
+        b_mean = float(arr.mean())
+        d = arr - b_mean
+        b_m2 = float(np.dot(d, d))
+        if n0 == 0:
+            self._mean = b_mean
+            self._m2 = b_m2
+        else:
+            tot = n0 + k
+            delta = b_mean - self._mean
+            self._mean += delta * (k / tot)
+            self._m2 += b_m2 + delta * delta * (n0 * k / tot)
+        bins = self._bins
+        uq, cnt = np.unique(arr, return_counts=True)
+        for v, c in zip(uq.tolist(), cnt.tolist()):
+            bins[v] = bins.get(v, 0) + c
+        push_med = self._push_med
+        for v in arr.tolist():
+            push_med(v)
 
     # -- P² median ------------------------------------------------------
     def _push_med(self, x: float) -> None:
@@ -261,6 +328,41 @@ def _samples_in_spans(
 
 
 # ----------------------------------------------------------------------
+# Vectorized fast-path fallback conditions
+
+#: Conditions under which a chunk is routed to the scalar replay path
+#: instead of the vectorized segment reduction.  Keys are the counter
+#: names in :attr:`ProfileAccumulator.fallbacks`; the prose lives in
+#: docs/INTERNALS.md ("Vectorized segment reduction"), drift-tested by
+#: tests/core/test_streamprof_differential.py.
+FALLBACK_REASONS = {
+    "non-monotone-chunk":
+        "timestamps inside the chunk decrease (cross-core TSC skew, "
+        "corruption, or clamp-needing regressions)",
+    "time-regression":
+        "the chunk starts before the accumulator's high-water mark, so "
+        "touching-span merges could reach back in time",
+    "unbalanced-frames":
+        "an EXIT has no open frame at its depth (empty-stack EXIT or "
+        "record loss) — lenient drop/unwind territory",
+    "frame-mismatch":
+        "a paired ENTER/EXIT resolve to different functions — lenient "
+        "unwind territory",
+    "sensor-range":
+        "a TEMP record names an undeclared sensor index; the scalar "
+        "replay raises at the exact offending record",
+}
+
+_FB_NON_MONOTONE = "non-monotone-chunk"
+_FB_REGRESSION = "time-regression"
+_FB_UNBALANCED = "unbalanced-frames"
+_FB_MISMATCH = "frame-mismatch"
+_FB_SENSOR = "sensor-range"
+
+_INITIAL_FIDS = 64
+
+
+# ----------------------------------------------------------------------
 # The accumulator
 
 class ProfileAccumulator:
@@ -274,10 +376,30 @@ class ProfileAccumulator:
     time) and returns the final profile.
 
     In streaming mode the state is O(functions × sensors) regardless of
-    how many records flow through.  In batch mode (``batch=True``) chunks
-    are buffered and ``finalize`` runs the classic vectorized pipeline —
-    the mode :class:`~repro.core.parser.TempestParser` drives, bit-equal
-    to the historical batch parser.
+    how many records flow through.  Each chunk takes one of two engines:
+
+    * the **vectorized segment reduction** (default) — ENTER/EXIT frames
+      are matched per chunk with the same matched-frame trick the
+      timeline builder uses (:func:`repro.core.timeline.frame_depths`,
+      seeded with the carry-over stack depth), exclusive time reduces
+      with one ``np.add.at`` over stream-ordered top-of-stack segments,
+      inclusive time reduces per function from a segmented cumulative
+      sum of activation counts (union spans merge by equality of
+      endpoints, exactly like the scalar pending-span buffer), and
+      samples are attributed by closed-interval span containment and
+      pushed per (function, sensor) group with one
+      :meth:`OnlineStats.push_many` each.
+    * the **scalar replay** — the record-at-a-time engine; any chunk the
+      fast path cannot prove well-formed (see :data:`FALLBACK_REASONS`)
+      is replayed through it untouched, so lenient repair and strict
+      errors are bit-faithful to the historical behaviour.  Carry-over
+      stacks, pending union spans and the retro-attribution cache thread
+      through both engines, so the two interleave freely chunk-by-chunk.
+
+    In batch mode (``batch=True``) chunks are buffered and ``finalize``
+    runs the classic vectorized pipeline — the mode
+    :class:`~repro.core.parser.TempestParser` drives, bit-equal to the
+    historical batch parser.
     """
 
     def __init__(
@@ -291,6 +413,7 @@ class ProfileAccumulator:
         strict: bool = False,
         min_samples_for_stats: int = 1,
         batch: bool = False,
+        vectorized: bool = True,
     ):
         self.node_name = node_name
         self.symtab = symtab
@@ -300,39 +423,92 @@ class ProfileAccumulator:
         self.strict = strict
         self.min_samples_for_stats = int(min_samples_for_stats)
         self.batch = batch
+        #: route well-formed chunks through the numpy segment reduction;
+        #: ``False`` forces the scalar replay for every chunk (the
+        #: reference engine, used by the differential suite and the
+        #: before/after benchmark)
+        self.vectorized = vectorized
+        #: per-reason counts of chunks that fell back to the scalar
+        #: replay (keys are :data:`FALLBACK_REASONS` entries)
+        self.fallbacks: dict[str, int] = {}
         self.n_records = 0
         self._finalized = False
-        self._names: dict[int, str] = {}      # addr -> resolved symbol
         if batch:
             self._chunks: list[np.ndarray] = []
             return
+        # -- function registry: aggregates are keyed by dense integer
+        #    fids so the hot path can reduce into flat arrays
+        self._addr_fid: dict[int, int] = {}
+        self._fid_by_name: dict[str, int] = {}
+        self._fnames: list[str] = []
+        cap = _INITIAL_FIDS
+        self._excl = np.zeros(cap)
+        self._incl = np.zeros(cap)
+        self._incl_touched = np.zeros(cap, dtype=bool)
+        self._calls_arr = np.zeros(cap, dtype=np.int64)
+        self._active_arr = np.zeros(cap, dtype=np.int64)
+        self._open_start_arr = np.zeros(cap)
+        self._floor_arr = np.zeros(cap)
+        self._floor_mask = np.zeros(cap, dtype=bool)
+        # max close time since the current union span opened: the span
+        # must end at the latest constituent close (the batch interval
+        # merge's max), which a count-only union would miss when lenient
+        # end-of-trace closes arrive out of time order
+        self._maxclose_arr = np.full(cap, -math.inf)
+        self._pend_start = np.zeros(cap)
+        self._pend_end = np.zeros(cap)
+        self._pend_mask = np.zeros(cap, dtype=bool)
         # -- per-process replay state (the incremental stack machine)
-        self._stacks: dict[int, list[tuple[str, float]]] = {}
+        self._stacks: dict[int, list[tuple[int, float]]] = {}
         self._last_time: dict[int, float] = {}
         self._now = 0.0                      # latest time seen in any record
-        self._top_since: dict[int, tuple[str, float]] = {}
-        # -- per-function aggregates
-        self._exclusive: dict[str, float] = {}
-        self._calls: dict[str, int] = {}
-        self._arcs: dict[tuple[str, str], int] = {}
-        self._active: dict[str, int] = {}            # open activation count
-        self._open_start: dict[str, float] = {}      # current union span start
-        self._open_floor: dict[str, float] = {}      # merged-span end floor
-        self._pending: dict[str, tuple[float, float]] = {}  # closed, unmerged
-        self._union_total: dict[str, float] = {}
+        self._top_since: dict[int, tuple[int, float]] = {}
+        # -- remaining sparse per-function aggregates
+        self._arcs: dict[tuple[int, int], int] = {}   # (-1 = "<root>")
         self._span_lo = math.inf
         self._span_hi = -math.inf
         # -- per-(function, sensor) online statistics
-        self._stats: dict[tuple[str, int], OnlineStats] = {}
-        self._attr_seq: dict[tuple[str, int], int] = {}
+        self._stats: dict[tuple[int, int], OnlineStats] = {}
+        self._attr_seq: dict[tuple[int, int], int] = {}
         self._seq = 0
         # samples sharing the latest sample timestamp (retro attribution)
         self._recent: tuple[Optional[float], list[tuple[int, int, float]]] = \
             (None, [])
         # union spans that closed at the latest close timestamp
-        self._closed_at: tuple[Optional[float], set[str]] = (None, set())
+        self._closed_at: tuple[Optional[float], set[int]] = (None, set())
         # -- node-level per-sensor aggregates (snapshot sensor_summary)
         self._summary = [OnlineStats() for _ in self.sensor_names]
+
+    # ------------------------------------------------------------------
+    # Function registry
+
+    def _grow(self, need: int) -> None:
+        cap = len(self._excl)
+        while cap < need:
+            cap *= 2
+        for attr in ("_excl", "_incl", "_incl_touched", "_calls_arr",
+                     "_active_arr", "_open_start_arr", "_floor_arr",
+                     "_floor_mask", "_pend_start", "_pend_end",
+                     "_pend_mask", "_maxclose_arr"):
+            old = getattr(self, attr)
+            fill = -math.inf if attr == "_maxclose_arr" else 0
+            new = np.full(cap, fill, dtype=old.dtype)
+            new[: len(old)] = old
+            setattr(self, attr, new)
+
+    def _fid_for_addr(self, addr: int) -> int:
+        fid = self._addr_fid.get(addr)
+        if fid is None:
+            name = self.symtab.name_of(addr)
+            fid = self._fid_by_name.get(name)
+            if fid is None:
+                fid = len(self._fnames)
+                self._fnames.append(name)
+                self._fid_by_name[name] = fid
+                if fid >= len(self._excl):
+                    self._grow(fid + 1)
+            self._addr_fid[addr] = fid
+        return fid
 
     # ------------------------------------------------------------------
     # Ingest
@@ -396,13 +572,24 @@ class ProfileAccumulator:
         return times
 
     def _consume_stream(self, arr: np.ndarray) -> None:
+        if self.vectorized:
+            reason = self._consume_vectorized(arr)
+            if reason is None:
+                return
+            self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+        self._consume_stream_scalar(arr)
+
+    # ------------------------------------------------------------------
+    # Scalar replay (the semantic reference; repairs + precise errors)
+
+    def _consume_stream_scalar(self, arr: np.ndarray) -> None:
         kinds = arr["kind"].tolist()
         addrs = arr["addr"].tolist()
         times = self._times_of(arr["tsc"]).tolist()
         pids = arr["pid"].tolist()
         values = arr["value"].tolist()
-        names = self._names
-        name_of = self.symtab.name_of
+        addr_fid = self._addr_fid
+        fid_for_addr = self._fid_for_addr
         on_enter, on_exit, on_sample = \
             self._on_enter, self._on_exit, self._on_sample
         for kind, addr, t, pid, value in zip(kinds, addrs, times, pids,
@@ -412,13 +599,13 @@ class ProfileAccumulator:
                 continue
             if kind != REC_ENTER and kind != REC_EXIT:
                 continue
-            name = names.get(addr)
-            if name is None:
-                name = names[addr] = name_of(addr)
+            fid = addr_fid.get(addr)
+            if fid is None:
+                fid = fid_for_addr(addr)
             if kind == REC_ENTER:
-                on_enter(name, t, pid)
+                on_enter(fid, t, pid)
             else:
-                on_exit(name, t, pid)
+                on_exit(fid, t, pid)
 
     # -- function events (ported from the replay builder, incremental) --
 
@@ -439,29 +626,27 @@ class ProfileAccumulator:
     def _credit_top(self, pid: int, until: float) -> None:
         cur = self._top_since.get(pid)
         if cur is not None:
-            name, since = cur
+            fid, since = cur
             if until > since:
-                self._exclusive[name] = (
-                    self._exclusive.get(name, 0.0) + (until - since)
-                )
+                self._excl[fid] += until - since
 
-    def _on_enter(self, name: str, t: float, pid: int) -> None:
+    def _on_enter(self, fid: int, t: float, pid: int) -> None:
         stack = self._stacks.get(pid)
         if stack is None:
             stack = self._stacks[pid] = []
         t = self._clamp(t, pid)
         self._credit_top(pid, t)
-        caller = stack[-1][0] if stack else "<root>"
+        caller = stack[-1][0] if stack else -1
         arcs = self._arcs
-        arcs[(caller, name)] = arcs.get((caller, name), 0) + 1
-        stack.append((name, t))
-        self._top_since[pid] = (name, t)
-        self._calls[name] = self._calls.get(name, 0) + 1
+        arcs[(caller, fid)] = arcs.get((caller, fid), 0) + 1
+        stack.append((fid, t))
+        self._top_since[pid] = (fid, t)
+        self._calls_arr[fid] += 1
         if t < self._span_lo:
             self._span_lo = t
-        self._union_open(name, t)
+        self._union_open(fid, t)
 
-    def _on_exit(self, name: str, t: float, pid: int) -> None:
+    def _on_exit(self, fid: int, t: float, pid: int) -> None:
         stack = self._stacks.get(pid)
         if stack is None:
             stack = self._stacks[pid] = []
@@ -469,20 +654,20 @@ class ProfileAccumulator:
         if not stack:
             if self.strict:
                 raise TraceError(
-                    f"pid {pid}: EXIT {name!r} with empty stack"
+                    f"pid {pid}: EXIT {self._fnames[fid]!r} with empty stack"
                 )
             return
-        if stack[-1][0] != name:
+        if stack[-1][0] != fid:
             if self.strict:
                 raise TraceError(
-                    f"pid {pid}: EXIT {name!r} but top of stack is "
-                    f"{stack[-1][0]!r}"
+                    f"pid {pid}: EXIT {self._fnames[fid]!r} but top of "
+                    f"stack is {self._fnames[stack[-1][0]]!r}"
                 )
             # Lenient: close the current top-of-stack segment at this
             # timestamp *before* unwinding (the crossed frames are about
             # to be popped), exactly like the replay builder.
             self._credit_top(pid, t)
-            while stack and stack[-1][0] != name:
+            while stack and stack[-1][0] != fid:
                 crossed, _t0 = stack.pop()
                 self._union_close(crossed, t)
             if not stack:
@@ -492,7 +677,7 @@ class ProfileAccumulator:
             self._top_since[pid] = (stack[-1][0], t)
         self._credit_top(pid, t)
         stack.pop()
-        self._union_close(name, t)
+        self._union_close(fid, t)
         if stack:
             self._top_since[pid] = (stack[-1][0], t)
         else:
@@ -500,52 +685,65 @@ class ProfileAccumulator:
 
     # -- online inclusive-time union -----------------------------------
 
-    def _union_open(self, name: str, t: float) -> None:
-        count = self._active.get(name)
+    def _union_open(self, fid: int, t: float) -> None:
+        count = self._active_arr[fid]
         if count:
-            self._active[name] = count + 1
+            self._active_arr[fid] = count + 1
             return
-        self._active[name] = 1
-        pend = self._pending.pop(name, None)
-        if pend is not None:
-            start, end = pend
+        self._active_arr[fid] = 1
+        if self._pend_mask[fid]:
+            self._pend_mask[fid] = False
+            start = float(self._pend_start[fid])
+            end = float(self._pend_end[fid])
             if t <= end:
                 # Touching (or time-disordered) reopen: resume the merged
                 # span — same semantics as the batch span merge.
-                self._open_start[name] = start
-                self._open_floor[name] = end
+                self._open_start_arr[fid] = start
+                self._floor_arr[fid] = end
+                self._floor_mask[fid] = True
             else:
-                self._union_total[name] = (
-                    self._union_total.get(name, 0.0) + (end - start)
-                )
-                self._open_start[name] = t
+                self._incl[fid] += end - start
+                self._incl_touched[fid] = True
+                self._open_start_arr[fid] = t
         else:
-            self._open_start[name] = t
+            self._open_start_arr[fid] = t
         # Retroactive attribution: samples that arrived at exactly this
         # timestamp belong to the span that starts here (batch attribution
         # is closed-interval on both ends).
         rt, rsamples = self._recent
         if rt == t:
             for seq, sidx, value in rsamples:
-                self._attribute(name, sidx, value, seq)
+                self._attribute(fid, sidx, value, seq)
 
-    def _union_close(self, name: str, t: float) -> None:
+    def _union_close(self, fid: int, t: float) -> None:
         if t > self._span_hi:
             self._span_hi = t
-        count = self._active.get(name, 0) - 1
+        if t > self._maxclose_arr[fid]:
+            self._maxclose_arr[fid] = t
+        count = self._active_arr[fid] - 1
         if count > 0:
-            self._active[name] = count
+            self._active_arr[fid] = count
             return
-        self._active.pop(name, None)
-        start = self._open_start.pop(name)
-        floor = self._open_floor.pop(name, None)
-        end = t if floor is None or t >= floor else floor
-        self._pending[name] = (start, end)
+        self._active_arr[fid] = 0
+        start = float(self._open_start_arr[fid])
+        # The merged span ends at the latest of: this close, any earlier
+        # close while the span was open (lenient finalize can deliver
+        # them out of order across processes), and the resume floor.
+        end = float(self._maxclose_arr[fid])
+        self._maxclose_arr[fid] = -math.inf
+        if self._floor_mask[fid]:
+            self._floor_mask[fid] = False
+            floor = float(self._floor_arr[fid])
+            if floor > end:
+                end = floor
+        self._pend_start[fid] = start
+        self._pend_end[fid] = end
+        self._pend_mask[fid] = True
         ct, cset = self._closed_at
         if ct == end:
-            cset.add(name)
+            cset.add(fid)
         else:
-            self._closed_at = (end, {name})
+            self._closed_at = (end, {fid})
 
     # -- sample attribution --------------------------------------------
 
@@ -566,23 +764,501 @@ class ProfileAccumulator:
             rsamples.append((seq, sidx, value))
         else:
             self._recent = (t, [(seq, sidx, value)])
-        for name in self._active:
-            self._attribute(name, sidx, value, seq)
+        for fid in np.nonzero(self._active_arr)[0].tolist():
+            self._attribute(fid, sidx, value, seq)
         ct, cset = self._closed_at
         if ct == t:
-            for name in cset:
-                self._attribute(name, sidx, value, seq)
+            for fid in cset:
+                self._attribute(fid, sidx, value, seq)
 
-    def _attribute(self, name: str, sidx: int, value: float,
+    def _attribute(self, fid: int, sidx: int, value: float,
                    seq: int) -> None:
-        key = (name, sidx)
-        if self._attr_seq.get(key) == seq:
+        key = (fid, sidx)
+        prev = self._attr_seq.get(key)
+        if prev is not None and prev >= seq:
             return
         self._attr_seq[key] = seq
         st = self._stats.get(key)
         if st is None:
             st = self._stats[key] = OnlineStats()
         st.push(value)
+
+    # ------------------------------------------------------------------
+    # Vectorized fast path: chunked numpy segment reduction
+
+    def _consume_vectorized(self, arr: np.ndarray) -> Optional[str]:
+        """Fold one chunk without a per-record loop.
+
+        Returns ``None`` on success or a :data:`FALLBACK_REASONS` key;
+        on fallback no state has been mutated (beyond the append-only
+        function registry), so the scalar replay re-processes the whole
+        chunk with bit-faithful semantics.
+        """
+        kinds = arr["kind"]
+        f_mask = (kinds == REC_ENTER) | (kinds == REC_EXIT)
+        s_mask = kinds == REC_TEMP
+        rel = f_mask | s_mask
+        if not rel.any():
+            return None
+        times = self._times_of(arr["tsc"])
+        rt = times[rel]
+        if len(rt) > 1 and np.any(rt[1:] < rt[:-1]):
+            return _FB_NON_MONOTONE
+        if float(rt[0]) < self._now:
+            return _FB_REGRESSION
+        n_sensors = len(self.sensor_names)
+        s_sidx = arr["addr"][s_mask].astype(np.int64)
+        if len(s_sidx) and (int(s_sidx.min()) < 0
+                            or int(s_sidx.max()) >= n_sensors):
+            return _FB_SENSOR
+        s_t = times[s_mask]
+        s_val = arr["value"][s_mask].astype(np.float64)
+
+        f_fid = f_t = f_enter = None
+        have_funcs = bool(f_mask.any())
+        per_pid: list[tuple] = []
+        seg_fids: list[np.ndarray] = []
+        seg_dts: list[np.ndarray] = []
+        seg_pos: list[np.ndarray] = []
+        arc_code_parts: list[np.ndarray] = []
+        if have_funcs:
+            f_addr = arr["addr"][f_mask]
+            f_pid = arr["pid"][f_mask].astype(np.int64)
+            f_enter = kinds[f_mask] == REC_ENTER
+            f_t = times[f_mask]
+            uniq, inverse = np.unique(f_addr, return_inverse=True)
+            fid_map = np.fromiter(
+                (self._fid_for_addr(int(a)) for a in uniq),
+                dtype=np.int64, count=len(uniq),
+            )
+            f_fid = fid_map[inverse]
+            n_names = len(self._fnames)
+
+            # ---- per-process frame matching (pure: nothing committed
+            #      until every pid validates) ----
+            for pid in np.unique(f_pid).tolist():
+                sel = f_pid == pid
+                gpos = np.nonzero(sel)[0]
+                is_en = f_enter[sel]
+                ni = f_fid[sel]
+                t = f_t[sel]
+                carry = self._stacks.get(pid) or []
+                base = len(carry)
+                if base:
+                    # Thread the carry-over stack in as a virtual ENTER
+                    # prefix: the matched-frame pairing, parent lookups
+                    # and survivor extraction then treat carried frames
+                    # and chunk frames uniformly.
+                    ext_en = np.concatenate(
+                        (np.ones(base, dtype=bool), is_en))
+                    ext_ni = np.concatenate((
+                        np.fromiter((f for f, _ in carry), dtype=np.int64,
+                                    count=base),
+                        ni,
+                    ))
+                else:
+                    ext_en = is_en
+                    ext_ni = ni
+                depth_after, frame_depth = frame_depths(ext_en)
+                if int(depth_after.min()) < 0:
+                    return _FB_UNBALANCED
+                enters = np.nonzero(ext_en)[0]
+                exits = np.nonzero(~ext_en)[0]
+                ed = frame_depth[enters]
+                xd = frame_depth[exits]
+                eo = np.argsort(ed, kind="stable")
+                xo = np.argsort(xd, kind="stable")
+                pe = enters[eo]
+                px = exits[xo]
+                eds = ed[eo]
+                xds = xd[xo]
+                if len(px):
+                    e_lo = np.searchsorted(eds, xds, side="left")
+                    e_hi = np.searchsorted(eds, xds, side="right")
+                    ranks = (np.arange(len(xds))
+                             - np.searchsorted(xds, xds, side="left"))
+                    mate = e_lo + ranks
+                    if np.any(mate >= e_hi):
+                        return _FB_UNBALANCED
+                    if not np.array_equal(ext_ni[pe[mate]], ext_ni[px]):
+                        return _FB_MISMATCH
+                # Surviving frames: per depth, enters beyond the exit
+                # count stay open (at most one per depth, in depth order
+                # — i.e. bottom-to-top stack order).
+                if len(pe):
+                    e_rank = (np.arange(len(eds))
+                              - np.searchsorted(eds, eds, side="left"))
+                    n_x = (np.searchsorted(xds, eds, side="right")
+                           - np.searchsorted(xds, eds, side="left"))
+                    open_pos = pe[e_rank >= n_x]
+                else:
+                    open_pos = pe
+                new_stack = [
+                    carry[p] if p < base
+                    else (int(ext_ni[p]), float(t[p - base]))
+                    for p in open_pos.tolist()
+                ]
+
+                # Top-of-stack after each event: an ENTER is its own top;
+                # an EXIT leaves the most recent still-open frame one
+                # level up on top.
+                m_ext = len(ext_en)
+                top = np.full(m_ext, -1, dtype=np.int64)
+                top[enters] = ext_ni[enters]
+                exit_da = depth_after[exits]
+                live = exit_da > 0
+                if live.any():
+                    lx = exits[live]
+                    ld = exit_da[live]
+                    for d in np.unique(ld).tolist():
+                        q = lx[ld == d]
+                        open_enters = enters[ed == d]
+                        parent = open_enters[
+                            np.searchsorted(open_enters, q) - 1]
+                        top[q] = ext_ni[parent]
+
+                # Caller arcs for chunk enters ("<root>" coded -1).
+                ce_mask = enters >= base
+                ce = enters[ce_mask]
+                if len(ce):
+                    ced = ed[ce_mask]
+                    caller = np.full(len(ce), -1, dtype=np.int64)
+                    deep = ced > 1
+                    if deep.any():
+                        for d in np.unique(ced[deep]).tolist():
+                            at_d = ced == d
+                            q = ce[at_d]
+                            open_enters = enters[ed == d - 1]
+                            parent = open_enters[
+                                np.searchsorted(open_enters, q) - 1]
+                            caller[at_d] = ext_ni[parent]
+                    arc_code_parts.append(
+                        (caller + 1) * np.int64(n_names) + ext_ni[ce])
+
+                # Exclusive-time segments between consecutive chunk
+                # events while the stack is non-empty; the carried
+                # top-of-stack segment closes at the first chunk event.
+                if len(t) > 1:
+                    da = depth_after[base:][:-1]
+                    dt = t[1:] - t[:-1]
+                    tops = top[base:][:-1]
+                    valid = (da > 0) & (dt > 0)
+                    if valid.any():
+                        seg_fids.append(tops[valid])
+                        seg_dts.append(dt[valid])
+                        seg_pos.append(gpos[1:][valid])
+                carry_top = self._top_since.get(pid)
+                if carry_top is not None:
+                    tfid, since = carry_top
+                    t0 = float(t[0])
+                    if t0 > since:
+                        seg_fids.append(np.array([tfid], dtype=np.int64))
+                        seg_dts.append(np.array([t0 - since]))
+                        seg_pos.append(gpos[:1])
+                per_pid.append((pid, new_stack, float(t[-1])))
+
+        # ---- the chunk is well-formed: commit ----
+        spans_for: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        first_opens: dict[int, float] = {}
+        if have_funcs:
+            enters_fid = f_fid[f_enter]
+            if len(enters_fid):
+                self._calls_arr[:n_names] += np.bincount(
+                    enters_fid, minlength=n_names)
+                lo = float(f_t[f_enter][0])     # monotone: first is min
+                if lo < self._span_lo:
+                    self._span_lo = lo
+            exit_t = f_t[~f_enter]
+            if len(exit_t):
+                hi = float(exit_t[-1])
+                if hi > self._span_hi:
+                    self._span_hi = hi
+            if arc_code_parts:
+                arcs = self._arcs
+                codes = (arc_code_parts[0] if len(arc_code_parts) == 1
+                         else np.concatenate(arc_code_parts))
+                for code, cnt in zip(*np.unique(codes, return_counts=True)):
+                    code = int(code)
+                    key = (code // n_names - 1, code % n_names)
+                    arcs[key] = arcs.get(key, 0) + int(cnt)
+            for pid, new_stack, t_last in per_pid:
+                self._stacks[pid] = new_stack
+                self._last_time[pid] = t_last
+                if new_stack:
+                    self._top_since[pid] = (new_stack[-1][0], t_last)
+                else:
+                    self._top_since.pop(pid, None)
+            if seg_fids:
+                sf = np.concatenate(seg_fids)
+                sd = np.concatenate(seg_dts)
+                sp = np.concatenate(seg_pos)
+                # np.add.at applies adds sequentially in index order, so
+                # sorting segments by their closing event's stream
+                # position keeps each function's float accumulation
+                # bit-identical to the scalar replay.
+                order = np.argsort(sp, kind="stable")
+                np.add.at(self._excl, sf[order], sd[order])
+
+            self._commit_union(f_fid, f_enter, f_t, spans_for, first_opens)
+
+        # Retroactive attribution of carried samples to union spans that
+        # (re)open at exactly the carried sample timestamp.
+        rt0, rsamples = self._recent
+        if rsamples and first_opens:
+            for fid, t_open in first_opens.items():
+                if t_open == rt0:
+                    for seq, sidx, value in rsamples:
+                        self._attribute(fid, sidx, value, seq)
+
+        n_s = len(s_t)
+        if n_s:
+            base_seq = self._seq
+            self._seq = base_seq + n_s
+            for sidx in np.unique(s_sidx).tolist():
+                self._summary[sidx].push_many(s_val[s_sidx == sidx])
+            self._attribute_chunk(spans_for, s_t, s_sidx, s_val, base_seq)
+            t_last = float(s_t[-1])
+            tie = np.nonzero(s_t == t_last)[0]
+            self._recent = (t_last, [
+                (base_seq + 1 + int(i), int(s_sidx[i]), float(s_val[i]))
+                for i in tie.tolist()
+            ])
+        self._now = float(rt[-1])
+        return None
+
+    def _commit_union(self, f_fid, f_enter, f_t, spans_for, first_opens
+                      ) -> None:
+        """Per-function inclusive-time union over one monotone chunk.
+
+        A segmented cumulative sum of ±1 activation deltas finds the
+        0→1 opens and 1→0 closes per function; each close pairs with its
+        same-rank open (rank shifted by one when the function carried an
+        open span into the chunk), and raw spans merge into runs when
+        they touch — reproducing the scalar pending-span buffer.  All
+        fully-retired runs reduce with one ``np.add.at`` (per-slot order
+        preserved, so sums stay bit-identical to the scalar engine);
+        only each function's *last* run needs scalar disposition (kept
+        pending, resumed into the open span, or flushed).
+        """
+        delta = np.where(f_enter, 1, -1).astype(np.int64)
+        order = np.argsort(f_fid, kind="stable")
+        g_f = f_fid[order]
+        g_d = delta[order]
+        g_t = f_t[order]
+        cs = np.cumsum(g_d)
+        first = np.concatenate(([True], g_f[1:] != g_f[:-1]))
+        grp_start = np.nonzero(first)[0]
+        grp_sizes = np.diff(np.append(grp_start, len(g_f)))
+        grp_fids = g_f[grp_start]
+        carry0 = self._active_arr[grp_fids]
+        base_cs = cs[grp_start] - g_d[grp_start]
+        c = cs - np.repeat(base_cs, grp_sizes) + np.repeat(carry0, grp_sizes)
+        opens = (g_d == 1) & (c == 1)
+        closes = (g_d == -1) & (c == 0)
+        o_idx = np.nonzero(opens)[0]
+        c_idx = np.nonzero(closes)[0]
+        of = g_f[o_idx]
+        ot = g_t[o_idx]
+        cf = g_f[c_idx]
+        ctm = g_t[c_idx]
+        n_close = len(cf)
+        if n_close:
+            # Span start per close: the same-rank open, or the carried
+            # open-span start for a function entering the chunk active.
+            b_close = (self._active_arr[cf] > 0).astype(np.int64)
+            c_rank = np.arange(n_close) - np.searchsorted(cf, cf,
+                                                          side="left")
+            s_rank = c_rank - b_close
+            span_start = np.empty(n_close)
+            carried = s_rank < 0
+            if carried.any():
+                span_start[carried] = self._open_start_arr[cf[carried]]
+            norm = np.nonzero(~carried)[0]
+            if len(norm):
+                o_grp = np.searchsorted(of, cf[norm], side="left")
+                span_start[norm] = ot[o_grp + s_rank[norm]]
+            # Merge touching raw spans into runs (start == previous end).
+            new_run = np.concatenate(([True], cf[1:] != cf[:-1]))
+            if n_close > 1:
+                new_run[1:] |= span_start[1:] > ctm[:-1]
+            r_idx = np.nonzero(new_run)[0]
+            run_fid = cf[r_idx]
+            run_start = span_start[r_idx]
+            run_end = ctm[np.append(r_idx[1:] - 1, n_close - 1)]
+            add_run = np.ones(len(r_idx), dtype=bool)
+        else:
+            run_fid = np.empty(0, dtype=np.int64)
+            run_start = np.empty(0)
+            run_end = np.empty(0)
+            add_run = np.empty(0, dtype=bool)
+
+        count_end = carry0 + np.add.reduceat(g_d, grp_start)
+        # All closes (not only the 0-reaching ones), for carrying the
+        # per-span max-close time: nested closes inside a span that stays
+        # open past the chunk can outlast a later lenient finalize close.
+        x_all = np.nonzero(g_d == -1)[0]
+        xf_all = g_f[x_all]
+        incl = self._incl
+        inf = math.inf
+        for k in range(len(grp_fids)):
+            fid = int(grp_fids[k])
+            c0 = int(carry0[k])
+            cend = int(count_end[k])
+            r_lo = int(np.searchsorted(run_fid, fid, side="left"))
+            r_hi = int(np.searchsorted(run_fid, fid, side="right"))
+            nruns = r_hi - r_lo
+            o_lo = int(np.searchsorted(of, fid, side="left"))
+            o_hi = int(np.searchsorted(of, fid, side="right"))
+            pend0 = None
+            if self._pend_mask[fid]:
+                pend0 = (float(self._pend_start[fid]),
+                         float(self._pend_end[fid]))
+            if o_hi > o_lo:
+                t_open = float(ot[o_lo])
+                first_opens[fid] = t_open
+                if pend0 is not None:
+                    # The carried pending span resolves at the reopen:
+                    # touching resumes the merged span, a gap flushes it.
+                    self._pend_mask[fid] = False
+                    ps, pe_ = pend0
+                    if t_open <= pe_:
+                        if nruns:
+                            run_start[r_lo] = ps
+                    else:
+                        incl[fid] += pe_ - ps
+                        self._incl_touched[fid] = True
+            if c0 > 0 and nruns:
+                # The carried open span closed: its resume floor is spent.
+                self._floor_mask[fid] = False
+            resumed = (pend0 is not None and o_hi > o_lo
+                       and float(ot[o_lo]) <= pend0[1])
+            open_final = None
+            if cend > 0:
+                if nruns:
+                    o_last = float(ot[o_hi - 1])
+                    last_end = float(run_end[r_hi - 1])
+                    if o_last <= last_end:
+                        # Trailing open touches the last run: the run is
+                        # not retired, it extends into the open span.
+                        add_run[r_hi - 1] = False
+                        open_final = float(run_start[r_hi - 1])
+                        self._floor_arr[fid] = last_end
+                        self._floor_mask[fid] = True
+                    else:
+                        open_final = o_last
+                        self._floor_mask[fid] = False
+                elif o_hi > o_lo:
+                    # Opened in-chunk, never closed.
+                    if resumed:
+                        open_final = pend0[0]
+                        self._floor_arr[fid] = pend0[1]
+                        self._floor_mask[fid] = True
+                    else:
+                        open_final = float(ot[o_lo])
+                else:
+                    # Carried in active and stayed active: unchanged.
+                    open_final = float(self._open_start_arr[fid])
+                self._open_start_arr[fid] = open_final
+            elif nruns:
+                # Closed at chunk end: the last run becomes the pending
+                # span (it may still merge with a future reopen).
+                add_run[r_hi - 1] = False
+                self._pend_start[fid] = run_start[r_hi - 1]
+                self._pend_end[fid] = run_end[r_hi - 1]
+                self._pend_mask[fid] = True
+                self._floor_mask[fid] = False
+            # Max-close carry: on a monotone chunk every retiring close
+            # already ends its run at the in-chunk maximum, so the carry
+            # only matters for a span left open past the chunk.
+            if cend == 0:
+                self._maxclose_arr[fid] = -inf
+            else:
+                xa_lo = int(np.searchsorted(xf_all, fid, side="left"))
+                xa_hi = int(np.searchsorted(xf_all, fid, side="right"))
+                if xa_hi > xa_lo:
+                    c_lo_f = int(np.searchsorted(cf, fid, side="left"))
+                    c_hi_f = int(np.searchsorted(cf, fid, side="right"))
+                    last_close = int(x_all[xa_hi - 1])
+                    last_retire = (int(c_idx[c_hi_f - 1])
+                                   if c_hi_f > c_lo_f else -1)
+                    # A close after the last 0-reaching close belongs to
+                    # the still-open span; otherwise the scalar engine
+                    # would have reset the carry at that retire.
+                    self._maxclose_arr[fid] = (
+                        float(g_t[last_close])
+                        if last_close > last_retire else -inf)
+            # Attribution spans: carried pending (boundary-tie samples),
+            # this chunk's runs, and the still-open span.
+            n_spans = (1 if pend0 is not None else 0) + nruns \
+                + (1 if open_final is not None else 0)
+            starts = np.empty(n_spans)
+            ends = np.empty(n_spans)
+            w = 0
+            if pend0 is not None:
+                starts[0], ends[0] = pend0
+                w = 1
+            starts[w:w + nruns] = run_start[r_lo:r_hi]
+            ends[w:w + nruns] = run_end[r_lo:r_hi]
+            if open_final is not None:
+                starts[-1] = open_final
+                ends[-1] = inf
+            spans_for[fid] = (starts, ends)
+        self._active_arr[grp_fids] += count_end - carry0
+        keep = np.nonzero(add_run)[0]
+        if len(keep):
+            np.add.at(incl, run_fid[keep],
+                      run_end[keep] - run_start[keep])
+            self._incl_touched[run_fid[keep]] = True
+        if n_close:
+            e_last = float(ctm[-1])     # monotone: last close is latest
+            self._closed_at = (
+                e_last,
+                {int(f) for f in cf[ctm == e_last].tolist()},
+            )
+
+    def _attribute_chunk(self, spans_for, s_t, s_sidx, s_val, base_seq
+                         ) -> None:
+        """Closed-interval containment attribution for one chunk's
+        samples, pushed per (function, sensor) group in stream order."""
+        n_s = len(s_t)
+        candidates = set(spans_for)
+        candidates.update(np.nonzero(self._active_arr)[0].tolist())
+        candidates.update(np.nonzero(self._pend_mask)[0].tolist())
+        n_sensors = len(self.sensor_names)
+        stats = self._stats
+        attr_seq = self._attr_seq
+        for fid in candidates:
+            item = spans_for.get(fid)
+            if item is not None:
+                starts, ends = item
+            elif self._active_arr[fid] > 0:
+                # Active with no events this chunk: covers everything.
+                starts = np.array([-math.inf])
+                ends = np.array([math.inf])
+            elif self._pend_mask[fid]:
+                starts = self._pend_start[fid:fid + 1]
+                ends = self._pend_end[fid:fid + 1]
+            else:
+                continue
+            if not len(starts):
+                continue
+            idx = np.searchsorted(starts, s_t, side="right") - 1
+            ok = np.nonzero(idx >= 0)[0]
+            hit = np.zeros(n_s, dtype=bool)
+            hit[ok] = s_t[ok] <= ends[idx[ok]]
+            if not hit.any():
+                continue
+            for sidx in range(n_sensors):
+                m = hit & (s_sidx == sidx)
+                if not m.any():
+                    continue
+                key = (fid, sidx)
+                st = stats.get(key)
+                if st is None:
+                    st = stats[key] = OnlineStats()
+                st.push_many(s_val[m])
+                last = int(np.nonzero(m)[0][-1])
+                attr_seq[key] = base_seq + 1 + last
 
     # ------------------------------------------------------------------
     # Profile construction
@@ -600,19 +1276,20 @@ class ProfileAccumulator:
         # sample — so a snapshot taken while a long function is still open
         # keeps accruing its time between ENTER and EXIT.
         now = self._now
-        totals = dict(self._union_total)
-        for name, (start, end) in self._pending.items():
-            totals[name] = totals.get(name, 0.0) + (end - start)
+        totals = self._totals_with_pending()
         span_hi = self._span_hi
-        for name in self._active:
-            start = self._open_start[name]
+        for fid in np.nonzero(self._active_arr)[0].tolist():
+            start = float(self._open_start_arr[fid])
             if now > start:
-                totals[name] = totals.get(name, 0.0) + (now - start)
+                totals[fid] = totals.get(fid, 0.0) + (now - start)
             span_hi = max(span_hi, now)
-        exclusive = dict(self._exclusive)
-        for pid, (name, since) in self._top_since.items():
+        exclusive = {
+            fid: float(self._excl[fid])
+            for fid in np.nonzero(self._excl)[0].tolist()
+        }
+        for pid, (fid, since) in self._top_since.items():
             if now > since:
-                exclusive[name] = exclusive.get(name, 0.0) + (now - since)
+                exclusive[fid] = exclusive.get(fid, 0.0) + (now - since)
         return self._build_profile(totals, exclusive, span_hi)
 
     def finalize(self) -> NodeProfile:
@@ -627,42 +1304,66 @@ class ProfileAccumulator:
             profile = self._finalize_batch(strict=self.strict)
             self._finalized = True
             return profile
-        for pid, stack in self._stacks.items():
-            if stack:
-                if self.strict:
-                    open_names = [n for n, _ in stack]
-                    raise TraceError(
-                        f"pid {pid}: trace ended with open frames "
-                        f"{open_names}"
-                    )
-                t_end = self._last_time.get(pid, stack[-1][1])
-                self._credit_top(pid, t_end)
-                while stack:
-                    name, _t0 = stack.pop()
-                    self._union_close(name, t_end)
-                self._top_since.pop(pid, None)
-        totals = dict(self._union_total)
-        for name, (start, end) in self._pending.items():
-            totals[name] = totals.get(name, 0.0) + (end - start)
+        # Close processes in ascending end-time order: the online union
+        # counts activations and needs close times non-decreasing, else a
+        # function open on two processes would end its merged span at
+        # whichever process happened to be swept last rather than at the
+        # latest end (the batch interval merge always takes the latest).
+        open_pids = sorted(
+            (pid for pid, stack in self._stacks.items() if stack),
+            key=lambda pid: self._last_time.get(
+                pid, self._stacks[pid][-1][1]),
+        )
+        for pid in open_pids:
+            stack = self._stacks[pid]
+            if self.strict:
+                open_names = [self._fnames[f] for f, _ in stack]
+                raise TraceError(
+                    f"pid {pid}: trace ended with open frames "
+                    f"{open_names}"
+                )
+            t_end = self._last_time.get(pid, stack[-1][1])
+            self._credit_top(pid, t_end)
+            while stack:
+                fid, _t0 = stack.pop()
+                self._union_close(fid, t_end)
+            self._top_since.pop(pid, None)
+        totals = self._totals_with_pending()
+        exclusive = {
+            fid: float(self._excl[fid])
+            for fid in np.nonzero(self._excl)[0].tolist()
+        }
         self._finalized = True
-        return self._build_profile(totals, dict(self._exclusive),
-                                   self._span_hi)
+        return self._build_profile(totals, exclusive, self._span_hi)
 
-    def _build_profile(self, totals: dict[str, float],
-                       exclusive: dict[str, float],
+    def _totals_with_pending(self) -> dict[int, float]:
+        totals = {
+            fid: float(self._incl[fid])
+            for fid in np.nonzero(self._incl_touched)[0].tolist()
+        }
+        for fid in np.nonzero(self._pend_mask)[0].tolist():
+            totals[fid] = totals.get(fid, 0.0) + float(
+                self._pend_end[fid] - self._pend_start[fid])
+        return totals
+
+    def _build_profile(self, totals: dict[int, float],
+                       exclusive: dict[int, float],
                        span_hi: float) -> NodeProfile:
         interval_s = 1.0 / self.sampling_hz
         min_needed = max(1, self.min_samples_for_stats)
+        fnames = self._fnames
         functions: dict[str, FunctionProfile] = {}
-        for name in sorted(self._calls, key=lambda n: totals.get(n, 0.0),
-                           reverse=True):
-            total = totals.get(name, 0.0)
+        called = np.nonzero(self._calls_arr)[0].tolist()
+        for fid in sorted(called, key=lambda f: totals.get(f, 0.0),
+                          reverse=True):
+            name = fnames[fid]
+            total = totals.get(fid, 0.0)
             significant = total >= interval_s
             stats: dict[str, SensorStats] = {}
             n_hits = 0
             if significant:
                 for sidx, sensor in enumerate(self.sensor_names):
-                    st = self._stats.get((name, sidx))
+                    st = self._stats.get((fid, sidx))
                     n = st.n if st is not None else 0
                     if n >= min_needed:
                         stats[sensor] = SensorStats.from_accumulator(st)
@@ -677,8 +1378,8 @@ class ProfileAccumulator:
             functions[name] = FunctionProfile(
                 name=name,
                 total_time_s=total,
-                exclusive_time_s=exclusive.get(name, 0.0),
-                n_calls=self._calls.get(name, 0),
+                exclusive_time_s=exclusive.get(fid, 0.0),
+                n_calls=int(self._calls_arr[fid]),
                 significant=significant,
                 sensor_stats=stats,
                 n_samples=n_hits,
@@ -696,8 +1397,14 @@ class ProfileAccumulator:
             for i, name in enumerate(self.sensor_names)
         }
         timeline = Timeline.from_aggregates(
-            exclusive, dict(self._calls), dict(self._arcs), (t0, t1),
-            inclusive_s=totals,
+            {fnames[f]: v for f, v in exclusive.items()},
+            {fnames[f]: int(self._calls_arr[f]) for f in called},
+            {
+                (("<root>" if c < 0 else fnames[c]), fnames[f]): n
+                for (c, f), n in self._arcs.items()
+            },
+            (t0, t1),
+            inclusive_s={fnames[f]: v for f, v in totals.items()},
         )
         return NodeProfile(
             node_name=self.node_name,
@@ -807,7 +1514,8 @@ class StreamingRunProfiler:
 
     def __init__(self, symtab: SymbolTable, *, sampling_hz: float = 4.0,
                  strict: bool = False, min_samples_for_stats: int = 1,
-                 meta: Optional[dict] = None, batch: bool = False):
+                 meta: Optional[dict] = None, batch: bool = False,
+                 vectorized: bool = True):
         self.symtab = symtab
         self.sampling_hz = float(sampling_hz)
         self.strict = strict
@@ -817,6 +1525,7 @@ class StreamingRunProfiler:
         #: vectorized pipeline — what a consumer wants when it collects
         #: remote streams but needs bit-equality with the batch parser
         self.batch = batch
+        self.vectorized = vectorized
         self.accumulators: dict[str, ProfileAccumulator] = {}
 
     def add_node(self, node_name: str, tsc_hz: float,
@@ -833,6 +1542,7 @@ class StreamingRunProfiler:
                 strict=self.strict,
                 min_samples_for_stats=self.min_samples_for_stats,
                 batch=self.batch,
+                vectorized=self.vectorized,
             )
             self.accumulators[node_name] = acc
         return acc
@@ -866,17 +1576,21 @@ class StreamingRunProfiler:
 
 def stream_spool_profile(directory, *, chunk_records: Optional[int] = None,
                          strict: bool = False,
-                         min_samples_for_stats: int = 1) -> RunProfile:
+                         min_samples_for_stats: int = 1,
+                         vectorized: bool = True) -> RunProfile:
     """Constant-memory profile of a spool directory.
 
     Reads ``header.json`` plus each ``<node>.spool`` in fixed-size record
     chunks and folds them straight into streaming accumulators — the
     whole trace is never resident, so peak memory is O(chunk + functions
     × sensors) however long the run was.  The batch equivalent is
-    ``spool_to_bundle`` + ``TempestParser``.
+    ``spool_to_bundle`` + ``TempestParser``.  The default chunk size is
+    :data:`repro.core.spool.STREAM_CHUNK_RECORDS` — larger than the
+    spool write granularity, because the vectorized reduction amortizes
+    per-chunk overhead over more records at ~11 MB of peak residency.
     """
     from repro.core.spool import (
-        SPOOL_CHUNK_RECORDS,
+        STREAM_CHUNK_RECORDS,
         iter_spool_chunks,
         read_spool_header,
     )
@@ -890,8 +1604,9 @@ def stream_spool_profile(directory, *, chunk_records: Optional[int] = None,
         strict=strict,
         min_samples_for_stats=min_samples_for_stats,
         meta=meta,
+        vectorized=vectorized,
     )
-    size = chunk_records or SPOOL_CHUNK_RECORDS
+    size = chunk_records or STREAM_CHUNK_RECORDS
     for name, info in header["nodes"].items():
         acc = profiler.add_node(name, info["tsc_hz"], info["sensor_names"])
         spool_file = directory / f"{name}.spool"

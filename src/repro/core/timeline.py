@@ -360,6 +360,29 @@ def _event_lists(records, symtab: SymbolTable, seconds_fn):
 # ----------------------------------------------------------------------
 # Vectorized builder (well-formed streams only)
 
+def frame_depths(is_enter: np.ndarray, base_depth: int = 0
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """The matched-frame trick's depth arrays for one process's stream.
+
+    ``depth_after[i]`` is the call depth after event *i* (starting from
+    ``base_depth`` frames already open); ``frame_depth[i]`` is the depth
+    of the frame the event belongs to — an ENTER's own depth, or for an
+    EXIT the depth of the frame it closes.  Within one process the *i*-th
+    ENTER reaching depth *d* always matches the *i*-th EXIT leaving depth
+    *d* (a second depth-*d* frame cannot open before the first closes),
+    so ``frame_depth`` plus one stable sort pairs every frame without a
+    per-event loop.  Shared by :func:`_build_timeline_vectorized` and the
+    streaming accumulator's chunked fast path
+    (:meth:`repro.core.streamprof.ProfileAccumulator.consume`), which
+    passes ``base_depth`` to thread its carry-over stack into the chunk.
+    """
+    depth_after = np.cumsum(np.where(is_enter, 1, -1))
+    if base_depth:
+        depth_after = depth_after + base_depth
+    frame_depth = np.where(is_enter, depth_after, depth_after + 1)
+    return depth_after, frame_depth
+
+
 def _grouped_unions(names: list[str], name_idx: np.ndarray,
                     starts: np.ndarray, ends: np.ndarray
                     ) -> dict[str, list[tuple[float, float]]]:
@@ -419,10 +442,9 @@ def _build_timeline_vectorized(enter_mask, name_idx, names, times, pids
         m = len(t)
         if m > 1 and np.any(t[1:] < t[:-1] - 1e-12):
             return None
-        depth_after = np.cumsum(np.where(is_enter, 1, -1))
+        depth_after, frame_depth = frame_depths(is_enter)
         if depth_after.min() < 0 or depth_after[-1] != 0:
             return None
-        frame_depth = np.where(is_enter, depth_after, depth_after + 1)
         enters = np.nonzero(is_enter)[0]
         exits = np.nonzero(~is_enter)[0]
         ed = frame_depth[enters]

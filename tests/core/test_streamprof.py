@@ -78,6 +78,67 @@ def test_mode_tie_breaks_to_smaller_value():
     assert st.mod == 40.0  # same tie rule as compute_sensor_stats
 
 
+def _adversarial_distributions():
+    rng = np.random.default_rng(11)
+    constant = np.full(400, 51.25)
+    bimodal = np.where(rng.random(600) < 0.5, 40.0, 90.0)
+    rng.shuffle(bimodal)
+    # Huge common offset, tiny spread: the classic catastrophic-
+    # cancellation case for naive sum-of-squares variance.
+    offset = 1e9 + np.round(rng.normal(0.0, 0.25, size=500) * 4.0) / 4.0
+    return {"constant": constant, "bimodal": bimodal, "offset-1e9": offset}
+
+
+# What bulk merging can actually promise per distribution: moments are
+# ~1e-12 relative on in-range data, but a 1e9 common offset costs ~1e-9
+# of the variance to cancellation even under Welford/Chan (a naive
+# sum-of-squares loses *everything*: eps·mean²/var ≈ 1e3 relative).
+_MOMENT_REL = {"constant": 1e-12, "bimodal": 1e-9, "offset-1e9": 1e-6}
+
+
+@pytest.mark.parametrize("name", sorted(_adversarial_distributions()))
+def test_push_many_adversarial_distributions(name):
+    """Bulk Chan/Welford merging survives the distributions that break
+    naive accumulation: zero variance, two far modes, and a 1e9 offset."""
+    values = _adversarial_distributions()[name]
+    st = OnlineStats()
+    # Ragged blocks, including k == 1 (the push() short-circuit).
+    for lo, hi in zip([0, 1, 4, 50, 51], [1, 4, 50, 51, len(values)]):
+        st.push_many(values[lo:hi])
+    exact = compute_sensor_stats(values)
+    assert (st.n, st.min, st.max, st.mod) == (
+        exact.n, exact.min, exact.max, exact.mod)
+    assert st.avg == pytest.approx(exact.avg, rel=1e-12)
+    assert st.var == pytest.approx(exact.var, rel=_MOMENT_REL[name],
+                                   abs=1e-12)
+    if name == "constant":
+        assert st.var == 0.0 and st.med == 51.25
+    elif name == "bimodal":
+        # P² assumes a unimodal-ish CDF; on two far modes its estimate
+        # lands between them.  The in-range guarantee is all there is.
+        assert st.min <= st.med <= st.max
+    else:
+        assert st.med == pytest.approx(exact.med, abs=0.5)
+
+
+@pytest.mark.parametrize("name", sorted(_adversarial_distributions()))
+def test_push_many_bit_matches_elementwise_push(name):
+    """One bulk fold per block must reproduce the per-element stream for
+    every exact field, and the Chan-merged moments to ~1e-12."""
+    values = _adversarial_distributions()[name]
+    bulk, scalar = OnlineStats(), OnlineStats()
+    for lo in range(0, len(values), 37):
+        block = values[lo:lo + 37]
+        bulk.push_many(block)
+        for v in block.tolist():
+            scalar.push(v)
+    assert (bulk.n, bulk.min, bulk.max, bulk.mod, bulk.med) == (
+        scalar.n, scalar.min, scalar.max, scalar.mod, scalar.med)
+    assert bulk.avg == pytest.approx(scalar.avg, rel=1e-12)
+    assert bulk.var == pytest.approx(scalar.var, rel=_MOMENT_REL[name],
+                                     abs=1e-15)
+
+
 # ----------------------------------------------------------------------
 # Synthetic monotone node traces
 
@@ -132,6 +193,46 @@ def profile_key(prof):
             prof.sensor_summary)
 
 
+def _stats_exact(st):
+    """The SensorStats fields that are bit-identical across chunkings."""
+    return (st.n, st.min, st.max, st.med, st.mod)
+
+
+def exact_profile_key(prof):
+    """profile_key with the Chan-merged moments (avg/var/sdv) stripped —
+    everything here must be *bit-equal* across chunk sizes."""
+    fns = {}
+    for name, fp in prof.functions.items():
+        fns[name] = (
+            fp.total_time_s, fp.exclusive_time_s, fp.n_calls,
+            fp.significant, fp.n_samples, fp.coverage,
+            {s: _stats_exact(st) for s, st in fp.sensor_stats.items()},
+        )
+    return (prof.node_name, prof.duration_s, fns,
+            dict(prof.timeline.arcs), prof.timeline.span,
+            {s: _stats_exact(st) for s, st in prof.sensor_summary.items()})
+
+
+def _iter_stats_pairs(a, b):
+    for name, fa in a.functions.items():
+        fb = b.functions[name]
+        for sensor, sa in fa.sensor_stats.items():
+            yield sa, fb.sensor_stats[sensor]
+    for sensor, sa in a.sensor_summary.items():
+        yield sa, b.sensor_summary[sensor]
+
+
+def assert_profiles_equivalent(a, b):
+    """The chunking-invariance contract: every field bit-equal except the
+    bulk-merged moments, which agree to 1e-9 relative (observed ~1e-15:
+    one Chan fold per chunk vs per-sample Welford)."""
+    assert exact_profile_key(a) == exact_profile_key(b)
+    for sa, sb in _iter_stats_pairs(a, b):
+        assert sa.avg == pytest.approx(sb.avg, rel=1e-9)
+        assert sa.var == pytest.approx(sb.var, rel=1e-9, abs=1e-12)
+        assert sa.sdv == pytest.approx(sb.sdv, rel=1e-9, abs=1e-12)
+
+
 def stream_profile(trace, symtab, chunk_records, **kw):
     acc = make_acc(trace, symtab, **kw)
     if chunk_records is None:
@@ -143,14 +244,15 @@ def stream_profile(trace, symtab, chunk_records, **kw):
 
 
 # ----------------------------------------------------------------------
-# Chunk-size invariance (the streaming property): bit-identical profiles
+# Chunk-size invariance (the streaming property): identical profiles up
+# to moment rounding (see assert_profiles_equivalent)
 
 @pytest.mark.parametrize("chunk", [1, 7, 4096])
 def test_chunk_size_invariance(chunk):
     trace, symtab = synth_trace()
     whole = stream_profile(trace, symtab, None)
     chunked = stream_profile(trace, symtab, chunk)
-    assert profile_key(chunked) == profile_key(whole)
+    assert_profiles_equivalent(chunked, whole)
 
 
 @pytest.mark.parametrize("chunk", [1, 7, 4096])
@@ -164,7 +266,53 @@ def test_chunk_size_invariance_lossy(chunk):
     trace, symtab = synth_trace(trace=lossy)
     whole = stream_profile(trace, symtab, None)
     chunked = stream_profile(trace, symtab, chunk)
-    assert profile_key(chunked) == profile_key(whole)
+    assert_profiles_equivalent(chunked, whole)
+
+
+@pytest.mark.parametrize("chunk", [2, 1021])
+def test_chunk_size_invariance_adversarial_sizes(chunk):
+    """Size 2 puts nearly every ENTER/EXIT pair astride a boundary; 1021
+    (prime) walks the boundary through every phase of the quad pattern."""
+    trace, symtab = synth_trace()
+    whole = stream_profile(trace, symtab, None)
+    chunked = stream_profile(trace, symtab, chunk)
+    assert_profiles_equivalent(chunked, whole)
+
+
+def test_chunk_split_exactly_on_enter_and_exit():
+    """Splits landing exactly before/after an ENTER or EXIT record must
+    not disturb the carry-over stack threading."""
+    trace, symtab = synth_trace(n_quads=60, seed=9)
+    arr = trace.columns.array
+    whole = stream_profile(trace, symtab, None)
+    enter_pos = np.nonzero(arr["kind"] == REC_ENTER)[0]
+    exit_pos = np.nonzero(arr["kind"] == REC_EXIT)[0]
+    for cut in (int(enter_pos[3]), int(enter_pos[3]) + 1,
+                int(exit_pos[5]), int(exit_pos[5]) + 1):
+        acc = make_acc(trace, symtab)
+        acc.consume(arr[:cut])
+        acc.consume(arr[cut:])
+        assert_profiles_equivalent(acc.finalize(), whole)
+
+
+def test_vectorized_takes_no_fallbacks_on_clean_trace():
+    """A well-formed monotone trace must stay on the fast path for every
+    chunk — a fallback here is a performance regression."""
+    trace, symtab = synth_trace(n_quads=200, seed=17)
+    acc = make_acc(trace, symtab)
+    for chunk in trace.iter_column_chunks(257):
+        acc.consume(chunk)
+    acc.finalize()
+    assert acc.fallbacks == {}
+
+
+def test_forced_scalar_matches_vectorized():
+    """vectorized=False routes every chunk through the scalar replay; the
+    two engines must agree field-by-field (the differential baseline)."""
+    trace, symtab = synth_trace(n_quads=300, seed=29)
+    fast = stream_profile(trace, symtab, 128)
+    slow = stream_profile(trace, symtab, 128, vectorized=False)
+    assert_profiles_equivalent(fast, slow)
 
 
 # ----------------------------------------------------------------------
@@ -333,7 +481,7 @@ def test_snapshot_is_nondestructive_and_progressive():
     acc.consume(arr[half:])
     final = acc.finalize()
     whole = stream_profile(trace, symtab, None)
-    assert profile_key(final) == profile_key(whole)
+    assert_profiles_equivalent(final, whole)
     # The mid-stream snapshot saw some, not all, of the calls.
     assert sum(f.n_calls for f in snap1.functions.values()) < \
         sum(f.n_calls for f in final.functions.values())

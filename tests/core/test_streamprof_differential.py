@@ -1,0 +1,107 @@
+"""Differential harness: the vectorized streaming accumulator against
+its two references.
+
+Three-way check per seeded adversarial trace (see
+:mod:`tests.core.difftrace`):
+
+* vectorized streaming vs **forced-scalar** streaming — the exact
+  contract: every field bit-equal except the Chan-merged moments
+  (``avg``/``var``/``sdv``, 1e-9 relative);
+* vectorized streaming vs the **batch** pipeline — the documented
+  streaming-vs-batch tolerances (``assert_stream_matches_batch``);
+* the TL018 cross-validation rule on fault-injected bundles — the
+  lint-level restatement of the same contract must stay green.
+
+Clean traces must additionally take zero scalar fallbacks (the fast
+path covering them is the point of the vectorization), and the fallback
+registry must stay in sync with docs/INTERNALS.md.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.tracelint import compare_profiles
+from repro.core.profilemodel import RunProfile
+from repro.core.streamprof import FALLBACK_REASONS
+from tests.core.difftrace import generate_trace
+from tests.core.test_streamprof import (
+    assert_profiles_equivalent,
+    assert_stream_matches_batch,
+    make_acc,
+)
+
+SEEDS = range(24)
+CHUNK_SIZES = (1, 7, 64, 1021)
+
+
+def stream(trace, symtab, chunk_records, **kw):
+    acc = make_acc(trace, symtab, **kw)
+    arr = trace.columns.array
+    if chunk_records is None:
+        acc.consume(arr)
+    else:
+        for lo in range(0, len(arr), chunk_records):
+            acc.consume(arr[lo:lo + chunk_records])
+    return acc, acc.finalize()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_differential_three_way(seed):
+    # Every third seed is adversarial (unbalanced stacks, unknown kinds,
+    # fault-plan record loss), and every other adversarial seed also
+    # corrupts records (forward TSC jitter).  The chunk size cycles so
+    # each shape meets several boundary granularities across the sweep.
+    adversarial = seed % 3 == 2
+    corrupt = adversarial and seed % 6 == 5
+    chunk = CHUNK_SIZES[seed % len(CHUNK_SIZES)]
+    trace, symtab = generate_trace(seed, adversarial=adversarial,
+                                   corrupt=corrupt)
+    acc, fast = stream(trace, symtab, chunk)
+    _, slow = stream(trace, symtab, chunk, vectorized=False)
+    assert_profiles_equivalent(fast, slow)
+    if not corrupt:
+        # Loss-only faults keep timestamps globally non-decreasing — the
+        # precondition of the stream-vs-batch contract.  Corrupt seeds
+        # jitter TSCs forward, so their batch agreement is only
+        # skew-bounded (documented divergence); for them the
+        # vectorized==scalar and chunking-invariance checks above and
+        # below are the binding ones.
+        _, batch = stream(trace, symtab, None, batch=True)
+        assert_stream_matches_batch(fast, batch)
+    else:
+        _, whole = stream(trace, symtab, None)
+        assert_profiles_equivalent(fast, whole)
+    if not adversarial:
+        assert acc.fallbacks == {}
+
+
+@pytest.mark.parametrize("chunk", CHUNK_SIZES + (None,))
+def test_differential_chunk_sweep_one_seed(chunk):
+    """One fixed shape across every chunk size, including whole-trace."""
+    trace, symtab = generate_trace(1234, adversarial=True)
+    _, fast = stream(trace, symtab, chunk)
+    _, slow = stream(trace, symtab, chunk, vectorized=False)
+    assert_profiles_equivalent(fast, slow)
+
+
+@pytest.mark.parametrize("seed", [2, 5, 8])
+def test_tl018_green_on_fault_injected_bundles(seed):
+    """The lint-level batch-vs-stream rule agrees with the harness."""
+    trace, symtab = generate_trace(seed, adversarial=True)
+    chunk = CHUNK_SIZES[seed % len(CHUNK_SIZES)]
+    _, fast = stream(trace, symtab, chunk)
+    _, batch = stream(trace, symtab, None, batch=True)
+    wrap = lambda prof: RunProfile(nodes={prof.node_name: prof},
+                                   sampling_hz=4.0, meta={})
+    assert compare_profiles(wrap(batch), wrap(fast)) == []
+
+
+def test_fallback_reasons_documented():
+    """Drift test: every fallback counter key must be explained in the
+    INTERNALS streaming section, and vice versa nothing undocumented."""
+    doc = (Path(__file__).resolve().parents[2]
+           / "docs" / "INTERNALS.md").read_text()
+    for key in FALLBACK_REASONS:
+        assert f"`{key}`" in doc, (
+            f"FALLBACK_REASONS[{key!r}] is not documented in INTERNALS.md")
