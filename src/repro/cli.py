@@ -320,24 +320,74 @@ def _parse_hostport(text: str) -> tuple[str, int]:
 def cmd_serve(args) -> int:
     """Run the cluster aggregator: accept collector streams, merge, drain.
 
-    Exit 0 when every expected node drained completely; 1 when the drain
-    timed out or a node's EOF receipt fell short of its declared total.
+    Three roles:
+
+    * ``standalone`` (default) — classic single-tier aggregation:
+      collectors in, merged profile out;
+    * ``leaf`` — additionally condense everything accepted into
+      ``tempest-summary-v1`` snapshots and ship them to ``--upstream``
+      (periodically while draining, then a verified final one);
+    * ``root`` — accept SUMMARY streams from leaf aggregators (and any
+      directly-connected collectors) and compose the global profile
+      from the summary algebra, never the raw records.
+
+    Exit 0 when every expected source drained completely; 1 when the
+    drain timed out or an EOF receipt fell short.
     """
     import json
 
     from repro.cluster import AggregatorServer
 
     host, port = _parse_hostport(args.bind)
-    server = AggregatorServer(host, port, live=False,
-                              expected_nodes=args.nodes)
+    live = args.role in ("leaf", "root")
+    server = AggregatorServer(
+        host, port, live=live,
+        expected_nodes=args.nodes,
+        stale_timeout_s=args.stale_timeout,
+        metrics_json=args.metrics_json,
+        metrics_interval_s=args.metrics_interval,
+    )
     print(f"aggregator listening on {server.host}:{server.port}",
           file=sys.stderr, flush=True)
+
+    pump = None
+    uplink = None
+    if args.role == "leaf":
+        from repro.cluster import LeafUplink, SocketTransport, SummaryPump
+
+        if not args.upstream:
+            print("tempest serve: --role leaf requires --upstream",
+                  file=sys.stderr)
+            server.shutdown()
+            return 2
+        up_host, up_port = _parse_hostport(args.upstream)
+        leaf_name = args.leaf_name or f"leaf-{server.host}-{server.port}"
+        uplink = LeafUplink(
+            leaf_name,
+            lambda: SocketTransport(up_host, up_port),
+            run=args.run,
+        )
+        pump = SummaryPump(server.aggregator, uplink,
+                           interval_s=args.summary_interval).start()
+
     drained = server.wait_drained(args.timeout)
+
+    finished = True
+    if args.role == "leaf":
+        pump.stop()
+        agg = server.aggregator
+        if agg.nodes:
+            final = agg.run_summary(final=True)
+            finished = uplink.finish(final, final.n_records)
+            if not finished:
+                print("tempest serve: final summary never reached the "
+                      "root", file=sys.stderr)
+        uplink.close()
     server.shutdown()
     agg = server.aggregator
 
     nodes_report = {}
-    complete = drained
+    complete = drained and finished
     for name in sorted(agg.nodes):
         node = agg.nodes[name]
         nodes_report[name] = {
@@ -347,22 +397,50 @@ def cmd_serve(args) -> int:
         }
         if not node.drained:
             complete = False
-    print(f"drained={drained} nodes={len(agg.nodes)}", file=sys.stderr)
+    leaves_report = {}
+    for name in sorted(agg.leaves):
+        leaf = agg.leaves[name]
+        leaves_report[name] = {
+            "last_seq": leaf.last_seq,
+            "records": leaf.records,
+            "drained": leaf.drained,
+        }
+        if not leaf.drained:
+            complete = False
+    print(f"drained={drained} nodes={len(agg.nodes)} "
+          f"leaves={len(agg.leaves)}", file=sys.stderr)
     for key, value in agg.metrics.to_dict().items():
         print(f"  {key:<18} {value}", file=sys.stderr)
 
-    if agg.nodes and any(n.n_records for n in agg.nodes.values()):
+    if args.role == "root" and (agg.leaves or agg.nodes):
+        summary = agg.composed_summary()
+        if summary.nodes:
+            _emit(summary.to_profile(), args)
+        if args.summary_out:
+            args.summary_out.write_text(
+                json.dumps(summary.to_dict(), indent=2))
+            print(f"composed summary written to {args.summary_out}",
+                  file=sys.stderr)
+    elif agg.nodes and any(n.n_records for n in agg.nodes.values()):
         profile = agg.merged_profile()
         _emit(profile, args)
+        if args.summary_out and agg.live:
+            summary = agg.run_summary(final=True)
+            args.summary_out.write_text(
+                json.dumps(summary.to_dict(), indent=2))
+            print(f"run summary written to {args.summary_out}",
+                  file=sys.stderr)
     if args.out:
         agg.save_bundle(args.out)
         print(f"trace bundle written to {args.out}", file=sys.stderr)
     if args.json:
         args.json.write_text(json.dumps({
             "format": "tempest-serve-v1",
+            "role": args.role,
             "drained": bool(complete),
             "metrics": agg.metrics.to_dict(),
             "nodes": nodes_report,
+            "leaves": leaves_report,
         }, indent=2))
         print(f"serve report written to {args.json}", file=sys.stderr)
     return 0 if complete else 1
@@ -403,6 +481,7 @@ def cmd_push(args) -> int:
         client = CollectorClient.from_spool_header(
             args.spool_dir, name,
             lambda: SocketTransport(host, port),
+            run=args.run,
             config=config,
         )
         total = spool_file.stat().st_size // RECORD_SIZE
@@ -590,6 +669,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: whatever connects)")
     p.add_argument("--timeout", type=float, default=60.0, metavar="SECONDS",
                    help="give up waiting for the drain after this long")
+    p.add_argument("--role", choices=["standalone", "leaf", "root"],
+                   default="standalone",
+                   help="standalone: classic single-tier aggregation; "
+                        "leaf: also ship summary snapshots to --upstream; "
+                        "root: compose the global profile from leaf "
+                        "summaries")
+    p.add_argument("--upstream", default=None, metavar="HOST:PORT",
+                   help="root aggregator address (required for --role leaf)")
+    p.add_argument("--run", default="default", metavar="ID",
+                   help="run id this aggregator's uplink summaries "
+                        "belong to")
+    p.add_argument("--leaf-name", default=None, metavar="NAME",
+                   help="leaf identity on the root (default: "
+                        "leaf-HOST-PORT)")
+    p.add_argument("--summary-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="leaf snapshot cadence while draining")
+    p.add_argument("--summary-out", type=Path, default=None, metavar="FILE",
+                   help="write the final tempest-summary-v1 JSON here "
+                        "(root: composed; leaf: own)")
+    p.add_argument("--stale-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="evict sources silent for this long instead of "
+                        "letting them wedge the drain")
+    p.add_argument("--metrics-json", type=Path, default=None, metavar="FILE",
+                   help="write periodic tempest-serve-metrics-v1 "
+                        "snapshots here (atomic rewrite)")
+    p.add_argument("--metrics-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="metrics snapshot cadence")
     p.add_argument("--out", type=Path, default=None, metavar="DIR",
                    help="save the merged tempest-trace-v1 bundle here")
     p.add_argument("--json", type=Path, default=None, metavar="FILE",
@@ -612,6 +721,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=["block", "drop"], default="block",
                    help="full-queue policy: block (lossless backpressure) "
                         "or drop (evict oldest, recover via resume)")
+    p.add_argument("--run", default=None, metavar="ID",
+                   help="route the stream into this run on the "
+                        "aggregator's registry (default run if omitted)")
     p.add_argument("--json", type=Path, default=None, metavar="FILE",
                    help="write the tempest-push-v1 JSON report here")
     p.set_defaults(fn=cmd_push)

@@ -161,12 +161,13 @@ class CollectorClient:
         meta: dict,
         transport_factory: Callable,
         *,
+        run: Optional[str] = None,
         config: CollectorConfig = CollectorConfig(),
         sleep_fn: Callable[[float], None] = time.sleep,
     ):
         self.node_name = node_name
         self.hello = hello_payload(node_name, tsc_hz, sensor_names,
-                                   symtab, meta)
+                                   symtab, meta, run=run)
         self.transport_factory = transport_factory
         self.config = config
         self.sleep_fn = sleep_fn

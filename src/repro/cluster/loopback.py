@@ -19,8 +19,8 @@ reconnect path.
 
 from __future__ import annotations
 
-from repro.cluster.aggregator import Aggregator, AggregatorConnection
-from repro.cluster.wire import WireError
+from repro.cluster.aggregator import Aggregator, AggregatorConnection, RunRegistry
+from repro.cluster.wire import DEFAULT_RUN, WireError
 
 
 class LoopbackTransport:
@@ -28,7 +28,7 @@ class LoopbackTransport:
 
     def __init__(self, hub: "LoopbackHub"):
         self._hub = hub
-        self._conn = AggregatorConnection(hub.aggregator)
+        self._conn = AggregatorConnection(hub.registry)
         self._inbox: list[tuple[int, bytes]] = []
         self._decoder_frames: list[bytes] = []
         self.closed = False
@@ -74,12 +74,21 @@ class LoopbackTransport:
 
 
 class LoopbackHub:
-    """Factory for deterministic in-memory connections to one aggregator."""
+    """Factory for deterministic in-memory connections to one registry.
+
+    Single-run tests keep using :attr:`aggregator` (the default run);
+    multi-run and fan-in tests reach into :attr:`registry`.
+    """
 
     def __init__(self, *, live: bool = False, strict: bool = False):
-        self.aggregator = Aggregator(live=live, strict=strict)
+        self.registry = RunRegistry(live=live, strict=strict)
         self._live: list[LoopbackTransport] = []
         self.connections_made = 0
+
+    @property
+    def aggregator(self) -> Aggregator:
+        """The default run's aggregator (what single-run tests assert on)."""
+        return self.registry.get(DEFAULT_RUN)
 
     def connect(self) -> LoopbackTransport:
         """A fresh connection (this is the ``transport_factory``)."""

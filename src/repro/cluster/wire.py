@@ -57,6 +57,14 @@ from repro.util.errors import ReproError
 #: protocol identity carried in every HELLO
 WIRE_FORMAT = "tempest-wire-v1"
 
+#: the fan-in extension: v2 HELLOs may carry ``run``/``role``, and leaf
+#: aggregators ship SUMMARY frames upstream.  v1 collectors interoperate
+#: unchanged — v2 is a strict superset.
+WIRE_FORMAT_V2 = "tempest-wire-v2"
+
+#: the run id a HELLO without an explicit ``run`` lands in
+DEFAULT_RUN = "default"
+
 #: two magic bytes opening every frame
 MAGIC = b"TW"
 
@@ -78,6 +86,7 @@ FT_HEARTBEAT = 4
 FT_EOF = 5
 FT_EOF_ACK = 6
 FT_ERROR = 7
+FT_SUMMARY = 8
 
 #: frame-type registry: id -> canonical name.  docs/INTERNALS.md carries
 #: the same table in prose; tests/cluster/test_wire.py asserts the two
@@ -90,6 +99,7 @@ FRAME_TYPES: dict[int, str] = {
     FT_EOF: "EOF",
     FT_EOF_ACK: "EOF_ACK",
     FT_ERROR: "ERROR",
+    FT_SUMMARY: "SUMMARY",
 }
 
 
@@ -187,11 +197,23 @@ class FrameDecoder:
         self._buf.clear()
 
     def feed(self, data: bytes) -> list[tuple[int, bytes]]:
-        """Absorb *data*; return every complete ``(type, payload)`` frame."""
-        self._buf.extend(data)
+        """Absorb *data*; return every complete ``(type, payload)`` frame.
+
+        Frames are parsed in place from the incoming buffer at a moving
+        offset; only an incomplete tail is retained between calls.  (The
+        obvious alternative — append everything to one bytearray and
+        ``del`` consumed frames off the front — moves every byte twice
+        and, under many concurrent connections, degrades to quadratic
+        realloc copying; this parser touches each byte once.)
+        """
+        if self._buf:
+            data = bytes(self._buf) + bytes(data)
+            self._buf.clear()
         frames: list[tuple[int, bytes]] = []
-        while len(self._buf) >= HEADER_SIZE:
-            magic, ftype, length, crc = _HEADER.unpack_from(self._buf)
+        off = 0
+        n = len(data)
+        while n - off >= HEADER_SIZE:
+            magic, ftype, length, crc = _HEADER.unpack_from(data, off)
             if magic != MAGIC:
                 raise WireError(
                     f"bad frame magic {bytes(magic)!r} (stream corrupt or "
@@ -204,28 +226,79 @@ class FrameDecoder:
                 )
             if ftype not in FRAME_TYPES:
                 raise WireError(f"unknown frame type {ftype}")
-            end = HEADER_SIZE + length
-            if len(self._buf) < end:
+            end = off + HEADER_SIZE + length
+            if n < end:
                 break
-            payload = bytes(self._buf[HEADER_SIZE:end])
-            del self._buf[:end]
+            payload = bytes(data[off + HEADER_SIZE:end])
+            off = end
             if zlib.crc32(payload) != crc:
                 raise WireError(
                     f"{FRAME_TYPES[ftype]} frame checksum mismatch "
                     f"({length}-byte payload)"
                 )
             frames.append((ftype, payload))
+        if off < n:
+            self._buf.extend(data[off:])
         return frames
 
 
 def hello_payload(node_name: str, tsc_hz: float, sensor_names: list[str],
-                  symtab: dict[str, int], meta: dict) -> dict:
-    """The canonical HELLO body a collector announces itself with."""
-    return {
+                  symtab: dict[str, int], meta: dict, *,
+                  run: str | None = None) -> dict:
+    """The canonical HELLO body a collector announces itself with.
+
+    Without *run* the payload is byte-for-byte the classic
+    ``tempest-wire-v1`` HELLO; naming a run upgrades it to v2 (the
+    aggregator's run registry routes the stream into that run's own
+    merge state).
+    """
+    payload = {
         "format": WIRE_FORMAT,
         "node": node_name,
         "tsc_hz": float(tsc_hz),
         "sensor_names": list(sensor_names),
         "symtab": dict(symtab),
         "meta": dict(meta),
+    }
+    if run is not None:
+        payload["format"] = WIRE_FORMAT_V2
+        payload["run"] = str(run)
+        payload["role"] = "collector"
+    return payload
+
+
+def leaf_hello_payload(leaf_name: str, *, run: str = DEFAULT_RUN,
+                       meta: dict | None = None) -> dict:
+    """The v2 HELLO a leaf aggregator opens its root uplink with.
+
+    No node identity, clock rate, or symbol table — a leaf ships
+    composed summaries, never records — just the leaf's name and the run
+    its summaries belong to.
+    """
+    return {
+        "format": WIRE_FORMAT_V2,
+        "role": "leaf",
+        "leaf": str(leaf_name),
+        "run": str(run),
+        "meta": dict(meta or {}),
+    }
+
+
+def summary_payload(leaf_name: str, run: str, seq: int, records: int,
+                    summary: dict) -> dict:
+    """The SUMMARY frame body: one cumulative leaf snapshot.
+
+    *summary* is a serialized ``tempest-summary-v1``
+    :class:`~repro.core.summary.RunSummary`; *seq* orders snapshots so a
+    root applies last-write-wins under duplication, loss, and reorder
+    (every snapshot is cumulative, so dropping all but the latest is
+    lossless); *records* is the leaf's records-accepted count, for
+    observability only.
+    """
+    return {
+        "leaf": str(leaf_name),
+        "run": str(run),
+        "seq": int(seq),
+        "records": int(records),
+        "summary": summary,
     }

@@ -283,6 +283,186 @@ class OnlineStats:
         best = max(self._bins.items(), key=lambda kv: (kv[1], -kv[0]))
         return float(best[0])
 
+    # -- mergeable-summary algebra -------------------------------------
+    def clone(self) -> "OnlineStats":
+        """An independent copy (mutating either side affects only it)."""
+        out = OnlineStats()
+        out.n = self.n
+        out.min = self.min
+        out.max = self.max
+        out._mean = self._mean
+        out._m2 = self._m2
+        out._bins = dict(self._bins)
+        out._q = list(self._q)
+        out._pos = None if self._pos is None else list(self._pos)
+        return out
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another estimator's state into this one, in place.
+
+        The algebra the fan-in tier is built on: associative and
+        commutative up to floating-point rounding, with a freshly
+        constructed estimator as the identity.  ``n``/``min``/``max`` and
+        the mode bins merge exactly; ``mean``/``m2`` merge with Chan's
+        parallel update (the same multiset as sequential feeding,
+        summation-order rounding only, ~1e-12 relative); the P² median
+        markers merge by weighted-quantile rebuild over both marker sets
+        (each marker weighted by half the rank distance to its
+        neighbours), which keeps ``med`` within the documented ±0.5 °C
+        tolerance for quantized thermal readings.  Below five combined
+        samples the raw-sample lists concatenate and ``med`` stays exact.
+        """
+        k = other.n
+        if k == 0:
+            return
+        if self.n == 0:
+            donor = other.clone()
+            self.n = donor.n
+            self.min = donor.min
+            self.max = donor.max
+            self._mean = donor._mean
+            self._m2 = donor._m2
+            self._bins = donor._bins
+            self._q = donor._q
+            self._pos = donor._pos
+            return
+        new_q, new_pos = self._merged_med(other)
+        n0 = self.n
+        tot = n0 + k
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        delta = other._mean - self._mean
+        self._mean += delta * (k / tot)
+        self._m2 += other._m2 + delta * delta * (n0 * k / tot)
+        self.n = tot
+        bins = self._bins
+        for v, c in other._bins.items():
+            bins[v] = bins.get(v, 0) + c
+        self._q, self._pos = new_q, new_pos
+
+    def _med_points(self) -> list[tuple[float, float]]:
+        """The P² state as weighted sample points (height, weight).
+
+        Raw samples (below five) weigh 1 each; established markers carry
+        half the rank distance to their neighbours, rescaled so the five
+        weights total ``n`` — the piecewise-linear CDF the P² invariants
+        maintain.
+        """
+        if self._pos is None:
+            return [(float(x), 1.0) for x in self._q]
+        q, p = self._q, self._pos
+        w = [
+            (p[1] - p[0]) / 2.0,
+            (p[2] - p[0]) / 2.0,
+            (p[3] - p[1]) / 2.0,
+            (p[4] - p[2]) / 2.0,
+            (p[4] - p[3]) / 2.0,
+        ]
+        scale = self.n / (p[4] - p[0])
+        return [(float(q[i]), w[i] * scale) for i in range(5)]
+
+    def _merged_med(self, other: "OnlineStats"):
+        """The merged (marker heights, marker positions) P² state."""
+        tot = self.n + other.n
+        if tot < 5:
+            # Both sides are still raw-sample lists; stay exact.
+            return self._q + other._q, None
+        if self._pos is not None and other._pos is None:
+            scratch = self.clone()
+            for x in other._q:
+                scratch._push_med(x)
+            return scratch._q, scratch._pos
+        if self._pos is None and other._pos is not None:
+            scratch = other.clone()
+            for x in self._q:
+                scratch._push_med(x)
+            return scratch._q, scratch._pos
+        if self._pos is None and other._pos is None:
+            # Two raw lists whose union crosses the threshold: build the
+            # markers from the exact combined sample set.
+            pts = sorted(self._q + other._q)
+            arr = np.asarray(pts, dtype=np.float64)
+            mids = np.quantile(arr, [0.25, 0.5, 0.75]).tolist()
+            q = [pts[0], mids[0], mids[1], mids[2], pts[-1]]
+        else:
+            pts = sorted(self._med_points() + other._med_points())
+            h = np.asarray([p[0] for p in pts])
+            w = np.asarray([p[1] for p in pts])
+            # Mid-rank positions of the weighted points; the merged
+            # markers read the piecewise-linear inverse CDF at the
+            # quartile ranks.
+            c = np.cumsum(w) - 0.5 * w
+            mids = np.interp(
+                [0.25 * tot, 0.5 * tot, 0.75 * tot], c, h
+            ).tolist()
+            lo = min(self._q[0], other._q[0])
+            hi = max(self._q[-1], other._q[-1])
+            q = [lo, mids[0], mids[1], mids[2], hi]
+        # Enforce the P² invariants: non-decreasing heights within the
+        # exact [min, max] envelope, strictly increasing positions.
+        for i in (1, 2, 3):
+            q[i] = min(max(q[i], q[i - 1]), q[4])
+        pos = [
+            1,
+            int(round((tot - 1) * 0.25)) + 1,
+            int(round((tot - 1) * 0.50)) + 1,
+            int(round((tot - 1) * 0.75)) + 1,
+            tot,
+        ]
+        for i in (1, 2, 3):
+            pos[i] = max(pos[i], pos[i - 1] + 1)
+        for i in (3, 2, 1):
+            pos[i] = min(pos[i], pos[i + 1] - 1)
+        return q, pos
+
+    def to_state(self) -> dict:
+        """The serializable ``tempest-summary-v1`` estimator state.
+
+        Keys (drift-tested against ``docs/INTERNALS.md``): ``n``, ``min``,
+        ``max``, ``mean``, ``m2``, ``bin_values``, ``bin_counts``, ``q``,
+        ``pos``.  An empty estimator serializes as ``{"n": 0}`` so the
+        JSON stays finite-valued.  Floats survive a JSON round-trip
+        bit-exactly (``repr`` encoding), so a deserialized state merges
+        and reports identically to the original.
+        """
+        if self.n == 0:
+            return {"n": 0}
+        items = sorted(self._bins.items())
+        return {
+            "n": self.n,
+            "min": self.min,
+            "max": self.max,
+            "mean": self._mean,
+            "m2": self._m2,
+            "bin_values": [v for v, _ in items],
+            "bin_counts": [c for _, c in items],
+            "q": list(self._q),
+            "pos": None if self._pos is None else list(self._pos),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineStats":
+        """Rebuild an estimator from :meth:`to_state` output."""
+        out = cls()
+        n = int(state.get("n", 0))
+        if n == 0:
+            return out
+        out.n = n
+        out.min = float(state["min"])
+        out.max = float(state["max"])
+        out._mean = float(state["mean"])
+        out._m2 = float(state["m2"])
+        out._bins = {
+            float(v): int(c)
+            for v, c in zip(state["bin_values"], state["bin_counts"])
+        }
+        out._q = [float(x) for x in state["q"]]
+        pos = state.get("pos")
+        out._pos = None if pos is None else [int(p) for p in pos]
+        return out
+
 
 # ----------------------------------------------------------------------
 # Attribution helpers (shared by the batch finalizer and the parser)
@@ -1272,9 +1452,16 @@ class ProfileAccumulator:
         """
         if self.batch:
             return self._finalize_batch(strict=False)
-        # "Now" is the latest record seen — function event *or* sensor
-        # sample — so a snapshot taken while a long function is still open
-        # keeps accruing its time between ENTER and EXIT.
+        totals, exclusive, span_hi = self._provisional_state()
+        return self._build_profile(totals, exclusive, span_hi)
+
+    def _provisional_state(self):
+        """(totals, exclusive, span_hi) with open frames credited to now.
+
+        "Now" is the latest record seen — function event *or* sensor
+        sample — so a snapshot taken while a long function is still open
+        keeps accruing its time between ENTER and EXIT.
+        """
         now = self._now
         totals = self._totals_with_pending()
         span_hi = self._span_hi
@@ -1290,7 +1477,7 @@ class ProfileAccumulator:
         for pid, (fid, since) in self._top_since.items():
             if now > since:
                 exclusive[fid] = exclusive.get(fid, 0.0) + (now - since)
-        return self._build_profile(totals, exclusive, span_hi)
+        return totals, exclusive, span_hi
 
     def finalize(self) -> NodeProfile:
         """Apply end-of-trace semantics and return the final profile.
@@ -1304,6 +1491,17 @@ class ProfileAccumulator:
             profile = self._finalize_batch(strict=self.strict)
             self._finalized = True
             return profile
+        if not self._finalized:
+            self._close_open_frames()
+            self._finalized = True
+        totals = self._totals_with_pending()
+        exclusive = {
+            fid: float(self._excl[fid])
+            for fid in np.nonzero(self._excl)[0].tolist()
+        }
+        return self._build_profile(totals, exclusive, self._span_hi)
+
+    def _close_open_frames(self) -> None:
         # Close processes in ascending end-time order: the online union
         # counts activations and needs close times non-decreasing, else a
         # function open on two processes would end its merged span at
@@ -1328,13 +1526,39 @@ class ProfileAccumulator:
                 fid, _t0 = stack.pop()
                 self._union_close(fid, t_end)
             self._top_since.pop(pid, None)
-        totals = self._totals_with_pending()
-        exclusive = {
-            fid: float(self._excl[fid])
-            for fid in np.nonzero(self._excl)[0].tolist()
-        }
-        self._finalized = True
-        return self._build_profile(totals, exclusive, self._span_hi)
+
+    def summary(self, *, final: bool = False):
+        """The node's mergeable :class:`~repro.core.summary.NodeSummary`.
+
+        With ``final=False`` (the periodic fan-in snapshot) the summary
+        credits open frames provisionally up to the latest event, clones
+        every estimator, and leaves the accumulation untouched — callers
+        may merge or mutate it freely while records keep flowing.  With
+        ``final=True`` end-of-trace semantics apply first (open frames
+        close at their process's last event time; strict mode raises),
+        the accumulator stops accepting records, and the summary is
+        exact: :meth:`NodeSummary.to_node_profile` on it reproduces
+        :meth:`finalize`'s profile identically.
+        """
+        if self.batch:
+            raise TraceError(
+                f"{self.node_name}: summaries require streaming mode, "
+                "not batch"
+            )
+        if final:
+            if not self._finalized:
+                self._close_open_frames()
+                self._finalized = True
+            totals = self._totals_with_pending()
+            exclusive = {
+                fid: float(self._excl[fid])
+                for fid in np.nonzero(self._excl)[0].tolist()
+            }
+            return self._build_summary(totals, exclusive, self._span_hi,
+                                       copy_stats=False)
+        totals, exclusive, span_hi = self._provisional_state()
+        return self._build_summary(totals, exclusive, span_hi,
+                                   copy_stats=True)
 
     def _totals_with_pending(self) -> dict[int, float]:
         totals = {
@@ -1349,70 +1573,58 @@ class ProfileAccumulator:
     def _build_profile(self, totals: dict[int, float],
                        exclusive: dict[int, float],
                        span_hi: float) -> NodeProfile:
-        interval_s = 1.0 / self.sampling_hz
-        min_needed = max(1, self.min_samples_for_stats)
+        # Profile construction is the summary algebra's: build the
+        # mergeable NodeSummary, then render it.  One code path means the
+        # fan-in tier's "profile from merged summaries" and the local
+        # "profile from accumulator" cannot drift apart.
+        node = self._build_summary(totals, exclusive, span_hi,
+                                   copy_stats=False)
+        return node.to_node_profile(
+            sampling_hz=self.sampling_hz,
+            min_samples_for_stats=self.min_samples_for_stats,
+        )
+
+    def _build_summary(self, totals: dict[int, float],
+                       exclusive: dict[int, float], span_hi: float,
+                       *, copy_stats: bool):
+        """Project the fid-keyed aggregate state onto a name-keyed
+        :class:`~repro.core.summary.NodeSummary`.
+
+        ``copy_stats=False`` hands out the live estimator objects (only
+        safe when the accumulator is done or the summary is consumed
+        before the next ``consume``); ``copy_stats=True`` clones them so
+        the summary is independent of further accumulation.
+        """
+        from repro.core.summary import NodeSummary
+
         fnames = self._fnames
-        functions: dict[str, FunctionProfile] = {}
         called = np.nonzero(self._calls_arr)[0].tolist()
-        for fid in sorted(called, key=lambda f: totals.get(f, 0.0),
-                          reverse=True):
-            name = fnames[fid]
-            total = totals.get(fid, 0.0)
-            significant = total >= interval_s
-            stats: dict[str, SensorStats] = {}
-            n_hits = 0
-            if significant:
-                for sidx, sensor in enumerate(self.sensor_names):
-                    st = self._stats.get((fid, sidx))
-                    n = st.n if st is not None else 0
-                    if n >= min_needed:
-                        stats[sensor] = SensorStats.from_accumulator(st)
-                        n_hits = max(n_hits, n)
-                    elif self.min_samples_for_stats == 0:
-                        stats[sensor] = SensorStats.empty()
-                if not any(s.n for s in stats.values()):
-                    # Long function but no samples landed: degrade to
-                    # insignificant rather than invent data.
-                    significant = False
-                    stats = {}
-            functions[name] = FunctionProfile(
-                name=name,
-                total_time_s=total,
-                exclusive_time_s=exclusive.get(fid, 0.0),
-                n_calls=int(self._calls_arr[fid]),
-                significant=significant,
-                sensor_stats=stats,
-                n_samples=n_hits,
-                coverage=_coverage(total, n_hits, self.sampling_hz),
-            )
+        stats: dict[str, dict[str, OnlineStats]] = {}
+        for (fid, sidx), st in self._stats.items():
+            per = stats.setdefault(fnames[fid], {})
+            per[self.sensor_names[sidx]] = st.clone() if copy_stats else st
         if math.isinf(self._span_lo) or math.isinf(span_hi):
-            t0, t1 = 0.0, 0.0
+            span = None
         else:
-            t0, t1 = self._span_lo, span_hi
-        series = {
-            name: (np.empty(0), np.empty(0)) for name in self.sensor_names
-        }
-        summary = {
-            name: SensorStats.from_accumulator(self._summary[i])
-            for i, name in enumerate(self.sensor_names)
-        }
-        timeline = Timeline.from_aggregates(
-            {fnames[f]: v for f, v in exclusive.items()},
-            {fnames[f]: int(self._calls_arr[f]) for f in called},
-            {
+            span = (self._span_lo, span_hi)
+        return NodeSummary(
+            node_name=self.node_name,
+            sensor_names=list(self.sensor_names),
+            n_records=self.n_records,
+            total_s={fnames[f]: float(v) for f, v in totals.items()},
+            exclusive_s={fnames[f]: float(v) for f, v in exclusive.items()},
+            calls={fnames[f]: int(self._calls_arr[f]) for f in called},
+            arcs={
                 (("<root>" if c < 0 else fnames[c]), fnames[f]): n
                 for (c, f), n in self._arcs.items()
             },
-            (t0, t1),
-            inclusive_s={fnames[f]: v for f, v in totals.items()},
-        )
-        return NodeProfile(
-            node_name=self.node_name,
-            duration_s=t1 - t0,
-            functions=functions,
-            sensor_series=series,
-            timeline=timeline,
-            sensor_summary=summary,
+            span=span,
+            stats=stats,
+            sensor_summary={
+                name: (self._summary[i].clone() if copy_stats
+                       else self._summary[i])
+                for i, name in enumerate(self.sensor_names)
+            },
         )
 
     # ------------------------------------------------------------------
@@ -1568,6 +1780,23 @@ class StreamingRunProfiler:
     def finalize(self) -> RunProfile:
         return RunProfile(
             nodes={name: acc.finalize()
+                   for name, acc in self.accumulators.items()},
+            sampling_hz=self.sampling_hz,
+            meta=dict(self.meta),
+        )
+
+    def summary(self, *, final: bool = False):
+        """The run's mergeable :class:`~repro.core.summary.RunSummary`.
+
+        The leaf aggregator's SUMMARY-frame payload: non-final summaries
+        are independent provisional snapshots; a final summary applies
+        end-of-trace semantics per node and is exact (its
+        ``to_profile`` equals :meth:`finalize`'s result).
+        """
+        from repro.core.summary import RunSummary
+
+        return RunSummary(
+            nodes={name: acc.summary(final=final)
                    for name, acc in self.accumulators.items()},
             sampling_hz=self.sampling_hz,
             meta=dict(self.meta),

@@ -29,6 +29,12 @@ through untouched.  That matches the asymmetry that matters — the data
 stream is the bulk path — and keeps the handshake semantics testable in
 isolation (an ack lost to a *disconnect* is still exercised, since the
 client's recv fails on the severed connection).
+
+The fan-in tier gets its own dial: *summary_config*, when given,
+applies to ``SUMMARY`` frames (dispatched on the frame-type byte) while
+every other frame keeps using *config* — so a chaos suite can hammer
+the leaf→root uplink specifically and assert the root's drain still
+converges on the final snapshot.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.cluster.wire import FT_SUMMARY, HEADER_SIZE
 from repro.util.rng import RngStreams
 
 
@@ -57,17 +64,30 @@ class WireFaultConfig:
     disconnect_rate: float = 0.0
 
 
+def _is_summary_frame(data: bytes) -> bool:
+    """True when *data* starts a SUMMARY frame (type byte after magic).
+
+    Clients send whole frames per ``send`` call, so peeking the header
+    of the first frame in the buffer classifies the send.
+    """
+    return len(data) >= HEADER_SIZE and data[2] == FT_SUMMARY
+
+
 class LossyWireTransport:
     """One faulty connection wrapping a real transport."""
 
-    def __init__(self, inner, config: WireFaultConfig, rng):
+    def __init__(self, inner, config: WireFaultConfig, rng,
+                 summary_config: Optional[WireFaultConfig] = None):
         self._inner = inner
         self._config = config
+        self._summary_config = summary_config
         self._rng = rng
         self._held: Optional[bytes] = None
 
     def send(self, data: bytes) -> None:
         cfg, rng = self._config, self._rng
+        if self._summary_config is not None and _is_summary_frame(data):
+            cfg = self._summary_config
         u = rng.random()
         # One draw per frame, partitioned into fate bands — cheap, and
         # the fate sequence depends only on the substream, never on
@@ -141,12 +161,15 @@ class LossyWire:
     """
 
     def __init__(self, inner_factory: Callable, config: WireFaultConfig,
-                 *, seed: int = 0, node_name: str = "node"):
+                 *, seed: int = 0, node_name: str = "node",
+                 summary_config: Optional[WireFaultConfig] = None):
         self.inner_factory = inner_factory
         self.config = config
+        self.summary_config = summary_config
         self.node_name = node_name
         self._rng = RngStreams(seed).get(f"wire/{node_name}")
 
     def __call__(self) -> LossyWireTransport:
         return LossyWireTransport(self.inner_factory(), self.config,
-                                  self._rng)
+                                  self._rng,
+                                  summary_config=self.summary_config)

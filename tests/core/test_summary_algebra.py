@@ -1,0 +1,409 @@
+"""The mergeable-summary algebra: merge laws, split closure, and
+serialization round-trips at every layer (estimator, node, run,
+finished profile).
+
+The contract under test (documented in ``repro.core.summary`` and
+``docs/INTERNALS.md``): ``merge`` is associative and commutative with
+an empty identity; merging the summaries of any chunked split of a
+stream equals the whole-stream summary — counts, calls, arcs, spans,
+``min``/``max``/``mod`` exactly, Welford moments up to summation-order
+rounding, the P² median within ±0.5 °C on quantized readings; and the
+serialized form merges identically to the in-process one.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.stats import SensorStats, compute_sensor_stats
+from repro.core.streamprof import OnlineStats
+from repro.core.summary import SUMMARY_FORMAT, NodeSummary, RunSummary
+from repro.core.trace import NodeTrace, REC_ENTER, REC_EXIT
+from repro.util.errors import ConfigError, TraceError
+
+from tests.core.test_streamprof import (
+    make_acc,
+    quantized_samples,
+    synth_trace,
+)
+
+_INTERNALS = Path(__file__).resolve().parents[2] / "docs" / "INTERNALS.md"
+
+
+# ----------------------------------------------------------------------
+# Helpers
+
+def stats_of(values) -> OnlineStats:
+    st = OnlineStats()
+    st.push_many(np.asarray(values, dtype=np.float64))
+    return st
+
+
+def merged(*parts) -> OnlineStats:
+    out = OnlineStats()
+    for p in parts:
+        out.merge(p)
+    return out
+
+
+def assert_estimators_close(a, b, *, exact, med_abs=0.5):
+    """Same-multiset estimators: exact fields bit-equal, moments to
+    summation rounding, ``med`` within the documented band of *exact*
+    (the true batch statistics of the underlying samples).
+
+    The ±0.5 band applies once the P² markers have warmed up; tiny
+    merged sets that just crossed the five-sample threshold get only
+    the in-range guarantee (one post-rebuild update can move an
+    interpolated marker by a full quantization step)."""
+    assert (a.n, a.min, a.max, a.mod) == (b.n, b.min, b.max, b.mod)
+    assert a.avg == pytest.approx(b.avg, rel=1e-9)
+    assert a.var == pytest.approx(b.var, rel=1e-9, abs=1e-12)
+    for st in (a, b):
+        if st.n < 5:
+            assert st.med == exact.med
+        elif st.n < 30:
+            assert st.min <= st.med <= st.max
+        else:
+            assert st.med == pytest.approx(exact.med, abs=med_abs)
+
+
+def assert_node_profiles_close(a, b):
+    """The split-closure contract at the profile layer: counts, arcs,
+    span, and the exact estimator fields bit-equal; times to summation
+    rounding; ``med`` within the estimators' mutual ±0.5 band."""
+    assert a.node_name == b.node_name
+    assert a.duration_s == pytest.approx(b.duration_s, rel=1e-9)
+    assert set(a.functions) == set(b.functions)
+    assert dict(a.timeline.arcs) == dict(b.timeline.arcs)
+    assert a.timeline.span[0] == pytest.approx(b.timeline.span[0], rel=1e-9)
+    assert a.timeline.span[1] == pytest.approx(b.timeline.span[1], rel=1e-9)
+    for name, fa in a.functions.items():
+        fb = b.functions[name]
+        assert fa.n_calls == fb.n_calls
+        assert fa.significant == fb.significant
+        assert fa.n_samples == fb.n_samples
+        assert fa.total_time_s == pytest.approx(fb.total_time_s, rel=1e-9)
+        assert fa.exclusive_time_s == pytest.approx(fb.exclusive_time_s,
+                                                    rel=1e-9)
+        assert fa.coverage == pytest.approx(fb.coverage, rel=1e-9)
+        assert set(fa.sensor_stats) == set(fb.sensor_stats)
+        for sensor, sa in fa.sensor_stats.items():
+            _assert_sensor_stats_close(sa, fb.sensor_stats[sensor])
+    assert set(a.sensor_summary) == set(b.sensor_summary)
+    for sensor, sa in a.sensor_summary.items():
+        _assert_sensor_stats_close(sa, b.sensor_summary[sensor])
+
+
+def _assert_sensor_stats_close(sa, sb):
+    assert (sa.n, sa.min, sa.max, sa.mod) == (sb.n, sb.min, sb.max, sb.mod)
+    assert sa.avg == pytest.approx(sb.avg, rel=1e-9)
+    assert sa.var == pytest.approx(sb.var, rel=1e-9, abs=1e-12)
+    assert sa.med == pytest.approx(sb.med, abs=0.5)
+
+
+def empty_stack_cuts(arr, n_cuts, seed=0):
+    """Record indices where every process stack is empty — the split
+    points the closure contract names.  The synth traces complete each
+    ENTER/ENTER/EXIT/EXIT quad before starting the next, so a global
+    depth counter finds them."""
+    depth = 0
+    boundaries = []
+    kinds = arr["kind"].tolist()
+    for i, kind in enumerate(kinds):
+        if kind == REC_ENTER:
+            depth += 1
+        elif kind == REC_EXIT:
+            depth -= 1
+        if depth == 0:
+            boundaries.append(i + 1)
+    inner = [b for b in boundaries if 0 < b < len(kinds)]
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(inner), size=n_cuts, replace=False)
+    return sorted(inner[int(i)] for i in picks)
+
+
+def split_summaries(trace, symtab, cuts):
+    """One finalized NodeSummary per [cut, next_cut) segment."""
+    arr = trace.columns.array
+    edges = [0] + list(cuts) + [len(arr)]
+    parts = []
+    for lo, hi in zip(edges, edges[1:]):
+        acc = make_acc(trace, symtab)
+        acc.consume(arr[lo:hi])
+        parts.append(acc.summary(final=True))
+    return parts
+
+
+# ----------------------------------------------------------------------
+# OnlineStats: identity, commutativity, associativity
+
+def test_empty_is_two_sided_identity():
+    samples = quantized_samples(300)
+    base = stats_of(samples)
+    left = merged(OnlineStats(), base)
+    right = base.clone()
+    right.merge(OnlineStats())
+    assert left.to_state() == base.to_state()
+    assert right.to_state() == base.to_state()
+    both = merged(OnlineStats(), OnlineStats())
+    assert both.to_state() == {"n": 0}
+
+
+@pytest.mark.parametrize("na,nb", [(1, 1), (3, 1), (2, 7), (40, 600),
+                                   (500, 500)])
+def test_merge_is_commutative(na, nb):
+    a = quantized_samples(na, seed=5)
+    b = quantized_samples(nb, seed=6)
+    ab = merged(stats_of(a), stats_of(b))
+    ba = merged(stats_of(b), stats_of(a))
+    exact = compute_sensor_stats(np.concatenate([a, b]))
+    assert_estimators_close(ab, ba, exact=exact)
+    assert ab.mod == exact.mod
+
+
+@pytest.mark.parametrize("sizes", [(1, 2, 3), (4, 4, 4), (100, 7, 900),
+                                   (250, 250, 250)])
+def test_merge_is_associative(sizes):
+    chunks = [quantized_samples(n, seed=20 + i)
+              for i, n in enumerate(sizes)]
+    a, b, c = (stats_of(ch) for ch in chunks)
+    left = merged(merged(a.clone(), b.clone()), c.clone())
+    right = merged(a.clone(), merged(b.clone(), c.clone()))
+    exact = compute_sensor_stats(np.concatenate(chunks))
+    assert_estimators_close(left, right, exact=exact)
+
+
+def test_merge_leaves_operands_untouched():
+    a, b = stats_of(quantized_samples(50)), stats_of(quantized_samples(60,
+                                                                       seed=8))
+    before_a, before_b = a.to_state(), json.loads(json.dumps(b.to_state()))
+    out = a.clone()
+    out.merge(b)
+    assert a.to_state() == before_a
+    assert b.to_state() == before_b
+
+
+def test_raw_sample_merges_stay_exact_below_five():
+    a = stats_of([41.0, 43.5])
+    b = stats_of([40.5, 44.0])
+    m = merged(a, b)
+    exact = compute_sensor_stats(np.array([41.0, 43.5, 40.5, 44.0]))
+    assert m.med == exact.med          # still raw samples: exact median
+    assert m.to_state()["pos"] is None
+
+
+@pytest.mark.parametrize("n_chunks", [2, 5, 16, 64])
+def test_chunked_split_equals_whole_stream(n_chunks):
+    samples = quantized_samples(4000, seed=13)
+    whole = stats_of(samples)
+    parts = [stats_of(ch) for ch in np.array_split(samples, n_chunks)]
+    folded = merged(*parts)
+    exact = compute_sensor_stats(samples)
+    assert_estimators_close(folded, whole, exact=exact)
+    # The mode bins merge exactly, so the mode is the batch mode.
+    assert folded.mod == exact.mod
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips
+
+def test_state_roundtrip_is_bit_exact():
+    for n in (0, 1, 4, 5, 300):
+        st = stats_of(quantized_samples(n, seed=n + 1))
+        state = st.to_state()
+        wire = json.loads(json.dumps(state))
+        back = OnlineStats.from_state(wire)
+        assert back.to_state() == state
+        # A deserialized estimator merges identically to the original.
+        other = stats_of(quantized_samples(37, seed=99))
+        assert merged(back, other).to_state() == \
+            merged(st, other).to_state()
+
+
+def test_empty_state_is_minimal():
+    assert OnlineStats().to_state() == {"n": 0}
+    assert OnlineStats.from_state({"n": 0}).n == 0
+
+
+def test_run_summary_roundtrip_is_bit_exact():
+    trace, symtab = synth_trace(n_quads=120, seed=31)
+    acc = make_acc(trace, symtab)
+    acc.consume(trace.columns.array)
+    run = RunSummary(nodes={"node1": acc.summary(final=True)},
+                     sampling_hz=4.0, meta={"label": "algebra"})
+    doc = run.to_dict()
+    assert doc["format"] == SUMMARY_FORMAT
+    back = RunSummary.from_dict(json.loads(json.dumps(doc)))
+    assert back.to_dict() == doc
+
+
+def test_from_dict_rejects_wrong_format():
+    with pytest.raises(TraceError):
+        RunSummary.from_dict({"format": "tempest-summary-v0", "nodes": {}})
+
+
+# ----------------------------------------------------------------------
+# SensorStats closure (the finished-statistics layer)
+
+def test_sensor_stats_merge_moments_match_batch():
+    a = quantized_samples(400, seed=3)
+    b = quantized_samples(700, seed=4)
+    m = compute_sensor_stats(a).merge(compute_sensor_stats(b))
+    exact = compute_sensor_stats(np.concatenate([a, b]))
+    assert (m.n, m.min, m.max) == (exact.n, exact.min, exact.max)
+    assert m.avg == pytest.approx(exact.avg, rel=1e-9)
+    assert m.var == pytest.approx(exact.var, rel=1e-9)
+    assert m.sdv == pytest.approx(exact.sdv, rel=1e-9)
+    # med/mod are documented best-effort on finished statistics; the
+    # same-population split stays inside the streaming contract.
+    assert m.med == pytest.approx(exact.med, abs=0.5)
+    assert m.min <= m.mod <= m.max
+
+
+def test_sensor_stats_empty_identity():
+    st = compute_sensor_stats(quantized_samples(64))
+    assert SensorStats.empty().merge(st) == st
+    assert st.merge(SensorStats.empty()) == st
+
+
+# ----------------------------------------------------------------------
+# NodeSummary / RunSummary: split closure on real traces
+
+def test_split_summaries_merge_to_whole_stream_profile():
+    trace, symtab = synth_trace(n_quads=400, seed=11)
+    whole_acc = make_acc(trace, symtab)
+    whole_acc.consume(trace.columns.array)
+    whole = whole_acc.summary(final=True)
+
+    cuts = empty_stack_cuts(trace.columns.array, n_cuts=3, seed=2)
+    parts = split_summaries(trace, symtab, cuts)
+    folded = NodeSummary.empty("node1", list(trace.sensor_names))
+    for part in parts:
+        folded.merge(part)
+
+    assert folded.n_records == whole.n_records
+    assert folded.calls == whole.calls
+    assert folded.arcs == whole.arcs
+    assert folded.span is not None and whole.span is not None
+    assert folded.span[0] == whole.span[0]
+    assert folded.span[1] == whole.span[1]
+    assert_node_profiles_close(
+        folded.to_node_profile(sampling_hz=4.0),
+        whole.to_node_profile(sampling_hz=4.0),
+    )
+
+
+def test_split_merge_is_order_independent():
+    trace, symtab = synth_trace(n_quads=200, seed=23)
+    cuts = empty_stack_cuts(trace.columns.array, n_cuts=2, seed=5)
+    parts = split_summaries(trace, symtab, cuts)
+    forward = NodeSummary.empty("node1", list(trace.sensor_names))
+    for part in parts:
+        forward.merge(part)
+    backward = NodeSummary.empty("node1", list(trace.sensor_names))
+    for part in reversed(parts):
+        backward.merge(part)
+    assert_node_profiles_close(
+        forward.to_node_profile(sampling_hz=4.0),
+        backward.to_node_profile(sampling_hz=4.0),
+    )
+
+
+def test_node_summary_merge_rejects_mismatches():
+    a = NodeSummary.empty("node1", ["S0"])
+    with pytest.raises(TraceError):
+        a.merge(NodeSummary.empty("node2", ["S0"]))
+    with pytest.raises(TraceError):
+        a.merge(NodeSummary.empty("node1", ["S0", "S1"]))
+
+
+def test_run_summary_merges_node_wise_with_empty_identity():
+    trace1, symtab1 = synth_trace(n_quads=80, seed=41)
+    trace2, symtab2 = synth_trace(
+        n_quads=80, seed=42, trace=NodeTrace("node2", 1e9, ["S0", "S1"]))
+    summaries = {}
+    for trace, symtab in ((trace1, symtab1), (trace2, symtab2)):
+        acc = make_acc(trace, symtab)
+        acc.consume(trace.columns.array)
+        summaries[trace.node_name] = acc.summary(final=True)
+
+    a = RunSummary(nodes={"node1": summaries["node1"].clone()},
+                   sampling_hz=4.0)
+    b = RunSummary(nodes={"node2": summaries["node2"].clone()},
+                   sampling_hz=4.0)
+    identity = RunSummary.empty()
+    identity.merge(a)
+    identity.merge(b)
+    assert sorted(identity.nodes) == ["node1", "node2"]
+    assert identity.sampling_hz == 4.0
+    assert identity.n_records == a.n_records + b.n_records
+    # Disjoint node sets: merging is a union, so either order gives the
+    # same serialized document (to_dict sorts node names).
+    other = RunSummary.empty()
+    other.merge(b)
+    other.merge(a)
+    assert other.to_dict() == identity.to_dict()
+
+
+def test_run_summary_rejects_sampling_rate_conflict():
+    a = RunSummary(sampling_hz=4.0)
+    with pytest.raises(TraceError):
+        a.merge(RunSummary(sampling_hz=8.0))
+
+
+# ----------------------------------------------------------------------
+# Finished-profile closure (profilemodel merges)
+
+def test_node_profile_merge_closure_on_split():
+    trace, symtab = synth_trace(n_quads=300, seed=53)
+    whole_acc = make_acc(trace, symtab)
+    whole_acc.consume(trace.columns.array)
+    whole = whole_acc.finalize()
+
+    cuts = empty_stack_cuts(trace.columns.array, n_cuts=1, seed=9)
+    left, right = split_summaries(trace, symtab, cuts)
+    merged_prof = left.to_node_profile(sampling_hz=4.0).merge(
+        right.to_node_profile(sampling_hz=4.0), sampling_hz=4.0)
+
+    assert set(merged_prof.functions) == set(whole.functions)
+    assert dict(merged_prof.timeline.arcs) == dict(whole.timeline.arcs)
+    for name, fw in whole.functions.items():
+        fm = merged_prof.functions[name]
+        assert fm.n_calls == fw.n_calls
+        assert fm.total_time_s == pytest.approx(fw.total_time_s, rel=1e-9)
+        assert fm.exclusive_time_s == pytest.approx(fw.exclusive_time_s,
+                                                    rel=1e-9)
+        for sensor, sw in fw.sensor_stats.items():
+            sm = fm.sensor_stats[sensor]
+            assert (sm.n, sm.min, sm.max) == (sw.n, sw.min, sw.max)
+            assert sm.avg == pytest.approx(sw.avg, rel=1e-9)
+            assert sm.var == pytest.approx(sw.var, rel=1e-9, abs=1e-12)
+
+
+def test_profile_merges_reject_mismatched_names():
+    trace, symtab = synth_trace(n_quads=30, seed=61)
+    acc = make_acc(trace, symtab)
+    acc.consume(trace.columns.array)
+    prof = acc.finalize()
+    other = prof.functions[next(iter(prof.functions))]
+    different = [f for f in prof.functions.values()
+                 if f.name != other.name][0]
+    with pytest.raises(ConfigError):
+        other.merge(different)
+
+
+# ----------------------------------------------------------------------
+# Documentation drift
+
+def test_summary_state_keys_match_internals_doc():
+    """The ``Stat state keys:`` line in INTERNALS.md must list exactly
+    the keys a populated estimator serializes, in order."""
+    text = _INTERNALS.read_text()
+    match = re.search(r"^Stat state keys: (.+)$", text, re.MULTILINE)
+    assert match, "INTERNALS.md lost its 'Stat state keys:' line"
+    documented = re.findall(r"`(\w+)`", match.group(1))
+    actual = list(stats_of(quantized_samples(10)).to_state())
+    assert documented == actual
