@@ -120,6 +120,18 @@ RULES: dict[str, Rule] = {r.id: r for r in [
        "node's record file byte-for-byte equal, and equivalent header "
        "metadata (symtab, calibration, sensors, meta; key order and the "
        "derivable n_records/truncated fields excepted)"),
+    _r("TL023", "hcct-invariant-broken", SEV_ERROR,
+       "every hot calling-context tree is structurally sound: live "
+       "parent/child links are mutual, exclusive times, calls, and "
+       "error bounds are non-negative, and each node's inclusive time "
+       "equals its exclusive time plus the sum of its children's "
+       "inclusive times (so inclusive >= exclusive and a child never "
+       "exceeds its parent)", "inclusive sums abs 1e-9"),
+    _r("TL024", "hcct-budget-exceeded", SEV_ERROR,
+       "a budgeted hot calling-context tree never exposes more than "
+       "its --hcct-budget live contexts (the root is free), and a tree "
+       "that evicted contexts reports a non-negative eviction threshold "
+       "epsilon_s"),
     # ----------------------------------------------------------- determinism
     _r("DS001", "unstable-tie-break", SEV_WARNING,
        "no two same-timestamp DES events scheduled from distinct call "

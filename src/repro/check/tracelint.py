@@ -92,6 +92,10 @@ _HINTS = {
              "interval, with at least one attributed sample",
     "TL022": "the wire path lost or reordered data; re-push the spool, or "
              "check the aggregator's gap/dup metrics for the culprit",
+    "TL023": "the tree was not produced by ContextTree (or was mutated "
+             "after finalize); rebuild it with the streaming engine",
+    "TL024": "prune_to_budget was skipped or the budget changed after "
+             "construction; re-run with a consistent --hcct-budget",
 }
 
 
@@ -594,8 +598,9 @@ def check_profile(profile, *, path: str = "") -> list[Diagnostic]:
     """Validate a finished :class:`~repro.core.profilemodel.RunProfile`.
 
     TL016 (sampling rate), TL019 (coverage arithmetic), TL020 (statistic
-    sanity), TL021 (significance coherence).  Findings aggregate per
-    (rule, node).
+    sanity), TL021 (significance coherence), and — when a node carries a
+    hot calling-context tree — TL023 (tree invariants) and TL024 (budget
+    respected).  Findings aggregate per (rule, node).
     """
     from repro.core.streamprof import _coverage
 
@@ -641,6 +646,18 @@ def check_profile(profile, *, path: str = "") -> list[Diagnostic]:
             if problem:
                 agg.hit("TL020", f"<node>/{sensor}: {problem}",
                         f"sensor[{sensor}]")
+        tree = getattr(nprof, "context_tree", None)
+        if tree is not None:
+            # ContextTree.validate covers structure, value sanity, the
+            # derived-inclusive relations, and the budget; the budget
+            # finding is TL024, everything else TL023.
+            for problem in tree.validate():
+                rule = "TL024" if "budget" in problem else "TL023"
+                agg.hit(rule, problem, "hcct")
+            if tree.n_evicted and tree.epsilon_s < 0.0:
+                agg.hit("TL024",
+                        f"{tree.n_evicted} contexts were evicted but "
+                        f"epsilon_s is {tree.epsilon_s!r}", "hcct")
         diags.extend(agg.diagnostics())
     return diags
 

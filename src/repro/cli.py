@@ -228,6 +228,123 @@ def cmd_hotspots(args) -> int:
     return 0
 
 
+def _path_str(path: tuple) -> str:
+    return " > ".join(path) if path else "<root>"
+
+
+def _sensor_means(node, fahrenheit: bool) -> dict[str, float]:
+    """Per-sensor mean along a context, in the report's temperature unit."""
+    out = {}
+    for sensor, st in node.stats.items():
+        if st.n:
+            mean = st.avg
+            out[sensor] = mean * 9.0 / 5.0 + 32.0 if fahrenheit else mean
+    return out
+
+
+def cmd_hotpaths(args) -> int:
+    """Rank hot calling contexts: which *call path* is hot, not just which
+    function.  Runs an NPB benchmark (or analyzes ``--bundle``) through
+    the streaming engine with an HCCT budget, merges the per-node trees,
+    and prints the top-k contexts plus every hot function whose
+    exclusive time splits across more than one calling context."""
+    import json
+
+    from repro.core.streamprof import stream_bundle_profile
+
+    budget = args.hcct_budget
+    if args.bundle is not None:
+        bundle = TraceBundle.load(args.bundle,
+                                  tolerate_truncation=args.lenient)
+        profile = stream_bundle_profile(bundle, strict=not args.lenient,
+                                        hcct_budget=budget)
+        source = str(args.bundle)
+    else:
+        setup = _npb_setup(args)
+        if setup is None:
+            return 2
+        program, config, run_name = setup
+        machine = Machine(ClusterConfig(n_nodes=args.nodes, seed=args.seed))
+        injector = _make_injector(args, machine)
+        session = TempestSession(machine, injector=injector)
+        session.run_mpi(lambda ctx: program(ctx, config), args.ranks,
+                        name=run_name)
+        profile = stream_bundle_profile(session.collect(),
+                                        strict=injector is None,
+                                        hcct_budget=budget)
+        source = run_name
+
+    tree = profile.context_tree()
+    if tree is None or not any(n.path for n in tree.hot_paths(1)):
+        print("no calling contexts recorded", file=sys.stderr)
+        return 2
+    fahrenheit = not args.celsius
+    unit = "F" if fahrenheit else "C"
+
+    hot = [n for n in tree.hot_paths(args.top + 1) if n.path][: args.top]
+    print(f"Top {len(hot)} hot calling contexts "
+          f"(cluster-wide, by exclusive weight; budget "
+          f"{'unbounded' if not budget else budget}, "
+          f"{tree.n_evicted} contexts evicted):")
+    for i, n in enumerate(hot, 1):
+        err = f" +/-{n.error_s:.3f}" if n.error_s else ""
+        temps = _sensor_means(n, fahrenheit)
+        tstr = "  ".join(f"{s} {v:5.1f}{unit}" for s, v in sorted(temps.items()))
+        print(f"  {i:>2}. {n.excl_s:8.3f}s{err}  x{n.calls:<5} "
+              f"{tstr + '  ' if tstr else ''}{_path_str(n.path)}")
+
+    # The paper's motivating question: a function that is hot only under
+    # one caller.  Show every hot-listed function with >= 2 contexts.
+    split = []
+    for fn in sorted({n.function for n in hot}):
+        ctxs = tree.function_contexts(fn)
+        if len(ctxs) >= 2:
+            split.append((fn, ctxs))
+    if split:
+        print()
+        print("Context-split functions (exclusive time by calling context):")
+        for fn, ctxs in split:
+            total = sum(c.excl_s for c in ctxs) or 1.0
+            print(f"  {fn}: {len(ctxs)} contexts")
+            for c in ctxs:
+                temps = _sensor_means(c, fahrenheit)
+                tstr = "  ".join(f"{s} {v:5.1f}{unit}"
+                                 for s, v in sorted(temps.items()))
+                print(f"    {c.excl_s:8.3f}s ({100.0 * c.excl_s / total:3.0f}%)"
+                      f"  {tstr + '  ' if tstr else ''}{_path_str(c.path)}")
+
+    if args.json:
+        # Same machine-readable contract as `tempest check --json`.
+        def ctx_obj(n):
+            return {
+                "path": list(n.path),
+                "excl_s": n.excl_s,
+                "incl_s": n.incl_s,
+                "calls": n.calls,
+                "error_s": n.error_s,
+                "sensors": {
+                    s: {"n": st.n, "avg_c": st.avg, "min_c": st.min,
+                        "max_c": st.max}
+                    for s, st in sorted(n.stats.items()) if st.n
+                },
+            }
+
+        args.json.write_text(json.dumps({
+            "format": "tempest-hotpaths-v1",
+            "source": source,
+            "hcct_budget": budget,
+            "n_contexts": len(tree),
+            "n_evicted": tree.n_evicted,
+            "epsilon_s": tree.epsilon_s,
+            "hot_paths": [ctx_obj(n) for n in hot],
+            "split_functions": {
+                fn: [ctx_obj(c) for c in ctxs] for fn, ctxs in split
+            },
+        }, indent=2))
+        print(f"hotpaths report written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def cmd_parse(args) -> int:
     if args.stream:
         # Constant-memory parse of a spool directory: records are folded
@@ -238,6 +355,7 @@ def cmd_parse(args) -> int:
             args.bundle,
             chunk_records=args.chunk_records,
             strict=not args.lenient,
+            hcct_budget=args.hcct_budget,
         )
     else:
         bundle = TraceBundle.load(args.bundle,
@@ -249,6 +367,8 @@ def cmd_parse(args) -> int:
 
 def cmd_compare(args) -> int:
     """Diff two saved trace bundles function by function."""
+    import json
+
     from repro.analysis.diffprof import diff_profiles, render_diff
 
     before = TempestParser(TraceBundle.load(args.before),
@@ -261,11 +381,35 @@ def cmd_compare(args) -> int:
         print("no common nodes between the two bundles", file=sys.stderr)
         return 2
     print(render_diff(deltas, min_time_s=args.min_time))
+    if args.json:
+        # Same machine-readable contract as `tempest check --json`.
+        args.json.write_text(json.dumps({
+            "format": "tempest-compare-v1",
+            "before": str(args.before),
+            "after": str(args.after),
+            "deltas": [
+                {
+                    "node": d.node,
+                    "function": d.function,
+                    "status": d.status,
+                    "time_before_s": d.time_before_s,
+                    "time_after_s": d.time_after_s,
+                    "time_ratio": d.time_ratio,
+                    "avg_before_c": d.avg_before_c,
+                    "avg_after_c": d.avg_after_c,
+                    "avg_delta_c": d.avg_delta_c,
+                }
+                for d in deltas
+            ],
+        }, indent=2))
+        print(f"compare report written to {args.json}", file=sys.stderr)
     return 0
 
 
 def cmd_verify(args) -> int:
     """Run the NPB built-in verifications (real numerics vs oracles)."""
+    import json
+
     from repro.workloads.npb.verify import VERIFIERS, verify_all
 
     names = [b.upper() for b in args.bench] if args.bench else None
@@ -277,6 +421,23 @@ def cmd_verify(args) -> int:
     results = verify_all(names)
     for r in results:
         print(r.describe())
+    if args.json:
+        # Same machine-readable contract as `tempest check --json`.
+        args.json.write_text(json.dumps({
+            "format": "tempest-verify-v1",
+            "verified": all(r.verified for r in results),
+            "results": [
+                {
+                    "benchmark": r.benchmark,
+                    "verified": r.verified,
+                    "error": r.error,
+                    "epsilon": r.epsilon,
+                    "detail": r.detail,
+                }
+                for r in results
+            ],
+        }, indent=2))
+        print(f"verify report written to {args.json}", file=sys.stderr)
     return 0 if all(r.verified for r in results) else 1
 
 
@@ -325,7 +486,7 @@ def cmd_serve(args) -> int:
     * ``standalone`` (default) — classic single-tier aggregation:
       collectors in, merged profile out;
     * ``leaf`` — additionally condense everything accepted into
-      ``tempest-summary-v1`` snapshots and ship them to ``--upstream``
+      ``tempest-summary-v2`` snapshots and ship them to ``--upstream``
       (periodically while draining, then a verified final one);
     * ``root`` — accept SUMMARY streams from leaf aggregators (and any
       directly-connected collectors) and compose the global profile
@@ -342,6 +503,7 @@ def cmd_serve(args) -> int:
     live = args.role in ("leaf", "root")
     server = AggregatorServer(
         host, port, live=live,
+        hcct_budget=args.hcct_budget,
         expected_nodes=args.nodes,
         stale_timeout_s=args.stale_timeout,
         metrics_json=args.metrics_json,
@@ -623,6 +785,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_inject_args(p)
     p.set_defaults(fn=cmd_hotspots)
 
+    p = sub.add_parser(
+        "hotpaths",
+        help="rank hot calling contexts (HCCT) instead of flat functions")
+    p.add_argument("--bench", default="FT")
+    p.add_argument("--klass", default="W")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--iters", type=int, default=None)
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--bundle", type=Path, default=None, metavar="DIR",
+                   help="analyze this saved trace bundle instead of "
+                        "running a benchmark")
+    p.add_argument("--lenient", action="store_true")
+    p.add_argument("--top", type=int, default=10,
+                   help="contexts to list")
+    p.add_argument("--hcct-budget", type=int, default=1024, metavar="N",
+                   help="max tracked contexts (space-saving eviction "
+                        "beyond this; 0 = unbounded exact CCT)")
+    p.add_argument("--celsius", action="store_true",
+                   help="report degC instead of degF")
+    p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                   help="write the tempest-hotpaths-v1 JSON report here")
+    _add_inject_args(p)
+    p.set_defaults(fn=cmd_hotpaths)
+
     p = sub.add_parser("parse", help="parse a saved trace bundle")
     p.add_argument("bundle", type=Path)
     p.add_argument("--lenient", action="store_true")
@@ -634,6 +821,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="records per streaming chunk (default: the "
                         "streaming read size, 32768 — the vectorized "
                         "engine amortizes per-chunk cost over big chunks)")
+    p.add_argument("--hcct-budget", type=int, default=None, metavar="N",
+                   help="with --stream: also build hot calling-context "
+                        "trees, at most N tracked contexts per node "
+                        "(0 = unbounded exact CCT; default: off)")
     _add_output_args(p)
     p.set_defaults(fn=cmd_parse)
 
@@ -641,6 +832,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run NPB numerical verifications against oracles")
     p.add_argument("bench", nargs="*",
                    help="benchmarks to verify (default: all)")
+    p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                   help="write the tempest-verify-v1 JSON report here")
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("compare",
@@ -650,6 +843,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lenient", action="store_true")
     p.add_argument("--min-time", type=float, default=0.01,
                    help="hide functions shorter than this in both runs")
+    p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                   help="write the tempest-compare-v1 JSON report here")
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("sensors", help="list hwmon thermal sensors")
@@ -686,8 +881,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--summary-interval", type=float, default=1.0,
                    metavar="SECONDS",
                    help="leaf snapshot cadence while draining")
+    p.add_argument("--hcct-budget", type=int, default=None, metavar="N",
+                   help="build hot calling-context trees on the live "
+                        "profiler, at most N tracked contexts per node; "
+                        "leaf summaries then carry mergeable HCCTs "
+                        "(0 = unbounded; default: off)")
     p.add_argument("--summary-out", type=Path, default=None, metavar="FILE",
-                   help="write the final tempest-summary-v1 JSON here "
+                   help="write the final tempest-summary-v2 JSON here "
                         "(root: composed; leaf: own)")
     p.add_argument("--stale-timeout", type=float, default=None,
                    metavar="SECONDS",

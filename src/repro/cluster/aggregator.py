@@ -15,7 +15,7 @@ Two kinds of source feed an aggregator:
 * **collectors** (wire-v1, unchanged) stream raw record CHUNKs — the
   leaf/standalone role;
 * **leaf aggregators** (wire-v2) stream cumulative
-  ``tempest-summary-v1`` SUMMARY snapshots — the fan-in tier.  A root
+  ``tempest-summary-v2`` SUMMARY snapshots — the fan-in tier.  A root
   composes the global profile from the latest snapshot per leaf
   (last-write-wins by ``seq``; duplication, loss, and reorder are
   absorbed because every snapshot is cumulative) without ever seeing a
@@ -235,9 +235,12 @@ class Aggregator:
     """
 
     def __init__(self, *, live: bool = False, strict: bool = False,
+                 hcct_budget: Optional[int] = None,
                  now_fn: Callable[[], float] = time.monotonic):
         self.live = live
         self.strict = strict
+        #: HCCT budget for the live profiler (None = flat profiles only)
+        self.hcct_budget = hcct_budget
         self.now_fn = now_fn
         self.symtab = SymbolTable()
         self.nodes: dict[str, NodeState] = {}
@@ -444,6 +447,7 @@ class Aggregator:
                 sampling_hz=float(self.meta.get("sampling_hz", 4.0)),
                 strict=False,
                 meta=dict(self.meta),
+                hcct_budget=self.hcct_budget,
             )
         return self._live_profiler
 
@@ -528,7 +532,7 @@ class Aggregator:
         """The mergeable summary of this aggregator's own record streams.
 
         This is what a **leaf** ships upstream: a cumulative
-        ``tempest-summary-v1`` snapshot of everything accepted so far
+        ``tempest-summary-v2`` snapshot of everything accepted so far
         (requires ``live=True`` — the streaming accumulators *are* the
         summary state).  ``final=True`` closes open frames and freezes
         the accumulators; use it only for the last snapshot.
@@ -610,9 +614,11 @@ class RunRegistry:
     """
 
     def __init__(self, *, live: bool = False, strict: bool = False,
+                 hcct_budget: Optional[int] = None,
                  now_fn: Callable[[], float] = time.monotonic):
         self.live = live
         self.strict = strict
+        self.hcct_budget = hcct_budget
         self.now_fn = now_fn
         self._lock = threading.Lock()
         self._runs: dict[str, Aggregator] = {}
@@ -623,6 +629,7 @@ class RunRegistry:
             agg = self._runs.get(run_id)
             if agg is None:
                 agg = Aggregator(live=self.live, strict=self.strict,
+                                 hcct_budget=self.hcct_budget,
                                  now_fn=self.now_fn)
                 self._runs[run_id] = agg
             return agg

@@ -5,7 +5,11 @@ output, but data can be dumped to a file in a variety of formats."  Along
 with CSV and JSON (:mod:`repro.core.report`), this module renders a single
 dependency-free HTML file: per-node SVG temperature plots (one polyline per
 sensor, time-aligned across nodes like Figures 3-4) above the per-function
-statistics tables of Figure 2(a).
+statistics tables of Figure 2(a).  When a node's profile carries a hot
+calling-context tree (``hcct_budget``), the report adds a collapsible
+indented tree (plain ``<details>``/``<summary>`` nesting, still zero
+scripts) with per-context exclusive/inclusive seconds, space-saving
+error bounds, and per-sensor thermal means along each path.
 """
 
 from __future__ import annotations
@@ -28,6 +32,12 @@ th { background: #eee; } td.name { text-align: left; }
 .insig { color: #999; font-style: italic; }
 svg { background: #fff; border: 1px solid #ddd; margin: 0.4em 0; }
 .legend span { margin-right: 1.2em; font-size: 0.8em; }
+.hcct { font-size: 0.85em; }
+.hcct details { margin-left: 1.2em; }
+.hcct summary, .hcct div.leaf { padding: 0.1em 0; }
+.hcct div.leaf { margin-left: 2.35em; }
+.hcct .t { color: #2471a3; } .hcct .temp { color: #c0392b; }
+.hcct .err { color: #999; }
 """
 
 #: distinct series colours (paper-era gnuplot vibes)
@@ -134,6 +144,59 @@ def _function_table(node: NodeProfile, *, fahrenheit: bool,
     return "<table>" + "".join(rows) + "</table>"
 
 
+def _context_tree_section(node: NodeProfile, *, fahrenheit: bool) -> str:
+    """Collapsible indented HCCT: one ``<details>`` per interior context.
+
+    Children order hottest-first by the space-saving weight; the top
+    level starts open, deeper levels start collapsed.  Pure HTML
+    disclosure widgets — the report stays script-free.
+    """
+    tree = node.context_tree
+    if tree is None or not len(tree):
+        return ""
+    incl = tree.inclusive_s()
+    unit = "F" if fahrenheit else "C"
+
+    def label(cid: int) -> str:
+        n = tree.node(cid)
+        bits = [
+            f"<span class='name'>{html.escape(n.function)}</span>",
+            f"<span class='t'>self {n.excl_s:.4f}s &middot; "
+            f"incl {incl[cid]:.4f}s &middot; x{n.calls}</span>",
+        ]
+        if n.error_s:
+            bits.append(f"<span class='err'>&plusmn;{n.error_s:.4f}s</span>")
+        temps = [
+            f"{html.escape(s)} "
+            f"{(st.avg * 9.0 / 5.0 + 32.0 if fahrenheit else st.avg):.1f}{unit}"
+            for s, st in sorted(n.stats.items()) if st.n
+        ]
+        if temps:
+            bits.append(f"<span class='temp'>{' &middot; '.join(temps)}</span>")
+        return " ".join(bits)
+
+    def walk(cid: int, depth: int) -> str:
+        kids = sorted(
+            tree._children[cid].values(),
+            key=lambda c: (-(incl[c]), tree.path_of(c)),
+        )
+        if cid == 0:
+            return "".join(walk(k, depth) for k in kids)
+        if not kids:
+            return f"<div class='leaf'>{label(cid)}</div>"
+        op = " open" if depth == 0 else ""
+        return (f"<details{op}><summary>{label(cid)}</summary>"
+                + "".join(walk(k, depth + 1) for k in kids)
+                + "</details>")
+
+    meta = (f"<p class='insig'>{len(tree)} hot contexts tracked"
+            + (f", {tree.n_evicted} evicted "
+               f"(&epsilon; = {tree.epsilon_s:.4f}s)"
+               if tree.n_evicted else "") + "</p>")
+    return ("<h3>Hot calling contexts</h3>" + meta
+            + f"<div class='hcct'>{walk(0, 0)}</div>")
+
+
 def render_html_report(
     profile: RunProfile,
     *,
@@ -169,5 +232,8 @@ def render_html_report(
         parts.append(_svg_plot(node, fahrenheit=fahrenheit, y_range=y_range))
         parts.append(_function_table(node, fahrenheit=fahrenheit,
                                      top_n=top_n))
+        tree_html = _context_tree_section(node, fahrenheit=fahrenheit)
+        if tree_html:
+            parts.append(tree_html)
     parts.append("</body></html>")
     return "\n".join(parts)

@@ -10,13 +10,36 @@ and Tables 2-3 draw from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 import numpy as np
 
 from repro.core.stats import SensorStats
 from repro.core.timeline import Timeline
 from repro.util.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.core.cct import ContextNode, ContextTree
+
+
+def hottest_first(keys: Iterable, score: Callable) -> list:
+    """Deterministic hotness ordering shared by every profile surface.
+
+    Sorts *keys* by descending ``score(key)``; ties — and NaN scores,
+    which rank as ``-inf`` — break toward the smaller key under its
+    natural ordering (lexicographic for function names, node names and
+    context paths).  The single tie-break rule behind
+    :meth:`RunProfile.hottest_node`, :meth:`NodeProfile.functions_by_time`
+    and ``ContextTree.hot_paths``, so report order never depends on dict
+    insertion order or per-site ad-hoc keys.
+    """
+    def key(k):
+        s = score(k)
+        if s != s:          # NaN: rank below every real score
+            s = float("-inf")
+        return (-s, k)
+
+    return sorted(keys, key=key)
 
 
 @dataclass
@@ -96,12 +119,31 @@ class NodeProfile:
     #: (it never materializes the raw series), the batch path leaves it
     #: empty because the series answers the same questions exactly
     sensor_summary: dict[str, SensorStats] = field(default_factory=dict)
+    #: the node's hot calling-context tree (:mod:`repro.core.cct`), when
+    #: the producer was asked to keep one (``hcct_budget``); the flat
+    #: ``functions`` map is a projection of it, not a separate account
+    context_tree: Optional["ContextTree"] = None
 
     def functions_by_time(self) -> list[FunctionProfile]:
-        """Functions ordered by decreasing inclusive time (report order)."""
-        return sorted(
-            self.functions.values(), key=lambda f: f.total_time_s, reverse=True
-        )
+        """Functions ordered by decreasing inclusive time (report order).
+
+        Ties break via :func:`hottest_first` (lexically smaller name
+        first), never by dict insertion order.
+        """
+        return [
+            self.functions[name] for name in hottest_first(
+                self.functions, lambda n: self.functions[n].total_time_s)
+        ]
+
+    def hot_paths(self, k: int = 10) -> list["ContextNode"]:
+        """Top-*k* calling contexts by exclusive weight, hottest first.
+
+        Empty when the producer kept no context tree (the flat profile
+        cannot answer context-sensitive queries).
+        """
+        if self.context_tree is None:
+            return []
+        return self.context_tree.hot_paths(k)
 
     def function(self, name: str) -> FunctionProfile:
         try:
@@ -172,6 +214,13 @@ class NodeProfile:
             span,
             inclusive_s={n: f.total_time_s for n, f in functions.items()},
         )
+        tree = None
+        if self.context_tree is not None:
+            tree = self.context_tree.clone()
+            if other.context_tree is not None:
+                tree.merge(other.context_tree)
+        elif other.context_tree is not None:
+            tree = other.context_tree.clone()
         return NodeProfile(
             node_name=self.node_name,
             duration_s=span[1] - span[0],
@@ -179,6 +228,7 @@ class NodeProfile:
             sensor_series=series,
             timeline=timeline,
             sensor_summary=summary,
+            context_tree=tree,
         )
 
     def mean_temperature(self, sensor: str) -> float:
@@ -255,8 +305,9 @@ class RunProfile:
 
         ``sensor_pred(name) -> bool`` filters which sensors count; defaults
         to CPU-ish sensors (name contains "CPU"), falling back to all.
-        Ties (including all-NaN scores) break deterministically toward the
-        lexically smaller node name, never dict insertion order.
+        Ordering (ties included) follows :func:`hottest_first`: all-NaN
+        scores rank last, ties break toward the lexically smaller node
+        name, never dict insertion order.
         """
         pred = sensor_pred or (lambda s: "CPU" in s)
 
@@ -264,10 +315,32 @@ class RunProfile:
             names = [s for s in node.sensor_names() if pred(s)] or node.sensor_names()
             if not names:
                 return float("-inf")
-            value = float(np.mean([node.mean_temperature(s) for s in names]))
-            return value if value == value else float("-inf")
+            return float(np.mean([node.mean_temperature(s) for s in names]))
 
         if not self.nodes:
             raise ConfigError("hottest_node on a profile with no nodes")
-        return min(self.nodes,
-                   key=lambda n: (-score(self.nodes[n]), n))
+        return hottest_first(self.nodes, lambda n: score(self.nodes[n]))[0]
+
+    def context_tree(self) -> Optional["ContextTree"]:
+        """The cluster-wide HCCT: the merge of every node's tree.
+
+        ``None`` when no node kept one.  The merge is the space-saving
+        union (budget-bounded, error bounds composed), so the result is
+        exactly what a fan-in root would compose from per-node summary
+        trees.
+        """
+        trees = [n.context_tree for n in self.nodes.values()
+                 if n.context_tree is not None]
+        if not trees:
+            return None
+        merged = trees[0].clone()
+        for t in trees[1:]:
+            merged.merge(t)
+        return merged
+
+    def hot_paths(self, k: int = 10) -> list["ContextNode"]:
+        """Top-*k* calling contexts across the whole run, hottest first."""
+        tree = self.context_tree()
+        if tree is None:
+            return []
+        return tree.hot_paths(k)

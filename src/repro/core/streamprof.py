@@ -101,6 +101,7 @@ __all__ = [
     "OnlineStats",
     "ProfileAccumulator",
     "StreamingRunProfiler",
+    "stream_bundle_profile",
     "stream_spool_profile",
 ]
 
@@ -418,7 +419,7 @@ class OnlineStats:
         return q, pos
 
     def to_state(self) -> dict:
-        """The serializable ``tempest-summary-v1`` estimator state.
+        """The serializable ``tempest-summary-v2`` estimator state.
 
         Keys (drift-tested against ``docs/INTERNALS.md``): ``n``, ``min``,
         ``max``, ``mean``, ``m2``, ``bin_values``, ``bin_counts``, ``q``,
@@ -594,6 +595,7 @@ class ProfileAccumulator:
         min_samples_for_stats: int = 1,
         batch: bool = False,
         vectorized: bool = True,
+        hcct_budget: Optional[int] = None,
     ):
         self.node_name = node_name
         self.symtab = symtab
@@ -603,6 +605,17 @@ class ProfileAccumulator:
         self.strict = strict
         self.min_samples_for_stats = int(min_samples_for_stats)
         self.batch = batch
+        #: keep a hot calling-context tree alongside the flat profile:
+        #: ``None`` disables it (the default — the flat engine pays
+        #: nothing), a positive budget bounds tracked contexts by
+        #: space-saving eviction, ``0`` keeps the exact unbounded CCT
+        #: (testing/benchmark reference).  Streaming mode only.
+        self.hcct_budget = hcct_budget
+        if hcct_budget is not None and batch:
+            raise TraceError(
+                f"{node_name}: hcct_budget requires streaming mode, "
+                "not batch"
+            )
         #: route well-formed chunks through the numpy segment reduction;
         #: ``False`` forces the scalar replay for every chunk (the
         #: reference engine, used by the differential suite and the
@@ -658,6 +671,19 @@ class ProfileAccumulator:
         self._closed_at: tuple[Optional[float], set[int]] = (None, set())
         # -- node-level per-sensor aggregates (snapshot sensor_summary)
         self._summary = [OnlineStats() for _ in self.sensor_names]
+        # -- hot calling-context tree (optional; repro.core.cct)
+        if hcct_budget is None:
+            self._tree = None
+        else:
+            from repro.core.cct import ContextTree
+
+            self._tree = ContextTree(
+                self.sensor_names,
+                budget=None if hcct_budget == 0 else int(hcct_budget),
+            )
+        #: per-process context-id stacks, mirroring ``_stacks`` frame for
+        #: frame (the path of the open frames in the tree)
+        self._ctx_stacks: dict[int, list[int]] = {}
 
     # ------------------------------------------------------------------
     # Function registry
@@ -713,6 +739,15 @@ class ProfileAccumulator:
             self._chunks.append(arr)
             return
         self._consume_stream(arr)
+        if self._tree is not None:
+            # Chunk-boundary space-saving prune: contexts still open on
+            # some stack are pinned (their slots are live credit
+            # targets); both engines reach identical tree state here, so
+            # eviction decisions — and therefore the whole tree — stay
+            # engine-independent even under budget pressure.
+            self._tree.end_chunk(pinned={
+                cid for st in self._ctx_stacks.values() for cid in st
+            })
 
     def consume_records(self, records: Iterable) -> None:
         """Fold an iterable of :class:`TraceRecord`-shaped objects."""
@@ -808,7 +843,14 @@ class ProfileAccumulator:
         if cur is not None:
             fid, since = cur
             if until > since:
-                self._excl[fid] += until - since
+                dt = until - since
+                self._excl[fid] += dt
+                if self._tree is not None:
+                    # The context stack mirrors the frame stack, so the
+                    # top context is the top frame's calling context.
+                    cstack = self._ctx_stacks.get(pid)
+                    if cstack:
+                        self._tree.add_excl(cstack[-1], dt)
 
     def _on_enter(self, fid: int, t: float, pid: int) -> None:
         stack = self._stacks.get(pid)
@@ -820,6 +862,14 @@ class ProfileAccumulator:
         arcs = self._arcs
         arcs[(caller, fid)] = arcs.get((caller, fid), 0) + 1
         stack.append((fid, t))
+        if self._tree is not None:
+            cstack = self._ctx_stacks.get(pid)
+            if cstack is None:
+                cstack = self._ctx_stacks[pid] = []
+            cid = self._tree.intern(cstack[-1] if cstack else 0,
+                                    self._fnames[fid])
+            self._tree.record_call(cid)
+            cstack.append(cid)
         self._top_since[pid] = (fid, t)
         self._calls_arr[fid] += 1
         if t < self._span_lo:
@@ -847,8 +897,11 @@ class ProfileAccumulator:
             # timestamp *before* unwinding (the crossed frames are about
             # to be popped), exactly like the replay builder.
             self._credit_top(pid, t)
+            cstack = self._ctx_stacks.get(pid)
             while stack and stack[-1][0] != fid:
                 crossed, _t0 = stack.pop()
+                if cstack:
+                    cstack.pop()
                 self._union_close(crossed, t)
             if not stack:
                 # The EXIT matched nothing: every frame unwound.
@@ -857,6 +910,9 @@ class ProfileAccumulator:
             self._top_since[pid] = (stack[-1][0], t)
         self._credit_top(pid, t)
         stack.pop()
+        cstack = self._ctx_stacks.get(pid)
+        if cstack:
+            cstack.pop()
         self._union_close(fid, t)
         if stack:
             self._top_since[pid] = (stack[-1][0], t)
@@ -950,6 +1006,17 @@ class ProfileAccumulator:
         if ct == t:
             for fid in cset:
                 self._attribute(fid, sidx, value, seq)
+        if self._tree is not None:
+            # Context attribution is point-in-time: the sample lands on
+            # every process's *current* top-of-stack context, once per
+            # distinct context (the flat engine's closed-interval and
+            # retro rules stay flat-only — a context is narrower than a
+            # function, so its sample set is the exact moments it was on
+            # top).
+            tree = self._tree
+            for cid in sorted({st[-1]
+                               for st in self._ctx_stacks.values() if st}):
+                tree.push_sample(cid, sidx, value)
 
     def _attribute(self, fid: int, sidx: int, value: float,
                    seq: int) -> None:
@@ -1001,6 +1068,12 @@ class ProfileAccumulator:
         seg_dts: list[np.ndarray] = []
         seg_pos: list[np.ndarray] = []
         arc_code_parts: list[np.ndarray] = []
+        tree = self._tree
+        # (pid, src) per exclusive-segment part: ``src`` holds the ext
+        # indices of each segment's top ENTER, or None for the carried
+        # top-of-stack segment — resolved to context ids at commit time.
+        seg_ctx_parts: list[tuple[int, Optional[np.ndarray]]] = []
+        f_gpos_all = np.nonzero(f_mask)[0] if tree is not None else None
         if have_funcs:
             f_addr = arr["addr"][f_mask]
             f_pid = arr["pid"][f_mask].astype(np.int64)
@@ -1079,12 +1152,15 @@ class ProfileAccumulator:
                     for p in open_pos.tolist()
                 ]
 
-                # Top-of-stack after each event: an ENTER is its own top;
-                # an EXIT leaves the most recent still-open frame one
-                # level up on top.
+                # Top-of-stack after each event, as the ext index of the
+                # ENTER whose frame is on top (-1 = stack empty): an
+                # ENTER is its own top; an EXIT leaves the most recent
+                # still-open frame one level up on top.  The fid view
+                # derives from it; the tree commit reuses the indices to
+                # map segments and samples onto context ids.
                 m_ext = len(ext_en)
-                top = np.full(m_ext, -1, dtype=np.int64)
-                top[enters] = ext_ni[enters]
+                top_src = np.full(m_ext, -1, dtype=np.int64)
+                top_src[enters] = enters
                 exit_da = depth_after[exits]
                 live = exit_da > 0
                 if live.any():
@@ -1095,14 +1171,21 @@ class ProfileAccumulator:
                         open_enters = enters[ed == d]
                         parent = open_enters[
                             np.searchsorted(open_enters, q) - 1]
-                        top[q] = ext_ni[parent]
+                        top_src[q] = parent
+                top = np.where(top_src >= 0,
+                               ext_ni[np.maximum(top_src, 0)],
+                               np.int64(-1))
 
-                # Caller arcs for chunk enters ("<root>" coded -1).
+                # Caller arcs for chunk enters ("<root>" coded -1); the
+                # parent ENTER's ext index doubles as the context-tree
+                # interning order.
                 ce_mask = enters >= base
                 ce = enters[ce_mask]
+                parent_ext = np.empty(0, dtype=np.int64)
                 if len(ce):
                     ced = ed[ce_mask]
                     caller = np.full(len(ce), -1, dtype=np.int64)
+                    parent_ext = np.full(len(ce), -1, dtype=np.int64)
                     deep = ced > 1
                     if deep.any():
                         for d in np.unique(ced[deep]).tolist():
@@ -1112,6 +1195,7 @@ class ProfileAccumulator:
                             parent = open_enters[
                                 np.searchsorted(open_enters, q) - 1]
                             caller[at_d] = ext_ni[parent]
+                            parent_ext[at_d] = parent
                     arc_code_parts.append(
                         (caller + 1) * np.int64(n_names) + ext_ni[ce])
 
@@ -1127,6 +1211,9 @@ class ProfileAccumulator:
                         seg_fids.append(tops[valid])
                         seg_dts.append(dt[valid])
                         seg_pos.append(gpos[1:][valid])
+                        if tree is not None:
+                            seg_ctx_parts.append(
+                                (pid, top_src[base:][:-1][valid]))
                 carry_top = self._top_since.get(pid)
                 if carry_top is not None:
                     tfid, since = carry_top
@@ -1135,7 +1222,13 @@ class ProfileAccumulator:
                         seg_fids.append(np.array([tfid], dtype=np.int64))
                         seg_dts.append(np.array([t0 - since]))
                         seg_pos.append(gpos[:1])
-                per_pid.append((pid, new_stack, float(t[-1])))
+                        if tree is not None:
+                            seg_ctx_parts.append((pid, None))
+                treeinfo = None
+                if tree is not None:
+                    treeinfo = (base, open_pos, ce, parent_ext, top_src,
+                                f_gpos_all[sel], ext_ni)
+                per_pid.append((pid, new_stack, float(t[-1]), treeinfo))
 
         # ---- the chunk is well-formed: commit ----
         spans_for: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -1161,7 +1254,7 @@ class ProfileAccumulator:
                     code = int(code)
                     key = (code // n_names - 1, code % n_names)
                     arcs[key] = arcs.get(key, 0) + int(cnt)
-            for pid, new_stack, t_last in per_pid:
+            for pid, new_stack, t_last, _ti in per_pid:
                 self._stacks[pid] = new_stack
                 self._last_time[pid] = t_last
                 if new_stack:
@@ -1180,6 +1273,10 @@ class ProfileAccumulator:
                 np.add.at(self._excl, sf[order], sd[order])
 
             self._commit_union(f_fid, f_enter, f_t, spans_for, first_opens)
+
+        if tree is not None:
+            self._commit_tree(per_pid, seg_ctx_parts, seg_dts, seg_pos,
+                              s_t, s_sidx, s_val, np.nonzero(s_mask)[0])
 
         # Retroactive attribution of carried samples to union spans that
         # (re)open at exactly the carried sample timestamp.
@@ -1205,6 +1302,102 @@ class ProfileAccumulator:
             ])
         self._now = float(rt[-1])
         return None
+
+    def _commit_tree(self, per_pid, seg_ctx_parts, seg_dts, seg_pos,
+                     s_t, s_sidx, s_val, s_gpos) -> None:
+        """Fold one validated chunk into the calling-context tree.
+
+        Context ids derive from the per-pid matched-frame machinery the
+        flat commit already ran: each chunk ENTER interns under its
+        parent ENTER's context (``parent_ext``), carried frames keep the
+        context-stack prefix, exclusive segments map their top ENTER's
+        ext index (``top_src``) onto context ids and reduce with the
+        same stream-ordered ``np.add.at`` as the flat engine — so the
+        tree's per-context times are bit-identical to the scalar
+        replay's.  Samples attribute point-in-time: each lands once on
+        every distinct context topping some process's stack at that
+        stream position, pushed per (context, sensor) in stream order.
+        """
+        tree = self._tree
+        fnames = self._fnames
+        ctx_stacks = self._ctx_stacks
+        # Pre-chunk tops: processes without events keep their context.
+        pids_in_chunk = {pid for pid, _ns, _tl, _ti in per_pid}
+        const_cids = sorted({st[-1] for pid, st in ctx_stacks.items()
+                             if st and pid not in pids_in_chunk})
+        ecid_by_pid: dict[int, np.ndarray] = {}
+        carry_by_pid: dict[int, list[int]] = {}
+        for pid, _ns, _tl, ti in per_pid:
+            base, _open_pos, ce, parent_ext, top_src, _gg, ext_ni = ti
+            cstack = ctx_stacks.get(pid) or []
+            carry_by_pid[pid] = cstack
+            ecid = np.full(len(top_src), -1, dtype=np.int64)
+            if base:
+                ecid[:base] = cstack
+            for j, e in enumerate(ce.tolist()):
+                p = int(parent_ext[j])
+                cid = tree.intern(int(ecid[p]) if p >= 0 else 0,
+                                  fnames[int(ext_ni[e])])
+                tree.record_call(cid)
+                ecid[e] = cid
+            ecid_by_pid[pid] = ecid
+        if seg_ctx_parts:
+            parts = []
+            for pid, src in seg_ctx_parts:
+                if src is None:        # the carried top-of-stack segment
+                    parts.append(np.array([carry_by_pid[pid][-1]],
+                                          dtype=np.int64))
+                else:
+                    parts.append(ecid_by_pid[pid][src])
+            sc = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            sd = np.concatenate(seg_dts)
+            sp = np.concatenate(seg_pos)
+            order = np.argsort(sp, kind="stable")
+            tree.add_excl_at(sc[order], sd[order])
+        n_s = len(s_t)
+        if n_s:
+            cap = np.int64(len(tree._names) + 1)
+            samp_idx = np.arange(n_s, dtype=np.int64)
+            code_parts = [samp_idx * cap + cid for cid in const_cids]
+            for pid, _ns, _tl, ti in per_pid:
+                base, _op, _ce, _pe, top_src, gpos_g, _ni = ti
+                ecid = ecid_by_pid[pid]
+                idx = np.searchsorted(gpos_g, s_gpos, side="left") - 1
+                cids = np.full(n_s, np.int64(-1))
+                has = idx >= 0
+                if has.any():
+                    src = top_src[base + idx[has]]
+                    cids[has] = np.where(src >= 0,
+                                         ecid[np.maximum(src, 0)],
+                                         np.int64(-1))
+                carry = carry_by_pid[pid]
+                if carry and not has.all():
+                    cids[~has] = carry[-1]
+                ok = cids >= 0
+                if ok.any():
+                    code_parts.append(samp_idx[ok] * cap + cids[ok])
+            if code_parts:
+                codes = np.unique(np.concatenate(code_parts)
+                                  if len(code_parts) > 1
+                                  else code_parts[0])
+                samp = codes // cap
+                cid_arr = codes % cap
+                for c in np.unique(cid_arr).tolist():
+                    sel_s = samp[cid_arr == c]
+                    for sidx in range(len(self.sensor_names)):
+                        m = s_sidx[sel_s] == sidx
+                        if m.any():
+                            tree.push_samples(int(c), sidx,
+                                              s_val[sel_s[m]])
+        # Commit the post-chunk context stacks (mirrors ``_stacks``).
+        for pid, _ns, _tl, ti in per_pid:
+            base, open_pos, _ce, _pe, _ts, _gg, _ni = ti
+            carry = carry_by_pid[pid]
+            ecid = ecid_by_pid[pid]
+            ctx_stacks[pid] = [
+                carry[p] if p < base else int(ecid[p])
+                for p in open_pos.tolist()
+            ]
 
     def _commit_union(self, f_fid, f_enter, f_t, spans_for, first_opens
                       ) -> None:
@@ -1453,7 +1646,8 @@ class ProfileAccumulator:
         if self.batch:
             return self._finalize_batch(strict=False)
         totals, exclusive, span_hi = self._provisional_state()
-        return self._build_profile(totals, exclusive, span_hi)
+        return self._build_profile(totals, exclusive, span_hi,
+                                   tree=self._provisional_tree())
 
     def _provisional_state(self):
         """(totals, exclusive, span_hi) with open frames credited to now.
@@ -1479,6 +1673,25 @@ class ProfileAccumulator:
                 exclusive[fid] = exclusive.get(fid, 0.0) + (now - since)
         return totals, exclusive, span_hi
 
+    def _provisional_tree(self):
+        """An independent tree view with open tops credited to now.
+
+        Mirrors the flat provisional crediting, then re-prunes without
+        pins — exposed trees always respect the budget even while the
+        engine's own tree carries pinned open contexts past it.
+        """
+        if self._tree is None:
+            return None
+        tree = self._tree.clone()
+        now = self._now
+        for pid, (_fid, since) in self._top_since.items():
+            if now > since:
+                cstack = self._ctx_stacks.get(pid)
+                if cstack:
+                    tree.add_excl(cstack[-1], now - since)
+        tree.prune_to_budget()
+        return tree
+
     def finalize(self) -> NodeProfile:
         """Apply end-of-trace semantics and return the final profile.
 
@@ -1499,7 +1712,8 @@ class ProfileAccumulator:
             fid: float(self._excl[fid])
             for fid in np.nonzero(self._excl)[0].tolist()
         }
-        return self._build_profile(totals, exclusive, self._span_hi)
+        return self._build_profile(totals, exclusive, self._span_hi,
+                                   tree=self._tree)
 
     def _close_open_frames(self) -> None:
         # Close processes in ascending end-time order: the online union
@@ -1525,7 +1739,13 @@ class ProfileAccumulator:
             while stack:
                 fid, _t0 = stack.pop()
                 self._union_close(fid, t_end)
+            cstack = self._ctx_stacks.get(pid)
+            if cstack:
+                cstack.clear()
             self._top_since.pop(pid, None)
+        if self._tree is not None:
+            # Every context is unpinned now: restore the budget exactly.
+            self._tree.end_chunk()
 
     def summary(self, *, final: bool = False):
         """The node's mergeable :class:`~repro.core.summary.NodeSummary`.
@@ -1555,10 +1775,11 @@ class ProfileAccumulator:
                 for fid in np.nonzero(self._excl)[0].tolist()
             }
             return self._build_summary(totals, exclusive, self._span_hi,
-                                       copy_stats=False)
+                                       copy_stats=False, tree=self._tree)
         totals, exclusive, span_hi = self._provisional_state()
         return self._build_summary(totals, exclusive, span_hi,
-                                   copy_stats=True)
+                                   copy_stats=True,
+                                   tree=self._provisional_tree())
 
     def _totals_with_pending(self) -> dict[int, float]:
         totals = {
@@ -1572,13 +1793,13 @@ class ProfileAccumulator:
 
     def _build_profile(self, totals: dict[int, float],
                        exclusive: dict[int, float],
-                       span_hi: float) -> NodeProfile:
+                       span_hi: float, tree=None) -> NodeProfile:
         # Profile construction is the summary algebra's: build the
         # mergeable NodeSummary, then render it.  One code path means the
         # fan-in tier's "profile from merged summaries" and the local
         # "profile from accumulator" cannot drift apart.
         node = self._build_summary(totals, exclusive, span_hi,
-                                   copy_stats=False)
+                                   copy_stats=False, tree=tree)
         return node.to_node_profile(
             sampling_hz=self.sampling_hz,
             min_samples_for_stats=self.min_samples_for_stats,
@@ -1586,7 +1807,7 @@ class ProfileAccumulator:
 
     def _build_summary(self, totals: dict[int, float],
                        exclusive: dict[int, float], span_hi: float,
-                       *, copy_stats: bool):
+                       *, copy_stats: bool, tree=None):
         """Project the fid-keyed aggregate state onto a name-keyed
         :class:`~repro.core.summary.NodeSummary`.
 
@@ -1625,6 +1846,7 @@ class ProfileAccumulator:
                        else self._summary[i])
                 for i, name in enumerate(self.sensor_names)
             },
+            context_tree=tree,
         )
 
     # ------------------------------------------------------------------
@@ -1727,7 +1949,8 @@ class StreamingRunProfiler:
     def __init__(self, symtab: SymbolTable, *, sampling_hz: float = 4.0,
                  strict: bool = False, min_samples_for_stats: int = 1,
                  meta: Optional[dict] = None, batch: bool = False,
-                 vectorized: bool = True):
+                 vectorized: bool = True,
+                 hcct_budget: Optional[int] = None):
         self.symtab = symtab
         self.sampling_hz = float(sampling_hz)
         self.strict = strict
@@ -1738,6 +1961,8 @@ class StreamingRunProfiler:
         #: remote streams but needs bit-equality with the batch parser
         self.batch = batch
         self.vectorized = vectorized
+        #: per-node hot calling-context tree budget (None = no trees)
+        self.hcct_budget = hcct_budget
         self.accumulators: dict[str, ProfileAccumulator] = {}
 
     def add_node(self, node_name: str, tsc_hz: float,
@@ -1755,6 +1980,7 @@ class StreamingRunProfiler:
                 min_samples_for_stats=self.min_samples_for_stats,
                 batch=self.batch,
                 vectorized=self.vectorized,
+                hcct_budget=self.hcct_budget,
             )
             self.accumulators[node_name] = acc
         return acc
@@ -1806,7 +2032,8 @@ class StreamingRunProfiler:
 def stream_spool_profile(directory, *, chunk_records: Optional[int] = None,
                          strict: bool = False,
                          min_samples_for_stats: int = 1,
-                         vectorized: bool = True) -> RunProfile:
+                         vectorized: bool = True,
+                         hcct_budget: Optional[int] = None) -> RunProfile:
     """Constant-memory profile of a spool directory.
 
     Reads ``header.json`` plus each ``<node>.spool`` in fixed-size record
@@ -1834,6 +2061,7 @@ def stream_spool_profile(directory, *, chunk_records: Optional[int] = None,
         min_samples_for_stats=min_samples_for_stats,
         meta=meta,
         vectorized=vectorized,
+        hcct_budget=hcct_budget,
     )
     size = chunk_records or STREAM_CHUNK_RECORDS
     for name, info in header["nodes"].items():
@@ -1842,4 +2070,37 @@ def stream_spool_profile(directory, *, chunk_records: Optional[int] = None,
         if spool_file.exists():
             for chunk in iter_spool_chunks(spool_file, chunk_records=size):
                 acc.consume(chunk)
+    return profiler.finalize()
+
+
+def stream_bundle_profile(bundle, *, chunk_records: Optional[int] = None,
+                          strict: bool = True,
+                          min_samples_for_stats: int = 1,
+                          vectorized: bool = True,
+                          hcct_budget: Optional[int] = None) -> RunProfile:
+    """Stream an in-memory :class:`~repro.core.trace.TraceBundle`.
+
+    The batch parser (``TempestParser``) is the canonical path for
+    bundles, but it builds flat profiles only; this routes the same
+    records through the streaming accumulators, which is how a bundle
+    grows a hot calling-context tree (``hcct_budget``).  Chunked so the
+    HCCT's chunk-boundary eviction actually engages on long traces.
+    """
+    from repro.core.spool import STREAM_CHUNK_RECORDS
+
+    size = chunk_records or STREAM_CHUNK_RECORDS
+    profiler = StreamingRunProfiler(
+        bundle.symtab,
+        sampling_hz=float(bundle.meta.get("sampling_hz", 4.0)),
+        strict=strict,
+        min_samples_for_stats=min_samples_for_stats,
+        meta=dict(bundle.meta),
+        vectorized=vectorized,
+        hcct_budget=hcct_budget,
+    )
+    for name, trace in bundle.nodes.items():
+        acc = profiler.add_node(name, trace.tsc_hz, trace.sensor_names)
+        arr = trace.columns.array
+        for lo in range(0, len(arr), size):
+            acc.consume(arr[lo:lo + size])
     return profiler.finalize()

@@ -1,4 +1,4 @@
-"""``tempest-summary-v1``: the mergeable profile-summary algebra.
+"""``tempest-summary-v2``: the mergeable profile-summary algebra.
 
 The paper's workflow is "sample per node, merge offline"; the fan-in
 tier makes that merge *compositional*: every layer of profile state —
@@ -29,7 +29,11 @@ The layout (drift-documented in ``docs/INTERNALS.md``): a
 :class:`RunSummary` carries ``format``/``sampling_hz``/``meta`` plus one
 :class:`NodeSummary` per node — per-function inclusive/exclusive
 seconds, call counts, call-graph arcs, the event span, per-(function,
-sensor) estimator states, and the node-level per-sensor summary.
+sensor) estimator states, the node-level per-sensor summary, and (new
+in v2) an optional serialized hot calling-context tree
+(:class:`~repro.core.cct.ContextTree`) whose merge is itself
+budget-closed, so fan-in roots compose a cluster-wide HCCT.  v1
+documents are accepted unchanged (no trees).
 :meth:`NodeSummary.to_node_profile` rebuilds the exact profile the
 streaming accumulator itself would emit — the accumulator's own
 ``finalize`` is routed through this code path, so "profile from
@@ -40,7 +44,7 @@ approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -50,14 +54,23 @@ from repro.core.streamprof import OnlineStats, _coverage
 from repro.core.timeline import Timeline
 from repro.util.errors import TraceError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cct import ContextTree
+
 __all__ = [
     "SUMMARY_FORMAT",
+    "SUMMARY_FORMATS_ACCEPTED",
     "NodeSummary",
     "RunSummary",
 ]
 
 #: version tag carried by every serialized summary
-SUMMARY_FORMAT = "tempest-summary-v1"
+SUMMARY_FORMAT = "tempest-summary-v2"
+
+#: formats :meth:`RunSummary.from_dict` accepts: v2 adds the optional
+#: per-node ``hcct`` block; a v1 document is simply a v2 document with
+#: no trees, so readers stay compatible in both directions.
+SUMMARY_FORMATS_ACCEPTED = ("tempest-summary-v1", "tempest-summary-v2")
 
 #: the caller name standing in for "no caller" in serialized arcs
 _ROOT = "<root>"
@@ -85,6 +98,8 @@ class NodeSummary:
     stats: dict[str, dict[str, OnlineStats]] = field(default_factory=dict)
     #: node-level per-sensor estimator state
     sensor_summary: dict[str, OnlineStats] = field(default_factory=dict)
+    #: optional hot calling-context tree (None when HCCT is disabled)
+    context_tree: Optional["ContextTree"] = None
 
     @classmethod
     def empty(cls, node_name: str, sensor_names: list[str]) -> "NodeSummary":
@@ -105,6 +120,8 @@ class NodeSummary:
                    for f, per in self.stats.items()},
             sensor_summary={s: st.clone()
                             for s, st in self.sensor_summary.items()},
+            context_tree=(None if self.context_tree is None
+                          else self.context_tree.clone()),
         )
 
     def merge(self, other: "NodeSummary") -> None:
@@ -113,7 +130,9 @@ class NodeSummary:
         Times, call counts, arcs, and record counts are additive; spans
         take the envelope (contiguous splits tile, so the union length
         is exact); estimator states merge via
-        :meth:`OnlineStats.merge`.
+        :meth:`OnlineStats.merge`.  Context trees merge via
+        :meth:`~repro.core.cct.ContextTree.merge` (budget-closed); a
+        one-sided tree is cloned.
         """
         if other.node_name != self.node_name:
             raise TraceError(
@@ -154,6 +173,11 @@ class NodeSummary:
                 self.sensor_summary[sensor] = st.clone()
             else:
                 held.merge(st)
+        if other.context_tree is not None:
+            if self.context_tree is None:
+                self.context_tree = other.context_tree.clone()
+            else:
+                self.context_tree.merge(other.context_tree)
 
     # ------------------------------------------------------------------
 
@@ -225,6 +249,7 @@ class NodeSummary:
             sensor_series=series,
             timeline=timeline,
             sensor_summary=summary,
+            context_tree=self.context_tree,
         )
 
     # ------------------------------------------------------------------
@@ -249,12 +274,17 @@ class NodeSummary:
             "sensor_summary": {
                 s: st.to_state() for s, st in self.sensor_summary.items()
             },
+            "hcct": (None if self.context_tree is None
+                     else self.context_tree.to_dict()),
         }
 
     @classmethod
     def from_dict(cls, obj: dict) -> "NodeSummary":
+        from repro.core.cct import ContextTree
+
         try:
             span = obj.get("span")
+            hcct = obj.get("hcct")
             return cls(
                 node_name=str(obj["node"]),
                 sensor_names=[str(s) for s in obj["sensor_names"]],
@@ -280,6 +310,8 @@ class NodeSummary:
                     str(s): OnlineStats.from_state(state)
                     for s, state in obj.get("sensor_summary", {}).items()
                 },
+                context_tree=(None if hcct is None
+                              else ContextTree.from_dict(hcct)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise TraceError(f"malformed node summary: {exc}")
@@ -358,10 +390,10 @@ class RunSummary:
     @classmethod
     def from_dict(cls, obj: dict) -> "RunSummary":
         fmt = obj.get("format")
-        if fmt != SUMMARY_FORMAT:
+        if fmt not in SUMMARY_FORMATS_ACCEPTED:
             raise TraceError(
-                f"summary declares format {fmt!r}, expected "
-                f"{SUMMARY_FORMAT!r}"
+                f"summary declares format {fmt!r}, expected one of "
+                f"{list(SUMMARY_FORMATS_ACCEPTED)}"
             )
         hz = obj.get("sampling_hz")
         return cls(

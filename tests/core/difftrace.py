@@ -119,3 +119,63 @@ def generate_trace(seed, *, n_events=900, n_pids=3, n_funcs=10,
             NodeTrace.append_event(trace, REC_EXIT, addr, tsc, pid % 2, pid)
     assert names  # symtab stays alive with the trace
     return trace, symtab
+
+
+def generate_deep_trace(seed, *, n_events=1200, n_pids=2, n_funcs=6,
+                        n_sensors=1, max_depth=64):
+    """A seeded trace biased toward deep and recursive call shapes.
+
+    The default generator keeps stacks shallow (EXIT probability beats
+    ENTER above a few frames), so calling-context trees stay wide and
+    short.  This one is the HCCT adversary: long ENTER runs drive the
+    stack toward ``max_depth``, a small function alphabet forces heavy
+    direct and mutual recursion (the same function at many distinct
+    depths — contexts that a flat profile collapses), and partial
+    unwinds re-grow different subtrees from mid-stack prefixes.
+    Timestamps stay globally non-decreasing, so every engine-equivalence
+    contract applies unchanged.
+    """
+    rng = np.random.default_rng(seed)
+    symtab = SymbolTable()
+    addrs = [symtab.address_of(f"r{i}") for i in range(n_funcs)]
+    sensors = [f"S{i}" for i in range(n_sensors)]
+    trace = NodeTrace(f"deep{seed}", TSC_HZ, sensors)
+    stacks: dict[int, list[int]] = {pid: [] for pid in range(1, n_pids + 1)}
+    tsc = 0
+    for _ in range(n_events):
+        pid = int(rng.integers(1, n_pids + 1))
+        stack = stacks[pid]
+        if rng.random() >= 0.10:
+            tsc += int(rng.integers(1, 20_000))
+        r = rng.random()
+        if (r < 0.62 and len(stack) < max_depth) or not stack:
+            # Recursion-heavy descent: usually re-enter the current
+            # function or its caller rather than a fresh one.
+            if stack and rng.random() < 0.55:
+                addr = stack[-1] if rng.random() < 0.6 else \
+                    stack[int(rng.integers(0, len(stack)))]
+            else:
+                addr = addrs[int(rng.integers(0, n_funcs))]
+            trace.append_event(REC_ENTER, addr, tsc, pid % 2, pid)
+            stack.append(addr)
+        elif r < 0.88:
+            addr = stack.pop()
+            trace.append_event(REC_EXIT, addr, tsc, pid % 2, pid)
+        elif r < 0.94 and len(stack) > 2:
+            # Partial unwind to a random prefix, then the next descent
+            # grows a sibling subtree from that context.
+            keep = int(rng.integers(1, len(stack) - 1))
+            while len(stack) > keep:
+                addr = stack.pop()
+                trace.append_event(REC_EXIT, addr, tsc, pid % 2, pid)
+        else:
+            for s in range(n_sensors):
+                value = float(np.round(rng.normal(50.0, 3.0) * 4.0) / 4.0)
+                trace.append_event(REC_TEMP, s, tsc, 3, 999, value)
+    # Unwind everything so the exact CCT is fully closed (no lenient
+    # end-of-trace credit differences between comparisons).
+    for pid, stack in stacks.items():
+        while stack:
+            tsc += int(rng.integers(1, 20_000))
+            trace.append_event(REC_EXIT, stack.pop(), tsc, pid % 2, pid)
+    return trace, symtab

@@ -105,3 +105,69 @@ def test_fallback_reasons_documented():
     for key in FALLBACK_REASONS:
         assert f"`{key}`" in doc, (
             f"FALLBACK_REASONS[{key!r}] is not documented in INTERNALS.md")
+
+
+# --------------------------------------------------------------------- HCCT
+# The tree-construction contract mirrors the flat one: with the same
+# chunking, the vectorized and forced-scalar engines make identical
+# intern/evict decisions (pruning happens only at chunk boundaries), so
+# the resulting trees agree path-for-path — structure, times, calls and
+# error bounds bit-equal, per-context moments within the same 1e-9 the
+# flat profile allows for push vs push_many rounding.
+
+from tests.core.difftrace import generate_deep_trace
+from tests.core.test_cct import assert_trees_match
+
+
+@pytest.mark.parametrize("seed", [0, 2, 5, 11])
+@pytest.mark.parametrize("budget", [0, 8, 64])
+def test_differential_tree_construction(seed, budget):
+    adversarial = seed % 3 == 2
+    chunk = CHUNK_SIZES[seed % len(CHUNK_SIZES)]
+    trace, symtab = generate_trace(seed, adversarial=adversarial)
+    a_fast, fast = stream(trace, symtab, chunk, hcct_budget=budget)
+    a_slow, slow = stream(trace, symtab, chunk, vectorized=False,
+                          hcct_budget=budget)
+    assert a_fast._tree is not None and a_slow._tree is not None
+    assert a_fast._tree.validate() == []
+    assert a_slow._tree.validate() == []
+    assert_trees_match(a_fast._tree, a_slow._tree,
+                       ctx=f"seed={seed} budget={budget}")
+    assert_profiles_equivalent(fast, slow)
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+@pytest.mark.parametrize("budget", [0, 48])
+def test_differential_tree_deep_recursive(seed, budget):
+    """Recursion-heavy CCTs (depth ~40) through both engines."""
+    trace, symtab = generate_deep_trace(seed)
+    for chunk in (7, 1021):
+        a_fast, _ = stream(trace, symtab, chunk, hcct_budget=budget)
+        a_slow, _ = stream(trace, symtab, chunk, vectorized=False,
+                           hcct_budget=budget)
+        assert a_fast._tree.validate() == []
+        assert_trees_match(a_fast._tree, a_slow._tree,
+                           ctx=f"seed={seed} budget={budget} chunk={chunk}")
+
+
+def test_tree_flat_projection_matches_profile():
+    """At budget 0 (exact CCT) the tree's flat projection reproduces the
+    flat profile's exclusive times and call counts exactly."""
+    trace, symtab = generate_trace(4)
+    acc, prof = stream(trace, symtab, 64, hcct_budget=0)
+    flat = acc._tree.flat_projection()
+    for fp in prof.functions_by_time():
+        excl, calls = flat[fp.name]
+        assert calls == fp.n_calls
+        assert abs(excl - fp.exclusive_time_s) <= 1e-9 * max(
+            1.0, fp.exclusive_time_s)
+
+
+def test_tree_chunking_invariance():
+    """Same engine, different chunk sizes, unbounded budget: identical
+    trees (eviction-free construction is chunking-independent)."""
+    trace, symtab = generate_trace(7, adversarial=True)
+    ref, _ = stream(trace, symtab, 1021, hcct_budget=0)
+    for chunk in (1, 64, None):
+        acc, _ = stream(trace, symtab, chunk, hcct_budget=0)
+        assert_trees_match(acc._tree, ref._tree, ctx=f"chunk={chunk}")

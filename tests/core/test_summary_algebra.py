@@ -407,3 +407,102 @@ def test_summary_state_keys_match_internals_doc():
     documented = re.findall(r"`(\w+)`", match.group(1))
     actual = list(stats_of(quantized_samples(10)).to_state())
     assert documented == actual
+
+
+# ----------------------------------------------------------------------
+# Summary v2: HCCT payloads ride the same algebra
+
+def tree_summaries(trace, symtab, cuts, *, budget=0):
+    """Like :func:`split_summaries`, but each accumulator builds a hot
+    calling-context tree alongside the flat profile."""
+    arr = trace.columns.array
+    edges = [0] + list(cuts) + [len(arr)]
+    parts = []
+    for lo, hi in zip(edges, edges[1:]):
+        acc = make_acc(trace, symtab, hcct_budget=budget)
+        acc.consume(arr[lo:hi])
+        parts.append(acc.summary(final=True))
+    return parts
+
+
+def test_v1_documents_still_accepted():
+    """Fan-in peers that predate trees speak tempest-summary-v1; the
+    reader accepts both wire tags (v1 is exactly v2 minus the hcct
+    blocks)."""
+    trace, symtab = synth_trace(n_quads=40, seed=61)
+    acc = make_acc(trace, symtab)
+    acc.consume(trace.columns.array)
+    run = RunSummary(nodes={"node1": acc.summary(final=True)},
+                     sampling_hz=4.0, meta={})
+    doc = run.to_dict()
+    assert all(node["hcct"] is None for node in doc["nodes"].values())
+    doc["format"] = "tempest-summary-v1"
+    back = RunSummary.from_dict(json.loads(json.dumps(doc)))
+    assert back.nodes["node1"].context_tree is None
+
+
+def test_tree_summary_roundtrip_is_bit_exact():
+    trace, symtab = synth_trace(n_quads=120, seed=31)
+    acc = make_acc(trace, symtab, hcct_budget=16)
+    acc.consume(trace.columns.array)
+    run = RunSummary(nodes={"node1": acc.summary(final=True)},
+                     sampling_hz=4.0, meta={})
+    doc = run.to_dict()
+    assert doc["nodes"]["node1"]["hcct"] is not None
+    back = RunSummary.from_dict(json.loads(json.dumps(doc)))
+    assert back.to_dict() == doc
+    assert (back.nodes["node1"].context_tree.to_comparable()
+            == acc._tree.to_comparable())
+
+
+def test_split_tree_summaries_merge_to_whole():
+    """Segment summaries with exact CCTs merge to the whole-stream tree
+    (the closure contract extended to the hcct payload)."""
+    from tests.core.test_cct import assert_trees_match
+
+    trace, symtab = synth_trace(n_quads=160, seed=77)
+    cuts = empty_stack_cuts(trace.columns.array, n_cuts=3, seed=7)
+    parts = tree_summaries(trace, symtab, cuts)
+    folded = NodeSummary.empty("node1", list(trace.sensor_names))
+    for part in parts:
+        folded.merge(part)
+    whole = make_acc(trace, symtab, hcct_budget=0)
+    whole.consume(trace.columns.array)
+    ref = whole.summary(final=True)
+    assert folded.context_tree is not None
+    assert_trees_match(folded.context_tree, ref.context_tree,
+                       med_abs=0.5, ctx="split-merge")
+    assert_node_profiles_close(
+        folded.to_node_profile(sampling_hz=4.0),
+        ref.to_node_profile(sampling_hz=4.0),
+    )
+
+
+def test_tree_merge_clones_on_first_and_respects_budget():
+    """Folding a tree-carrying summary into a bare one deep-copies the
+    tree (operand isolation), and budgeted merges stay within budget."""
+    trace, symtab = synth_trace(n_quads=100, seed=19)
+    cuts = empty_stack_cuts(trace.columns.array, n_cuts=1, seed=3)
+    a, b = tree_summaries(trace, symtab, cuts, budget=8)
+    bare = NodeSummary.empty("node1", list(trace.sensor_names))
+    bare.merge(a)
+    assert bare.context_tree is not a.context_tree
+    assert (bare.context_tree.to_comparable()
+            == a.context_tree.to_comparable())
+    bare.merge(b)
+    assert len(bare.context_tree) <= 8
+    assert bare.context_tree.validate() == []
+    # operands untouched by the merge
+    assert len(a.context_tree) <= 8 and len(b.context_tree) <= 8
+
+
+def test_to_profile_carries_tree():
+    trace, symtab = synth_trace(n_quads=50, seed=23)
+    acc = make_acc(trace, symtab, hcct_budget=0)
+    acc.consume(trace.columns.array)
+    run = RunSummary(nodes={"node1": acc.summary(final=True)},
+                     sampling_hz=4.0, meta={})
+    prof = run.to_profile()
+    tree = prof.node("node1").context_tree
+    assert tree is not None and len(tree) > 0
+    assert prof.context_tree() is not None
