@@ -14,9 +14,13 @@ physically sane.  ``repro.check`` makes those invariants *checkable*:
 * :mod:`repro.check.determinism` — the DES determinism ("race")
   detector for :mod:`repro.simmachine.events`: unstable same-timestamp
   tie-breaks and unseeded global-RNG draws inside sim paths.
+* :mod:`repro.check.causal` — the communication sanitizer: vector-clock
+  happens-before reconstruction over recorded MPI comm events, reporting
+  message races, wait-for cycles, collective mismatches, unmatched
+  requests, and causal TSC-skew violations (CM0xx).
 
-All three surface through ``tempest check`` (see :mod:`repro.cli`) and
-the ``lint-and-check`` CI job.
+All of it surfaces through ``tempest check`` / ``tempest race`` (see
+:mod:`repro.cli`) and the ``lint-and-check`` + ``race-smoke`` CI jobs.
 """
 
 from repro.check.diagnostics import (
@@ -44,6 +48,11 @@ from repro.check.determinism import (
     global_rng_guard,
     run_tie_scramble,
 )
+from repro.check.causal import (
+    CausalAnalyzer,
+    causal_check_bundle,
+    causal_check_spool,
+)
 
 __all__ = [
     "SEV_ERROR",
@@ -65,4 +74,7 @@ __all__ = [
     "DeterminismReport",
     "global_rng_guard",
     "run_tie_scramble",
+    "CausalAnalyzer",
+    "causal_check_bundle",
+    "causal_check_spool",
 ]

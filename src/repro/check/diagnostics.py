@@ -3,8 +3,8 @@
 A :class:`Diagnostic` is one finding — rule id, severity, location, human
 message, machine-actionable fix hint.  The :data:`RULES` registry is the
 single source of truth for every codified invariant: TraceLint rules
-(``TL0xx``), determinism rules (``DS0xx``), and repo lint rules
-(``DL0xx``).  ``docs/INTERNALS.md`` carries the same catalogue in prose;
+(``TL0xx``), communication-sanitizer rules (``CM0xx``), determinism rules
+(``DS0xx``), and repo lint rules (``DL0xx``).  ``docs/INTERNALS.md`` carries the same catalogue in prose;
 ``tests/check/test_tracelint.py`` asserts the two never drift apart.
 
 :class:`CheckReport` aggregates findings across inputs, renders them for
@@ -63,7 +63,10 @@ RULES: dict[str, Rule] = {r.id: r for r in [
        "a truncated flag is only set when the record file actually lost "
        "data (flag set on an intact, count-matching trace is incoherent)"),
     _r("TL005", "unknown-record-kind", SEV_ERROR,
-       "every record's kind is ENTER (1), EXIT (2), or TEMP (3)"),
+       "every record's kind is one this reader understands: ENTER (1), "
+       "EXIT (2), TEMP (3), or a comm kind (4-7); kinds in the reserved "
+       "comm extension range that a reader does not understand downgrade "
+       "to warning (newer-writer records are skipped, not fatal)"),
     _r("TL006", "stack-imbalance", SEV_ERROR,
        "per process, EXITs match the top of the ENTER stack by address "
        "and call depth never goes negative"),
@@ -132,6 +135,37 @@ RULES: dict[str, Rule] = {r.id: r for r in [
        "its --hcct-budget live contexts (the root is free), and a tree "
        "that evicted contexts reports a non-negative eviction threshold "
        "epsilon_s"),
+    # -------------------------------------------------- communication sanity
+    _r("CM001", "message-race", SEV_ERROR,
+       "every wildcard (ANY_SOURCE) receive has a causally unique match: "
+       "no second compatible send, concurrent with the one that matched, "
+       "was available when the receive completed (the nondeterminism "
+       "class the DS001 scrambler exposes)"),
+    _r("CM002", "wait-for-cycle", SEV_ERROR,
+       "the wait-for graph over ranks at finalize — blocked specific-"
+       "source receives and unmatched rendezvous sends — is acyclic"),
+    _r("CM003", "collective-mismatch", SEV_ERROR,
+       "every rank enters the same sequence of collectives with the same "
+       "(op, root, tag-block) triples, and each rank's COLL_ENTER/"
+       "COLL_EXIT records nest and balance"),
+    _r("CM004", "unmatched-at-finalize", SEV_ERROR,
+       "at trace end every MSG_SEND is referenced by a completion and "
+       "every receive post completed (downgrades to warning when the "
+       "node's trace is flagged truncated — the tail may simply be "
+       "missing)"),
+    _r("CM005", "causal-skew-violation", SEV_ERROR,
+       "a receive never completes before its matching send was posted "
+       "once timestamps convert through each node's tsc_hz calibration; "
+       "a violation bounds the inter-node TSC skew from below (the §3.3 "
+       "hazard, measured)",
+       "1 ms by default — the bounded offset + drift of honest "
+       "unsynchronized TSCs; tune with skew_tolerance_s"),
+    _r("CM006", "comm-stream-malformed", SEV_WARNING,
+       "the comm-event stream is internally coherent: per-rank clocks "
+       "strictly increase, completions reference sends that exist, a "
+       "rank's events stay on one node, and the clock-reference graph is "
+       "acyclic (incoherence usually means record loss or a corrupted "
+       "bundle; causal verdicts degrade to best-effort)"),
     # ----------------------------------------------------------- determinism
     _r("DS001", "unstable-tie-break", SEV_WARNING,
        "no two same-timestamp DES events scheduled from distinct call "

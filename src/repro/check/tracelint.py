@@ -39,7 +39,13 @@ import numpy as np
 
 from repro.check.diagnostics import Diagnostic, make_diagnostic
 from repro.core.records import RECORD_DTYPE, RECORD_SIZE
-from repro.core.trace import REC_ENTER, REC_EXIT, REC_TEMP
+from repro.core.trace import (
+    COMM_KINDS,
+    KNOWN_KINDS,
+    REC_ENTER,
+    REC_EXIT,
+    REC_TEMP,
+)
 from repro.util.errors import ConfigError, TraceError
 
 #: physically plausible temperature band for a machine-room sensor (degC)
@@ -96,6 +102,18 @@ _HINTS = {
              "after finalize); rebuild it with the streaming engine",
     "TL024": "prune_to_budget was skipped or the budget changed after "
              "construction; re-run with a consistent --hcct-budget",
+    "CM001": "replace the wildcard with a specific source, or impose an "
+             "ordering (tags, sequence numbers) on the racing senders",
+    "CM002": "reorder the blocked operations (e.g. odd/even rank phasing) "
+             "or make one side nonblocking",
+    "CM003": "every rank must call the same collectives in the same order "
+             "with the same root",
+    "CM004": "pair every send with a receive before finalize, or wait on "
+             "outstanding nonblocking requests",
+    "CM005": "synchronize or calibrate per-node clocks; the reported bound "
+             "is the minimum skew that explains the inversion (paper §3.3)",
+    "CM006": "check for record loss (coverage report, fault plans) or a "
+             "corrupted bundle before trusting causal verdicts",
 }
 
 
@@ -194,26 +212,41 @@ def check_layout(dtype: Optional[np.dtype] = None,
 
 def check_records(arr: np.ndarray, *, path: str = "", node: str = "",
                   sensor_names: Optional[list[str]] = None,
-                  symtab=None) -> list[Diagnostic]:
+                  symtab=None,
+                  known_kinds=None) -> list[Diagnostic]:
     """Validate one node's record stream (a structured record array).
 
     Covers TL005 (kinds), TL006/TL007 (stack balance / open frames),
     TL008 (TSC monotonicity), TL009-TL011 (sensor index, range,
     quantization), TL014 (symbol resolution), TL015 (empty trace).
+
+    ``known_kinds`` is the set of record kinds this reader understands
+    (default: everything the current code knows).  Kinds outside it in the
+    reserved comm extension range (4-7) downgrade TL005 to a warning —
+    the forward-compat contract that lets a pre-comm-records reader lint
+    a newer writer's bundle by skipping what it cannot parse.
     """
     agg = _Agg(path=path, node=node)
     if len(arr) == 0:
         agg.hit("TL015", "trace declares this node but holds no records")
         return agg.diagnostics()
 
+    if known_kinds is None:
+        known_kinds = KNOWN_KINDS
     kinds = arr["kind"]
-    known = ((kinds == REC_ENTER) | (kinds == REC_EXIT)
-             | (kinds == REC_TEMP))
+    known = np.isin(kinds, np.asarray(sorted(known_kinds), dtype=kinds.dtype))
     if not known.all():
         for j in np.nonzero(~known)[0].tolist():
-            agg.hit("TL005",
-                    f"record kind {int(kinds[j])} is not "
-                    "ENTER/EXIT/TEMP", f"record[{j}]")
+            k = int(kinds[j])
+            if k in COMM_KINDS:
+                agg.hit("TL005",
+                        f"record kind {k} is a comm-extension kind this "
+                        "reader does not understand; skipping",
+                        f"record[{j}]", severity="warning")
+            else:
+                agg.hit("TL005",
+                        f"record kind {k} is not a known record kind",
+                        f"record[{j}]")
 
     func_mask = (kinds == REC_ENTER) | (kinds == REC_EXIT)
     temp_mask = kinds == REC_TEMP
@@ -464,6 +497,16 @@ def check_bundle_dir(path, *, deep: bool = True) -> list[Diagnostic]:
                 np.all(arr["tsc"][1:] >= arr["tsc"][:-1])):
             orderly = False
 
+    # Communication sanitizer (CM0xx): rebuild vector clocks from the
+    # comm-event stream and check races/deadlocks/collectives/skew.
+    # Streams the record files in chunks; a no-op for bundles without
+    # comm records.  Skipped when structural errors already make the
+    # stream untrustworthy.
+    if not any(d.severity == "error" for d in diags):
+        from repro.check.causal import causal_check_bundle
+
+        diags.extend(causal_check_bundle(path, label=label))
+
     if deep and orderly and not any(d.severity == "error" for d in diags) \
             and not any(d.rule == "TL008" for d in diags):
         diags.extend(_deep_check_bundle(path, label))
@@ -548,6 +591,15 @@ def check_spool_dir(path) -> list[Diagnostic]:
                                    if isinstance(info.get("sensor_names"),
                                                  list) else None,
                                    symtab=symtab))
+
+    # A spool is usually a live, still-growing stream, so the causal pass
+    # runs in live mode: finalize-dependent findings (CM002/CM004)
+    # downgrade to warnings because the matching tail may not have been
+    # written yet.
+    if not any(d.severity == "error" for d in diags):
+        from repro.check.causal import causal_check_spool
+
+        diags.extend(causal_check_spool(path, label=label))
     return diags
 
 

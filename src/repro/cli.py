@@ -741,6 +741,41 @@ def cmd_check(args) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def cmd_race(args) -> int:
+    """Communication sanitizer: vector-clock analysis of recorded MPI traces.
+
+    Each path must be a trace bundle (``meta.json``) or a spool directory
+    (``header.json``); the causal analyzer streams its comm records and
+    reports message races, wait-for cycles, collective mismatches,
+    unmatched requests, and causal TSC-skew violations (CM0xx).
+    """
+    from repro.check import CheckReport
+    from repro.check.causal import causal_check_bundle, causal_check_spool
+
+    if not args.paths:
+        print("tempest race: give at least one trace bundle or spool "
+              "directory", file=sys.stderr)
+        return 2
+    report = CheckReport()
+    for raw in args.paths:
+        p = Path(raw)
+        if p.is_dir() and (p / "meta.json").is_file():
+            checker = causal_check_bundle
+        elif p.is_dir() and (p / "header.json").is_file():
+            checker = causal_check_spool
+        else:
+            print(f"tempest race: {p}: not a trace bundle or spool "
+                  "directory", file=sys.stderr)
+            return 2
+        report.add_checked(str(p))
+        report.extend(checker(p, skew_tolerance_s=args.skew_tolerance))
+    print(report.render())
+    if args.json:
+        args.json.write_text(report.to_json())
+        print(f"diagnostics written to {args.json}", file=sys.stderr)
+    return report.exit_code(strict=args.strict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tempest",
@@ -947,6 +982,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "locally saved bundle (TL022: byte-identical "
                         "records, equivalent metadata)")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "race",
+        help="communication sanitizer: races, deadlocks, collective "
+             "mismatches, causal skew (CM0xx)")
+    p.add_argument("paths", nargs="*", type=Path,
+                   help="trace bundles or spool directories with recorded "
+                        "comm events")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail (exit 1) on warnings")
+    p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                   help="write the tempest-check-v1 JSON report here")
+    p.add_argument("--skew-tolerance", type=float, default=None,
+                   metavar="SECONDS",
+                   help="CM005 clock-error slack (default 1e-3 s)")
+    p.set_defaults(fn=cmd_race)
 
     return parser
 

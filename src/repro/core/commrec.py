@@ -1,0 +1,138 @@
+"""Encoding of communication events in the ``<Bqqiid`` record layout.
+
+PR 9 extends the trace format with four record kinds (MSG_SEND, MSG_RECV,
+COLL_ENTER, COLL_EXIT) without changing the 33-byte record struct: the
+``addr`` field — a function address for ENTER/EXIT — packs the
+communication coordinates instead, ``core`` carries the emitting rank's
+Lamport clock component, and ``value`` is kind-specific.
+
+``addr`` bit layout (bit 63 kept zero so the int64 stays non-negative)::
+
+    bits  0..31   tag + 2      (ANY_TAG = -1 encodes as 1; -2 means "none")
+    bits 32..43   peer + 2     (ANY_SOURCE = -1 encodes as 1; -2 "none")
+    bits 44..55   rank         (0 .. 4095)
+    bits 56..62   flags
+
+``value`` by kind:
+
+* MSG_SEND — payload size in bytes.
+* MSG_RECV (post) — 0.0.
+* MSG_RECV (completion, ``FLAG_COMPLETE``) — the pair
+  ``post_clock * 2**26 + send_clock`` identifying both the receive post
+  this completion satisfies and the matching send's clock on the source
+  rank.  Both components stay below 2**26 so the product is exact in a
+  float64 (< 2**53).
+* COLL_ENTER / COLL_EXIT — the collective op code (``OP_*``).
+
+The offline sanitizer (:mod:`repro.check.causal`) rebuilds vector clocks
+from exactly these fields; nothing else about the trace container changes,
+so pre-PR-9 readers see four unfamiliar kind bytes and skip them
+(the TL005 forward-compat contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+# -- flags (7 bits available) -------------------------------------------
+FLAG_WILD_SOURCE = 1   # recv posted with ANY_SOURCE
+FLAG_WILD_TAG = 2      # recv posted with ANY_TAG
+FLAG_COMPLETE = 4      # MSG_RECV completion (vs post)
+FLAG_RENDEZVOUS = 8    # send larger than the eager threshold
+
+_FLAGS_MASK = (1 << 7) - 1
+
+# -- field ranges -------------------------------------------------------
+MAX_RANK = (1 << 12) - 1           # 4095
+MIN_PEER = -2                      # -2 encodes "no peer" (rootless collective)
+MAX_PEER = (1 << 12) - 3           # 4093
+MIN_TAG = -2
+MAX_TAG = (1 << 32) - 3
+
+NO_PEER = -2
+
+_TAG_SHIFT = 0
+_PEER_SHIFT = 32
+_RANK_SHIFT = 44
+_FLAG_SHIFT = 56
+
+#: clock components in a completion's packed value must stay below this
+PAIR_LIMIT = 1 << 26
+
+# -- collective op codes (carried in ``value``) -------------------------
+OP_BARRIER = 1
+OP_BCAST = 2
+OP_REDUCE = 3
+OP_ALLREDUCE = 4
+OP_GATHER = 5
+OP_ALLGATHER = 6
+OP_SCATTER = 7
+OP_ALLTOALL = 8
+
+OP_NAMES = {
+    OP_BARRIER: "barrier",
+    OP_BCAST: "bcast",
+    OP_REDUCE: "reduce",
+    OP_ALLREDUCE: "allreduce",
+    OP_GATHER: "gather",
+    OP_ALLGATHER: "allgather",
+    OP_SCATTER: "scatter",
+    OP_ALLTOALL: "alltoall",
+}
+
+
+def pack_comm_addr(rank: int, peer: int, tag: int, flags: int) -> int:
+    """Pack (rank, peer, tag, flags) into the record ``addr`` field."""
+    if not 0 <= rank <= MAX_RANK:
+        raise ConfigError(f"comm record rank {rank} outside [0, {MAX_RANK}]")
+    if not MIN_PEER <= peer <= MAX_PEER:
+        raise ConfigError(
+            f"comm record peer {peer} outside [{MIN_PEER}, {MAX_PEER}]")
+    if not MIN_TAG <= tag <= MAX_TAG:
+        raise ConfigError(
+            f"comm record tag {tag} outside [{MIN_TAG}, {MAX_TAG}]")
+    if not 0 <= flags <= _FLAGS_MASK:
+        raise ConfigError(f"comm record flags {flags:#x} outside 7 bits")
+    return ((tag + 2) << _TAG_SHIFT) | ((peer + 2) << _PEER_SHIFT) \
+        | (rank << _RANK_SHIFT) | (flags << _FLAG_SHIFT)
+
+
+def unpack_comm_addr(addr: int) -> tuple[int, int, int, int]:
+    """Inverse of :func:`pack_comm_addr`: ``(rank, peer, tag, flags)``."""
+    tag = ((addr >> _TAG_SHIFT) & 0xFFFFFFFF) - 2
+    peer = ((addr >> _PEER_SHIFT) & 0xFFF) - 2
+    rank = (addr >> _RANK_SHIFT) & 0xFFF
+    flags = (addr >> _FLAG_SHIFT) & _FLAGS_MASK
+    return rank, peer, tag, flags
+
+
+def decode_comm_addrs(addrs: np.ndarray) -> dict[str, np.ndarray]:
+    """Vectorized :func:`unpack_comm_addr` over an int64 ``addr`` column."""
+    a = np.asarray(addrs, dtype=np.int64)
+    return {
+        "rank": ((a >> _RANK_SHIFT) & 0xFFF).astype(np.int64),
+        "peer": (((a >> _PEER_SHIFT) & 0xFFF) - 2).astype(np.int64),
+        "tag": ((a & 0xFFFFFFFF) - 2).astype(np.int64),
+        "flags": ((a >> _FLAG_SHIFT) & _FLAGS_MASK).astype(np.int64),
+    }
+
+
+def pack_recv_value(post_clock: int, send_clock: int) -> float:
+    """Pack a completion's (receive-post clock, matched-send clock) pair."""
+    if not 0 < post_clock < PAIR_LIMIT:
+        raise ConfigError(
+            f"receive-post clock {post_clock} outside (0, {PAIR_LIMIT}); "
+            "a single rank emitted too many comm events for the packed "
+            "completion encoding")
+    if not 0 < send_clock < PAIR_LIMIT:
+        raise ConfigError(
+            f"matched-send clock {send_clock} outside (0, {PAIR_LIMIT})")
+    return float(post_clock * PAIR_LIMIT + send_clock)
+
+
+def unpack_recv_value(value: float) -> tuple[int, int]:
+    """Inverse of :func:`pack_recv_value`: ``(post_clock, send_clock)``."""
+    packed = int(value)
+    return packed // PAIR_LIMIT, packed % PAIR_LIMIT

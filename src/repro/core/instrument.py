@@ -23,6 +23,7 @@ import functools
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.commrec import pack_comm_addr
 from repro.core.symtab import SymbolTable
 from repro.core.trace import (
     NodeTrace,
@@ -86,6 +87,8 @@ class NodeTracer:
         self.n_failed_sweeps = 0
         #: sensor reads re-attempted under tempd's retry-with-backoff
         self.n_retries = 0
+        #: communication events recorded (MSG_SEND/MSG_RECV/COLL_*)
+        self.n_comm_events = 0
 
     # -- hooks -----------------------------------------------------------
     # The hooks emit straight into the trace's columnar sink
@@ -115,6 +118,21 @@ class NodeTracer:
             self.trace.append_event(REC_TEMP, idx, tsc, proc.core_id,
                                     proc.pid, float(value))
         self.n_samples += len(samples)
+
+    def on_comm(self, proc: SimProcess, kind: int, *, rank: int, peer: int,
+                tag: int, flags: int, clock: int, value: float) -> None:
+        """Communication hook: record a MSG_SEND/MSG_RECV/COLL_* event.
+
+        The rank's Lamport clock component rides in the ``core`` field and
+        the coordinates pack into ``addr`` (see :mod:`repro.core.commrec`).
+        No overhead is charged: the simulated MPI library's bookkeeping is
+        already part of the communication cost model, and charging here
+        would shift timings of every traced-vs-untraced comparison.
+        """
+        addr = pack_comm_addr(rank, peer, tag, flags)
+        self.trace.append_event(kind, addr, proc.read_tsc(), clock,
+                                proc.pid, value)
+        self.n_comm_events += 1
 
     def sample_cost(self, n_sensors: int) -> float:
         """CPU cost of one tempd sampling sweep."""

@@ -50,8 +50,35 @@ from repro.util.errors import TraceError
 REC_ENTER = 1
 REC_EXIT = 2
 REC_TEMP = 3
+# Communication events (PR 9): emitted by repro.mpisim when a traced rank
+# posts/completes point-to-point messages or crosses a collective phase
+# boundary.  They ride the same <Bqqiid layout: ``addr`` packs
+# (rank, peer, tag, flags) — see repro.core.commrec — ``core`` carries the
+# emitting rank's Lamport clock component, and ``value`` is kind-specific
+# (payload bytes, matched-send clock, or collective op code).
+REC_MSG_SEND = 4
+REC_MSG_RECV = 5
+REC_COLL_ENTER = 6
+REC_COLL_EXIT = 7
 
-_KIND_NAMES = {REC_ENTER: "ENTER", REC_EXIT: "EXIT", REC_TEMP: "TEMP"}
+_KIND_NAMES = {
+    REC_ENTER: "ENTER",
+    REC_EXIT: "EXIT",
+    REC_TEMP: "TEMP",
+    REC_MSG_SEND: "MSG_SEND",
+    REC_MSG_RECV: "MSG_RECV",
+    REC_COLL_ENTER: "COLL_ENTER",
+    REC_COLL_EXIT: "COLL_EXIT",
+}
+
+#: kinds introduced by the communication sanitizer; readers that predate
+#: them must skip-with-warning rather than reject the stream (the
+#: forward-compat contract TL005 encodes)
+COMM_KINDS = frozenset(
+    (REC_MSG_SEND, REC_MSG_RECV, REC_COLL_ENTER, REC_COLL_EXIT))
+
+#: every record kind this reader understands
+KNOWN_KINDS = frozenset((REC_ENTER, REC_EXIT, REC_TEMP)) | COMM_KINDS
 
 #: binary layout: kind, addr-or-sensor, tsc, core, pid, value
 #: (kept as the reference layout; RECORD_DTYPE matches it byte-for-byte)

@@ -6,6 +6,11 @@ crash/restart — plus the wiring to apply it to a live
 :class:`~repro.core.session.TempestSession`.  See
 ``docs/INTERNALS.md`` ("Fault model & chaos testing") and ``tests/faults/``
 for the chaos/property harness built on top of it.
+
+:mod:`repro.faults.commfaults` (not re-exported — it pulls in the whole
+session machinery) records seeded communication-defect bundles for the
+CM0xx sanitizer's race-smoke tests: ``python -m repro.faults.commfaults
+--defect race --out DIR``.
 """
 
 from repro.faults.inject import FaultInjector, parse_inject_spec

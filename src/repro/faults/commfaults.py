@@ -1,0 +1,252 @@
+"""Seeded communication-defect builders for the CM0xx sanitizer.
+
+Each builder runs a tiny MPI program on the simulated cluster that is
+*deliberately wrong* in exactly one way — a message race, a wait-for
+cycle, a collective mismatch, an unmatched request, or a causality-
+violating clock skew — and returns the recorded
+:class:`~repro.core.trace.TraceBundle`.  The race-smoke CI job and
+``tests/faults/test_commfaults.py`` feed these bundles to ``tempest
+race`` and assert that the sanitizer flags each defect with its CM rule
+id (and nothing else on the clean runs).
+
+The builders are deterministic in ``seed``: same seed, same bundle, same
+diagnostics.  They intentionally bypass :func:`repro.core.instrument`
+decoration — the sanitizer only consumes comm records, so the programs
+carry no function-entry instrumentation at all.
+
+CLI (used by CI)::
+
+    python -m repro.faults.commfaults --defect race --out DIR [--seed N]
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.session import TempestSession
+from repro.core.trace import TraceBundle
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.mpisim.comm import ANY_SOURCE
+from repro.mpisim.runtime import mpi_spawn
+from repro.simmachine.machine import ClusterConfig, Machine
+from repro.simmachine.process import ST_FINISHED, Sleep
+from repro.util.errors import ConfigError
+
+#: payload size big enough to force the rendezvous protocol (> eager
+#: threshold), so an unconsumed send shows up as a wait-for edge
+RENDEZVOUS_BYTES = 64 * 1024
+
+
+def _machine(n_nodes: int, seed: int) -> Machine:
+    return Machine(ClusterConfig(n_nodes=n_nodes, seed=seed,
+                                 vary_nodes=False))
+
+
+def build_race_bundle(seed: int = 0) -> TraceBundle:
+    """CM001: two causally-concurrent sends race for one wildcard receive.
+
+    Ranks 1 and 2 each send to rank 0 with the same tag; rank 0 posts two
+    ``ANY_SOURCE`` receives.  Nothing orders the senders, so whichever
+    message the first receive matches is a scheduling accident — the
+    textbook message race.
+    """
+
+    def program(ctx):
+        comm = ctx.comm
+        if comm.rank == 0:
+            yield from comm.recv(source=ANY_SOURCE, tag=7)
+            yield from comm.recv(source=ANY_SOURCE, tag=7)
+        else:
+            yield from comm.send(("hello", comm.rank), 0, tag=7)
+
+    machine = _machine(3, seed)
+    session = TempestSession(machine)
+    session.run_mpi(program, 3, name="cm-race")
+    return session.collect()
+
+
+def build_deadlock_bundle(seed: int = 0,
+                          horizon_s: float = 5.0) -> TraceBundle:
+    """CM002: two ranks each block receiving from the other before sending.
+
+    Neither ``recv`` can complete, so both ranks hang forever; the run is
+    cut off at *horizon_s* and the trace carries the mutual wait-for
+    cycle (plus the unmatched posts, which is CM004 territory).
+    """
+
+    def program(ctx):
+        comm = ctx.comm
+        other = 1 - comm.rank
+        yield from comm.recv(source=other, tag=1)   # never matched
+        yield from comm.send("never sent", other, tag=1)
+
+    machine = _machine(2, seed)
+    session = TempestSession(machine)
+    # run_mpi would raise on the hung queue; spawn + bounded run instead.
+    _world, procs = mpi_spawn(machine, program, 2, wrap=session.wrap)
+    machine.sim.run(until=horizon_s)
+    hung = [p for p in procs if p.state != ST_FINISHED]
+    if not hung:
+        raise ConfigError("deadlock program unexpectedly completed")
+    session.stop()
+    return session.collect()
+
+
+def build_mismatch_bundle(seed: int = 0) -> TraceBundle:
+    """CM003: ranks disagree about which collective they are in.
+
+    Every rank calls ``bcast(root=comm.rank)`` — each one believes *it*
+    is the root.  Both roots eagerly send their tree messages and return,
+    so the run completes, but the per-rank COLL_ENTER sequences disagree
+    on the root argument.
+    """
+
+    def program(ctx):
+        comm = ctx.comm
+        yield from comm.bcast("mine", root=comm.rank)
+
+    machine = _machine(2, seed)
+    session = TempestSession(machine)
+    session.run_mpi(program, 2, name="cm-mismatch")
+    return session.collect()
+
+
+def build_unmatched_bundle(seed: int = 0) -> TraceBundle:
+    """CM004: an eager send that no receive ever claims.
+
+    Rank 0 fires one small (eager-protocol) send at rank 1 and exits;
+    rank 1 just sleeps.  The message is buffered, both ranks finish
+    cleanly, and the trace ends with a loose MSG_SEND.
+    """
+
+    def program(ctx):
+        comm = ctx.comm
+        if comm.rank == 0:
+            yield from comm.send("lost", 1, tag=3)
+        else:
+            yield Sleep(0.01)
+
+    machine = _machine(2, seed)
+    session = TempestSession(machine)
+    session.run_mpi(program, 2, name="cm-unmatched")
+    return session.collect()
+
+
+def build_skew_bundle(seed: int = 0) -> TraceBundle:
+    """CM005: forward TSC skew makes a send appear *after* its delivery.
+
+    A two-node ping-pong where the sender's node (node1, hosting rank 0)
+    suffers large seeded forward clock-skew events.  Once the cumulative
+    skew exceeds the message flight time, some send record's skewed
+    timestamp lands after the matching receive-completion's timestamp on
+    the other node — a causal-order violation no clock-rate tolerance can
+    explain.  The seed is searched forward deterministically until the
+    plan puts enough skew before a send (bounded; same ``seed`` in, same
+    bundle out).
+    """
+    rounds = 8
+
+    def program(ctx):
+        comm = ctx.comm
+        other = 1 - comm.rank
+        for i in range(rounds):
+            yield Sleep(1.0)
+            if comm.rank == 0:
+                yield from comm.send(("ping", i), other, tag=5)
+                yield from comm.recv(source=other, tag=5)
+            else:
+                yield from comm.recv(source=other, tag=5)
+                yield from comm.send(("pong", i), other, tag=5)
+
+    cfg = FaultConfig(
+        nodes=("node1",),
+        tsc_skew_steps=6,
+        tsc_skew_max_cycles=50_000_000,
+        horizon_s=float(rounds + 2),
+    )
+    # Find a plan seed whose cumulative skew at some send time (~k+1.0 s
+    # into the run) dwarfs the wire time.  ~20 ms of forward skew ≫ the
+    # microsecond-scale flight of a tiny eager message.
+    plan = None
+    for trial in range(seed, seed + 64):
+        cand = FaultPlan(cfg, seed=trial, node_names=["node1", "node2"])
+        if any(cand.skew_cycles("node1", k + 1.0) > 50_000_000
+               for k in range(rounds)):
+            plan = cand
+            break
+    if plan is None:
+        raise ConfigError("no skew seed found in 64 trials")
+
+    machine = _machine(2, seed)
+    session = TempestSession(machine, injector=FaultInjector(plan))
+    session.run_mpi(program, 2, name="cm-skew")
+    return session.collect()
+
+
+def build_clean_bundle(seed: int = 0) -> TraceBundle:
+    """Control: a correct ping-pong + collectives program (zero CM hits)."""
+
+    def program(ctx):
+        comm = ctx.comm
+        other = 1 - comm.rank
+        for i in range(4):
+            if comm.rank == 0:
+                yield from comm.send(i, other, tag=2)
+                yield from comm.recv(source=other, tag=2)
+            else:
+                yield from comm.recv(source=other, tag=2)
+                yield from comm.send(i, other, tag=2)
+        yield from comm.barrier()
+        yield from comm.allreduce(comm.rank)
+
+    machine = _machine(2, seed)
+    session = TempestSession(machine)
+    session.run_mpi(program, 2, name="cm-clean")
+    return session.collect()
+
+
+#: defect name -> builder, the contract the CLI and CI smoke job share
+BUILDERS: dict[str, Callable[..., TraceBundle]] = {
+    "race": build_race_bundle,
+    "deadlock": build_deadlock_bundle,
+    "mismatch": build_mismatch_bundle,
+    "unmatched": build_unmatched_bundle,
+    "skew": build_skew_bundle,
+    "clean": build_clean_bundle,
+}
+
+#: the CM rule each seeded defect must trigger (clean triggers none)
+EXPECTED_RULE = {
+    "race": "CM001",
+    "deadlock": "CM002",
+    "mismatch": "CM003",
+    "unmatched": "CM004",
+    "skew": "CM005",
+    "clean": None,
+}
+
+
+def main(argv=None) -> int:
+    import argparse
+    from pathlib import Path
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.faults.commfaults",
+        description="Record a seeded communication-defect trace bundle.",
+    )
+    ap.add_argument("--defect", required=True, choices=sorted(BUILDERS))
+    ap.add_argument("--out", required=True, type=Path)
+    ap.add_argument("--seed", type=int, default=0)
+    ns = ap.parse_args(argv)
+
+    bundle = BUILDERS[ns.defect](seed=ns.seed)
+    bundle.save(ns.out)
+    expect = EXPECTED_RULE[ns.defect]
+    print(f"wrote {ns.defect} bundle to {ns.out} "
+          f"(expected rule: {expect or 'none'})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

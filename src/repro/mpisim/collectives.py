@@ -17,6 +17,17 @@ from __future__ import annotations
 import operator
 from typing import Any, Callable, Optional
 
+from repro.core.commrec import (
+    NO_PEER,
+    OP_ALLGATHER,
+    OP_ALLREDUCE,
+    OP_ALLTOALL,
+    OP_BARRIER,
+    OP_BCAST,
+    OP_GATHER,
+    OP_REDUCE,
+    OP_SCATTER,
+)
 from repro.util.errors import ConfigError
 
 
@@ -24,21 +35,33 @@ def _default_op(op: Optional[Callable]) -> Callable:
     return operator.add if op is None else op
 
 
+# Every collective brackets its message exchange with COLL_ENTER/COLL_EXIT
+# records carrying (op, root, tag base): the offline sanitizer compares
+# these per-rank sequences elementwise, which is what turns "rank 3 called
+# bcast while everyone else called reduce" from a hang into a typed
+# diagnostic.  Root validation happens *before* the tag draw so a
+# misconfigured rank fails without desynchronizing the lockstep counters.
+
+
 def barrier(comm):
     """Dissemination barrier: ceil(log2(size)) rounds of isend/recv."""
     base = comm.next_coll_tag()
-    size, rank = comm.size, comm.rank
-    if size == 1:
-        return
-    k, round_ = 1, 0
-    while k < size:
-        dst = (rank + k) % size
-        src = (rank - k) % size
-        req = yield from comm.isend(None, dst, tag=base + round_)
-        yield from comm.recv(source=src, tag=base + round_)
-        yield from comm.wait(req)
-        k *= 2
-        round_ += 1
+    comm._coll_enter(OP_BARRIER, NO_PEER, base)
+    try:
+        size, rank = comm.size, comm.rank
+        if size == 1:
+            return
+        k, round_ = 1, 0
+        while k < size:
+            dst = (rank + k) % size
+            src = (rank - k) % size
+            req = yield from comm.isend(None, dst, tag=base + round_)
+            yield from comm.recv(source=src, tag=base + round_)
+            yield from comm.wait(req)
+            k *= 2
+            round_ += 1
+    finally:
+        comm._coll_exit(OP_BARRIER, NO_PEER, base)
 
 
 def bcast(comm, value: Any, root: int = 0, nbytes: Optional[int] = None):
@@ -47,30 +70,35 @@ def bcast(comm, value: Any, root: int = 0, nbytes: Optional[int] = None):
     ``nbytes`` overrides the estimated message size — used by workloads that
     model full-scale transfers while carrying reduced-scale payloads.
     """
-    base = comm.next_coll_tag()
     size, rank = comm.size, comm.rank
     if not 0 <= root < size:
         raise ConfigError(f"bad bcast root {root}")
-    if size == 1:
-        return value
-    vrank = (rank - root) % size
-    # Receive from parent (except the root); afterwards `mask` is the bit at
-    # which this rank joined the tree (or the top of the tree for the root).
-    mask = 1
-    while mask < size:
-        if vrank & mask:
-            src = ((vrank - mask) + root) % size
-            value = yield from comm.recv(source=src, tag=base)
-            break
-        mask *= 2
-    # Forward to children at every bit below the joining bit.
-    mask //= 2
-    while mask >= 1:
-        if vrank + mask < size:
-            dst = ((vrank + mask) + root) % size
-            yield from comm.send(value, dst, tag=base, nbytes=nbytes)
+    base = comm.next_coll_tag()
+    comm._coll_enter(OP_BCAST, root, base)
+    try:
+        if size == 1:
+            return value
+        vrank = (rank - root) % size
+        # Receive from parent (except the root); afterwards `mask` is the
+        # bit at which this rank joined the tree (or the top of the tree
+        # for the root).
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                src = ((vrank - mask) + root) % size
+                value = yield from comm.recv(source=src, tag=base)
+                break
+            mask *= 2
+        # Forward to children at every bit below the joining bit.
         mask //= 2
-    return value
+        while mask >= 1:
+            if vrank + mask < size:
+                dst = ((vrank + mask) + root) % size
+                yield from comm.send(value, dst, tag=base, nbytes=nbytes)
+            mask //= 2
+        return value
+    finally:
+        comm._coll_exit(OP_BCAST, root, base)
 
 
 def reduce(comm, value: Any, op: Optional[Callable] = None, root: int = 0,
@@ -79,110 +107,140 @@ def reduce(comm, value: Any, op: Optional[Callable] = None, root: int = 0,
 
     ``op`` must be commutative and associative (it is applied in tree order).
     """
-    base = comm.next_coll_tag()
     size, rank = comm.size, comm.rank
     if not 0 <= root < size:
         raise ConfigError(f"bad reduce root {root}")
-    f = _default_op(op)
-    vrank = (rank - root) % size
-    acc = value
-    mask = 1
-    while mask < size:
-        if vrank & mask:
-            dst = ((vrank - mask) + root) % size
-            yield from comm.send(acc, dst, tag=base, nbytes=nbytes)
-            return None
-        partner = vrank + mask
-        if partner < size:
-            src = (partner + root) % size
-            other = yield from comm.recv(source=src, tag=base)
-            acc = f(acc, other)
-        mask *= 2
-    return acc if rank == root else None
+    base = comm.next_coll_tag()
+    comm._coll_enter(OP_REDUCE, root, base)
+    try:
+        f = _default_op(op)
+        vrank = (rank - root) % size
+        acc = value
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                dst = ((vrank - mask) + root) % size
+                yield from comm.send(acc, dst, tag=base, nbytes=nbytes)
+                return None
+            partner = vrank + mask
+            if partner < size:
+                src = (partner + root) % size
+                other = yield from comm.recv(source=src, tag=base)
+                acc = f(acc, other)
+            mask *= 2
+        return acc if rank == root else None
+    finally:
+        comm._coll_exit(OP_REDUCE, root, base)
 
 
 def allreduce(comm, value: Any, op: Optional[Callable] = None,
               nbytes: Optional[int] = None):
     """Reduce to rank 0 then broadcast (correct for any communicator size)."""
-    result = yield from reduce(comm, value, op, root=0, nbytes=nbytes)
-    result = yield from bcast(comm, result, root=0, nbytes=nbytes)
-    return result
+    # Draws no tag of its own; the inner reduce/bcast reserve their blocks.
+    # The bracketing records still carry op=ALLREDUCE so the sanitizer sees
+    # the composite as one phase (nested enters stay rank-identical).
+    comm._coll_enter(OP_ALLREDUCE, NO_PEER, -1)
+    try:
+        result = yield from reduce(comm, value, op, root=0, nbytes=nbytes)
+        result = yield from bcast(comm, result, root=0, nbytes=nbytes)
+        return result
+    finally:
+        comm._coll_exit(OP_ALLREDUCE, NO_PEER, -1)
 
 
 def gather(comm, value: Any, root: int = 0, nbytes: Optional[int] = None):
     """Gather to *root*: returns ``[v_0 .. v_{size-1}]`` on root, else None."""
-    base = comm.next_coll_tag()
     size, rank = comm.size, comm.rank
     if not 0 <= root < size:
         raise ConfigError(f"bad gather root {root}")
-    if rank == root:
-        out: list[Any] = [None] * size
-        out[rank] = value
-        for src in range(size):
-            if src != root:
-                out[src] = yield from comm.recv(source=src, tag=base)
-        return out
-    yield from comm.send(value, root, tag=base, nbytes=nbytes)
-    return None
+    base = comm.next_coll_tag()
+    comm._coll_enter(OP_GATHER, root, base)
+    try:
+        if rank == root:
+            out: list[Any] = [None] * size
+            out[rank] = value
+            for src in range(size):
+                if src != root:
+                    out[src] = yield from comm.recv(source=src, tag=base)
+            return out
+        yield from comm.send(value, root, tag=base, nbytes=nbytes)
+        return None
+    finally:
+        comm._coll_exit(OP_GATHER, root, base)
 
 
 def allgather(comm, value: Any, nbytes: Optional[int] = None):
     """Ring allgather: size-1 steps, each forwarding the newest block."""
     base = comm.next_coll_tag()
-    size, rank = comm.size, comm.rank
-    out: list[Any] = [None] * size
-    out[rank] = value
-    if size == 1:
+    comm._coll_enter(OP_ALLGATHER, NO_PEER, base)
+    try:
+        size, rank = comm.size, comm.rank
+        out: list[Any] = [None] * size
+        out[rank] = value
+        if size == 1:
+            return out
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        carry_idx = rank
+        for step in range(size - 1):
+            req = yield from comm.isend(out[carry_idx], right,
+                                        tag=base + step, nbytes=nbytes)
+            recv_idx = (rank - 1 - step) % size
+            out[recv_idx] = yield from comm.recv(source=left,
+                                                 tag=base + step)
+            yield from comm.wait(req)
+            carry_idx = recv_idx
         return out
-    right = (rank + 1) % size
-    left = (rank - 1) % size
-    carry_idx = rank
-    for step in range(size - 1):
-        req = yield from comm.isend(out[carry_idx], right, tag=base + step,
-                                    nbytes=nbytes)
-        recv_idx = (rank - 1 - step) % size
-        out[recv_idx] = yield from comm.recv(source=left, tag=base + step)
-        yield from comm.wait(req)
-        carry_idx = recv_idx
-    return out
+    finally:
+        comm._coll_exit(OP_ALLGATHER, NO_PEER, base)
 
 
 def scatter(comm, values: Optional[list], root: int = 0, nbytes: Optional[int] = None):
     """Scatter from *root*: rank i receives ``values[i]``."""
-    base = comm.next_coll_tag()
     size, rank = comm.size, comm.rank
     if not 0 <= root < size:
         raise ConfigError(f"bad scatter root {root}")
-    if rank == root:
-        if values is None or len(values) != size:
-            raise ConfigError(
-                f"scatter root needs exactly {size} values, got "
-                f"{None if values is None else len(values)}"
-            )
-        reqs = []
-        for dst in range(size):
-            if dst != root:
-                r = yield from comm.isend(values[dst], dst, tag=base, nbytes=nbytes)
-                reqs.append(r)
-        yield from comm.waitall(reqs)
-        return values[rank]
-    value = yield from comm.recv(source=root, tag=base)
-    return value
+    base = comm.next_coll_tag()
+    comm._coll_enter(OP_SCATTER, root, base)
+    try:
+        if rank == root:
+            if values is None or len(values) != size:
+                raise ConfigError(
+                    f"scatter root needs exactly {size} values, got "
+                    f"{None if values is None else len(values)}"
+                )
+            reqs = []
+            for dst in range(size):
+                if dst != root:
+                    r = yield from comm.isend(values[dst], dst, tag=base,
+                                              nbytes=nbytes)
+                    reqs.append(r)
+            yield from comm.waitall(reqs)
+            return values[rank]
+        value = yield from comm.recv(source=root, tag=base)
+        return value
+    finally:
+        comm._coll_exit(OP_SCATTER, root, base)
 
 
 def alltoall(comm, values: list, nbytes: Optional[int] = None):
     """Pairwise-exchange all-to-all: ``values[i]`` is delivered to rank i;
     returns the list of blocks received from every rank (own block kept)."""
-    base = comm.next_coll_tag()
     size, rank = comm.size, comm.rank
     if len(values) != size:
         raise ConfigError(f"alltoall needs {size} blocks, got {len(values)}")
-    out: list[Any] = [None] * size
-    out[rank] = values[rank]
-    for step in range(1, size):
-        dst = (rank + step) % size
-        src = (rank - step) % size
-        req = yield from comm.isend(values[dst], dst, tag=base + step, nbytes=nbytes)
-        out[src] = yield from comm.recv(source=src, tag=base + step)
-        yield from comm.wait(req)
-    return out
+    base = comm.next_coll_tag()
+    comm._coll_enter(OP_ALLTOALL, NO_PEER, base)
+    try:
+        out: list[Any] = [None] * size
+        out[rank] = values[rank]
+        for step in range(1, size):
+            dst = (rank + step) % size
+            src = (rank - step) % size
+            req = yield from comm.isend(values[dst], dst, tag=base + step,
+                                        nbytes=nbytes)
+            out[src] = yield from comm.recv(source=src, tag=base + step)
+            yield from comm.wait(req)
+        return out
+    finally:
+        comm._coll_exit(OP_ALLTOALL, NO_PEER, base)

@@ -18,6 +18,16 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.core.commrec import (
+    FLAG_COMPLETE,
+    FLAG_RENDEZVOUS,
+    FLAG_WILD_SOURCE,
+    FLAG_WILD_TAG,
+    MAX_TAG,
+    pack_recv_value,
+)
+from repro.core.trace import REC_COLL_ENTER, REC_COLL_EXIT, REC_MSG_RECV, \
+    REC_MSG_SEND
 from repro.mpisim.network import Network, payload_nbytes
 from repro.simmachine.power import ACTIVITY_COMM, ACTIVITY_IDLE
 from repro.simmachine.process import Directive, SimProcess, ST_BLOCKED, ST_READY
@@ -32,6 +42,10 @@ EAGER_THRESHOLD_BYTES = 8192
 #: base of the reserved tag space used by collective algorithms
 COLL_TAG_BASE = 1 << 20
 
+#: tags reserved per collective invocation (stepped algorithms use
+#: ``base + step``, so one block must cover the widest stride)
+COLL_TAG_BLOCK = 64
+
 
 class Request:
     """Handle for an in-flight send or receive."""
@@ -39,6 +53,7 @@ class Request:
     __slots__ = (
         "kind", "owner", "peer", "tag", "payload", "nbytes",
         "done", "value", "post_time", "_waiters", "source", "matched_tag",
+        "clock", "flags",
     )
 
     def __init__(self, kind: str, owner: int, peer: int, tag: int,
@@ -56,6 +71,8 @@ class Request:
         self.post_time: float = -1.0
         self.source: int = -1       # actual source for completed recvs
         self.matched_tag: int = -1
+        self.clock: int = 0         # owner-rank Lamport component at post
+        self.flags: int = 0         # commrec flags stamped at post
         self._waiters: list[SimProcess] = []
 
     def add_waiter(self, proc: SimProcess) -> None:
@@ -101,6 +118,10 @@ class MPIWorld:
         self.procs: list[Optional[SimProcess]] = [None] * n_ranks
         self._unmatched_sends: list[Request] = []
         self._unmatched_recvs: list[Request] = []
+        #: per-rank Lamport clock component; bumps on every comm event
+        #: whether or not the rank is traced, so clocks double as the
+        #: deterministic matching tie-break
+        self._clocks: list[int] = [0] * n_ranks
 
     # ------------------------------------------------------------------
     # Rank placement helpers
@@ -114,12 +135,37 @@ class MPIWorld:
         return RankComm(self, rank)
 
     # ------------------------------------------------------------------
+    # Communication event recording
+
+    def _emit_comm(self, rank: int, kind: int, peer: int, tag: int,
+                   flags: int, value: float) -> int:
+        """Advance *rank*'s Lamport clock and record the event if traced.
+
+        The clock bumps unconditionally — traced and untraced executions
+        see identical clocks, which keeps the matching tie-break (and so
+        the schedule itself) independent of whether a tracer is attached.
+        """
+        clock = self._clocks[rank] + 1
+        self._clocks[rank] = clock
+        proc = self.procs[rank]
+        if proc is not None:
+            tracer = proc.trace_context
+            if tracer is not None and not tracer.stopped:
+                tracer.on_comm(proc, kind, rank=rank, peer=peer, tag=tag,
+                               flags=flags, clock=clock, value=value)
+        return clock
+
+    # ------------------------------------------------------------------
     # Matching
 
     def post(self, req: Request) -> None:
         """Post a request and try to match it."""
         req.post_time = self.machine.sim.now
         if req.kind == "send":
+            req.flags = (FLAG_RENDEZVOUS
+                         if req.nbytes > self.eager_threshold else 0)
+            req.clock = self._emit_comm(req.owner, REC_MSG_SEND, req.peer,
+                                        req.tag, req.flags, float(req.nbytes))
             match = self._find_recv_for(req)
             if match is not None:
                 self._unmatched_recvs.remove(match)
@@ -131,6 +177,14 @@ class MPIWorld:
                     # handed to the NIC.
                     req.complete(None, self)
         else:
+            flags = 0
+            if req.peer == ANY_SOURCE:
+                flags |= FLAG_WILD_SOURCE
+            if req.tag == ANY_TAG:
+                flags |= FLAG_WILD_TAG
+            req.flags = flags
+            req.clock = self._emit_comm(req.owner, REC_MSG_RECV, req.peer,
+                                        req.tag, flags, 0.0)
             match = self._find_send_for(req)
             if match is not None:
                 self._unmatched_sends.remove(match)
@@ -138,19 +192,34 @@ class MPIWorld:
             else:
                 self._unmatched_recvs.append(req)
 
+    # Matching scans pick the *minimum* candidate under an explicit total
+    # order instead of the first list hit.  The unmatched lists are only
+    # ordered by insertion, and insertion order of same-time posts depends
+    # on DES tie-breaking — the exact coupling the DS001 scrambler flagged
+    # in PR 4.  Ordering by (post_time, owner, clock) is identical to FIFO
+    # posted order whenever posts are distinct in time, preserves MPI
+    # non-overtaking (per-owner clock order is program order), and makes
+    # wildcard matches among same-time posts scramble-invariant.
+
     def _find_recv_for(self, send: Request) -> Optional[Request]:
+        best = None
         for r in self._unmatched_recvs:
             if r.owner == send.peer and r.peer in (ANY_SOURCE, send.owner) \
                     and r.tag in (ANY_TAG, send.tag):
-                return r
-        return None
+                if best is None or (r.post_time, r.clock) \
+                        < (best.post_time, best.clock):
+                    best = r
+        return best
 
     def _find_send_for(self, recv: Request) -> Optional[Request]:
+        best = None
         for s in self._unmatched_sends:
             if s.peer == recv.owner and recv.peer in (ANY_SOURCE, s.owner) \
                     and recv.tag in (ANY_TAG, s.tag):
-                return s
-        return None
+                if best is None or (s.post_time, s.owner, s.clock) \
+                        < (best.post_time, best.owner, best.clock):
+                    best = s
+        return best
 
     def _transfer(self, send: Request, recv: Request) -> None:
         """Schedule the wire transfer for a matched send/recv pair."""
@@ -172,6 +241,15 @@ class MPIWorld:
         def finish():
             if not send.done:
                 send.complete(None, self)
+            # Completion record: actual source/tag, the posted wildcard
+            # flags, and a value pairing this completion with both its
+            # receive post and the matched send's clock — the edge the
+            # offline vector-clock reconstruction joins on.
+            self._emit_comm(
+                recv.owner, REC_MSG_RECV, send.owner, send.tag,
+                recv.flags | FLAG_COMPLETE,
+                pack_recv_value(recv.clock, send.clock),
+            )
             recv.complete(send.payload, self)
 
         self.machine.sim.schedule_at(end, finish)
@@ -275,11 +353,13 @@ class RankComm:
     def send(self, payload, dest: int, tag: int = 0, nbytes: Optional[int] = None):
         """Blocking send (eager for small messages, rendezvous for large)."""
         self._check_peer(dest)
+        self._check_tag(tag, wildcard_ok=False)
         req = Request("send", self.rank, dest, tag, payload, nbytes)
         yield PostAndWait(self.world, req)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; returns the payload."""
+        self._check_tag(tag, wildcard_ok=True)
         req = Request("recv", self.rank, source, tag)
         value = yield PostAndWait(self.world, req)
         return value
@@ -288,12 +368,14 @@ class RankComm:
               nbytes: Optional[int] = None):
         """Nonblocking send; returns a :class:`Request`."""
         self._check_peer(dest)
+        self._check_tag(tag, wildcard_ok=False)
         req = Request("send", self.rank, dest, tag, payload, nbytes)
         got = yield Post(self.world, req)
         return got
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Nonblocking receive; returns a :class:`Request`."""
+        self._check_tag(tag, wildcard_ok=True)
         req = Request("recv", self.rank, source, tag)
         got = yield Post(self.world, req)
         return got
@@ -315,12 +397,61 @@ class RankComm:
         if not 0 <= peer < self.size:
             raise ConfigError(f"peer {peer} out of range for size {self.size}")
 
+    def _check_tag(self, tag: int, *, wildcard_ok: bool) -> None:
+        """Reject tags that would silently cross into reserved space.
+
+        User tags must be non-negative (``ANY_TAG`` only on receives) and
+        below ``COLL_TAG_BASE`` unless they fall inside a block this
+        communicator has already reserved via :meth:`next_coll_tag` —
+        which is exactly how the collective algorithms themselves send.
+        """
+        if tag == ANY_TAG:
+            if not wildcard_ok:
+                raise ConfigError("ANY_TAG is only valid on receives")
+            return
+        if tag < 0:
+            raise ConfigError(f"negative tag {tag}")
+        if tag > MAX_TAG:
+            raise ConfigError(f"tag {tag} exceeds MAX_TAG {MAX_TAG}")
+        if tag >= COLL_TAG_BASE:
+            frontier = COLL_TAG_BASE + self._coll_seq * COLL_TAG_BLOCK
+            if tag >= frontier:
+                raise ConfigError(
+                    f"tag {tag} lies in the reserved collective tag space "
+                    f"(>= {COLL_TAG_BASE}) beyond this communicator's "
+                    f"allocated blocks (< {frontier}); a message with this "
+                    "tag could silently match a future collective")
+
     def next_coll_tag(self) -> int:
         """Reserve a tag block for one collective invocation (SPMD callers
-        invoke collectives in the same order, keeping counters in lockstep)."""
-        tag = COLL_TAG_BASE + self._coll_seq * 64
+        invoke collectives in the same order, keeping counters in lockstep).
+
+        Bounds are enforced rather than assumed: stepped collectives
+        (allgather, alltoall) use up to ``size - 1`` tags above the base,
+        so a communicator wider than one block would bleed into the next
+        invocation's block and cross-match concurrent collectives.
+        """
+        if self.size > COLL_TAG_BLOCK:
+            raise ConfigError(
+                f"communicator size {self.size} exceeds the "
+                f"{COLL_TAG_BLOCK}-tag collective block; stepped "
+                "collectives would collide with the next block's tags")
+        tag = COLL_TAG_BASE + self._coll_seq * COLL_TAG_BLOCK
+        if tag + COLL_TAG_BLOCK - 1 > MAX_TAG:
+            raise ConfigError(
+                f"collective tag space exhausted: block at {tag} exceeds "
+                f"MAX_TAG {MAX_TAG}")
         self._coll_seq += 1
         return tag
+
+    # -- collective phase records ----------------------------------------
+    def _coll_enter(self, op: int, root: int, tag: int) -> None:
+        self.world._emit_comm(self.rank, REC_COLL_ENTER, root, tag, 0,
+                              float(op))
+
+    def _coll_exit(self, op: int, root: int, tag: int) -> None:
+        self.world._emit_comm(self.rank, REC_COLL_EXIT, root, tag, 0,
+                              float(op))
 
     # -- collectives (delegated) -----------------------------------------
     def barrier(self):

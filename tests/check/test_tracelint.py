@@ -43,7 +43,7 @@ def rules_of(diags):
 def test_registry_ids_are_well_formed():
     for rule_id, r in RULES.items():
         assert r.id == rule_id
-        assert re.fullmatch(r"(TL|DS|DL)\d{3}", rule_id)
+        assert re.fullmatch(r"(TL|DS|DL|CM)\d{3}", rule_id)
         assert r.severity in ("error", "warning", "info")
         assert r.invariant
 
@@ -53,7 +53,7 @@ def test_registry_matches_internals_catalogue():
     the prose catalogue and the code registry must never drift."""
     docs = Path(__file__).resolve().parents[2] / "docs" / "INTERNALS.md"
     text = docs.read_text()
-    documented = set(re.findall(r"\b(?:TL|DS|DL)\d{3}\b", text))
+    documented = set(re.findall(r"\b(?:TL|DS|DL|CM)\d{3}\b", text))
     assert documented == set(RULES)
 
 

@@ -1,0 +1,59 @@
+"""Builder/CLI contract for the seeded communication-defect bundles.
+
+The *sanitizer's* verdicts on these bundles are asserted in
+``tests/check/test_causal.py``; this file pins the properties the
+race-smoke CI job leans on: every defect has a builder and an expected
+rule, builders are deterministic in ``seed``, the bundles actually carry
+comm records, and the ``python -m repro.faults.commfaults`` CLI writes a
+loadable bundle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import COMM_KINDS, TraceBundle
+from repro.faults.commfaults import BUILDERS, EXPECTED_RULE, main
+
+
+def node_record_bytes(bundle):
+    return {name: t.columns.array.tobytes()
+            for name, t in bundle.nodes.items()}
+
+
+def test_builders_and_expected_rules_agree():
+    assert set(BUILDERS) == set(EXPECTED_RULE)
+    for defect, rule in EXPECTED_RULE.items():
+        if defect == "clean":
+            assert rule is None
+        else:
+            assert rule in {f"CM00{i}" for i in range(1, 7)}
+
+
+@pytest.mark.parametrize("defect", sorted(BUILDERS))
+def test_builders_are_deterministic_in_seed(defect):
+    a = BUILDERS[defect](seed=3)
+    b = BUILDERS[defect](seed=3)
+    assert node_record_bytes(a) == node_record_bytes(b)
+
+
+@pytest.mark.parametrize("defect", sorted(BUILDERS))
+def test_builders_emit_comm_records(defect):
+    bundle = BUILDERS[defect](seed=0)
+    n_comm = sum(
+        int(np.isin(t.columns.array["kind"], sorted(COMM_KINDS)).sum())
+        for t in bundle.nodes.values())
+    assert n_comm > 0
+
+
+def test_cli_writes_loadable_bundle(tmp_path, capsys):
+    out = tmp_path / "race-bundle"
+    rc = main(["--defect", "race", "--out", str(out), "--seed", "1"])
+    assert rc == 0
+    assert "CM001" in capsys.readouterr().out
+    reloaded = TraceBundle.load(out)
+    assert set(reloaded.nodes)
+
+
+def test_cli_rejects_unknown_defect(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--defect", "nonsense", "--out", str(tmp_path / "x")])

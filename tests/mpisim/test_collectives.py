@@ -176,3 +176,50 @@ def test_alltoall_wrong_block_count_rejected():
         return "accepted"
 
     assert run_collective(prog, 2) == ["rejected"] * 2
+
+
+# ----------------------------------------------------------------------
+# Reserved-tag allocation bounds (next_coll_tag)
+
+
+def test_coll_tag_blocks_are_disjoint_per_invocation():
+    from repro.mpisim.comm import COLL_TAG_BASE, COLL_TAG_BLOCK, MPIWorld
+
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+    world = MPIWorld(m, 2, [("node1", 0), ("node1", 1)])
+    comm = world.comm(0)
+    first = comm.next_coll_tag()
+    second = comm.next_coll_tag()
+    assert first == COLL_TAG_BASE
+    assert second - first == COLL_TAG_BLOCK
+
+
+def test_coll_tag_rejects_communicator_wider_than_block():
+    """Stepped collectives use up to size-1 tags above the base; a
+    communicator wider than one block would bleed into the next
+    invocation's block and cross-match concurrent collectives."""
+    from repro.mpisim.comm import COLL_TAG_BLOCK, MPIWorld
+    from repro.util.errors import ConfigError
+
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+    n = COLL_TAG_BLOCK + 1
+    world = MPIWorld(m, n, [("node1", 0)] * n)
+    with pytest.raises(ConfigError, match="exceeds the"):
+        world.comm(0).next_coll_tag()
+    # exactly one block wide is still fine
+    world_ok = MPIWorld(m, COLL_TAG_BLOCK, [("node1", 0)] * COLL_TAG_BLOCK)
+    assert world_ok.comm(0).next_coll_tag() > 0
+
+
+def test_coll_tag_space_exhaustion_raises_typed_error():
+    from repro.mpisim.comm import COLL_TAG_BLOCK, MPIWorld
+    from repro.core.commrec import MAX_TAG
+    from repro.util.errors import ConfigError
+
+    m = Machine(ClusterConfig(n_nodes=1, vary_nodes=False))
+    world = MPIWorld(m, 2, [("node1", 0), ("node1", 1)])
+    comm = world.comm(0)
+    # jump the lockstep counter to the end of the 32-bit tag space
+    comm._coll_seq = (MAX_TAG + 2) // COLL_TAG_BLOCK
+    with pytest.raises(ConfigError, match="exhausted"):
+        comm.next_coll_tag()

@@ -198,3 +198,100 @@ def test_self_send_same_rank_is_legal_via_iration():
     world, procs = mpi_spawn(m, prog, 1, placement=[("node1", 0)])
     m.run_to_completion(procs)
     assert procs[0].result == "loop"
+
+
+# ----------------------------------------------------------------------
+# Deterministic matching: the PR 4 DS001 coupling, fixed
+
+
+def test_lu_wavefront_wildcard_match_is_scramble_invariant():
+    """Regression for the tie-order coupling the DS001 scrambler flagged:
+    on the LU wavefront pattern, the corner rank's upstream neighbours
+    finish identical plane compute at exactly the same simulated time, so
+    their sends land in the unmatched list in DES tie order.  A wildcard
+    receive posted afterwards used to match whichever send happened to be
+    first in the list; matching now picks the minimum under the explicit
+    (post_time, owner, clock) order, so every scramble seed must agree —
+    and agree on rank 1 specifically."""
+    from repro.check.determinism import run_tie_scramble
+    from repro.simmachine.events import Simulator
+    from repro.simmachine.process import Sleep
+
+    def program(ctx):
+        # 2x2 LU lower-sweep corner, wildcard variant: rank 3 takes its
+        # north and west planes from ANY_SOURCE instead of naming them.
+        rank = ctx.rank
+        if rank == 3:
+            yield Sleep(0.02)   # post after both planes are in flight
+            first = yield from ctx.comm.recv(source=ANY_SOURCE, tag=500)
+            second = yield from ctx.comm.recv(source=ANY_SOURCE, tag=500)
+            return [first, second]
+        if rank in (1, 2):
+            yield Compute(0.01)  # identical plane compute: same-time sends
+            yield from ctx.comm.send(rank, 3, tag=500)
+        return []
+
+    def scenario(sim):
+        m = Machine(ClusterConfig(n_nodes=2, vary_nodes=False), sim=sim)
+        _world, procs = mpi_spawn(m, program, 4)
+        m.run_to_completion(procs)
+        return [p.result for p in procs]
+
+    report = run_tie_scramble(scenario)
+    assert report.deterministic, report.describe()
+    assert scenario(Simulator())[3] == [1, 2]
+
+
+def test_wildcard_send_match_prefers_earlier_post_time():
+    """Distinct post times: matching is FIFO in posted order regardless
+    of sender rank (the explicit order degrades to arrival order)."""
+    from repro.simmachine.process import Sleep
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield Sleep(0.03)
+            first = yield from ctx.comm.recv(source=ANY_SOURCE, tag=9)
+            second = yield from ctx.comm.recv(source=ANY_SOURCE, tag=9)
+            return [first, second]
+        # rank 2 posts strictly earlier than rank 1
+        yield Sleep(0.01 if ctx.rank == 2 else 0.02)
+        yield from ctx.comm.send(ctx.rank, 0, tag=9)
+        return []
+
+    _, _, results = run_mpi(program, n_ranks=3, n_nodes=3)
+    assert results[0] == [2, 1]
+
+
+# ----------------------------------------------------------------------
+# Tag-space guard rails
+
+
+def test_any_tag_on_send_rejected():
+    from repro.util.errors import ConfigError
+
+    def prog(ctx):
+        with pytest.raises(ConfigError):
+            yield from ctx.comm.send("x", dest=1, tag=ANY_TAG)
+        return "guarded"
+
+    _, _, results = run_mpi(prog, n_ranks=2)
+    assert results[0] == "guarded"
+
+
+def test_user_tag_in_unreserved_collective_space_rejected():
+    """A user tag at/above COLL_TAG_BASE that no next_coll_tag() block
+    covers could silently match a future collective's message."""
+    from repro.mpisim.comm import COLL_TAG_BASE
+    from repro.util.errors import ConfigError
+
+    def prog(ctx):
+        with pytest.raises(ConfigError, match="reserved collective"):
+            yield from ctx.comm.send("x", dest=1, tag=COLL_TAG_BASE)
+        with pytest.raises(ConfigError):
+            yield from ctx.comm.recv(source=1, tag=COLL_TAG_BASE + 7)
+        with pytest.raises(ConfigError, match="negative"):
+            yield from ctx.comm.send("x", dest=1, tag=-5)
+        return "guarded"
+
+    _, _, results = run_mpi(prog, n_ranks=2)
+    assert results[0] == "guarded"
