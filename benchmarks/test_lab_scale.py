@@ -1,0 +1,174 @@
+"""Campaign composition at scale: a 256-run store queried in one pass.
+
+The campaign store's contract is that a whole-campaign view is *pure
+algebra* — 256 member summaries fold through
+:meth:`repro.core.summary.RunSummary.merge` without re-reading a single
+trace record.  This benchmark measures what that promise costs at a
+realistic campaign size: a laboratory populated with 256 synthetic runs
+(four genuinely distinct simulated micro profiles, fanned out to 256
+members with per-run timing perturbations so no two summary blobs are
+identical), composed and queried two ways:
+
+* **lazy** — ``CampaignStore.composed()`` loading each member blob on
+  demand, the path ``tempest lab query`` takes;
+* **eager** — every summary loaded up front, merged into one
+  accumulator, then queried.
+
+The two must agree exactly (same composed document, same metric
+values), and the lazy path must finish the full compose-and-query in
+<= 2 s — if 256 blob loads plus 256 merges can't hold that, ``lab
+query`` stops being an interactive tool and the "compose lazily" design
+point is wrong.
+
+Results land in ``BENCH_lab.json`` at the repo root (plus a rendered
+table in ``benchmarks/results/lab_scale.txt``).  ``TEMPEST_BENCH_RUNS``
+overrides the campaign size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.core.summary import RunSummary
+from repro.lab import CampaignStore, Laboratory, record_run
+from repro.lab.manifest import KIND_MICRO, RunManifest, RunSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_lab.json"
+
+N_RUNS = int(os.environ.get("TEMPEST_BENCH_RUNS", "256"))
+#: the lazy compose-and-query wall-clock ceiling (seconds)
+MAX_COMPOSE_S = 2.0
+#: distinct simulated profiles the synthetic members are derived from
+N_BASE_RUNS = 4
+
+
+def populate_campaign(lab: Laboratory, n_runs: int) -> CampaignStore:
+    """A campaign of *n_runs* members over genuinely distinct blobs.
+
+    Four real simulated micro runs seed the shapes; every member gets
+    its own deterministic timing perturbation, so each summary blob is
+    content-distinct and the store cannot shortcut through blob dedup.
+    """
+    base_docs = []
+    for seed in range(N_BASE_RUNS):
+        manifest, _ = record_run(lab, RunSpec(
+            kind=KIND_MICRO, bench="A", nodes=1, vary_nodes=False,
+            seed=100 + seed))
+        base_docs.append((lab.get_json(manifest.outputs["summary"]),
+                          manifest.outputs["n_records"]))
+
+    store = CampaignStore.create(lab, "scale")
+    for i in range(n_runs):
+        base_doc, n_records = base_docs[i % N_BASE_RUNS]
+        doc = json.loads(json.dumps(base_doc))
+        scale = 1.0 + i / (4.0 * n_runs)
+        for block in doc["nodes"].values():
+            block["total_s"] = {k: v * scale
+                                for k, v in block["total_s"].items()}
+            block["exclusive_s"] = {k: v * scale
+                                    for k, v in block["exclusive_s"].items()}
+        digest = lab.put_json(doc)
+        member = RunManifest(
+            spec=RunSpec(kind=KIND_MICRO, bench="A", nodes=1,
+                         vary_nodes=False, seed=10_000 + i, label="scale"),
+            tempest_version=__version__,
+            outputs={"summary": digest, "n_records": n_records},
+        )
+        lab.write_manifest_doc(member.run_id, member.to_dict())
+        store.add_run(member.run_id)
+    return store
+
+
+def query_all(summary: RunSummary) -> dict:
+    """The metric battery both paths must answer identically."""
+    from repro.lab import summary_metric
+
+    out = {
+        "n_records": summary.n_records,
+        "total_s": summary_metric(summary, node=None, function=None,
+                                  sensor=None, stat="total_s"),
+        "calls": summary_metric(summary, node=None, function=None,
+                                sensor=None, stat="calls"),
+    }
+    for name, ns in sorted(summary.nodes.items()):
+        for sensor in ns.sensor_names[:1]:
+            out[f"{name}/{sensor}/avg"] = summary_metric(
+                summary, node=name, function=None, sensor=sensor,
+                stat="avg")
+    return out
+
+
+def run_lab_benchmark(tmp_path: Path, n_runs: int = N_RUNS) -> dict:
+    lab = Laboratory.create(tmp_path / "lab")
+    t0 = time.perf_counter()
+    populate_campaign(lab, n_runs)
+    setup_s = time.perf_counter() - t0
+
+    # -- lazy: a fresh store, blobs loaded on demand during the fold ---
+    t0 = time.perf_counter()
+    store = CampaignStore.open(lab, "scale")
+    lazy_composed = store.composed()
+    lazy_queries = query_all(lazy_composed)
+    lazy_s = time.perf_counter() - t0
+
+    # -- eager: everything in memory first, then one fold --------------
+    fresh = CampaignStore.open(lab, "scale")
+    t0 = time.perf_counter()
+    summaries = [fresh.load_summary(rid) for rid in fresh.run_ids()]
+    eager_composed = RunSummary.empty()
+    for s in summaries:
+        eager_composed.merge(s)
+    eager_queries = query_all(eager_composed)
+    eager_s = time.perf_counter() - t0
+
+    return {
+        "n_runs": n_runs,
+        "n_base_profiles": N_BASE_RUNS,
+        "setup_s": setup_s,
+        "lazy": {"compose_and_query_s": lazy_s, "queries": lazy_queries},
+        "eager": {"compose_and_query_s": eager_s, "queries": eager_queries},
+        "lazy_equals_eager": (
+            lazy_queries == eager_queries
+            and lazy_composed.to_dict() == eager_composed.to_dict()
+        ),
+        "max_compose_s": MAX_COMPOSE_S,
+    }
+
+
+def render_table(result: dict) -> str:
+    return "\n".join([
+        f"Campaign composition @ {result['n_runs']} runs "
+        f"({result['n_base_profiles']} base profiles, perturbed blobs)",
+        f"{'populate':<22}{result['setup_s']:>10.3f} s",
+        f"{'lazy compose+query':<22}"
+        f"{result['lazy']['compose_and_query_s']:>10.3f} s"
+        f"  (ceiling {result['max_compose_s']:.1f} s)",
+        f"{'eager compose+query':<22}"
+        f"{result['eager']['compose_and_query_s']:>10.3f} s",
+        f"{'lazy == eager':<22}{str(result['lazy_equals_eager']):>10}",
+        f"{'composed total_s':<22}"
+        f"{result['lazy']['queries']['total_s']:>10.3f} s",
+    ])
+
+
+def test_lab_scale(benchmark, results_dir, tmp_path):
+    from benchmarks.conftest import once, write_artifact
+
+    result = once(benchmark, lambda: run_lab_benchmark(tmp_path))
+    BENCH_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    write_artifact(results_dir, "lab_scale.txt", render_table(result))
+
+    assert result["lazy_equals_eager"], (
+        "lazy and eager composition disagree — the merge fold is "
+        "order- or caching-sensitive"
+    )
+    assert result["lazy"]["compose_and_query_s"] <= MAX_COMPOSE_S, (
+        f"composing a {result['n_runs']}-run campaign took "
+        f"{result['lazy']['compose_and_query_s']:.2f} s — over the "
+        f"{MAX_COMPOSE_S:.1f} s interactive ceiling"
+    )

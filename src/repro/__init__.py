@@ -15,7 +15,20 @@ Most users want::
 and the examples/ directory.
 """
 
-__version__ = "1.0.0"
+def _detect_version() -> str:
+    """Package version: installed metadata when available, else the
+    source-tree constant (PYTHONPATH=src runs have no dist metadata)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:                      # pragma: no cover - py<3.8
+        return "1.0.0"
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return "1.0.0"
+
+
+__version__ = _detect_version()
 
 from repro.core import (
     TempestParser,

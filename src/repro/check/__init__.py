@@ -18,6 +18,9 @@ physically sane.  ``repro.check`` makes those invariants *checkable*:
   happens-before reconstruction over recorded MPI comm events, reporting
   message races, wait-for cycles, collective mismatches, unmatched
   requests, and causal TSC-skew violations (CM0xx).
+* :mod:`repro.check.labcheck` — LabLint, integrity checking for
+  experiment laboratories: manifest digests, blob-store drift, and
+  campaign references (TL025-TL027).
 
 All of it surfaces through ``tempest check`` / ``tempest race`` (see
 :mod:`repro.cli`) and the ``lint-and-check`` + ``race-smoke`` CI jobs.
@@ -53,6 +56,7 @@ from repro.check.causal import (
     causal_check_bundle,
     causal_check_spool,
 )
+from repro.check.labcheck import check_lab_dir
 
 __all__ = [
     "SEV_ERROR",
@@ -77,4 +81,5 @@ __all__ = [
     "CausalAnalyzer",
     "causal_check_bundle",
     "causal_check_spool",
+    "check_lab_dir",
 ]

@@ -135,6 +135,23 @@ RULES: dict[str, Rule] = {r.id: r for r in [
        "its --hcct-budget live contexts (the root is free), and a tree "
        "that evicted contexts reports a non-negative eviction threshold "
        "epsilon_s"),
+    _r("TL025", "manifest-integrity", SEV_ERROR,
+       "every tempest-manifest-v1 in a laboratory parses, declares the "
+       "known format, and its declared inputs_digest and run id match "
+       "what recomputing the content hash over the recorded inputs "
+       "yields (an edited or bit-rotted manifest cannot masquerade as "
+       "the run it no longer describes)"),
+    _r("TL026", "digest-drift", SEV_ERROR,
+       "every artifact a manifest or campaign references is present and "
+       "hash-faithful: each referenced blob exists and its file bytes "
+       "re-hash to the digest it is stored under (content addressing "
+       "makes bit-rot detectable by construction)"),
+    _r("TL027", "campaign-store-integrity", SEV_ERROR,
+       "every campaign document parses, declares the known format, and "
+       "references only completed runs of this laboratory whose "
+       "manifests record the same summary digest the campaign cached "
+       "(a campaign must not silently point at runs that were removed "
+       "or re-recorded)"),
     # -------------------------------------------------- communication sanity
     _r("CM001", "message-race", SEV_ERROR,
        "every wildcard (ANY_SOURCE) receive has a causally unique match: "
@@ -289,13 +306,18 @@ class CheckReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
+        from repro import __version__
+
         return {
             "format": REPORT_FORMAT,
+            "tempest_version": __version__,
             "checked": list(self.checked),
             "counts": {s: self.count(s) for s in _SEVERITIES},
             "diagnostics": [asdict(d) for d in self.sorted_diagnostics()],
         }
 
     def to_json(self) -> str:
-        """Machine-readable report (the CI artifact)."""
-        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        """Machine-readable report (the CI artifact), canonical form."""
+        from repro.util.canonjson import canon_dumps
+
+        return canon_dumps(self.to_dict())

@@ -1,0 +1,199 @@
+"""LabLint: integrity checking for experiment laboratories.
+
+``tempest check <dir>`` dispatches here when *dir* carries a
+``lab.json`` marker.  Three invariants, one rule each:
+
+* **TL025 manifest-integrity** — every manifest parses, declares the
+  known format, and its declared ``inputs_digest`` / run id survive
+  recomputation (the from_dict verification, surfaced as findings
+  instead of exceptions so one corrupt run doesn't hide the rest).
+* **TL026 digest-drift** — every blob the store holds re-hashes to the
+  digest it is filed under, and every blob a manifest references is
+  actually present.  Content addressing makes this check *possible*;
+  running it makes bit-rot *visible*.
+* **TL027 campaign-store-integrity** — campaigns reference only
+  completed runs whose manifests still record the summary digest the
+  campaign cached.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.check.diagnostics import Diagnostic, make_diagnostic
+from repro.util.canonjson import sha256_file
+
+__all__ = ["check_lab_dir"]
+
+
+def check_lab_dir(path: Path) -> list[Diagnostic]:
+    """Validate a whole laboratory directory; returns findings."""
+    from repro.lab.laboratory import LAB_FORMAT, Laboratory
+    from repro.lab.manifest import RunManifest
+    from repro.util.errors import LabError
+
+    root = Path(path)
+    label = str(root)
+    out: list[Diagnostic] = []
+
+    marker = root / "lab.json"
+    try:
+        doc = json.loads(marker.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        out.append(make_diagnostic(
+            "TL025", f"laboratory marker unreadable: {exc}",
+            path=label, location="lab.json",
+            hint="re-run `tempest lab init` or restore lab.json",
+        ))
+        return out
+    if doc.get("format") != LAB_FORMAT:
+        out.append(make_diagnostic(
+            "TL025",
+            f"laboratory marker declares format {doc.get('format')!r}, "
+            f"expected {LAB_FORMAT!r}",
+            path=label, location="lab.json",
+        ))
+        return out
+
+    lab = Laboratory(root)
+
+    # ---------------------------------------------------------- manifests
+    manifests: dict[str, RunManifest] = {}
+    runs_dir = lab.runs_dir
+    run_dirs = sorted(p for p in runs_dir.iterdir()
+                      if p.is_dir()) if runs_dir.is_dir() else []
+    for rdir in run_dirs:
+        run_id = rdir.name
+        mpath = rdir / "manifest.json"
+        if not mpath.is_file():
+            out.append(make_diagnostic(
+                "TL025", "run directory has no manifest.json (an "
+                "interrupted recording; the run never completed)",
+                path=label, location=f"runs/{run_id}",
+                severity="warning",
+                hint="delete the directory or re-run the cell",
+            ))
+            continue
+        try:
+            mdoc = json.loads(mpath.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            out.append(make_diagnostic(
+                "TL025", f"manifest unreadable: {exc}",
+                path=label, location=f"runs/{run_id}/manifest.json",
+            ))
+            continue
+        try:
+            manifest = RunManifest.from_dict(mdoc)
+        except LabError as exc:
+            out.append(make_diagnostic(
+                "TL025", str(exc),
+                path=label, location=f"runs/{run_id}/manifest.json",
+            ))
+            continue
+        if manifest.run_id != run_id:
+            out.append(make_diagnostic(
+                "TL025",
+                f"manifest identifies as {manifest.run_id!r} but lives "
+                f"in runs/{run_id}",
+                path=label, location=f"runs/{run_id}/manifest.json",
+                hint="the run directory was renamed or the manifest moved",
+            ))
+            continue
+        manifests[run_id] = manifest
+
+    # -------------------------------------------------- blob store drift
+    if lab.blobs_dir.is_dir():
+        hexdigits = set("0123456789abcdef")
+        for blob in sorted(lab.blobs_dir.glob("*/*")):
+            # in-flight .tmp<pid> files are not blobs yet
+            if not blob.is_file() or len(blob.name) != 64 \
+                    or not set(blob.name) <= hexdigits:
+                continue
+            actual = sha256_file(blob)
+            if actual != blob.name:
+                out.append(make_diagnostic(
+                    "TL026",
+                    f"blob bytes hash to {actual[:12]}..., filed under "
+                    f"{blob.name[:12]}... — the blob was modified in "
+                    "place",
+                    path=label, location=f"blobs/{blob.parent.name}/"
+                                         f"{blob.name[:12]}...",
+                ))
+
+    for run_id, manifest in sorted(manifests.items()):
+        for key in ("summary", "check_report"):
+            digest = manifest.outputs.get(key)
+            if not digest:
+                out.append(make_diagnostic(
+                    "TL026",
+                    f"manifest records no {key} digest",
+                    path=label, node=run_id, severity="warning",
+                ))
+                continue
+            if not lab.has_blob(digest):
+                out.append(make_diagnostic(
+                    "TL026",
+                    f"referenced {key} blob {digest[:12]}... is missing "
+                    "from the blob store",
+                    path=label, node=run_id,
+                    hint="re-execute with `tempest lab rerun` to "
+                         "regenerate it",
+                ))
+
+    # ------------------------------------------------------- campaigns
+    from repro.lab.store import CAMPAIGN_FORMAT
+
+    cdirs = sorted(p for p in lab.campaigns_dir.iterdir()
+                   if p.is_dir()) if lab.campaigns_dir.is_dir() else []
+    for cdir in cdirs:
+        cpath = cdir / "campaign.json"
+        loc = f"campaigns/{cdir.name}/campaign.json"
+        if not cpath.is_file():
+            out.append(make_diagnostic(
+                "TL027", "campaign directory has no campaign.json",
+                path=label, location=loc, severity="warning",
+            ))
+            continue
+        try:
+            cdoc = json.loads(cpath.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            out.append(make_diagnostic(
+                "TL027", f"campaign unreadable: {exc}",
+                path=label, location=loc,
+            ))
+            continue
+        if cdoc.get("format") != CAMPAIGN_FORMAT:
+            out.append(make_diagnostic(
+                "TL027",
+                f"campaign declares format {cdoc.get('format')!r}, "
+                f"expected {CAMPAIGN_FORMAT!r}",
+                path=label, location=loc,
+            ))
+            continue
+        for entry in cdoc.get("runs", []):
+            rid = entry.get("run_id", "")
+            manifest = manifests.get(rid)
+            if manifest is None:
+                out.append(make_diagnostic(
+                    "TL027",
+                    f"campaign references run {rid!r} which this "
+                    "laboratory does not hold (removed, renamed, or "
+                    "never completed)",
+                    path=label, node=cdir.name, location=rid,
+                ))
+                continue
+            cached = entry.get("summary")
+            recorded = manifest.outputs.get("summary")
+            if cached != recorded:
+                out.append(make_diagnostic(
+                    "TL027",
+                    f"campaign cached summary digest "
+                    f"{str(cached)[:12]}... but the run's manifest "
+                    f"records {str(recorded)[:12]}... — the run was "
+                    "re-recorded after enrollment",
+                    path=label, node=cdir.name, location=rid,
+                    hint="drop and re-add the run to the campaign",
+                ))
+
+    return out

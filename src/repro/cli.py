@@ -10,12 +10,17 @@ Mirrors the paper's workflow from the terminal:
 * ``tempest sensors [--root PATH]`` — list hwmon sensors (real Linux or a
   materialized virtual tree).
 * ``tempest check <path>...`` — static analysis: TraceLint over bundles
-  and spool directories, the repo lint over Python sources.
+  and spool directories, LabLint over laboratories, the repo lint over
+  Python sources.
+* ``tempest lab ...`` — the experiment laboratory: manifested runs,
+  campaigns, sweeps, rerun/verify/query/diff (see :mod:`repro.lab`).
+* ``tempest top --metrics-json FILE`` — live view over a running
+  aggregator's metrics snapshots.
 
 Every subcommand follows one exit-code contract: **0** clean, **1**
-findings (failed verification, lint/check diagnostics, diff problems),
-**2** usage error or crash (bad arguments, unreadable inputs, any
-:class:`ReproError` escaping a command).
+findings (failed verification, lint/check diagnostics, diff problems,
+rerun drift, regressions), **2** usage error or crash (bad arguments,
+unreadable inputs, any :class:`ReproError` escaping a command).
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from repro.core.ascii_plot import render_cluster_profile, render_function_profil
 from repro.core.report import dump_csv, dump_json
 from repro.core.trace import TraceBundle
 from repro.simmachine.machine import ClusterConfig, Machine
+from repro.util.canonjson import canon_dumps
 from repro.util.errors import ReproError
 
 
@@ -181,8 +187,6 @@ def cmd_npb(args) -> int:
 def cmd_hotspots(args) -> int:
     """Run an NPB benchmark and print the hot-spot analysis (questions 1-3)."""
     import dataclasses
-    import json
-
     from repro.analysis.hotspots import hot_nodes, identify_hot_spots
     from repro.analysis.optimize import recommend
 
@@ -215,7 +219,7 @@ def cmd_hotspots(args) -> int:
     if args.json:
         # The machine-readable contract mirrors `tempest check --json`:
         # a versioned format tag, written to a file, noted on stderr.
-        args.json.write_text(json.dumps({
+        args.json.write_text(canon_dumps({
             "format": "tempest-hotspots-v1",
             "bench": run_name,
             "hot_nodes": [
@@ -223,7 +227,7 @@ def cmd_hotspots(args) -> int:
             ],
             "hot_spots": [dataclasses.asdict(s) for s in spots],
             "recommendations": [dataclasses.asdict(r) for r in recs],
-        }, indent=2))
+        }))
         print(f"hotspot report written to {args.json}", file=sys.stderr)
     return 0
 
@@ -248,8 +252,6 @@ def cmd_hotpaths(args) -> int:
     the streaming engine with an HCCT budget, merges the per-node trees,
     and prints the top-k contexts plus every hot function whose
     exclusive time splits across more than one calling context."""
-    import json
-
     from repro.core.streamprof import stream_bundle_profile
 
     budget = args.hcct_budget
@@ -329,7 +331,7 @@ def cmd_hotpaths(args) -> int:
                 },
             }
 
-        args.json.write_text(json.dumps({
+        args.json.write_text(canon_dumps({
             "format": "tempest-hotpaths-v1",
             "source": source,
             "hcct_budget": budget,
@@ -340,7 +342,7 @@ def cmd_hotpaths(args) -> int:
             "split_functions": {
                 fn: [ctx_obj(c) for c in ctxs] for fn, ctxs in split
             },
-        }, indent=2))
+        }))
         print(f"hotpaths report written to {args.json}", file=sys.stderr)
     return 0
 
@@ -367,8 +369,6 @@ def cmd_parse(args) -> int:
 
 def cmd_compare(args) -> int:
     """Diff two saved trace bundles function by function."""
-    import json
-
     from repro.analysis.diffprof import diff_profiles, render_diff
 
     before = TempestParser(TraceBundle.load(args.before),
@@ -383,7 +383,7 @@ def cmd_compare(args) -> int:
     print(render_diff(deltas, min_time_s=args.min_time))
     if args.json:
         # Same machine-readable contract as `tempest check --json`.
-        args.json.write_text(json.dumps({
+        args.json.write_text(canon_dumps({
             "format": "tempest-compare-v1",
             "before": str(args.before),
             "after": str(args.after),
@@ -401,15 +401,13 @@ def cmd_compare(args) -> int:
                 }
                 for d in deltas
             ],
-        }, indent=2))
+        }))
         print(f"compare report written to {args.json}", file=sys.stderr)
     return 0
 
 
 def cmd_verify(args) -> int:
     """Run the NPB built-in verifications (real numerics vs oracles)."""
-    import json
-
     from repro.workloads.npb.verify import VERIFIERS, verify_all
 
     names = [b.upper() for b in args.bench] if args.bench else None
@@ -423,7 +421,7 @@ def cmd_verify(args) -> int:
         print(r.describe())
     if args.json:
         # Same machine-readable contract as `tempest check --json`.
-        args.json.write_text(json.dumps({
+        args.json.write_text(canon_dumps({
             "format": "tempest-verify-v1",
             "verified": all(r.verified for r in results),
             "results": [
@@ -436,14 +434,12 @@ def cmd_verify(args) -> int:
                 }
                 for r in results
             ],
-        }, indent=2))
+        }))
         print(f"verify report written to {args.json}", file=sys.stderr)
     return 0 if all(r.verified for r in results) else 1
 
 
 def cmd_sensors(args) -> int:
-    import json
-
     from repro.core.sensors import HwmonSensorReader, SensorError
 
     try:
@@ -459,12 +455,12 @@ def cmd_sensors(args) -> int:
         print(f"{name:<24} {value:6.1f} C")
     if args.json:
         # Same machine-readable contract as `tempest check --json`.
-        args.json.write_text(json.dumps({
+        args.json.write_text(canon_dumps({
             "format": "tempest-sensors-v1",
             "sensors": [
                 {"name": name, "value_c": value} for name, value in readings
             ],
-        }, indent=2))
+        }))
         print(f"sensor report written to {args.json}", file=sys.stderr)
     return 0
 
@@ -495,8 +491,6 @@ def cmd_serve(args) -> int:
     Exit 0 when every expected source drained completely; 1 when the
     drain timed out or an EOF receipt fell short.
     """
-    import json
-
     from repro.cluster import AggregatorServer
 
     host, port = _parse_hostport(args.bind)
@@ -579,8 +573,7 @@ def cmd_serve(args) -> int:
         if summary.nodes:
             _emit(summary.to_profile(), args)
         if args.summary_out:
-            args.summary_out.write_text(
-                json.dumps(summary.to_dict(), indent=2))
+            args.summary_out.write_text(canon_dumps(summary.to_dict()))
             print(f"composed summary written to {args.summary_out}",
                   file=sys.stderr)
     elif agg.nodes and any(n.n_records for n in agg.nodes.values()):
@@ -588,30 +581,27 @@ def cmd_serve(args) -> int:
         _emit(profile, args)
         if args.summary_out and agg.live:
             summary = agg.run_summary(final=True)
-            args.summary_out.write_text(
-                json.dumps(summary.to_dict(), indent=2))
+            args.summary_out.write_text(canon_dumps(summary.to_dict()))
             print(f"run summary written to {args.summary_out}",
                   file=sys.stderr)
     if args.out:
         agg.save_bundle(args.out)
         print(f"trace bundle written to {args.out}", file=sys.stderr)
     if args.json:
-        args.json.write_text(json.dumps({
+        args.json.write_text(canon_dumps({
             "format": "tempest-serve-v1",
             "role": args.role,
             "drained": bool(complete),
             "metrics": agg.metrics.to_dict(),
             "nodes": nodes_report,
             "leaves": leaves_report,
-        }, indent=2))
+        }))
         print(f"serve report written to {args.json}", file=sys.stderr)
     return 0 if complete else 1
 
 
 def cmd_push(args) -> int:
     """Push a finalized spool directory's nodes to a running aggregator."""
-    import json
-
     from repro.cluster import CollectorClient, CollectorConfig, SocketTransport
     from repro.core.records import RECORD_SIZE
     from repro.core.spool import read_spool_header
@@ -661,10 +651,10 @@ def cmd_push(args) -> int:
         if acked < total:
             complete = False
     if args.json:
-        args.json.write_text(json.dumps({
+        args.json.write_text(canon_dumps({
             "format": "tempest-push-v1",
             "nodes": report,
-        }, indent=2))
+        }))
         print(f"push report written to {args.json}", file=sys.stderr)
     return 0 if complete else 1
 
@@ -680,14 +670,18 @@ def _print_rules_catalogue() -> None:
 
 
 def cmd_check(args) -> int:
-    """Static analysis: TraceLint bundles/spools, repo-lint Python sources.
+    """Static analysis: TraceLint bundles/spools, LabLint laboratories,
+    repo-lint Python sources.
 
     Each path is dispatched by inspection: a directory holding
     ``meta.json`` is a trace bundle, one holding ``header.json`` is a
-    spool directory, and ``.py`` files or directories containing them go
-    through :mod:`repro.devtools.lint`.  Anything else is a usage error.
+    spool directory, one holding ``lab.json`` is an experiment
+    laboratory (TL025-TL027), and ``.py`` files or directories
+    containing them go through :mod:`repro.devtools.lint`.  Anything
+    else is a usage error.
     """
     from repro.check import CheckReport
+    from repro.check.labcheck import check_lab_dir
     from repro.check.tracelint import (
         check_bundle_dir,
         check_spool_dir,
@@ -721,13 +715,17 @@ def cmd_check(args) -> int:
         elif p.is_dir() and (p / "header.json").is_file():
             report.add_checked(str(p))
             report.extend(check_spool_dir(p))
+        elif p.is_dir() and (p / "lab.json").is_file():
+            report.add_checked(str(p))
+            report.extend(check_lab_dir(p))
         elif (p.is_file() and p.suffix == ".py") or (
                 p.is_dir() and _iter_py_files([p])):
             lint_targets.append(p)
         else:
             kind = "directory" if p.is_dir() else "path"
             print(f"tempest check: {p}: not a trace bundle, spool "
-                  f"directory, or Python source {kind}", file=sys.stderr)
+                  f"directory, laboratory, or Python source {kind}",
+                  file=sys.stderr)
             return 2
     if lint_targets:
         for p in lint_targets:
@@ -776,11 +774,74 @@ def cmd_race(args) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def cmd_top(args) -> int:
+    """Live view over a serve aggregator's ``--metrics-json`` snapshots.
+
+    Curses-free: a TTY gets ANSI home-and-clear between frames, a pipe
+    gets frames separated by blank lines, and ``--once`` prints exactly
+    one frame (for CI assertions).  Rates and staleness come from
+    successive snapshots, so a wedged pusher is visible even while the
+    server keeps rewriting the file.
+    """
+    import time as _time
+
+    from repro.cluster.topview import SourceTracker, read_snapshot, render_top
+
+    tracker = SourceTracker()
+    doc = read_snapshot(args.metrics_json)
+    if doc is None:
+        print(f"tempest top: {args.metrics_json}: no readable "
+              "tempest-serve-metrics-v1 snapshot (is `tempest serve "
+              "--metrics-json` running?)", file=sys.stderr)
+        return 2
+    if args.once:
+        print(render_top(doc, tracker, _time.monotonic(),
+                         stale_after_s=args.stale_after))
+        return 0
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    try:
+        while True:
+            frame = render_top(doc, tracker, _time.monotonic(),
+                               stale_after_s=args.stale_after)
+            print(f"{clear}{frame}" if clear else f"{frame}\n")
+            _time.sleep(args.interval)
+            fresh = read_snapshot(args.metrics_json)
+            if fresh is not None:
+                doc = fresh   # torn/missing read: keep the last frame
+    except KeyboardInterrupt:
+        return 0
+
+
+def _add_lab_spec_args(p: argparse.ArgumentParser) -> None:
+    """Run-spec arguments shared by ``lab run`` (mirrors ``npb``)."""
+    p.add_argument("--bench", default="FT", help="NPB benchmark code")
+    p.add_argument("--micro", default=None, metavar="X",
+                   help="run micro-benchmark X instead of an NPB code")
+    p.add_argument("--klass", default="S", help="problem class S/W/A/B/C")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--iters", type=int, default=None,
+                   help="override the class iteration count")
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--platform", default="default",
+                   help="'default' or a platform preset "
+                        "(opteron, system-x, g5)")
+    p.add_argument("--hcct-budget", type=int, default=None, metavar="N",
+                   help="also record hot calling-context trees "
+                        "(contexts per node)")
+    p.add_argument("--label", default="", help="free-form run tag")
+    _add_inject_args(p)
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="tempest",
         description="Tempest thermal profiler (ICPP 2007 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"tempest {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("micro", help="run a Table 1 micro-benchmark")
@@ -998,6 +1059,159 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="CM005 clock-error slack (default 1e-3 s)")
     p.set_defaults(fn=cmd_race)
+
+    p = sub.add_parser(
+        "top",
+        help="live view over a serve aggregator's --metrics-json "
+             "snapshots (curses-free)")
+    p.add_argument("--metrics-json", type=Path, required=True,
+                   metavar="FILE",
+                   help="the snapshot file `tempest serve --metrics-json` "
+                        "rewrites")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="refresh cadence")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (CI mode)")
+    p.add_argument("--stale-after", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="flag a source stale after this long without "
+                        "new records")
+    p.set_defaults(fn=cmd_top)
+
+    # ------------------------------------------------------------- lab
+    from repro.lab.cli import (
+        cmd_lab_diff,
+        cmd_lab_init,
+        cmd_lab_list,
+        cmd_lab_query,
+        cmd_lab_regressions,
+        cmd_lab_rerun,
+        cmd_lab_run,
+        cmd_lab_sweep,
+        cmd_lab_verify,
+    )
+
+    lab = sub.add_parser(
+        "lab",
+        help="experiment laboratory: manifested runs, campaigns, sweeps")
+    lab_sub = lab.add_subparsers(dest="lab_command", required=True)
+
+    def _lab_common(p: argparse.ArgumentParser, *, json_help: str) -> None:
+        p.add_argument("--lab", type=Path, default=Path("lab"),
+                       metavar="DIR", help="laboratory root (default: lab)")
+        p.add_argument("--json", type=Path, default=None, metavar="FILE",
+                       help=json_help)
+
+    p = lab_sub.add_parser("init", help="initialize a laboratory directory")
+    p.add_argument("root", type=Path, nargs="?", default=Path("lab"),
+                   help="laboratory root to create (default: lab)")
+    p.set_defaults(fn=cmd_lab_init)
+
+    p = lab_sub.add_parser(
+        "run", help="execute one manifested run into the laboratory")
+    _lab_common(p, json_help="write the tempest-manifest-v1 here")
+    _add_lab_spec_args(p)
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="also enroll the run in this campaign")
+    p.add_argument("--force", action="store_true",
+                   help="re-execute even when the run already exists")
+    p.set_defaults(fn=cmd_lab_run)
+
+    p = lab_sub.add_parser("list", help="list completed runs and campaigns")
+    _lab_common(p, json_help="write the listing as JSON here")
+    p.set_defaults(fn=cmd_lab_list)
+
+    p = lab_sub.add_parser(
+        "rerun",
+        help="re-execute a manifested run and compare every output "
+             "digest (exit 1 on drift)")
+    _lab_common(p, json_help="write the rerun verdict as JSON here")
+    p.add_argument("run_id", help="run id (see `tempest lab list`)")
+    p.set_defaults(fn=cmd_lab_rerun)
+
+    p = lab_sub.add_parser(
+        "verify",
+        help="integrity-check stored manifests, blobs, and campaigns "
+             "without re-running (TL025-TL027)")
+    _lab_common(p, json_help="write the tempest-check-v1 report here")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail (exit 1) on warnings")
+    p.set_defaults(fn=cmd_lab_verify)
+
+    p = lab_sub.add_parser(
+        "query", help="per-run metric rows for a campaign selector")
+    _lab_common(p, json_help="write the rows as JSON here")
+    p.add_argument("--campaign", required=True, metavar="NAME")
+    p.add_argument("--node", default=None, metavar="NODE",
+                   help="restrict to one node (default: aggregate)")
+    p.add_argument("--function", default=None, metavar="FN",
+                   help="restrict to one function (default: whole node)")
+    p.add_argument("--sensor", default=None, metavar="SENSOR",
+                   help="thermal sensor name; omit for timing stats")
+    p.add_argument("--stat", default="avg",
+                   help="avg/min/max/med/mod/sdv/var/n with --sensor; "
+                        "total_s/exclusive_s/calls without (default: "
+                        "avg, or total_s without a sensor)")
+    p.set_defaults(fn=cmd_lab_query)
+
+    p = lab_sub.add_parser(
+        "diff",
+        help="per-function/per-sensor deltas between two runs or "
+             "campaigns, including composed-HCCT hot paths (exit 1 on "
+             "regressions)")
+    _lab_common(p, json_help="write the diff as JSON here")
+    p.add_argument("before", help="run id (or campaign with --campaigns)")
+    p.add_argument("after", help="run id (or campaign with --campaigns)")
+    p.add_argument("--campaigns", action="store_true",
+                   help="diff two composed campaigns instead of two runs")
+    p.add_argument("--min-time", type=float, default=0.001,
+                   help="hide functions shorter than this in both runs")
+    p.add_argument("--top-paths", type=int, default=10,
+                   help="hot calling-context deltas to keep")
+    p.add_argument("--time-ratio", type=float, default=1.2,
+                   help="flag functions at least this much slower")
+    p.add_argument("--temp-delta", type=float, default=1.0,
+                   metavar="DEGC",
+                   help="flag sensors/functions at least this much hotter")
+    p.set_defaults(fn=cmd_lab_diff)
+
+    p = lab_sub.add_parser(
+        "regressions",
+        help="scan a campaign's metric series for cross-run regressions "
+             "(exit 1 when any found)")
+    _lab_common(p, json_help="write the findings as JSON here")
+    p.add_argument("--campaign", required=True, metavar="NAME")
+    p.add_argument("--sensor", default=None, metavar="SENSOR")
+    p.add_argument("--stat", default="avg")
+    p.add_argument("--min-delta", type=float, default=0.5,
+                   help="suppress regressions smaller than this")
+    p.add_argument("--node", default=None, metavar="NODE")
+    p.add_argument("--function", default=None, metavar="FN")
+    p.set_defaults(fn=cmd_lab_regressions)
+
+    p = lab_sub.add_parser(
+        "sweep",
+        help="run a workloads x platforms x fault-bands matrix; "
+             "interrupted sweeps resume by skipping completed cells")
+    _lab_common(p, json_help="write the sweep report as JSON here")
+    p.add_argument("--workloads", required=True,
+                   help="comma-separated BENCH[:KLASS[:RxN[:ITERS]]] or "
+                        "micro:X entries, e.g. 'EP:S:2x2,CG:S:2x2:3'")
+    p.add_argument("--platforms", default="default",
+                   help="comma-separated platform presets "
+                        "(default: 'default')")
+    p.add_argument("--bands", default="clean",
+                   help="slash-separated fault bands: 'clean' or "
+                        "'NAME:inject-spec', e.g. "
+                        "'clean/lossy:record_loss_rate=0.05'")
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--hcct-budget", type=int, default=None, metavar="N")
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="enroll every cell in this campaign")
+    p.add_argument("--max-cells", type=int, default=None, metavar="N",
+                   help="execute at most N cells this invocation "
+                        "(skips are free; for testing resume)")
+    p.set_defaults(fn=cmd_lab_sweep)
 
     return parser
 

@@ -44,6 +44,7 @@ from repro.cluster.aggregator import (
     RunRegistry,
 )
 from repro.cluster.wire import DEFAULT_RUN, WireError
+from repro.util.canonjson import canon_dumps
 
 _log = logging.getLogger(__name__)
 
@@ -272,7 +273,7 @@ class AsyncAggregatorServer:
         }
         tmp = self.metrics_json.with_name(self.metrics_json.name + ".tmp")
         try:
-            tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+            tmp.write_text(canon_dumps(doc))
             os.replace(tmp, self.metrics_json)
         except OSError as exc:
             _log.warning("metrics snapshot failed: %s", exc)

@@ -1,0 +1,132 @@
+"""``tempest top``: a curses-free live view over aggregator metrics.
+
+``tempest serve --metrics-json FILE`` atomically rewrites a
+``tempest-serve-metrics-v1`` snapshot on a fixed cadence; this module
+tails that file and renders one screenful per refresh — per-run totals
+plus per-source (collector node / leaf) record counts, ingest rates,
+and staleness.  No curses, no terminal raw mode: a TTY gets an ANSI
+home-and-clear prefix, a pipe gets plain frames separated by blank
+lines, and ``--once`` prints a single frame (the CI-friendly mode).
+
+Rates and staleness are computed *here*, not by the server: the tracker
+remembers each source's last record count and the wall time it last
+changed, so a wedged pusher shows a flat rate and a climbing stale
+column even while the server keeps rewriting the snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["SourceTracker", "read_snapshot", "render_top"]
+
+#: the snapshot format this view understands
+_ACCEPTED_FORMAT = "tempest-serve-metrics-v1"
+
+
+def read_snapshot(path: Path) -> Optional[dict]:
+    """Load a metrics snapshot; None when absent or torn mid-replace.
+
+    The writer uses temp-file + ``os.replace``, so a parse failure is a
+    transient race with the atomic swap, not corruption — the caller
+    just keeps the previous frame.
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if doc.get("format") != _ACCEPTED_FORMAT:
+        return None
+    return doc
+
+
+class SourceTracker:
+    """Per-source rate/staleness bookkeeping across refreshes."""
+
+    def __init__(self):
+        #: source key -> (last record count, time of last count change)
+        self._state: dict[str, tuple[int, float]] = {}
+        self._last_refresh: Optional[float] = None
+
+    def observe(self, key: str, records: int, now: float
+                ) -> tuple[float, float]:
+        """Fold one source's count in; returns (rate/s, staleness s)."""
+        prev = self._state.get(key)
+        if prev is None:
+            self._state[key] = (records, now)
+            return 0.0, 0.0
+        prev_records, changed_at = prev
+        rate = 0.0
+        if self._last_refresh is not None and now > self._last_refresh:
+            rate = max(0.0, (records - prev_records)
+                       / (now - self._last_refresh))
+        if records != prev_records:
+            changed_at = now
+        self._state[key] = (records, changed_at)
+        return rate, now - changed_at
+
+    def finish_refresh(self, now: float) -> None:
+        self._last_refresh = now
+
+
+def _fmt_rate(rate: float) -> str:
+    if rate >= 1e6:
+        return f"{rate / 1e6:.1f}M/s"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k/s"
+    return f"{rate:.0f}/s"
+
+
+def render_top(doc: dict, tracker: SourceTracker, now: float, *,
+               stale_after_s: float = 5.0, max_rows: int = 18) -> str:
+    """One screenful for one snapshot.
+
+    ``max_rows`` bounds the per-source table so the frame never scrolls
+    (a screenful is the contract); overflow is summarized in the footer.
+    """
+    lines = [
+        f"tempest top — {doc.get('connections', 0)} connection(s), "
+        f"{len(doc.get('runs', {}))} run(s)"
+    ]
+    rows = []
+    for run_id, run in sorted(doc.get("runs", {}).items()):
+        metrics = run.get("metrics", {})
+        for kind, key in (("node", "nodes"), ("leaf", "leaves")):
+            for name, src in sorted(run.get(key, {}).items()):
+                records = int(src.get("records", 0))
+                rate, stale = tracker.observe(
+                    f"{run_id}/{kind}/{name}", records, now)
+                flags = []
+                if src.get("drained"):
+                    flags.append("drained")
+                if src.get("evicted"):
+                    flags.append("EVICTED")
+                if not flags and stale >= stale_after_s:
+                    flags.append("stale")
+                rows.append((run_id, kind, name, records, rate, stale,
+                             ",".join(flags) or "live"))
+        total = metrics.get("records_in")
+        if total is not None:
+            lines.append(
+                f"run {run_id}: {int(total)} record(s) in, "
+                f"{int(metrics.get('dup_records', 0))} dup, "
+                f"{int(metrics.get('frames_in', 0))} frame(s)"
+            )
+    tracker.finish_refresh(now)
+
+    lines.append(
+        f"{'run':<12}{'kind':<6}{'source':<16}{'records':>10}"
+        f"{'rate':>9}{'stale(s)':>9}  status"
+    )
+    for run_id, kind, name, records, rate, stale, status in rows[:max_rows]:
+        lines.append(
+            f"{run_id[:11]:<12}{kind:<6}{name[:15]:<16}{records:>10}"
+            f"{_fmt_rate(rate):>9}{stale:>9.1f}  {status}"
+        )
+    if len(rows) > max_rows:
+        lines.append(f"... {len(rows) - max_rows} more source(s)")
+    if not rows:
+        lines.append("(no sources yet)")
+    return "\n".join(lines)

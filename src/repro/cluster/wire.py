@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.core.records import RECORD_SIZE, records_from_buffer
 from repro.util.errors import ReproError
+from repro.util.canonjson import canon_bytes
 
 #: protocol identity carried in every HELLO
 WIRE_FORMAT = "tempest-wire-v1"
@@ -126,7 +127,7 @@ def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
 
 def encode_json_frame(ftype: int, obj: dict) -> bytes:
     """Serialize a JSON-payload frame (HELLO, acks, heartbeat, errors)."""
-    return encode_frame(ftype, json.dumps(obj, sort_keys=True).encode("utf-8"))
+    return encode_frame(ftype, canon_bytes(obj))
 
 
 def decode_json(payload: bytes) -> dict:

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import csv
 import io
-import json
 from typing import Optional, Union
 
 from repro.core.profilemodel import FunctionProfile, NodeProfile, RunProfile
+from repro.util.canonjson import canon_dumps
 from repro.util.units import c_to_f
 
 _HEADER = f"{'':<10}{'Min':>8}{'Avg':>8}{'Max':>8}{'Sdv':>7}{'Var':>7}{'Med':>8}{'Mod':>8}"
@@ -192,11 +192,10 @@ def dump_csv(profile: RunProfile, *, fahrenheit: bool = True) -> str:
 
 def dump_json(profile: RunProfile, *, fahrenheit: bool = True) -> str:
     """JSON export of :func:`profile_to_rows` plus run metadata."""
-    return json.dumps(
+    return canon_dumps(
         {
             "sampling_hz": profile.sampling_hz,
             "meta": profile.meta,
             "rows": profile_to_rows(profile, fahrenheit=fahrenheit),
         },
-        indent=2,
-    )
+    ).rstrip("\n")

@@ -36,6 +36,7 @@ from repro.core.records import (
 )
 from repro.core.symtab import SymbolTable
 from repro.core.trace import NodeTrace, TraceBundle, TraceRecord
+from repro.util.canonjson import dump_canonical
 from repro.util.errors import TraceError
 
 #: records buffered per chunk before the spool writes to its file
@@ -241,12 +242,12 @@ def write_spool_header(directory: Path, symtab: SymbolTable,
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    (directory / "header.json").write_text(json.dumps({
+    dump_canonical(directory / "header.json", {
         "format": "tempest-spool-v1",
         "symtab": symtab.to_dict(),
         "nodes": nodes,
         "meta": meta,
-    }, indent=2))
+    })
 
 
 def read_spool_header(directory: Path) -> dict:

@@ -387,6 +387,19 @@ class RunSummary:
                       for name, ns in sorted(self.nodes.items())},
         }
 
+    def content_digest(self) -> str:
+        """sha256 of the canonical serialized form.
+
+        Stable across processes and machines: floats serialize via
+        ``repr`` (shortest round-trip) inside ``OnlineStats.to_state``
+        and the canonical JSON encoding fixes key order and separators,
+        so two bit-identical summaries always hash alike.  This is the
+        digest `tempest lab` manifests record and `lab rerun` compares.
+        """
+        from repro.util.canonjson import content_digest
+
+        return content_digest(self.to_dict())
+
     @classmethod
     def from_dict(cls, obj: dict) -> "RunSummary":
         fmt = obj.get("format")

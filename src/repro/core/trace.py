@@ -45,6 +45,7 @@ from repro.core.records import (
     records_from_buffer,
 )
 from repro.core.symtab import SymbolTable
+from repro.util.canonjson import dump_canonical
 from repro.util.errors import TraceError
 
 REC_ENTER = 1
@@ -264,7 +265,7 @@ class TraceBundle:
             "meta": self.meta,
             "nodes": {name: node_info(t) for name, t in self.nodes.items()},
         }
-        (path / "meta.json").write_text(json.dumps(header, indent=2))
+        dump_canonical(path / "meta.json", header)
         for name, t in self.nodes.items():
             (path / f"{name}.trace").write_bytes(t.columns.to_bytes())
 

@@ -22,7 +22,6 @@ Two classes of faults coexist:
 
 from __future__ import annotations
 
-import json
 from bisect import bisect_right
 from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional
@@ -31,6 +30,7 @@ import numpy as np
 
 from repro.util.errors import ConfigError
 from repro.util.rng import RngStreams
+from repro.util.canonjson import canon_bytes
 
 #: codes returned by :meth:`FaultPlan.record_actions` (vectorized draws)
 ACT_KEEP = 0
@@ -213,8 +213,7 @@ class FaultPlan:
             "config": asdict(self.config),
             "events": [asdict(ev) for ev in self._events],
         }
-        return json.dumps(payload, sort_keys=True,
-                          separators=(",", ":")).encode("utf-8")
+        return canon_bytes(payload)
 
     def _window_at(self, node: str, kind: str,
                    t: float) -> Optional[FaultEvent]:

@@ -1,0 +1,249 @@
+"""``tempest lab``: the experiment-laboratory subcommand family.
+
+Every subcommand follows the tool-wide exit-code contract: **0** clean,
+**1** findings (drift on rerun, integrity diagnostics on verify,
+regressions on diff), **2** usage error or crash.  Parsers live in
+:mod:`repro.cli`; this module holds the command bodies so the lab
+machinery stays importable without dragging argparse wiring along.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.lab.execute import record_run, rerun_manifest
+from repro.lab.laboratory import Laboratory
+from repro.lab.manifest import KIND_MICRO, KIND_NPB, RunSpec
+from repro.lab.query import diff_campaigns, diff_runs, query_campaign
+from repro.lab.store import CampaignStore
+from repro.lab.sweep import SweepMatrix, run_sweep
+from repro.util.canonjson import canon_dumps
+
+__all__ = [
+    "cmd_lab_diff",
+    "cmd_lab_init",
+    "cmd_lab_list",
+    "cmd_lab_query",
+    "cmd_lab_regressions",
+    "cmd_lab_rerun",
+    "cmd_lab_run",
+    "cmd_lab_sweep",
+    "cmd_lab_verify",
+]
+
+
+def _open_lab(args) -> Laboratory:
+    return Laboratory.open(Path(args.lab))
+
+
+def _write_json(args, doc) -> None:
+    if getattr(args, "json", None):
+        args.json.write_text(canon_dumps(doc))
+        print(f"report written to {args.json}", file=sys.stderr)
+
+
+def cmd_lab_init(args) -> int:
+    lab = Laboratory.create(Path(args.root))
+    print(f"laboratory ready at {lab.root}")
+    return 0
+
+
+def _spec_from_args(args) -> RunSpec:
+    kind = KIND_MICRO if args.micro else KIND_NPB
+    bench = args.micro if args.micro else args.bench
+    return RunSpec(
+        kind=kind,
+        bench=bench,
+        klass=args.klass,
+        ranks=args.ranks,
+        nodes=1 if kind == KIND_MICRO else args.nodes,
+        iters=args.iters,
+        seed=args.seed,
+        platform=args.platform,
+        vary_nodes=kind != KIND_MICRO,
+        inject=args.inject,
+        fault_seed=args.fault_seed,
+        hcct_budget=args.hcct_budget,
+        label=args.label,
+    )
+
+
+def cmd_lab_run(args) -> int:
+    """Execute one spec into the laboratory; prints its run id."""
+    lab = _open_lab(args)
+    spec = _spec_from_args(args)
+    manifest, executed = record_run(lab, spec, force=args.force)
+    verb = "recorded" if executed else "already recorded (skipped)"
+    print(f"{manifest.run_id}: {verb}")
+    if args.campaign:
+        store = CampaignStore.create(lab, args.campaign)
+        added = store.add_run(manifest.run_id, label=spec.label)
+        if added:
+            print(f"enrolled in campaign {args.campaign!r}")
+    _write_json(args, manifest.to_dict())
+    return 0
+
+
+def cmd_lab_list(args) -> int:
+    """List completed runs and campaigns."""
+    lab = _open_lab(args)
+    runs = lab.run_ids()
+    campaigns = {
+        name: CampaignStore.open(lab, name).run_ids()
+        for name in lab.campaign_names()
+    }
+    for run_id in runs:
+        print(run_id)
+    for name, members in sorted(campaigns.items()):
+        print(f"campaign {name}: {len(members)} run(s)")
+    if not runs and not campaigns:
+        print("(laboratory is empty)")
+    _write_json(args, {
+        "runs": runs,
+        "campaigns": {n: m for n, m in sorted(campaigns.items())},
+    })
+    return 0
+
+
+def cmd_lab_rerun(args) -> int:
+    """Re-execute a manifested run; exit 1 on any digest drift."""
+    lab = _open_lab(args)
+    result = rerun_manifest(lab, args.run_id)
+    if result.identical:
+        print(f"{args.run_id}: reproduced bit-identically "
+              f"(summary {result.new_outputs.get('summary', '')[:12]}...)")
+    else:
+        print(f"{args.run_id}: DRIFT — the run no longer reproduces:")
+        for finding in result.drift:
+            print(f"  - {finding}")
+    _write_json(args, {
+        "run_id": result.run_id,
+        "identical": result.identical,
+        "drift": result.drift,
+        "new_outputs": result.new_outputs,
+    })
+    return 0 if result.identical else 1
+
+
+def cmd_lab_verify(args) -> int:
+    """Integrity-check the laboratory's stored artifacts (no re-runs)."""
+    from repro.check import CheckReport
+    from repro.check.labcheck import check_lab_dir
+
+    lab = _open_lab(args)
+    report = CheckReport()
+    report.add_checked(str(lab.root))
+    report.extend(check_lab_dir(lab.root))
+    print(report.render())
+    if getattr(args, "json", None):
+        args.json.write_text(report.to_json())
+        print(f"diagnostics written to {args.json}", file=sys.stderr)
+    return report.exit_code(strict=args.strict)
+
+
+def cmd_lab_query(args) -> int:
+    """Per-run metric rows for a campaign selector."""
+    lab = _open_lab(args)
+    store = CampaignStore.open(lab, args.campaign)
+    rows = query_campaign(store, node=args.node, function=args.function,
+                          sensor=args.sensor, stat=args.stat)
+    width = max((len(r["run_id"]) for r in rows), default=8)
+    for r in rows:
+        value = "-" if r["value"] is None else f"{r['value']:.6g}"
+        label = f" [{r['label']}]" if r["label"] else ""
+        print(f"{r['run_id']:<{width}}  {r['stat']}={value}{label}")
+    if not rows:
+        print(f"campaign {args.campaign!r} has no runs")
+    _write_json(args, {"campaign": args.campaign, "rows": rows})
+    return 0
+
+
+def cmd_lab_diff(args) -> int:
+    """Diff two runs (or, with --campaigns, two campaigns); exit 1 on
+    regressions past the thresholds."""
+    from repro.analysis.diffprof import render_diff
+
+    lab = _open_lab(args)
+    if args.campaigns:
+        diff = diff_campaigns(lab, args.before, args.after,
+                              top_paths=args.top_paths)
+    else:
+        diff = diff_runs(lab, args.before, args.after,
+                         top_paths=args.top_paths)
+    print(f"diff {diff.before_label} -> {diff.after_label}")
+    print(render_diff(diff.functions, min_time_s=args.min_time))
+    interesting = [s for s in diff.sensors
+                   if s.avg_delta_c or s.max_delta_c]
+    if interesting:
+        print()
+        print(f"{'node':<8}{'sensor':<14}{'avg dT(C)':>10}{'max dT(C)':>10}")
+        for s in interesting:
+            avg = f"{s.avg_delta_c:+.2f}" if s.avg_delta_c is not None else "-"
+            mx = f"{s.max_delta_c:+.2f}" if s.max_delta_c is not None else "-"
+            print(f"{s.node:<8}{s.sensor[:13]:<14}{avg:>10}{mx:>10}")
+    if diff.hcct_skipped:
+        print("\n(hot-path diff skipped: no HCCT on either side — "
+              "v1 summaries or runs recorded without --hcct-budget)")
+    elif diff.hot_paths:
+        print("\nhot calling-context deltas:")
+        for h in diff.hot_paths:
+            print(f"  {h.describe()}")
+    regressions = diff.regressed(time_ratio=args.time_ratio,
+                                 temp_delta_c=args.temp_delta)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past thresholds "
+              f"(time x{args.time_ratio}, +{args.temp_delta} degC)")
+    _write_json(args, diff.to_dict())
+    return 1 if regressions else 0
+
+
+def cmd_lab_regressions(args) -> int:
+    """Cross-run regression scan over a campaign's metric series."""
+    lab = _open_lab(args)
+    store = CampaignStore.open(lab, args.campaign)
+    regs = store.detect_regressions(
+        sensor=args.sensor, stat=args.stat, min_delta=args.min_delta,
+        node=args.node, function=args.function,
+    )
+    for r in regs:
+        print(r.describe())
+    if not regs:
+        print(f"campaign {args.campaign!r}: no regressions past "
+              f"{args.min_delta}")
+    _write_json(args, {
+        "campaign": args.campaign,
+        "regressions": [
+            {
+                "node": r.node, "function": r.function,
+                "run_id": r.run_id, "best_run_id": r.best_run_id,
+                "value": r.value, "best_value": r.best_value,
+                "delta": r.delta,
+            }
+            for r in regs
+        ],
+    })
+    return 1 if regs else 0
+
+
+def cmd_lab_sweep(args) -> int:
+    """Run the workloads x platforms x fault-bands matrix."""
+    lab = _open_lab(args)
+    matrix = SweepMatrix.parse(args.workloads, args.platforms, args.bands)
+    print(f"sweep: {len(matrix)} cell(s) "
+          f"({len(matrix.workloads)} workload(s) x "
+          f"{len(matrix.platforms)} platform(s) x "
+          f"{len(matrix.bands)} fault band(s))")
+
+    def progress(what: str, run_id: str) -> None:
+        print(f"  [{what}] {run_id}")
+
+    report = run_sweep(
+        lab, matrix, seed=args.seed, hcct_budget=args.hcct_budget,
+        campaign=args.campaign, max_cells=args.max_cells,
+        progress=progress,
+    )
+    print(f"{len(report.executed)} executed, {len(report.skipped)} "
+          f"skipped (already recorded), {report.total} total")
+    _write_json(args, report.to_dict())
+    return 0

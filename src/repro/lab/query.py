@@ -1,0 +1,305 @@
+"""Querying and diffing laboratory artifacts.
+
+Two read-only views over the store:
+
+* :func:`query_campaign` — tabular per-run metrics for a selector
+  (``--node/--function/--sensor``), composed lazily from summary blobs;
+  the row set is what ``tempest lab query`` prints and ``--json`` emits.
+* :func:`diff_runs` / :func:`diff_campaigns` — per-function/per-sensor
+  deltas between two runs (or two composed campaigns), built on
+  :func:`repro.analysis.diffprof.diff_profiles` over the summaries'
+  reconstructed profiles, plus a composed-HCCT hot-path diff that
+  degrades gracefully when either side carries no trees (v1 summaries,
+  or runs recorded without an HCCT budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.diffprof import FunctionDelta, diff_profiles
+from repro.core.summary import RunSummary
+from repro.lab.laboratory import Laboratory
+from repro.lab.manifest import RunManifest
+from repro.lab.store import CampaignStore, summary_metric
+from repro.util.errors import LabError
+
+__all__ = [
+    "HotPathDelta",
+    "LabDiff",
+    "SensorDelta",
+    "diff_campaigns",
+    "diff_runs",
+    "diff_summaries",
+    "load_run_summary",
+    "query_campaign",
+]
+
+
+def load_run_summary(lab: Laboratory, run_id: str) -> RunSummary:
+    """A completed run's summary, loaded from its manifested blob."""
+    manifest = RunManifest.from_dict(lab.read_manifest_doc(run_id))
+    digest = manifest.outputs.get("summary")
+    if not digest:
+        raise LabError(f"run {run_id} records no summary digest")
+    return RunSummary.from_dict(lab.get_json(digest))
+
+
+def query_campaign(store: CampaignStore, *, node: Optional[str] = None,
+                   function: Optional[str] = None,
+                   sensor: Optional[str] = None,
+                   stat: str = "avg") -> list[dict]:
+    """One row per member run: the selected metric plus its context.
+
+    Time stats (no sensor) default to ``total_s``; a row's ``value`` is
+    None when the selector matches nothing in that run.
+    """
+    if sensor is None and stat == "avg":
+        stat = "total_s"
+    rows = []
+    for entry in store.entries:
+        rid = entry["run_id"]
+        summary = store.load_summary(rid)
+        rows.append({
+            "run_id": rid,
+            "label": entry.get("label", ""),
+            "node": node,
+            "function": function,
+            "sensor": sensor,
+            "stat": stat,
+            "value": summary_metric(summary, node=node, function=function,
+                                    sensor=sensor, stat=stat),
+            "n_records": summary.n_records,
+        })
+    return rows
+
+
+@dataclass(frozen=True)
+class SensorDelta:
+    """One node-level sensor's change between two summaries.
+
+    Function-level thermal stats vanish below the significance
+    threshold (a short run samples too few sweeps per function), but
+    the node-level sensor summary always exists — so this is the layer
+    where a seeded fault band or a hotter platform reliably shows up.
+    """
+
+    node: str
+    sensor: str
+    avg_before_c: Optional[float]
+    avg_after_c: Optional[float]
+    max_before_c: Optional[float]
+    max_after_c: Optional[float]
+
+    @property
+    def avg_delta_c(self) -> Optional[float]:
+        if self.avg_before_c is None or self.avg_after_c is None:
+            return None
+        return self.avg_after_c - self.avg_before_c
+
+    @property
+    def max_delta_c(self) -> Optional[float]:
+        if self.max_before_c is None or self.max_after_c is None:
+            return None
+        return self.max_after_c - self.max_before_c
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "sensor": self.sensor,
+            "avg_before_c": self.avg_before_c,
+            "avg_after_c": self.avg_after_c,
+            "avg_delta_c": self.avg_delta_c,
+            "max_before_c": self.max_before_c,
+            "max_after_c": self.max_after_c,
+            "max_delta_c": self.max_delta_c,
+        }
+
+
+def _sensor_deltas(before: RunSummary,
+                   after: RunSummary) -> list[SensorDelta]:
+    """Node-level per-sensor deltas across the shared node set."""
+
+    def _pair(ns, sensor):
+        st = ns.sensor_summary.get(sensor)
+        if st is None or st.n == 0:
+            return None, None
+        return st.avg, st.max
+
+    out = []
+    for name in sorted(set(before.nodes) & set(after.nodes)):
+        nb, na = before.nodes[name], after.nodes[name]
+        for sensor in sorted(set(nb.sensor_names) | set(na.sensor_names)):
+            avg_b, max_b = _pair(nb, sensor)
+            avg_a, max_a = _pair(na, sensor)
+            if avg_b is None and avg_a is None:
+                continue
+            out.append(SensorDelta(
+                node=name, sensor=sensor,
+                avg_before_c=avg_b, avg_after_c=avg_a,
+                max_before_c=max_b, max_after_c=max_a,
+            ))
+    return out
+
+
+@dataclass(frozen=True)
+class HotPathDelta:
+    """One calling context's change between two composed HCCTs."""
+
+    node: str
+    path: tuple
+    excl_before_s: Optional[float]   # None: context absent on that side
+    excl_after_s: Optional[float]
+
+    @property
+    def status(self) -> str:
+        if self.excl_before_s is None:
+            return "added"
+        if self.excl_after_s is None:
+            return "removed"
+        return "common"
+
+    @property
+    def delta_s(self) -> float:
+        return (self.excl_after_s or 0.0) - (self.excl_before_s or 0.0)
+
+    def describe(self) -> str:
+        chain = " > ".join(self.path)
+        return f"{self.node}: {chain} {self.delta_s:+.3f}s ({self.status})"
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "path": list(self.path),
+            "excl_before_s": self.excl_before_s,
+            "excl_after_s": self.excl_after_s,
+            "delta_s": self.delta_s,
+            "status": self.status,
+        }
+
+
+@dataclass
+class LabDiff:
+    """A two-sided laboratory diff: flat deltas + hot-path deltas."""
+
+    before_label: str
+    after_label: str
+    functions: list[FunctionDelta] = field(default_factory=list)
+    sensors: list[SensorDelta] = field(default_factory=list)
+    hot_paths: list[HotPathDelta] = field(default_factory=list)
+    #: True when either side lacked HCCT blocks (v1 summaries or no
+    #: budget) and the hot-path section was therefore skipped
+    hcct_skipped: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "before": self.before_label,
+            "after": self.after_label,
+            "functions": [
+                {
+                    "node": d.node,
+                    "function": d.function,
+                    "time_before_s": d.time_before_s,
+                    "time_after_s": d.time_after_s,
+                    "time_ratio": d.time_ratio,
+                    "avg_before_c": d.avg_before_c,
+                    "avg_after_c": d.avg_after_c,
+                    "avg_delta_c": d.avg_delta_c,
+                    "status": d.status,
+                }
+                for d in self.functions
+            ],
+            "sensors": [s.to_dict() for s in self.sensors],
+            "hot_paths": [h.to_dict() for h in self.hot_paths],
+            "hcct_skipped": self.hcct_skipped,
+        }
+
+    def regressed(self, *, time_ratio: float = 1.2,
+                  temp_delta_c: float = 1.0) -> list:
+        """Deltas that look like regressions (slower or hotter).
+
+        Function deltas regress on time ratio or per-function thermal
+        rise; sensor deltas regress on node-level avg or max rise —
+        the layer that still fires when a run is too short for
+        per-function significance.
+        """
+        out: list = []
+        for d in self.functions:
+            ratio = d.time_ratio
+            if ratio is not None and ratio >= time_ratio:
+                out.append(d)
+            elif d.avg_delta_c is not None and d.avg_delta_c >= temp_delta_c:
+                out.append(d)
+        for s in self.sensors:
+            if any(delta is not None and delta >= temp_delta_c
+                   for delta in (s.avg_delta_c, s.max_delta_c)):
+                out.append(s)
+        return out
+
+
+def _hot_path_deltas(before: RunSummary, after: RunSummary, *,
+                     top: int = 10) -> tuple[list[HotPathDelta], bool]:
+    """Per-node composed-HCCT hot-path diff; (deltas, skipped).
+
+    Graceful degradation is the contract: when *neither* side carries a
+    tree for any shared node — a v1 document, or runs recorded without
+    an HCCT budget — the diff reports ``skipped`` instead of failing, so
+    mixed-version campaigns still diff on flat profiles.
+    """
+    deltas: list[HotPathDelta] = []
+    saw_tree = False
+    for name in sorted(set(before.nodes) & set(after.nodes)):
+        tb = before.nodes[name].context_tree
+        ta = after.nodes[name].context_tree
+        if tb is None and ta is None:
+            continue
+        saw_tree = True
+        paths_b = {n.path: n.excl_s
+                   for n in (tb.hot_paths(top + 1) if tb else []) if n.path}
+        paths_a = {n.path: n.excl_s
+                   for n in (ta.hot_paths(top + 1) if ta else []) if n.path}
+        for path in sorted(set(paths_b) | set(paths_a)):
+            deltas.append(HotPathDelta(
+                node=name,
+                path=path,
+                excl_before_s=paths_b.get(path),
+                excl_after_s=paths_a.get(path),
+            ))
+    deltas.sort(key=lambda d: -abs(d.delta_s))
+    return deltas[:top], not saw_tree
+
+
+def diff_summaries(before: RunSummary, after: RunSummary, *,
+                   before_label: str, after_label: str,
+                   top_paths: int = 10) -> LabDiff:
+    """Diff two summaries: flat function deltas + hot-path deltas."""
+    flat = diff_profiles(before.to_profile(), after.to_profile())
+    paths, skipped = _hot_path_deltas(before, after, top=top_paths)
+    return LabDiff(
+        before_label=before_label,
+        after_label=after_label,
+        functions=flat,
+        sensors=_sensor_deltas(before, after),
+        hot_paths=paths,
+        hcct_skipped=skipped,
+    )
+
+
+def diff_runs(lab: Laboratory, run_a: str, run_b: str, *,
+              top_paths: int = 10) -> LabDiff:
+    """``lab diff <a> <b>`` between two manifested runs."""
+    return diff_summaries(
+        load_run_summary(lab, run_a), load_run_summary(lab, run_b),
+        before_label=run_a, after_label=run_b, top_paths=top_paths,
+    )
+
+
+def diff_campaigns(lab: Laboratory, name_a: str, name_b: str, *,
+                   top_paths: int = 10) -> LabDiff:
+    """Diff two whole campaigns via their lazily composed summaries."""
+    a = CampaignStore.open(lab, name_a).composed()
+    b = CampaignStore.open(lab, name_b).composed()
+    return diff_summaries(a, b, before_label=f"campaign:{name_a}",
+                          after_label=f"campaign:{name_b}",
+                          top_paths=top_paths)

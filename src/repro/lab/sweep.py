@@ -1,0 +1,183 @@
+"""The sweep runner: a cartesian experiment matrix over the laboratory.
+
+``tempest lab sweep --matrix`` names three axes — workloads, platforms,
+fault bands — and the runner executes their product through the normal
+:func:`repro.lab.execute.record_run` path: one manifest per cell, every
+summary blobbed, every cell optionally enrolled in a campaign.
+
+Resume is free by construction: a cell's run id is derived from its
+inputs digest, and a run exists only once its ``manifest.json`` landed
+(atomically, last).  Re-running an interrupted sweep therefore skips
+exactly the completed cells — no sweep-level checkpoint file, no
+journal, nothing to corrupt on SIGKILL.
+
+Axis grammar (comma-separated entries per axis):
+
+* workloads — ``BENCH[:KLASS[:RxN[:ITERS]]]`` for NPB (e.g.
+  ``FT:S:4x4`` or ``CG:S:2x2:3``), or ``micro:X`` for a microbenchmark;
+* platforms — ``default`` or a :data:`repro.simmachine.platforms.PLATFORMS`
+  preset name (``opteron``, ``system-x``, ``g5``);
+* fault bands — ``clean`` or ``NAME:inject-spec`` entries separated by
+  ``/`` (slash, because inject specs themselves contain commas), e.g.
+  ``clean/lossy:loss_rate_hz=2.0``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.lab.execute import record_run
+from repro.lab.laboratory import Laboratory
+from repro.lab.manifest import KIND_MICRO, KIND_NPB, RunSpec
+from repro.util.errors import LabError
+
+__all__ = ["SweepMatrix", "SweepReport", "run_sweep"]
+
+_RXN = re.compile(r"^(\d+)x(\d+)$")
+
+
+def _parse_workload(entry: str) -> dict:
+    """One workload-axis entry → partial spec fields."""
+    parts = entry.strip().split(":")
+    if not parts or not parts[0]:
+        raise LabError(f"empty workload entry in matrix: {entry!r}")
+    if parts[0].lower() == KIND_MICRO:
+        if len(parts) != 2 or not parts[1]:
+            raise LabError(
+                f"micro workload must be micro:X (one bench letter): "
+                f"{entry!r}"
+            )
+        return {"kind": KIND_MICRO, "bench": parts[1].upper(),
+                "nodes": 1, "vary_nodes": False}
+    out = {"kind": KIND_NPB, "bench": parts[0].upper()}
+    if len(parts) > 1 and parts[1]:
+        out["klass"] = parts[1].upper()
+    if len(parts) > 2 and parts[2]:
+        m = _RXN.match(parts[2])
+        if not m:
+            raise LabError(
+                f"workload shape must be RANKSxNODES (e.g. 4x4): {entry!r}"
+            )
+        out["ranks"], out["nodes"] = int(m.group(1)), int(m.group(2))
+    if len(parts) > 3 and parts[3]:
+        try:
+            out["iters"] = int(parts[3])
+        except ValueError:
+            raise LabError(f"workload iterations must be an int: {entry!r}")
+    if len(parts) > 4:
+        raise LabError(f"workload entry has too many fields: {entry!r}")
+    return out
+
+
+def _parse_band(entry: str) -> tuple[str, Optional[str]]:
+    """One fault-band entry → (band name, inject spec or None)."""
+    entry = entry.strip()
+    if not entry:
+        raise LabError("empty fault band in matrix")
+    if entry.lower() == "clean":
+        return "clean", None
+    name, sep, spec = entry.partition(":")
+    if not sep or not spec:
+        raise LabError(
+            f"fault band must be 'clean' or 'NAME:inject-spec': {entry!r}"
+        )
+    return name, spec
+
+
+@dataclass(frozen=True)
+class SweepMatrix:
+    """The parsed three-axis experiment matrix."""
+
+    workloads: tuple[dict, ...]
+    platforms: tuple[str, ...]
+    bands: tuple[tuple[str, Optional[str]], ...]
+
+    @classmethod
+    def parse(cls, workloads: str, platforms: str = "default",
+              bands: str = "clean") -> "SweepMatrix":
+        w = tuple(_parse_workload(e)
+                  for e in workloads.split(",") if e.strip())
+        p = tuple(e.strip() for e in platforms.split(",") if e.strip())
+        b = tuple(_parse_band(e) for e in bands.split("/") if e.strip())
+        if not w or not p or not b:
+            raise LabError(
+                "sweep matrix needs at least one entry per axis "
+                f"(got {len(w)} workloads, {len(p)} platforms, "
+                f"{len(b)} fault bands)"
+            )
+        return cls(workloads=w, platforms=p, bands=b)
+
+    def __len__(self) -> int:
+        return len(self.workloads) * len(self.platforms) * len(self.bands)
+
+    def cells(self, *, seed: int = 1234,
+              hcct_budget: Optional[int] = None) -> list[RunSpec]:
+        """The cartesian product, one :class:`RunSpec` per cell.
+
+        Deterministic order (workloads outermost, bands innermost) so
+        two invocations of the same matrix enumerate — and therefore
+        resume — identically.
+        """
+        specs = []
+        for w in self.workloads:
+            for platform in self.platforms:
+                for band, inject in self.bands:
+                    specs.append(RunSpec(
+                        seed=seed, platform=platform, inject=inject,
+                        label=band, hcct_budget=hcct_budget, **w,
+                    ))
+        return specs
+
+
+@dataclass
+class SweepReport:
+    """What one sweep invocation did."""
+
+    total: int = 0
+    executed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "n_executed": len(self.executed),
+            "n_skipped": len(self.skipped),
+            "executed": list(self.executed),
+            "skipped": list(self.skipped),
+        }
+
+
+def run_sweep(lab: Laboratory, matrix: SweepMatrix, *, seed: int = 1234,
+              hcct_budget: Optional[int] = None,
+              campaign: Optional[str] = None,
+              max_cells: Optional[int] = None,
+              progress: Optional[Callable[[str, str], None]] = None,
+              ) -> SweepReport:
+    """Execute every cell of the matrix into the laboratory.
+
+    Cells whose manifest already exists are skipped (that *is* the
+    resume path — no other state is consulted).  ``max_cells`` bounds
+    how many cells are *executed* this invocation (skips are free), so
+    a test can deliberately leave a sweep half-done.  ``campaign``
+    enrolls every cell — executed or skipped — in that campaign store,
+    which makes enrollment itself resumable too.
+    """
+    from repro.lab.store import CampaignStore
+
+    store = CampaignStore.create(lab, campaign) if campaign else None
+    report = SweepReport()
+    cells = matrix.cells(seed=seed, hcct_budget=hcct_budget)
+    report.total = len(cells)
+    for spec in cells:
+        if max_cells is not None and len(report.executed) >= max_cells:
+            break
+        manifest, executed = record_run(lab, spec)
+        (report.executed if executed else report.skipped).append(
+            manifest.run_id)
+        if progress is not None:
+            progress("run" if executed else "skip", manifest.run_id)
+        if store is not None:
+            store.add_run(manifest.run_id, label=spec.label)
+    return report

@@ -5,6 +5,8 @@ from repro.util.errors import (
     SimulationError,
     TraceError,
     ConfigError,
+    LabError,
+    LabLockError,
 )
 from repro.util.units import (
     c_to_f,
@@ -14,12 +16,26 @@ from repro.util.units import (
     k_to_c,
 )
 from repro.util.rng import RngStreams
+from repro.util.canonjson import (
+    canon_bytes,
+    canon_dumps,
+    content_digest,
+    dump_canonical,
+    sha256_file,
+)
 
 __all__ = [
+    "canon_bytes",
+    "canon_dumps",
+    "content_digest",
+    "dump_canonical",
+    "sha256_file",
     "ReproError",
     "SimulationError",
     "TraceError",
     "ConfigError",
+    "LabError",
+    "LabLockError",
     "c_to_f",
     "f_to_c",
     "c_to_k",

@@ -1,0 +1,80 @@
+"""Canonical JSON: one encoding for every persisted document.
+
+Content-addressing only works when the same logical document always
+serializes to the same bytes.  Before the laboratory existed, each
+writer chose its own ``json.dumps`` flavor — five call sites sorted
+keys, the rest emitted insertion order — which made digests depend on
+which code path (or Python version) wrote the file.  Every persisted or
+``--json`` document now goes through this module:
+
+* :func:`canon_dumps` — the human-facing file form: sorted keys, 2-space
+  indent, fixed separators, ASCII-safe, one trailing newline;
+* :func:`canon_bytes` — the digest form: sorted keys, compact
+  separators, no whitespace (identical to what
+  :meth:`repro.faults.plan.FaultPlan.encode` always produced);
+* :func:`content_digest` — sha256 hex over :func:`canon_bytes`, the
+  identity of a document for manifests, blob stores, and drift checks;
+* :func:`dump_canonical` — atomic file write (temp + ``os.replace``) of
+  :func:`canon_dumps`, so readers never observe a torn document.
+
+The two forms differ only in whitespace, so ``content_digest`` of a
+document equals ``content_digest`` of the parsed contents of its file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+__all__ = [
+    "canon_bytes",
+    "canon_dumps",
+    "content_digest",
+    "dump_canonical",
+    "sha256_file",
+]
+
+
+def canon_dumps(obj) -> str:
+    """The canonical *file* encoding: deterministic and human-readable."""
+    return json.dumps(obj, sort_keys=True, indent=2,
+                      separators=(",", ": "), ensure_ascii=True) + "\n"
+
+
+def canon_bytes(obj) -> bytes:
+    """The canonical *digest* encoding: compact, byte-stable."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True).encode("utf-8")
+
+
+def content_digest(obj) -> str:
+    """sha256 hex digest of a document's canonical compact encoding."""
+    return hashlib.sha256(canon_bytes(obj)).hexdigest()
+
+
+def sha256_file(path, *, chunk_bytes: int = 1 << 20) -> str:
+    """sha256 hex digest of a file's raw bytes (for binary artifacts)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def dump_canonical(path, obj) -> str:
+    """Atomically write *obj* to *path* in canonical form; returns the text.
+
+    The temp file lives in the destination directory so ``os.replace``
+    stays a same-filesystem atomic rename.
+    """
+    path = Path(path)
+    text = canon_dumps(obj)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return text

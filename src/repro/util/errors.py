@@ -34,3 +34,12 @@ class TraceError(ReproError):
 
 class SensorError(ReproError):
     """A sensor backend failed (missing hwmon tree, unreadable sensor)."""
+
+
+class LabError(ReproError):
+    """An experiment-laboratory operation failed (missing run, corrupt
+    manifest, unknown campaign, digest mismatch on load)."""
+
+
+class LabLockError(LabError):
+    """The laboratory lockfile is held by another live process."""

@@ -1,0 +1,117 @@
+"""LabLint (TL025-TL027): corruption is found without re-running."""
+
+import json
+
+import pytest
+
+from repro.check.labcheck import check_lab_dir
+from repro.lab import CampaignStore, Laboratory, record_run
+from repro.lab.manifest import KIND_MICRO, RunSpec
+
+
+@pytest.fixture
+def populated(tmp_path):
+    lab = Laboratory.create(tmp_path / "lab")
+    manifest, _ = record_run(lab, RunSpec(kind=KIND_MICRO, bench="A",
+                                          nodes=1, vary_nodes=False, seed=7))
+    store = CampaignStore.create(lab, "c")
+    store.add_run(manifest.run_id)
+    return lab, manifest
+
+
+def rules(findings):
+    return sorted({d.rule for d in findings})
+
+
+def test_clean_laboratory_has_no_findings(populated):
+    lab, _ = populated
+    assert check_lab_dir(lab.root) == []
+
+
+def test_missing_marker_is_tl025(tmp_path):
+    findings = check_lab_dir(tmp_path)        # no lab.json at all
+    assert rules(findings) == ["TL025"]
+
+
+def test_foreign_marker_format_is_tl025(tmp_path):
+    root = tmp_path / "lab"
+    root.mkdir()
+    (root / "lab.json").write_text('{"format": "tempest-lab-v9"}')
+    findings = check_lab_dir(root)
+    assert rules(findings) == ["TL025"]
+    assert "tempest-lab-v9" in findings[0].message
+
+
+def test_edited_manifest_is_tl025(populated):
+    lab, manifest = populated
+    mpath = lab.manifest_path(manifest.run_id)
+    doc = json.loads(mpath.read_text())
+    doc["spec"]["seed"] = 999                 # input edited, digest stale
+    mpath.write_text(json.dumps(doc))
+    findings = check_lab_dir(lab.root)
+    assert "TL025" in rules(findings)
+    assert any("digest mismatch" in d.message for d in findings)
+
+
+def test_interrupted_run_is_tl025_warning(populated):
+    lab, _ = populated
+    (lab.runs_dir / "half-done-run").mkdir()  # dir, no manifest.json
+    findings = check_lab_dir(lab.root)
+    hits = [d for d in findings if d.rule == "TL025"]
+    assert hits and all(d.severity == "warning" for d in hits)
+
+
+def test_tampered_blob_is_tl026(populated):
+    lab, manifest = populated
+    blob = lab.blob_path(manifest.outputs["summary"])
+    data = blob.read_bytes()
+    blob.write_bytes(data[:-8] + b'"HACKED"')  # same length, new bytes
+    findings = check_lab_dir(lab.root)
+    assert "TL026" in rules(findings)
+    assert any("modified in place" in d.message for d in findings)
+
+
+def test_missing_referenced_blob_is_tl026(populated):
+    lab, manifest = populated
+    lab.blob_path(manifest.outputs["check_report"]).unlink()
+    findings = check_lab_dir(lab.root)
+    hits = [d for d in findings if d.rule == "TL026"]
+    assert any("missing" in d.message for d in hits)
+
+
+def test_inflight_tmp_blob_is_ignored(populated):
+    lab, _ = populated
+    (lab.blobs_dir / "aa").mkdir(exist_ok=True)
+    (lab.blobs_dir / "aa" / ("b" * 64 + ".tmp12345")).write_text("partial")
+    assert check_lab_dir(lab.root) == []
+
+
+def test_campaign_referencing_ghost_run_is_tl027(populated):
+    lab, _ = populated
+    cpath = lab.campaign_dir("c") / "campaign.json"
+    doc = json.loads(cpath.read_text())
+    doc["runs"].append({"run_id": "ghost-run", "summary": "0" * 64,
+                       "label": ""})
+    cpath.write_text(json.dumps(doc))
+    findings = check_lab_dir(lab.root)
+    assert "TL027" in rules(findings)
+    assert any("ghost-run" in d.message for d in findings)
+
+
+def test_rerecorded_run_behind_campaign_is_tl027(populated):
+    lab, manifest = populated
+    cpath = lab.campaign_dir("c") / "campaign.json"
+    doc = json.loads(cpath.read_text())
+    doc["runs"][0]["summary"] = "e" * 64      # stale cached digest
+    cpath.write_text(json.dumps(doc))
+    findings = check_lab_dir(lab.root)
+    hits = [d for d in findings if d.rule == "TL027"]
+    assert any("re-recorded" in d.message for d in hits)
+
+
+def test_foreign_campaign_format_is_tl027(populated):
+    lab, _ = populated
+    cpath = lab.campaign_dir("c") / "campaign.json"
+    cpath.write_text('{"format": "tempest-campaign-v9", "runs": []}')
+    findings = check_lab_dir(lab.root)
+    assert "TL027" in rules(findings)

@@ -1,0 +1,83 @@
+"""``tempest top`` internals: snapshot reading, rate/staleness, rendering."""
+
+import json
+
+from repro.cluster.topview import SourceTracker, read_snapshot, render_top
+
+
+def snapshot(records=100, drained=False, evicted=False):
+    return {
+        "format": "tempest-serve-metrics-v1",
+        "connections": 1,
+        "runs": {"default": {
+            "metrics": {"records_in": records, "dup_records": 0,
+                        "frames_in": 4},
+            "nodes": {"node1": {"records": records, "drained": drained,
+                                "evicted": evicted}},
+            "leaves": {},
+        }},
+    }
+
+
+def test_read_snapshot_roundtrip(tmp_path):
+    path = tmp_path / "m.json"
+    path.write_text(json.dumps(snapshot()))
+    assert read_snapshot(path)["connections"] == 1
+
+
+def test_read_snapshot_tolerates_torn_and_missing(tmp_path):
+    path = tmp_path / "m.json"
+    assert read_snapshot(path) is None            # missing
+    path.write_text('{"format": "tempest-serve-m')  # torn mid-replace
+    assert read_snapshot(path) is None
+    path.write_text('{"format": "other-v1"}')     # foreign writer
+    assert read_snapshot(path) is None
+
+
+def test_tracker_rates_and_staleness():
+    t = SourceTracker()
+    assert t.observe("k", 100, 10.0) == (0.0, 0.0)   # first sight
+    t.finish_refresh(10.0)
+    rate, stale = t.observe("k", 300, 12.0)           # +200 in 2s
+    assert rate == 100.0 and stale == 0.0
+    t.finish_refresh(12.0)
+    rate, stale = t.observe("k", 300, 15.0)           # wedged source
+    assert rate == 0.0 and stale == 3.0
+    t.finish_refresh(15.0)
+    # counts never go backwards into negative rates
+    rate, _ = t.observe("k", 250, 16.0)
+    assert rate == 0.0
+
+
+def test_render_marks_status():
+    tracker = SourceTracker()
+    out = render_top(snapshot(drained=True), tracker, 0.0)
+    assert "drained" in out and "node1" in out
+    out = render_top(snapshot(evicted=True), SourceTracker(), 0.0)
+    assert "EVICTED" in out
+
+
+def test_render_flags_stale_sources():
+    tracker = SourceTracker()
+    render_top(snapshot(records=5), tracker, 0.0)
+    out = render_top(snapshot(records=5), tracker, 10.0,
+                     stale_after_s=5.0)
+    assert "stale" in out
+
+
+def test_render_bounds_rows():
+    doc = snapshot()
+    doc["runs"]["default"]["nodes"] = {
+        f"node{i}": {"records": i, "drained": False, "evicted": False}
+        for i in range(30)
+    }
+    out = render_top(doc, SourceTracker(), 0.0, max_rows=10)
+    assert "more source(s)" in out
+    assert out.count("\n") < 20                   # a screenful, not a scroll
+
+
+def test_render_empty():
+    doc = {"format": "tempest-serve-metrics-v1", "connections": 0,
+           "runs": {}}
+    out = render_top(doc, SourceTracker(), 0.0)
+    assert "no sources yet" in out

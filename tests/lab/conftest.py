@@ -1,0 +1,35 @@
+"""Shared laboratory fixtures: one cheap recorded run per scope."""
+
+import pytest
+
+from repro.lab import Laboratory, RunSpec, record_run
+from repro.lab.manifest import KIND_MICRO
+
+
+@pytest.fixture
+def lab(tmp_path):
+    return Laboratory.create(tmp_path / "lab")
+
+
+def micro_spec(**kw):
+    """The cheapest possible run: micro-benchmark A on one node."""
+    defaults = dict(kind=KIND_MICRO, bench="A", ranks=1, nodes=1,
+                    seed=7, vary_nodes=False)
+    defaults.update(kw)
+    return RunSpec(**defaults)
+
+
+def ep_spec(**kw):
+    """A small real NPB run (2 ranks on 2 nodes) with an HCCT budget."""
+    defaults = dict(bench="EP", klass="S", ranks=2, nodes=2, seed=42,
+                    hcct_budget=16)
+    defaults.update(kw)
+    return RunSpec(**defaults)
+
+
+@pytest.fixture
+def recorded_lab(tmp_path):
+    """A laboratory holding one completed micro run."""
+    laboratory = Laboratory.create(tmp_path / "lab")
+    manifest, _ = record_run(laboratory, micro_spec())
+    return laboratory, manifest

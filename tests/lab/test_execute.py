@@ -1,0 +1,97 @@
+"""The executor: record, skip, rerun determinism, drift detection."""
+
+import pytest
+
+from repro.lab import (
+    RunManifest,
+    build_machine,
+    execute_run,
+    record_run,
+    rerun_manifest,
+)
+from repro.util.errors import LabError
+
+from tests.lab.conftest import ep_spec, micro_spec
+
+
+def test_build_machine_platform_presets():
+    default = build_machine(micro_spec())
+    assert default.node_names() == ["node1"]
+    preset = build_machine(ep_spec(platform="opteron"))
+    assert len(preset.node_names()) == 2
+    with pytest.raises(LabError, match="unknown platform"):
+        build_machine(ep_spec(platform="cray-1"))
+
+
+def test_unknown_workload_rejected():
+    # plan_run only resolves the machine; the workload resolves at
+    # execution time, so that's where a bad bench surfaces.
+    with pytest.raises(LabError, match="unknown NPB benchmark"):
+        execute_run(ep_spec(bench="ZZ"))
+    with pytest.raises(LabError, match="unknown micro benchmark"):
+        execute_run(micro_spec(bench="Q"))
+
+
+def test_record_run_writes_everything(lab):
+    manifest, executed = record_run(lab, micro_spec())
+    assert executed is True
+    assert lab.has_run(manifest.run_id)
+    out = manifest.outputs
+    assert lab.has_blob(out["summary"])
+    assert lab.has_blob(out["check_report"])
+    assert out["n_records"] > 0
+    assert set(out["records_sha256"]) == {"node1"}
+    # the stored manifest re-verifies (digest check inside from_dict)
+    stored = RunManifest.from_dict(lab.read_manifest_doc(manifest.run_id))
+    assert stored.run_id == manifest.run_id
+
+
+def test_record_run_skips_identical_spec(lab):
+    first, executed = record_run(lab, micro_spec())
+    assert executed is True
+    again, executed2 = record_run(lab, micro_spec())
+    assert executed2 is False                    # dedup by inputs digest
+    assert again.run_id == first.run_id
+    forced, executed3 = record_run(lab, micro_spec(), force=True)
+    assert executed3 is True
+    assert forced.outputs == first.outputs       # and it reproduced
+
+
+def test_different_seed_is_a_different_run(lab):
+    a, _ = record_run(lab, micro_spec(seed=1))
+    b, _ = record_run(lab, micro_spec(seed=2))
+    assert a.run_id != b.run_id
+    assert sorted(lab.run_ids()) == sorted([a.run_id, b.run_id])
+
+
+def test_rerun_is_bit_identical(lab):
+    manifest, _ = record_run(lab, ep_spec())
+    result = rerun_manifest(lab, manifest.run_id)
+    assert result.identical
+    assert result.drift == []
+    assert result.new_outputs["summary"] == manifest.outputs["summary"]
+
+
+def test_rerun_detects_tampered_outputs(lab):
+    manifest, _ = record_run(lab, micro_spec())
+    doc = lab.read_manifest_doc(manifest.run_id)
+    doc["outputs"]["summary"] = "0" * 64        # outputs aren't hashed
+    lab.write_manifest_doc(manifest.run_id, doc)
+    result = rerun_manifest(lab, manifest.run_id)
+    assert not result.identical
+    assert any("summary" in d for d in result.drift)
+
+
+def test_rerun_unknown_run(lab):
+    with pytest.raises(LabError, match="no run"):
+        rerun_manifest(lab, "never-recorded")
+
+
+def test_faulty_run_records_fault_plan(lab):
+    spec = ep_spec(inject="record_loss_rate=0.25", label="lossy")
+    manifest, _ = record_run(lab, spec)
+    assert manifest.fault_plan is not None
+    assert manifest.fault_plan["spec"] == "record_loss_rate=0.25"
+    assert len(manifest.fault_plan["schedule_sha256"]) == 64
+    # fault runs reproduce too: the schedule is part of the identity
+    assert rerun_manifest(lab, manifest.run_id).identical

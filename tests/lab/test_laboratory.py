@@ -1,0 +1,99 @@
+"""The laboratory store: layout, blobs, the writer lock."""
+
+import os
+
+import pytest
+
+from repro.lab import LAB_FORMAT, Laboratory, LabLock
+from repro.util.canonjson import content_digest, sha256_file
+from repro.util.errors import LabError, LabLockError
+
+
+def test_create_layout(tmp_path):
+    lab = Laboratory.create(tmp_path / "lab")
+    assert (lab.root / "lab.json").is_file()
+    assert lab.runs_dir.is_dir() and lab.blobs_dir.is_dir()
+    assert Laboratory.is_lab_dir(lab.root)
+    assert not Laboratory.is_lab_dir(tmp_path)
+
+
+def test_create_is_idempotent(tmp_path):
+    a = Laboratory.create(tmp_path / "lab")
+    b = Laboratory.create(tmp_path / "lab")
+    assert a.root == b.root
+
+
+def test_open_requires_marker(tmp_path):
+    with pytest.raises(LabError, match="lab init"):
+        Laboratory.open(tmp_path)
+
+
+def test_open_rejects_foreign_format(tmp_path):
+    root = tmp_path / "lab"
+    root.mkdir()
+    (root / "lab.json").write_text('{"format": "something-else"}')
+    with pytest.raises(LabError, match=LAB_FORMAT):
+        Laboratory.open(root)
+
+
+def test_blob_roundtrip_and_dedup(tmp_path):
+    lab = Laboratory.create(tmp_path / "lab")
+    doc = {"x": 1, "nested": {"y": [1.5, None]}}
+    digest = lab.put_json(doc)
+    assert digest == content_digest(doc)
+    assert lab.put_json(doc) == digest       # dedup: same identity
+    assert lab.get_json(digest) == doc
+    assert lab.has_blob(digest)
+    # the blob's filename IS the sha256 of its file bytes
+    assert sha256_file(lab.blob_path(digest)) == digest
+
+
+def test_blob_missing_and_malformed_digest(tmp_path):
+    lab = Laboratory.create(tmp_path / "lab")
+    with pytest.raises(LabError, match="missing"):
+        lab.get_json("0" * 64)
+    with pytest.raises(LabError, match="malformed"):
+        lab.blob_path("not-a-digest")
+
+
+def test_run_id_path_traversal_rejected(tmp_path):
+    lab = Laboratory.create(tmp_path / "lab")
+    for bad in ("", "../escape", ".hidden"):
+        with pytest.raises(LabError):
+            lab.run_dir(bad)
+
+
+def test_lock_is_reentrant(tmp_path):
+    lock = LabLock(tmp_path / "lab.lock")
+    with lock:
+        with lock:
+            assert (tmp_path / "lab.lock").exists()
+        assert (tmp_path / "lab.lock").exists()
+    assert not (tmp_path / "lab.lock").exists()
+
+
+def test_lock_held_by_live_pid_refuses(tmp_path):
+    path = tmp_path / "lab.lock"
+    path.write_text(f"{os.getpid()}\n")
+    other = LabLock(path)
+    # Our own pid counts as "this process" and is stealable (depth 0),
+    # so fake a different live pid: pid 1 is always running.
+    path.write_text("1\n")
+    with pytest.raises(LabLockError, match="held by live pid 1"):
+        other.acquire()
+
+
+def test_lock_steals_from_dead_owner(tmp_path):
+    path = tmp_path / "lab.lock"
+    # A pid far beyond pid_max never exists.
+    path.write_text("99999999\n")
+    lock = LabLock(path)
+    with lock:
+        assert path.read_text().strip() == str(os.getpid())
+
+
+def test_lock_steals_garbage_lockfile(tmp_path):
+    path = tmp_path / "lab.lock"
+    path.write_text("not a pid")
+    with LabLock(path):
+        assert path.read_text().strip() == str(os.getpid())

@@ -1,0 +1,103 @@
+"""Run manifests: identity hashing, round-trips, tamper detection."""
+
+import json
+
+import pytest
+
+from repro.lab import RunManifest, RunSpec, fault_plan_record
+from repro.lab.manifest import KIND_MICRO
+from repro.util.errors import LabError
+
+
+def spec(**kw):
+    defaults = dict(bench="EP", klass="S", ranks=2, nodes=2, seed=42)
+    defaults.update(kw)
+    return RunSpec(**defaults)
+
+
+def manifest(**kw):
+    return RunManifest(spec=spec(**kw), tempest_version="1.0.0",
+                       platform_config={"seed": 42, "nodes": {}})
+
+
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(LabError, match="unknown run kind"):
+        RunSpec(kind="quantum")
+
+
+def test_spec_rejects_degenerate_topology():
+    with pytest.raises(LabError):
+        RunSpec(nodes=0)
+    with pytest.raises(LabError):
+        RunSpec(ranks=0)
+
+
+def test_spec_roundtrip_and_unknown_field():
+    s = spec(inject="record_loss_rate=0.1", hcct_budget=8, label="x")
+    assert RunSpec.from_dict(s.to_dict()) == s
+    with pytest.raises(LabError, match="unknown fields"):
+        RunSpec.from_dict({**s.to_dict(), "gpu": True})
+
+
+def test_slug_is_human_readable():
+    assert spec().slug() == "npb-ep-s-2x2-clean-s42"
+    assert spec(inject="crashes=1").slug() == "npb-ep-s-2x2-faulty-s42"
+    assert spec(label="band0").slug() == "npb-ep-s-2x2-band0-s42"
+    micro = RunSpec(kind=KIND_MICRO, bench="A", nodes=1, vary_nodes=False)
+    assert micro.slug().startswith("micro-a-")
+
+
+def test_identity_is_input_sensitive():
+    base = manifest()
+    assert manifest().run_id == base.run_id                # deterministic
+    assert manifest(seed=43).run_id != base.run_id         # seed is input
+    assert manifest(hcct_budget=8).run_id != base.run_id   # budget too
+    assert base.run_id.endswith(base.inputs_digest[:12])
+    assert base.run_id.startswith(base.spec.slug())
+
+
+def test_outputs_do_not_change_identity():
+    a, b = manifest(), manifest()
+    b.outputs["summary"] = "f" * 64
+    assert a.run_id == b.run_id
+    assert a.inputs_digest == b.inputs_digest
+
+
+def test_roundtrip_preserves_everything():
+    m = manifest(inject="record_loss_rate=0.1", label="lossy")
+    m.outputs = {"summary": "a" * 64, "n_records": 123}
+    back = RunManifest.from_dict(json.loads(json.dumps(m.to_dict())))
+    assert back.to_dict() == m.to_dict()
+    assert back.run_id == m.run_id
+
+
+def test_edited_manifest_is_rejected():
+    doc = manifest().to_dict()
+    doc["spec"]["seed"] = 777   # tamper with an input, keep old digest
+    with pytest.raises(LabError, match="digest mismatch"):
+        RunManifest.from_dict(doc)
+
+
+def test_foreign_format_rejected():
+    doc = manifest().to_dict()
+    doc["format"] = "tempest-manifest-v0"
+    with pytest.raises(LabError, match="declares format"):
+        RunManifest.from_dict(doc)
+
+
+def test_fault_plan_record_clean_run_is_none():
+    assert fault_plan_record(spec(), ["node1", "node2"]) is None
+
+
+def test_fault_plan_record_is_schedule_sensitive():
+    s = spec(inject="record_loss_rate=0.25")
+    nodes = ["node1", "node2"]
+    a = fault_plan_record(s, nodes)
+    b = fault_plan_record(s, nodes)
+    assert a == b                                # deterministic
+    assert len(a["schedule_sha256"]) == 64
+    assert a["seed"] == 42                       # defaults to run seed
+    c = fault_plan_record(spec(inject="record_loss_rate=0.25",
+                               fault_seed=9), nodes)
+    assert c["seed"] == 9
+    assert c["schedule_sha256"] != a["schedule_sha256"]

@@ -1,0 +1,134 @@
+"""Queries and diffs, including the seeded-fault regression pipeline."""
+
+import pytest
+
+from repro.lab import (
+    CampaignStore,
+    Laboratory,
+    RunSpec,
+    diff_campaigns,
+    diff_runs,
+    diff_summaries,
+    load_run_summary,
+    query_campaign,
+    record_run,
+)
+
+from tests.lab.conftest import micro_spec
+
+#: the fault band the CI smoke also uses: corrupt half the records and
+#: scramble temperatures hard enough to move node-level sensor stats
+CORRUPT = "record_corrupt_rate=0.5,temp_corrupt_sd_c=10.0"
+
+
+def cg_spec(**kw):
+    defaults = dict(bench="CG", klass="S", ranks=2, nodes=2, iters=5,
+                    seed=42, hcct_budget=16)
+    defaults.update(kw)
+    return RunSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def faulty_pair(tmp_path_factory):
+    """One clean and one fault-injected CG run in a shared laboratory."""
+    lab = Laboratory.create(tmp_path_factory.mktemp("lab") / "lab")
+    clean, _ = record_run(lab, cg_spec(label="clean"))
+    corrupt, _ = record_run(lab, cg_spec(inject=CORRUPT, label="corrupt"))
+    return lab, clean, corrupt
+
+
+def test_query_campaign_rows(faulty_pair):
+    lab, clean, corrupt = faulty_pair
+    store = CampaignStore.create(lab, "q")
+    store.add_run(clean.run_id)
+    store.add_run(corrupt.run_id)
+    rows = query_campaign(store)
+    assert [r["run_id"] for r in rows] == [clean.run_id, corrupt.run_id]
+    assert all(r["stat"] == "total_s" for r in rows)   # timing default
+    assert all(r["value"] > 0 for r in rows)
+    assert rows[0]["label"] == "clean"
+
+    rows = query_campaign(store, node="node1", sensor="CPU0 Temp",
+                          stat="max")
+    assert rows[1]["value"] > rows[0]["value"]         # the fault shows
+
+    rows = query_campaign(store, function="no-such-fn")
+    assert all(r["value"] is None for r in rows)
+
+
+def test_diff_flags_seeded_fault(faulty_pair):
+    lab, clean, corrupt = faulty_pair
+    diff = diff_runs(lab, clean.run_id, corrupt.run_id)
+    assert diff.before_label == clean.run_id
+    assert not diff.hcct_skipped and diff.hot_paths    # budgeted runs
+    # Node-level sensor deltas are the layer that fires on short runs.
+    rises = [s for s in diff.sensors
+             if s.avg_delta_c is not None and s.avg_delta_c > 1.0]
+    assert rises, "seeded +10C corruption must show in sensor deltas"
+    regressions = diff.regressed(time_ratio=1.2, temp_delta_c=1.0)
+    assert regressions
+    doc = diff.to_dict()
+    assert doc["sensors"] and doc["functions"]
+    assert doc["hcct_skipped"] is False
+
+
+def test_diff_is_directional(faulty_pair):
+    lab, clean, corrupt = faulty_pair
+    forward = diff_runs(lab, clean.run_id, corrupt.run_id)
+    backward = diff_runs(lab, corrupt.run_id, clean.run_id)
+    f = {(s.node, s.sensor): s.avg_delta_c for s in forward.sensors}
+    b = {(s.node, s.sensor): s.avg_delta_c for s in backward.sensors}
+    for key, delta in f.items():
+        if delta is not None and b.get(key) is not None:
+            assert b[key] == pytest.approx(-delta)
+
+
+def test_campaign_regressions_fire_on_fault(faulty_pair):
+    lab, clean, corrupt = faulty_pair
+    store = CampaignStore.create(lab, "r")
+    store.add_run(clean.run_id)
+    store.add_run(corrupt.run_id)
+    regs = store.detect_regressions(sensor="CPU0 Temp", stat="avg",
+                                    min_delta=0.5)
+    assert regs, "the +10C corruption band must register as a regression"
+    assert all(r.run_id == corrupt.run_id for r in regs)
+    assert all(r.best_run_id == clean.run_id for r in regs)
+    assert all(r.delta >= 0.5 for r in regs)
+
+
+def test_diff_campaigns_composes(faulty_pair):
+    lab, clean, corrupt = faulty_pair
+    CampaignStore.create(lab, "before").add_run(clean.run_id)
+    CampaignStore.create(lab, "after").add_run(corrupt.run_id)
+    diff = diff_campaigns(lab, "before", "after")
+    assert diff.before_label == "campaign:before"
+    assert diff.regressed(temp_delta_c=1.0)
+
+
+def test_hcct_diff_degrades_gracefully(lab):
+    """No HCCT on either side (no budget): skipped flag, flat diff works."""
+    a, _ = record_run(lab, micro_spec(seed=1))
+    b, _ = record_run(lab, micro_spec(seed=2))
+    diff = diff_runs(lab, a.run_id, b.run_id)
+    assert diff.hcct_skipped
+    assert diff.hot_paths == []
+    assert diff.functions                       # flat diff still there
+
+
+def test_v1_summary_diffs_without_hcct(faulty_pair):
+    """A v1 document (no hcct) against a budgeted v2 run: one side has
+    trees, so the diff is NOT skipped but only covers that side."""
+    lab, clean, corrupt = faulty_pair
+    before = load_run_summary(lab, clean.run_id)
+    after_doc = dict(lab.get_json(corrupt.outputs["summary"]))
+    after_doc["format"] = "tempest-summary-v1"
+    after_doc["nodes"] = {
+        name: {k: v for k, v in block.items() if k != "hcct"}
+        for name, block in after_doc["nodes"].items()
+    }
+    from repro.core.summary import RunSummary
+    after = RunSummary.from_dict(after_doc)
+    diff = diff_summaries(before, after, before_label="v2",
+                          after_label="v1")
+    assert not diff.hcct_skipped                # clean side still has trees
+    assert all(h.status == "removed" for h in diff.hot_paths)

@@ -1,0 +1,133 @@
+"""The sweep runner: matrix grammar, resume semantics, kill-safety."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lab import Laboratory, SweepMatrix, run_sweep
+from repro.util.errors import LabError
+
+MATRIX = dict(workloads="micro:A,micro:B", bands="clean")
+
+
+def test_parse_workload_axis():
+    m = SweepMatrix.parse("FT:S:4x4,CG:S:2x2:3,micro:A")
+    assert len(m.workloads) == 3
+    ft, cg, micro = m.workloads
+    assert ft == {"kind": "npb", "bench": "FT", "klass": "S",
+                  "ranks": 4, "nodes": 4}
+    assert cg["iters"] == 3
+    assert micro == {"kind": "micro", "bench": "A", "nodes": 1,
+                     "vary_nodes": False}
+
+
+def test_parse_band_axis():
+    m = SweepMatrix.parse("EP", bands="clean/lossy:record_loss_rate=0.1,"
+                                      "temp_corrupt_sd_c=2.0")
+    assert m.bands == (("clean", None),
+                       ("lossy",
+                        "record_loss_rate=0.1,temp_corrupt_sd_c=2.0"))
+    assert len(m) == 2
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(LabError, match="RANKSxNODES"):
+        SweepMatrix.parse("FT:S:4by4")
+    with pytest.raises(LabError, match="micro:X"):
+        SweepMatrix.parse("micro")
+    with pytest.raises(LabError, match="'clean' or 'NAME"):
+        SweepMatrix.parse("EP", bands="justaname")
+    with pytest.raises(LabError, match="at least one entry"):
+        SweepMatrix.parse(",")
+    with pytest.raises(LabError, match="iterations"):
+        SweepMatrix.parse("CG:S:2x2:soon")
+
+
+def test_cells_are_deterministic():
+    m = SweepMatrix.parse("micro:A,micro:B", platforms="default,opteron",
+                          bands="clean/l:record_loss_rate=0.1")
+    a = m.cells(seed=7)
+    b = m.cells(seed=7)
+    assert a == b
+    assert len(a) == len(m) == 8
+    # workloads outermost, bands innermost
+    assert [s.bench for s in a[:4]] == ["A"] * 4
+    assert [s.label for s in a[:2]] == ["clean", "l"]
+
+
+def test_sweep_executes_and_resumes(tmp_path):
+    lab = Laboratory.create(tmp_path / "lab")
+    matrix = SweepMatrix.parse(**MATRIX)
+    first = run_sweep(lab, matrix, seed=3)
+    assert first.total == 2
+    assert len(first.executed) == 2 and not first.skipped
+    again = run_sweep(lab, matrix, seed=3)
+    assert len(again.skipped) == 2 and not again.executed
+    assert sorted(again.skipped) == sorted(first.executed)
+
+
+def test_max_cells_bounds_execution_not_skips(tmp_path):
+    lab = Laboratory.create(tmp_path / "lab")
+    matrix = SweepMatrix.parse(**MATRIX)
+    partial = run_sweep(lab, matrix, seed=3, max_cells=1)
+    assert len(partial.executed) == 1
+    rest = run_sweep(lab, matrix, seed=3, max_cells=1)
+    assert len(rest.executed) == 1 and len(rest.skipped) == 1
+    done = run_sweep(lab, matrix, seed=3)
+    assert not done.executed and len(done.skipped) == 2
+
+
+def test_sweep_enrolls_campaign_resumably(tmp_path):
+    from repro.lab import CampaignStore
+
+    lab = Laboratory.create(tmp_path / "lab")
+    matrix = SweepMatrix.parse(**MATRIX)
+    run_sweep(lab, matrix, seed=3, campaign="m", max_cells=1)
+    assert len(CampaignStore.open(lab, "m").run_ids()) == 1
+    run_sweep(lab, matrix, seed=3, campaign="m")
+    # second pass enrolls the remaining cell, never duplicates
+    assert len(CampaignStore.open(lab, "m").run_ids()) == 2
+
+
+def test_sigkilled_sweep_resumes_cleanly(tmp_path):
+    """SIGKILL mid-sweep: the next invocation steals the stale lock,
+    skips completed cells, and finishes the matrix."""
+    lab_root = tmp_path / "lab"
+    script = (
+        "import sys; sys.path.insert(0, {src!r})\n"
+        "from pathlib import Path\n"
+        "from repro.lab import Laboratory, SweepMatrix, run_sweep\n"
+        "lab = Laboratory.create(Path({root!r}))\n"
+        "matrix = SweepMatrix.parse('micro:A,micro:B,micro:C')\n"
+        "def prog(what, rid):\n"
+        "    print(f'{{what}} {{rid}}', flush=True)\n"
+        "run_sweep(lab, matrix, seed=3, progress=prog)\n"
+    ).format(src=str(Path(__file__).resolve().parents[2] / "src"),
+             root=str(lab_root))
+    proc = subprocess.Popen([sys.executable, "-c", script],
+                            stdout=subprocess.PIPE, text=True)
+    # Kill as soon as the first cell reports done.
+    line = proc.stdout.readline()
+    assert line.startswith("run ")
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=30)
+
+    for _ in range(100):     # let the filesystem settle
+        if Laboratory.is_lab_dir(lab_root):
+            break
+        time.sleep(0.05)
+    lab = Laboratory.open(lab_root)
+    done_before = set(lab.run_ids())
+    assert 1 <= len(done_before) < 3
+
+    matrix = SweepMatrix.parse("micro:A,micro:B,micro:C")
+    report = run_sweep(lab, matrix, seed=3)
+    assert report.total == 3
+    assert set(report.skipped) == done_before
+    assert len(report.executed) == 3 - len(done_before)
+    assert len(lab.run_ids()) == 3

@@ -1,0 +1,64 @@
+"""Canonical JSON: determinism, the two-form equivalence, atomicity."""
+
+import json
+
+import pytest
+
+from repro.util.canonjson import (
+    canon_bytes,
+    canon_dumps,
+    content_digest,
+    dump_canonical,
+    sha256_file,
+)
+
+DOC = {"b": 2, "a": [1, {"z": None, "y": 1.5}], "u": "café"}
+
+
+def test_dumps_is_key_order_independent():
+    other = {"u": "café", "a": [1, {"y": 1.5, "z": None}], "b": 2}
+    assert canon_dumps(DOC) == canon_dumps(other)
+    assert canon_bytes(DOC) == canon_bytes(other)
+
+
+def test_file_form_round_trips():
+    assert json.loads(canon_dumps(DOC)) == DOC
+    assert canon_dumps(DOC).endswith("\n")
+
+
+def test_two_forms_share_one_digest():
+    # The digest of a document equals the digest of the parsed
+    # contents of its canonical file — whitespace is the only delta.
+    reparsed = json.loads(canon_dumps(DOC))
+    assert content_digest(reparsed) == content_digest(DOC)
+
+
+def test_digest_form_is_compact_ascii():
+    data = canon_bytes(DOC)
+    assert b"\n" not in data and b" " not in data.replace(b"caf", b"")
+    assert max(data) < 128   # ensure_ascii: stable across locales
+
+
+def test_dump_canonical_atomic_write(tmp_path):
+    path = tmp_path / "doc.json"
+    text = dump_canonical(path, DOC)
+    assert path.read_text() == text == canon_dumps(DOC)
+    assert not list(tmp_path.glob("*.tmp*"))   # temp file cleaned up
+
+
+def test_sha256_file_matches_blob_contract(tmp_path):
+    path = tmp_path / "blob"
+    path.write_bytes(canon_bytes(DOC))
+    assert sha256_file(path) == content_digest(DOC)
+
+
+def test_repr_floats_round_trip_bit_exact():
+    value = 0.1 + 0.2   # not representable prettily
+    doc = {"v": value}
+    assert json.loads(canon_dumps(doc))["v"] == value
+
+
+@pytest.mark.parametrize("obj", [{}, [], "x", 0, None, True])
+def test_scalar_documents(obj):
+    assert json.loads(canon_dumps(obj)) == obj
+    assert len(content_digest(obj)) == 64
